@@ -1,0 +1,48 @@
+"""B6 — aggregation conditions (COUNT ... by ...) in the Where subclause.
+
+Expected shape: ~linear in the number of context patterns (one grouping
+pass + one filter pass); SUM/AVG with attribute reads cost a constant
+factor more than COUNT.
+"""
+
+import pytest
+
+from repro.oql import QueryProcessor
+from repro.subdb import Universe
+
+COUNT_QUERY = ("context Department * Course * Section * Student "
+               "where COUNT(Student by Course) > 10")
+AVG_QUERY = ("context Department * Course "
+             "where AVG(Course.credit_hours by Department) > 2")
+
+
+@pytest.mark.benchmark(group="B6-count-by-scale")
+def test_count_by_scale(benchmark, scaled_data):
+    scale, data = scaled_data
+    qp = QueryProcessor(Universe(data.db))
+    result = benchmark(lambda: qp.execute(COUNT_QUERY))
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["patterns"] = len(result.subdatabase)
+
+
+@pytest.mark.benchmark(group="B6-agg-functions")
+@pytest.mark.parametrize("func", ["COUNT", "SUM", "AVG", "MIN", "MAX"])
+def test_agg_functions(benchmark, medium_data, func):
+    qp = QueryProcessor(Universe(medium_data.db))
+    if func == "COUNT":
+        text = ("context Department * Course "
+                "where COUNT(Course by Department) > 1")
+    else:
+        text = (f"context Department * Course "
+                f"where {func}(Course.credit_hours by Department) >= 1")
+    benchmark(lambda: qp.execute(text))
+
+
+@pytest.mark.benchmark(group="B6-filter-vs-no-filter")
+@pytest.mark.parametrize("variant", ["plain", "with-count"])
+def test_where_overhead(benchmark, medium_data, variant):
+    qp = QueryProcessor(Universe(medium_data.db))
+    text = "context Department * Course * Section * Student"
+    if variant == "with-count":
+        text += " where COUNT(Student by Course) > 10"
+    benchmark(lambda: qp.execute(text))

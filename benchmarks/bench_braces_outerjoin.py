@@ -1,0 +1,37 @@
+"""B7 — brace groups (outer-join semantics, Section 5.1) vs plain chains.
+
+Expected shape: a brace group adds one extra sub-range match plus a
+subsumption pass — a modest constant-factor overhead over the plain
+chain, not a blow-up.
+"""
+
+import pytest
+
+from repro.oql import QueryProcessor
+from repro.subdb import Universe
+
+VARIANTS = {
+    "plain": "context Teacher * Section * Course",
+    "one-brace": "context Teacher * {Section * Course}",
+    "nested": "context {{Teacher} * Section} * Course",
+    "all-singletons": "context {Teacher} * {Section} * {Course}",
+}
+
+
+@pytest.mark.benchmark(group="B7-braces-overhead")
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_brace_variants(benchmark, medium_data, variant):
+    qp = QueryProcessor(Universe(medium_data.db))
+    text = VARIANTS[variant]
+    result = benchmark(lambda: qp.execute(text))
+    benchmark.extra_info["patterns"] = len(result.subdatabase)
+    benchmark.extra_info["types"] = len(result.subdatabase.pattern_types())
+
+
+@pytest.mark.benchmark(group="B7-subsumption-scale")
+def test_subsumption_cost_by_scale(benchmark, scaled_data):
+    scale, data = scaled_data
+    qp = QueryProcessor(Universe(data.db))
+    benchmark.extra_info["scale"] = scale
+    benchmark(lambda: qp.execute(
+        "context {Teacher * Section} * {Course}"))

@@ -1,0 +1,68 @@
+"""B2 — pre-evaluated (forward) vs post-evaluated (backward) results
+under varying query:update mixes.
+
+Expected shape: PRE wins read-heavy mixes (queries hit a stored copy),
+POST wins update-heavy mixes (no forward pass per update); the crossover
+moves with the ratio.  This is the quantitative case for the paper's
+*result-oriented* strategy, which lets each result pick its side.
+"""
+
+import pytest
+
+from repro.rules.control import EvaluationMode
+from repro.rules.engine import RuleEngine
+from repro.university import GeneratorConfig, generate_university
+
+RULE = ("if context Department * Course * Section * Student "
+        "where COUNT(Student by Course) > 10 then Hot (Course)")
+
+MIXES = {
+    "read-heavy-9q1u": (9, 1),
+    "balanced-1q1u": (1, 1),
+    "update-heavy-1q9u": (1, 9),
+}
+
+
+def _fresh_engine(mode):
+    data = generate_university(GeneratorConfig(
+        departments=3, courses=12, sections_per_course=2, teachers=8,
+        students=150, enrollments_per_student=3, tas=4, grads=10,
+        faculty=4, seed=77))
+    engine = RuleEngine(data.db, controller="result")
+    engine.add_rule(RULE, label="HOT", mode=mode)
+    engine.refresh()
+    return data, engine
+
+
+def _workload(data, engine, queries, updates):
+    students = data.all_of("Student")
+    sections = data.all_of("Section")
+    link = data.db.schema.resolve_link("Student", "Section").link
+    for round_index in range(4):
+        for u in range(updates):
+            student = students[(round_index * 13 + u) % len(students)]
+            section = sections[(round_index * 7 + u) % len(sections)]
+            if section.oid in data.db.linked(student.oid, link):
+                data.db.dissociate(student, "enrolled", section)
+            else:
+                data.db.associate(student, "enrolled", section)
+        for _ in range(queries):
+            engine.query("context Hot:Course select title")
+
+
+@pytest.mark.benchmark(group="B2-query-update-mix")
+@pytest.mark.parametrize("mix", sorted(MIXES))
+@pytest.mark.parametrize("mode", ["pre", "post"])
+def test_mix(benchmark, mix, mode):
+    queries, updates = MIXES[mix]
+    evaluation = (EvaluationMode.PRE_EVALUATED if mode == "pre"
+                  else EvaluationMode.POST_EVALUATED)
+
+    def run():
+        data, engine = _fresh_engine(evaluation)
+        _workload(data, engine, queries, updates)
+        return engine.stats.total_derivations()
+
+    derivations = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["derivations"] = derivations
+    benchmark.extra_info["mix"] = f"{queries}q:{updates}u"

@@ -1,0 +1,61 @@
+"""B4 — result-oriented vs POSTGRES-style rule-oriented control on the
+paper's Ra→Rd chain under an update+query workload.
+
+Expected shape: comparable total cost, but the rule-oriented baseline
+accumulates *staleness* (stale results served) while the result-oriented
+strategy serves zero stale answers; its extra forward-pass work is
+bounded.  Staleness counts are reported via ``extra_info``.
+"""
+
+import pytest
+
+from repro.rules.control import EvaluationMode, RuleChainingMode
+from repro.rules.engine import RuleEngine
+from repro.university import build_paper_database
+
+CHAIN = [
+    ("Ra", "if context Teacher * Section then REa (Teacher, Section)"),
+    ("Rb", "if context REa:Teacher * REa:Section then REb (Teacher)"),
+    ("Rc", "if context REb:Teacher then REc (Teacher)"),
+    ("Rd", "if context REc:Teacher then REd (Teacher)"),
+]
+
+RULE_MODES = {"Ra": RuleChainingMode.BACKWARD,
+              "Rb": RuleChainingMode.BACKWARD,
+              "Rc": RuleChainingMode.FORWARD,
+              "Rd": RuleChainingMode.FORWARD}
+RESULT_MODES = {"Ra": EvaluationMode.POST_EVALUATED,
+                "Rb": EvaluationMode.POST_EVALUATED,
+                "Rc": EvaluationMode.POST_EVALUATED,
+                "Rd": EvaluationMode.PRE_EVALUATED}
+
+
+def _run_workload(controller, modes):
+    data = build_paper_database()
+    engine = RuleEngine(data.db, controller=controller)
+    for label, text in CHAIN:
+        engine.add_rule(text, label=label, mode=modes[label])
+    engine.query("context REd:Teacher select name")
+    stale_serves = 0
+    for i in range(8):
+        with data.db.batch():
+            teacher = data.db.insert("Teacher", name=f"T{i}",
+                                     **{"SS#": str(i)})
+            data.db.associate(teacher, "teaches", data["s4"])
+        if engine.is_stale("REd"):
+            stale_serves += 1
+        engine.query("context REd:Teacher select name")
+    return engine.stats.total_derivations(), stale_serves
+
+
+@pytest.mark.benchmark(group="B4-control-strategy")
+@pytest.mark.parametrize("controller", ["rule", "result"])
+def test_update_query_workload(benchmark, controller):
+    modes = RULE_MODES if controller == "rule" else RESULT_MODES
+
+    def run():
+        return _run_workload(controller, modes)
+
+    derivations, stale = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["derivations"] = derivations
+    benchmark.extra_info["stale_reds_served"] = stale

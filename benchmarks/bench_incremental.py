@@ -1,0 +1,82 @@
+"""B10 (ablation) — incremental maintenance vs full re-derivation of a
+pre-evaluated result under single-link update streams.
+
+Expected shape: full re-derivation costs ~O(database) per update;
+incremental maintenance costs ~O(change) — the gap widens with database
+size.  Only the update stream is timed; engine construction and the
+initial refresh happen in per-round setup.
+"""
+
+import pytest
+
+from repro.rules.control import EvaluationMode
+from repro.rules.engine import RuleEngine
+from repro.university import GeneratorConfig, generate_university
+
+RULE = ("if context Teacher * Section * Course "
+        "then Teacher_course (Teacher, Course)")
+
+SIZES = {
+    "small": GeneratorConfig(courses=10, sections_per_course=2,
+                             teachers=8, students=50, seed=61),
+    "medium": GeneratorConfig(courses=40, sections_per_course=2,
+                              teachers=25, students=300, seed=62),
+    "large": GeneratorConfig(courses=80, sections_per_course=3,
+                             teachers=50, students=800, seed=63),
+}
+
+
+def _build(controller: str, config: GeneratorConfig):
+    data = generate_university(config)
+    engine = RuleEngine(data.db, controller=controller)
+    engine.add_rule(RULE, label="R1", mode=EvaluationMode.PRE_EVALUATED)
+    engine.refresh()
+    if controller == "incremental":
+        # Warm the maintainers so the stream measures steady state.
+        engine.controller._maintainers_for("Teacher_course")
+    return data, engine
+
+
+def _update_stream(data, engine):
+    teachers = data.all_of("Teacher")
+    sections = data.all_of("Section")
+    link = data.db.schema.resolve_link("Teacher", "Section").link
+    for i in range(10):
+        teacher = teachers[i % len(teachers)]
+        section = sections[(i * 3) % len(sections)]
+        if section.oid in data.db.linked(teacher.oid, link):
+            data.db.dissociate(teacher, "teaches", section)
+        else:
+            data.db.associate(teacher, "teaches", section)
+    return engine.stats.total_derivations()
+
+
+@pytest.mark.benchmark(group="B10-incremental-maintenance")
+@pytest.mark.parametrize("size", sorted(SIZES))
+@pytest.mark.parametrize("controller", ["incremental", "result"],
+                         ids=["incremental", "full-rederive"])
+def test_maintenance_under_updates(benchmark, size, controller):
+    def setup():
+        return _build(controller, SIZES[size]), {}
+
+    derivations = benchmark.pedantic(
+        lambda data, engine: _update_stream(data, engine),
+        setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["derivations"] = derivations
+
+
+@pytest.mark.benchmark(group="B10-consistency")
+def test_incremental_matches_full(benchmark):
+    """Not a speed test: asserts (while timing) that the maintained
+    result equals a from-scratch derivation after an update stream."""
+    def setup():
+        return _build("incremental", SIZES["small"]), {}
+
+    def run(data, engine):
+        _update_stream(data, engine)
+        maintained = engine.universe.get_subdb("Teacher_course").patterns
+        fresh = engine.derive("Teacher_course", force=True).patterns
+        assert maintained == fresh
+        return len(maintained)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

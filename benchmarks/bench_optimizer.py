@@ -1,0 +1,33 @@
+"""B9 (ablation) — greedy chain-join optimizer vs naive left-to-right.
+
+Expected shape: with a selective intra-class condition away from the
+left end, the optimizer anchors at the small filtered extent and prunes
+from the first hop — large wins; with no selectivity, the two orders are
+comparable (no regression).
+"""
+
+import pytest
+
+from repro.oql.evaluator import PatternEvaluator
+from repro.oql.parser import parse_expression
+from repro.subdb.universe import Universe
+
+SELECTIVE_RIGHT = "Student * Section * Course [c# = 1000]"
+SELECTIVE_LEFT = "Department [name = 'Dept0'] * Course * Section * Student"
+NO_FILTER = "Teacher * Section * Course"
+
+
+@pytest.mark.benchmark(group="B9-optimizer")
+@pytest.mark.parametrize("optimize", [True, False],
+                         ids=["greedy", "naive-ltr"])
+@pytest.mark.parametrize("workload", ["selective-right",
+                                      "selective-left", "no-filter"])
+def test_optimizer_ablation(benchmark, medium_data, optimize, workload):
+    text = {"selective-right": SELECTIVE_RIGHT,
+            "selective-left": SELECTIVE_LEFT,
+            "no-filter": NO_FILTER}[workload]
+    universe = Universe(medium_data.db)
+    evaluator = PatternEvaluator(universe, optimize=optimize)
+    expr = parse_expression(text)
+    result = benchmark(lambda: evaluator.evaluate(expr))
+    benchmark.extra_info["patterns"] = len(result)

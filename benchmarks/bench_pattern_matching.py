@@ -1,0 +1,46 @@
+"""B1 — association-chain pattern matching vs database scale and chain
+length.
+
+Expected shape: evaluation cost grows roughly linearly with the number of
+link traversals (extent size × average fan-out per hop); longer chains
+cost proportionally more hops.
+"""
+
+import pytest
+
+from repro.oql import QueryProcessor
+from repro.subdb import Universe
+
+CHAINS = {
+    2: "context Teacher * Section",
+    3: "context Teacher * Section * Course",
+    4: "context Teacher * Section * Course * Department",
+    5: "context Teacher * Section * Student * Department * Course_1",
+}
+
+
+@pytest.mark.benchmark(group="B1-chain-length")
+@pytest.mark.parametrize("length", [2, 3, 4])
+def test_chain_length(benchmark, small_data, length):
+    qp = QueryProcessor(Universe(small_data.db))
+    text = CHAINS[length]
+    benchmark(lambda: qp.execute(text))
+
+
+@pytest.mark.benchmark(group="B1-db-scale")
+def test_three_way_chain_by_scale(benchmark, scaled_data):
+    scale, data = scaled_data
+    qp = QueryProcessor(Universe(data.db))
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["objects"] = data.db.stats()["objects"]
+    benchmark.extra_info["links"] = data.db.stats()["links"]
+    benchmark(lambda: qp.execute("context Teacher * Section * Course"))
+
+
+@pytest.mark.benchmark(group="B1-wide-fanout")
+def test_enrollment_fanout_by_scale(benchmark, scaled_data):
+    scale, data = scaled_data
+    qp = QueryProcessor(Universe(data.db))
+    benchmark.extra_info["scale"] = scale
+    benchmark(lambda: qp.execute(
+        "context Department * Course * Section * Student"))

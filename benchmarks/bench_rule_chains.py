@@ -1,0 +1,48 @@
+"""B5 — inference-chain depth scaling (the closure property at work).
+
+A chain of k rules, each reading the previous rule's subdatabase.
+Expected shape: a cold query costs ~sum of per-rule derivations (linear
+in k); a warm re-query costs only the final pattern match, independent of
+k (memoization).
+"""
+
+import pytest
+
+from repro.rules.engine import RuleEngine
+
+DEPTHS = [1, 2, 4, 6]
+
+
+def _build_engine(data, depth):
+    engine = RuleEngine(data.db)
+    engine.add_rule("if context Teacher * Section * Course then L1 "
+                    "(Teacher, Course)", label="L1")
+    for level in range(2, depth + 1):
+        engine.add_rule(
+            f"if context L{level - 1}:Teacher * L{level - 1}:Course "
+            f"then L{level} (Teacher, Course)", label=f"L{level}")
+    return engine
+
+
+@pytest.mark.benchmark(group="B5-cold-chain")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_cold_derivation(benchmark, small_data, depth):
+    def run():
+        engine = _build_engine(small_data, depth)
+        engine.query(f"context L{depth}:Teacher select name")
+        return engine.stats.total_derivations()
+
+    derivations = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert derivations == depth
+    benchmark.extra_info["derivations"] = derivations
+
+
+@pytest.mark.benchmark(group="B5-warm-chain")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_warm_requery(benchmark, small_data, depth):
+    engine = _build_engine(small_data, depth)
+    engine.query(f"context L{depth}:Teacher select name")  # warm up
+
+    benchmark(lambda: engine.query(
+        f"context L{depth}:Teacher select name"))
+    assert engine.stats.derivations[f"L{depth}"] == 1

@@ -1,0 +1,79 @@
+"""Section 6 live: rule-oriented (POSTGRES-style) vs result-oriented
+control on the paper's Ra -> Rb -> Rc -> Rd chain.
+
+Watch the rule-oriented strategy serve a stale REd after a base update —
+and stay stale until somebody happens to query REb — while the
+result-oriented strategy keeps the pre-evaluated REd fresh by running the
+very same rules forward.
+
+Run:  python examples/control_strategies.py
+"""
+
+from repro import EvaluationMode, RuleChainingMode, RuleEngine
+from repro.university import build_paper_database
+
+CHAIN = [
+    ("Ra", "if context Teacher * Section then REa (Teacher, Section)"),
+    ("Rb", "if context REa:Teacher * REa:Section then REb (Teacher)"),
+    ("Rc", "if context REb:Teacher then REc (Teacher)"),
+    ("Rd", "if context REc:Teacher then REd (Teacher)"),
+]
+
+
+def build(controller, modes):
+    data = build_paper_database()
+    engine = RuleEngine(data.db, controller=controller)
+    for label, text in CHAIN:
+        engine.add_rule(text, label=label, mode=modes[label])
+    return data, engine
+
+
+def red(engine):
+    result = engine.query("context REd:Teacher select name display")
+    return sorted(result.table.column("REd:Teacher.name"))
+
+
+def hire(data, name):
+    with data.db.batch():
+        teacher = data.db.insert("Teacher", name=name, degree="PhD",
+                                 **{"SS#": "999"})
+        data.db.associate(teacher, "teaches", data["s4"])
+
+
+print("=" * 72)
+print("POSTGRES-style rule-oriented control")
+print("(Ra, Rb backward; Rc, Rd forward)")
+print("=" * 72)
+data, engine = build("rule", {
+    "Ra": RuleChainingMode.BACKWARD, "Rb": RuleChainingMode.BACKWARD,
+    "Rc": RuleChainingMode.FORWARD, "Rd": RuleChainingMode.FORWARD})
+print("REd initially:", red(engine))
+hire(data, "Newton")
+print("base updated (hired Newton).")
+print("REd is stale?", engine.is_stale("REd"))
+print("REd as served:", red(engine), "   <-- Newton is MISSING (stale!)")
+print("...someone queries REb...")
+engine.query("context REb:Teacher select name")
+print("REd is stale?", engine.is_stale("REd"))
+print("REd as served:", red(engine))
+
+print()
+print("=" * 72)
+print("Result-oriented control (the paper's strategy)")
+print("(REd pre-evaluated; REa, REb, REc post-evaluated)")
+print("=" * 72)
+data, engine = build("result", {
+    "Ra": EvaluationMode.POST_EVALUATED,
+    "Rb": EvaluationMode.POST_EVALUATED,
+    "Rc": EvaluationMode.POST_EVALUATED,
+    "Rd": EvaluationMode.PRE_EVALUATED})
+engine.refresh()
+print("REd initially:", red(engine))
+hire(data, "Newton")
+print("base updated (hired Newton).")
+print("REd is stale?", engine.is_stale("REd"))
+print("REd as served:", red(engine), "   <-- fresh immediately")
+print()
+print("The same rules Ra/Rb ran FORWARD to maintain REd and would run")
+print("BACKWARD for a direct query on REb — modes attach to results,")
+print("not to rules, which removes POSTGRES's mixing restriction.")

@@ -1,0 +1,69 @@
+"""Bill-of-materials explosion: transitive closure on a CAD-style schema.
+
+The paper's introduction motivates deductive OO databases with CAD/CAM
+applications; this example builds a parts catalog with a ``contains``
+self-association and uses the loop construct of Section 5.2 to compute
+the where-used / explosion hierarchies, then chains a second rule over
+the derived subdatabase (the closure property at work).
+
+Run:  python examples/parts_explosion.py
+"""
+
+from repro import Database, INTEGER, RuleEngine, STRING, Schema
+
+schema = Schema("cad")
+schema.add_eclass("Part")
+schema.add_eclass("Supplier")
+schema.add_attribute("Part", "name", STRING)
+schema.add_attribute("Part", "cost", INTEGER)
+schema.add_attribute("Supplier", "name", STRING)
+schema.add_association("Part", "Part", name="contains", many=True)
+schema.add_association("Supplier", "Part", name="supplies", many=True)
+
+db = Database(schema)
+parts = {}
+for name, cost in [("car", 20000), ("engine", 6000), ("chassis", 4000),
+                   ("piston", 120), ("crankshaft", 700), ("bolt", 1),
+                   ("wheel", 200), ("tire", 90)]:
+    parts[name] = db.insert("Part", name, name=name, cost=cost)
+for container, contents in [
+    ("car", ["engine", "chassis", "wheel"]),
+    ("engine", ["piston", "crankshaft", "bolt"]),
+    ("chassis", ["bolt"]),
+    ("wheel", ["tire", "bolt"]),
+]:
+    for item in contents:
+        db.associate(parts[container], "contains", parts[item])
+acme = db.insert("Supplier", name="Acme Fasteners")
+db.associate(acme, "supplies", parts["bolt"])
+db.associate(acme, "supplies", parts["tire"])
+
+engine = RuleEngine(db)
+
+print("=== Parts explosion (transitive closure by looping) ===")
+result = engine.query("context Part * Part_1 ^*")
+for row in result.subdatabase.sorted_rows():
+    chain = " -> ".join(repr(v) for v in row if v is not None)
+    print(f"  {chain}")
+
+print()
+print("=== Rule: Contains_all — every (assembly, any-depth component) ===")
+engine.add_rule(
+    "if context Part * Part_1 ^* then Contains_all (Part, Part_)",
+    label="BOM")
+bom = engine.derive("Contains_all")
+print(f"  {len(bom)} hierarchy rows; classes: {bom.slot_names}")
+
+print()
+print("=== Chained rule: sole-sourced components in active use ===")
+# Components supplied by Acme that appear (at any depth) inside some
+# assembly's explosion — a rule reading the rule-derived subdatabase.
+engine.add_rule(
+    "if context Supplier [name = 'Acme Fasteners'] * Contains_all:Part_1 "
+    "then Sole_sourced (Contains_all:Part_1)", label="EXP")
+exposed = engine.query(
+    "context Sole_sourced:Part_1 select name cost display")
+print(exposed.output)
+
+print()
+print("Derivations:", dict(engine.stats.derivations))

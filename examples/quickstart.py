@@ -1,0 +1,66 @@
+"""Quickstart: build a schema, load objects, query, and define a rule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, INTEGER, RuleEngine, STRING, Schema
+
+# ---------------------------------------------------------------------------
+# 1. Define an object-oriented schema (the S-diagram): E-classes,
+#    descriptive attributes (aggregation links to D-classes), entity
+#    associations, and generalization links.
+# ---------------------------------------------------------------------------
+schema = Schema("library")
+schema.add_eclass("Author")
+schema.add_eclass("Book")
+schema.add_eclass("Novel")
+schema.add_subclass("Book", "Novel")           # Novel is-a Book
+schema.add_attribute("Author", "name", STRING)
+schema.add_attribute("Book", "title", STRING)
+schema.add_attribute("Book", "year", INTEGER)
+schema.add_association("Author", "Book", name="wrote", many=True)
+
+# ---------------------------------------------------------------------------
+# 2. Load extensional data.
+# ---------------------------------------------------------------------------
+db = Database(schema)
+knuth = db.insert("Author", name="Knuth")
+eco = db.insert("Author", name="Eco")
+taocp = db.insert("Book", title="TAOCP", year=1968)
+rose = db.insert("Novel", title="The Name of the Rose", year=1980)
+db.associate(knuth, "wrote", taocp)
+db.associate(eco, "wrote", rose)
+
+# ---------------------------------------------------------------------------
+# 3. Query with OQL: the Context clause names an association pattern, the
+#    Select subclause picks attributes, Display renders a table.
+# ---------------------------------------------------------------------------
+engine = RuleEngine(db)
+result = engine.query(
+    "context Author * Book [year >= 1975] select name title display")
+print("Recent books and their authors:")
+print(result.output)
+print()
+
+# ---------------------------------------------------------------------------
+# 4. Define a deductive rule.  The derived subdatabase Novelists holds
+#    authors who wrote a novel; by the induced generalization association
+#    its Author class inherits everything the base Author class has, so
+#    it can be queried (and read by further rules) like any class.
+# ---------------------------------------------------------------------------
+engine.add_rule("if context Author * Novel then Novelists (Author)")
+novelists = engine.query("context Novelists:Author select name display")
+print("Novelists (derived by rule):")
+print(novelists.output)
+
+# ---------------------------------------------------------------------------
+# 5. The derived subdatabase stays consistent: insert a new novel and the
+#    result reflects it on the next query (backward chaining by default).
+# ---------------------------------------------------------------------------
+with db.batch():
+    pale = db.insert("Novel", title="Pale Fire", year=1962)
+    nabokov = db.insert("Author", name="Nabokov")
+    db.associate(nabokov, "wrote", pale)
+print()
+print("After inserting Nabokov:")
+print(engine.query("context Novelists:Author select name display").output)

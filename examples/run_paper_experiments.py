@@ -1,0 +1,223 @@
+"""The EXPERIMENTS.md Part-1 harness: verify every paper artifact and
+print a PASS/FAIL table.
+
+This is the programmatic counterpart of `tests/test_paper_examples.py`:
+each check re-derives a paper figure/query/rule result and compares it
+against the expectation stated in the paper, so a reader can regenerate
+the reproduction record in one command.
+
+Run:  python examples/run_paper_experiments.py
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable, List, Tuple
+
+from repro import (
+    AmbiguousPathError,
+    CyclicDataError,
+    PatternType,
+    RuleChainingMode,
+    RuleEngine,
+)
+from repro.university import build_paper_database, build_sdb
+
+
+def fresh_engine():
+    data = build_paper_database()
+    engine = RuleEngine(data.db)
+    engine.universe.register(build_sdb(data))
+    return data, engine
+
+
+def add_paper_rules(engine):
+    engine.add_rule(
+        "if context Department[name = 'CIS'] * Course * Section * Student "
+        "where COUNT(Student by Course) > 39 "
+        "then Suggest_offer (Course)", label="R2")
+    engine.add_rule(
+        "if context TA * Teacher * Section * Suggest_offer:Course "
+        "then May_teach (TA, Course)", label="R4")
+    engine.add_rule(
+        "if context Grad * Transcript[grade >= 3.0] * Course[c# < 5000] "
+        "then May_teach (Grad, Course)", label="R5")
+
+
+CHECKS: List[Tuple[str, str, Callable[[], None]]] = []
+
+
+def check(artifact: str, expectation: str):
+    def register(fn):
+        CHECKS.append((artifact, expectation, fn))
+        return fn
+    return register
+
+
+@check("Fig 2.1", "University schema builds with all classes and links")
+def _fig21():
+    data, _ = fresh_engine()
+    schema = data.db.schema
+    assert schema.resolve_link("Student",
+                               "Department").link.name == "Major"
+    assert schema.superclasses("TA") == {"Grad", "Teacher", "Student",
+                                         "Person"}
+
+
+@check("Fig 2.2", "RA inherits 'enrolled' along a unique path; "
+                  "TA * Section is ambiguous")
+def _fig22():
+    data, _ = fresh_engine()
+    assert data.db.schema.resolve_link("RA",
+                                       "Section").link.name == "enrolled"
+    try:
+        data.db.schema.resolve_link("TA", "Section")
+        raise AssertionError("expected ambiguity")
+    except AmbiguousPathError:
+        pass
+
+
+@check("Fig 3.1", "SDB holds 7 patterns of exactly 5 types")
+def _fig31():
+    data, engine = fresh_engine()
+    sdb = engine.universe.get_subdb("SDB")
+    assert len(sdb) == 7
+    assert len(sdb.pattern_types()) == 5
+    assert PatternType(("Teacher", "Section")) in sdb.pattern_types()
+
+
+@check("Q3.1 / Fig 3.2", "result = {(t1,s2),(t2,s3),(t3,s4)}")
+def _q31():
+    _, engine = fresh_engine()
+    result = engine.query(
+        "context SDB:Teacher * SDB:Section select name section# display")
+    assert result.subdatabase.labels() == {("t1", "s2"), ("t2", "s3"),
+                                           ("t3", "s4")}
+
+
+@check("Q3.2", "three (dept, title, textbook) rows for 6000-level courses")
+def _q32():
+    _, engine = fresh_engine()
+    result = engine.query(
+        "context Department * Course [c# >= 6000 and c# < 7000] * "
+        "Section select name title textbook print")
+    assert len(result.table) == 3
+
+
+@check("R1 / Fig 4.3", "Teacher_course = {(t1,c1),(t2,c1),(t2,c2)} with "
+                       "a new direct association")
+def _r1():
+    _, engine = fresh_engine()
+    engine.add_rule("if context SDB:Teacher * SDB:Section * SDB:Course "
+                    "then Teacher_course (Teacher, Course)")
+    subdb = engine.derive("Teacher_course")
+    assert subdb.labels() == {("t1", "c1"), ("t2", "c1"), ("t2", "c2")}
+    assert subdb.intension.edge_between(0, 1).kind == "derived"
+
+
+@check("R2", "Suggest_offer = {c1} (the only course with >39 students)")
+def _r2():
+    _, engine = fresh_engine()
+    add_paper_rules(engine)
+    assert engine.derive("Suggest_offer").labels() == {("c1",)}
+
+
+@check("R4+R5", "May_teach is the union of both rules' pattern sets")
+def _r45():
+    _, engine = fresh_engine()
+    add_paper_rules(engine)
+    subdb = engine.derive("May_teach")
+    assert set(subdb.slot_names) == {"TA", "Course", "Grad"}
+    assert len(subdb) == 6
+
+
+@check("Q4.1", "backward chaining triggers R2 before R4/R5; "
+               "answer = (Quinn, Su)")
+def _q41():
+    _, engine = fresh_engine()
+    add_paper_rules(engine)
+    result = engine.query(
+        "context Faculty * Advising * May_teach:TA [GPA < 3.5] "
+        "select TA[name] Faculty[name] display")
+    assert result.table.rows == [("Quinn", "Su")]
+    assert engine.stats.derivations["Suggest_offer"] == 1
+
+
+@check("§5.1 / Q5.1", "braces keep grads without advisors (Null faculty)")
+def _q51():
+    _, engine = fresh_engine()
+    result = engine.query(
+        "context {{Grad} * Advising} * Faculty "
+        "select Grad[SS#] Faculty[name] display")
+    rows = dict(result.table.rows)
+    assert rows["300-00-0002"] is None
+
+
+@check("§5.2 / R6", "loop builds the Grad-teaching-grad hierarchy with "
+                    "run-time aliases")
+def _r6():
+    _, engine = fresh_engine()
+    engine.add_rule(
+        "if context Grad * TA * Teacher * Section * Student * Grad_1 ^* "
+        "then GG (Grad, Grad_)")
+    subdb = engine.derive("GG")
+    assert subdb.slot_names == ("Grad", "Grad_1", "Grad_2")
+    assert ("ta1", "ta2", "g1") in subdb.labels()
+
+
+@check("§5.2", "cyclic instance data is detected (the paper's "
+               "acyclicity assumption)")
+def _cycle():
+    data, engine = fresh_engine()
+    data.db.associate(data["ta2"], "teaches", data["s4"])
+    data.db.associate(data["ta1"], "enrolled", data["s4"])
+    try:
+        engine.query("context Grad * TA * Teacher * Section * Student "
+                     "* Grad_1 ^*")
+        raise AssertionError("expected CyclicDataError")
+    except CyclicDataError:
+        pass
+
+
+@check("§6", "rule-oriented control serves a stale REd until REb is "
+             "queried; result-oriented does not")
+def _section6():
+    data = build_paper_database()
+    engine = RuleEngine(data.db, controller="rule")
+    engine.add_rule("if context Teacher * Section then REa "
+                    "(Teacher, Section)", label="Ra",
+                    mode=RuleChainingMode.BACKWARD)
+    engine.add_rule("if context REa:Teacher then REd (Teacher)",
+                    label="Rd", mode=RuleChainingMode.FORWARD)
+    engine.query("context REd:Teacher select name")
+    with data.db.batch():
+        t = data.db.insert("Teacher", name="Fresh", **{"SS#": "0"})
+        data.db.associate(t, "teaches", data["s4"])
+    assert engine.is_stale("REd")
+    stale = engine.query("context REd:Teacher select name display")
+    assert "Fresh" not in stale.output
+    engine.query("context REa:Teacher select name")
+    fresh = engine.query("context REd:Teacher select name display")
+    assert "Fresh" in fresh.output
+
+
+def main() -> int:
+    width = max(len(a) for a, _, _ in CHECKS)
+    failures = 0
+    for artifact, expectation, fn in CHECKS:
+        try:
+            fn()
+            status = "PASS"
+        except Exception:
+            status = "FAIL"
+            failures += 1
+            traceback.print_exc()
+        print(f"{status}  {artifact.ljust(width)}  {expectation}")
+    print()
+    print(f"{len(CHECKS) - failures}/{len(CHECKS)} paper artifacts "
+          f"reproduced")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Setuptools entry point.
+
+The primary project metadata lives in ``pyproject.toml``; this file exists
+so that environments without the ``wheel`` package (and without network
+access to fetch it) can still perform an editable install via
+``python setup.py develop`` / ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,115 @@
+"""repro — a deductive rule-based language for object-oriented databases.
+
+A from-scratch reproduction of *A Rule-based Language for Deductive
+Object-Oriented Databases* (Alashqur, Su, Lam — ICDE 1990): the OSAM*
+structural object model, subdatabases, the OQL query language, the
+deductive rule language with induced generalization, loop-based transitive
+closure, and the result-oriented control strategy.
+
+Quickstart::
+
+    from repro import RuleEngine
+    from repro.university import build_paper_database
+
+    data = build_paper_database()
+    engine = RuleEngine(data.db)
+    engine.add_rule(
+        "if context Teacher * Section * Course "
+        "then Teacher_course (Teacher, Course)", label="R1")
+    result = engine.query(
+        "context Teacher_course:Teacher * Teacher_course:Course "
+        "select name title display")
+    print(result.output)
+"""
+
+from repro.errors import (
+    AmbiguousPathError,
+    ConstraintViolationError,
+    CyclicDataError,
+    CyclicRuleError,
+    NoAssociationError,
+    OQLSemanticError,
+    OQLSyntaxError,
+    ReproError,
+    RuleSemanticError,
+    RuleSyntaxError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownSubdatabaseError,
+)
+from repro.model import (
+    BOOLEAN,
+    Database,
+    DClass,
+    Dictionary,
+    EClass,
+    Entity,
+    INTEGER,
+    OID,
+    REAL,
+    STRING,
+    Schema,
+    UpdateEvent,
+    UpdateKind,
+    check_database,
+)
+from repro.subdb import (
+    ClassRef,
+    ExtensionalPattern,
+    IntensionalPattern,
+    PatternType,
+    Subdatabase,
+    Universe,
+)
+from repro.oql import (
+    OperationRegistry,
+    PatternEvaluator,
+    QueryProcessor,
+    QueryResult,
+    Table,
+    parse_expression,
+    parse_query,
+)
+from repro.rules import (
+    DeductiveRule,
+    EvaluationMode,
+    Explanation,
+    IncrementalResultController,
+    IncrementalRule,
+    NotIncremental,
+    ResultOrientedController,
+    RuleChainingMode,
+    RuleEngine,
+    RuleOrientedController,
+    parse_rule,
+)
+from repro.subdb import algebra
+from repro import interop, viz
+from repro.storage import load_session, save_session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError", "SchemaError", "AmbiguousPathError", "NoAssociationError",
+    "TypeMismatchError", "ConstraintViolationError", "CyclicDataError",
+    "OQLSyntaxError", "OQLSemanticError", "UnknownSubdatabaseError",
+    "RuleSyntaxError", "RuleSemanticError", "CyclicRuleError",
+    # model
+    "Schema", "Database", "Dictionary", "EClass", "DClass", "Entity",
+    "OID", "INTEGER", "STRING", "REAL", "BOOLEAN", "UpdateEvent",
+    "UpdateKind", "check_database",
+    # subdatabases
+    "ClassRef", "ExtensionalPattern", "PatternType", "IntensionalPattern",
+    "Subdatabase", "Universe",
+    # OQL
+    "parse_query", "parse_expression", "PatternEvaluator",
+    "QueryProcessor", "QueryResult", "Table", "OperationRegistry",
+    # rules
+    "DeductiveRule", "parse_rule", "RuleEngine", "EvaluationMode",
+    "RuleChainingMode", "ResultOrientedController",
+    "RuleOrientedController", "IncrementalResultController",
+    "IncrementalRule", "NotIncremental", "Explanation",
+    # extensions
+    "algebra", "viz", "interop", "save_session", "load_session",
+]

@@ -1,0 +1,39 @@
+"""Baselines: the relational deductive approach the paper contrasts with.
+
+The paper's introduction positions its language against the PROLOG-based
+deductive rule languages over *relational* databases (GAL84, ULL85, CER86,
+STO87 ...), where "each rule defines a virtual relation derived from other
+base and/or virtual relations" and the closure property holds with respect
+to the relational model.  To benchmark the OO-deductive system against
+that line of work on equal footing, this subpackage provides:
+
+* :mod:`repro.baselines.relational` — a small relational algebra
+  (relations as tuple sets; select/project/join/union/difference),
+* :mod:`repro.baselines.datalog` — a Datalog engine over those relations
+  with naive and semi-naive bottom-up evaluation, stratified-safe rule
+  checking, and helpers to export an object database's links as
+  relations.
+"""
+
+from repro.baselines.relational import Relation
+from repro.baselines.datalog import (
+    Atom,
+    DatalogProgram,
+    DatalogRule,
+    naive_eval,
+    seminaive_eval,
+)
+from repro.baselines.export import extent_as_relation, links_as_relation
+from repro.baselines.parser import parse_datalog
+
+__all__ = [
+    "Relation",
+    "Atom",
+    "DatalogRule",
+    "DatalogProgram",
+    "naive_eval",
+    "seminaive_eval",
+    "links_as_relation",
+    "extent_as_relation",
+    "parse_datalog",
+]

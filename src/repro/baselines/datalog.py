@@ -1,0 +1,203 @@
+"""A Datalog engine with naive and semi-naive bottom-up evaluation.
+
+This is the relational deductive baseline: rules are Horn clauses over
+relations, as in the PROLOG/relational-DBMS integrations the paper's
+introduction surveys.  It serves two purposes here:
+
+* **cross-validation** — the transitive closure a loop expression computes
+  over the object database must equal the fixpoint a Datalog TC program
+  computes over the exported link relation (property tests rely on this);
+* **benchmarking** — semi-naive vs naive evaluation gives the classical
+  incremental-evaluation shape against which the loop evaluator's
+  level-wise frontier expansion is compared (benchmark B3/B8).
+
+Variables are Python strings starting with an uppercase letter (the usual
+Datalog convention); anything else is a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import OQLSemanticError, RuleSemanticError
+
+
+def is_variable(term: Any) -> bool:
+    """Datalog convention: identifiers starting with an uppercase letter
+    are variables."""
+    return isinstance(term, str) and bool(term) and term[0].isupper()
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(term, term, ...)`` — terms are variables or constants."""
+
+    predicate: str
+    terms: Tuple[Any, ...]
+
+    def variables(self) -> Set[str]:
+        return {t for t in self.terms if is_variable(t)}
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(map(str, self.terms))})"
+
+
+@dataclass(frozen=True)
+class DatalogRule:
+    """``head :- body1, body2, ...`` (positive bodies only)."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self):
+        unsafe = self.head.variables() - set().union(
+            *(atom.variables() for atom in self.body)) \
+            if self.body else self.head.variables()
+        if unsafe:
+            raise RuleSemanticError(
+                f"unsafe Datalog rule: head variables {sorted(unsafe)} "
+                f"do not occur in the body")
+
+    def __str__(self) -> str:
+        return f"{self.head} :- {', '.join(map(str, self.body))}"
+
+
+@dataclass
+class DatalogProgram:
+    """A set of rules plus the extensional database (facts)."""
+
+    rules: List[DatalogRule]
+    facts: Dict[str, Set[Tuple[Any, ...]]]
+
+    def idb_predicates(self) -> Set[str]:
+        return {rule.head.predicate for rule in self.rules}
+
+
+def _match_atom(atom: Atom, fact: Tuple[Any, ...],
+                bindings: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Unify an atom against a ground fact under existing bindings."""
+    if len(atom.terms) != len(fact):
+        return None
+    out = dict(bindings)
+    for term, value in zip(atom.terms, fact):
+        if is_variable(term):
+            bound = out.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                out[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return out
+
+
+_UNBOUND = object()
+
+
+def _eval_rule(rule: DatalogRule,
+               relations: Dict[str, Set[Tuple[Any, ...]]],
+               delta: Optional[Dict[str, Set[Tuple[Any, ...]]]] = None
+               ) -> Set[Tuple[Any, ...]]:
+    """All head facts derivable by one rule.
+
+    With ``delta`` (semi-naive), the rule is evaluated once per body
+    position, forcing that position to range over the delta relation —
+    every new derivation must use at least one new fact.
+    """
+    def expand(position: int, bindings: Dict[str, Any],
+               forced: Optional[int]) -> Iterable[Dict[str, Any]]:
+        if position == len(rule.body):
+            yield bindings
+            return
+        atom = rule.body[position]
+        if forced == position:
+            source = delta.get(atom.predicate, set())
+        else:
+            source = relations.get(atom.predicate, set())
+        for fact in source:
+            nxt = _match_atom(atom, fact, bindings)
+            if nxt is not None:
+                yield from expand(position + 1, nxt, forced)
+
+    derived: Set[Tuple[Any, ...]] = set()
+    positions: Sequence[Optional[int]]
+    if delta is None:
+        positions = [None]
+    else:
+        positions = [i for i, atom in enumerate(rule.body)
+                     if atom.predicate in delta]
+        if not positions:
+            return derived
+    for forced in positions:
+        for bindings in expand(0, {}, forced):
+            derived.add(tuple(bindings[t] if is_variable(t) else t
+                              for t in rule.head.terms))
+    return derived
+
+
+def naive_eval(program: DatalogProgram
+               ) -> Dict[str, Set[Tuple[Any, ...]]]:
+    """Bottom-up fixpoint, re-deriving everything each round."""
+    relations: Dict[str, Set[Tuple[Any, ...]]] = {
+        name: set(facts) for name, facts in program.facts.items()}
+    for predicate in program.idb_predicates():
+        relations.setdefault(predicate, set())
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            derived = _eval_rule(rule, relations)
+            target = relations.setdefault(rule.head.predicate, set())
+            before = len(target)
+            target |= derived
+            if len(target) != before:
+                changed = True
+    return relations
+
+
+def seminaive_eval(program: DatalogProgram
+                   ) -> Dict[str, Set[Tuple[Any, ...]]]:
+    """Bottom-up fixpoint with differential (semi-naive) evaluation:
+    each round only joins against the facts new in the previous round."""
+    relations: Dict[str, Set[Tuple[Any, ...]]] = {
+        name: set(facts) for name, facts in program.facts.items()}
+    for predicate in program.idb_predicates():
+        relations.setdefault(predicate, set())
+
+    # Round 0: seed the deltas with one naive pass over the EDB.
+    delta: Dict[str, Set[Tuple[Any, ...]]] = {}
+    for rule in program.rules:
+        derived = _eval_rule(rule, relations)
+        new = derived - relations[rule.head.predicate]
+        if new:
+            delta.setdefault(rule.head.predicate, set()).update(new)
+    for predicate, new in delta.items():
+        relations[predicate] |= new
+
+    while delta:
+        next_delta: Dict[str, Set[Tuple[Any, ...]]] = {}
+        for rule in program.rules:
+            derived = _eval_rule(rule, relations, delta)
+            new = derived - relations[rule.head.predicate]
+            if new:
+                next_delta.setdefault(rule.head.predicate,
+                                      set()).update(new)
+        for predicate, new in next_delta.items():
+            relations[predicate] |= new
+        delta = next_delta
+    return relations
+
+
+def transitive_closure_program(edge_facts: Iterable[Tuple[Any, Any]],
+                               edge: str = "edge",
+                               closure: str = "tc") -> DatalogProgram:
+    """The canonical TC program: ``tc(X,Y) :- edge(X,Y)`` and
+    ``tc(X,Z) :- tc(X,Y), edge(Y,Z)`` (right-linear)."""
+    rules = [
+        DatalogRule(Atom(closure, ("X", "Y")),
+                    (Atom(edge, ("X", "Y")),)),
+        DatalogRule(Atom(closure, ("X", "Z")),
+                    (Atom(closure, ("X", "Y")), Atom(edge, ("Y", "Z")))),
+    ]
+    return DatalogProgram(rules, {edge: set(map(tuple, edge_facts))})

@@ -1,0 +1,37 @@
+"""Exporting object-database links as relations.
+
+The relational deductive baseline operates on flat relations; these
+helpers flatten an object database's extensional links so the same
+workload can be run through both engines (benchmark B8 and the
+cross-validation property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.baselines.relational import Relation
+from repro.errors import UnknownAssociationError
+from repro.model.database import Database
+
+
+def links_as_relation(db: Database, owner_class: str,
+                      link_name: str,
+                      name: str | None = None) -> Relation:
+    """The (owner OID value, target OID value) pairs of one association
+    as a binary relation."""
+    link = next((l for l in db.schema.aggregations()
+                 if l.owner == owner_class and l.name == link_name), None)
+    if link is None:
+        raise UnknownAssociationError(
+            f"class {owner_class!r} has no association {link_name!r}")
+    rows = {(a.value, b.value) for a, b in db.link_pairs(link)}
+    return Relation(name or f"{owner_class}_{link_name}",
+                    ("owner", "target"), rows)
+
+
+def extent_as_relation(db: Database, cls: str,
+                       name: str | None = None) -> Relation:
+    """The extent of a class as a unary relation of OID values."""
+    rows = {(oid.value,) for oid in db.extent(cls)}
+    return Relation(name or cls, ("oid",), rows)

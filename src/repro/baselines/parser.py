@@ -1,0 +1,137 @@
+"""A textual front-end for the Datalog baseline.
+
+The paper's introduction surveys PROLOG-based rule languages over
+relational databases; this parser lets the baseline engine accept that
+style of input directly::
+
+    edge(1, 2).
+    edge(2, 3).
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- tc(X, Y), edge(Y, Z).
+
+Conventions: identifiers starting with an uppercase letter are
+variables; lowercase identifiers, quoted strings and numbers are
+constants; ``%`` starts a line comment; every clause ends with ``.``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.errors import OQLSyntaxError
+from repro.baselines.datalog import Atom, DatalogProgram, DatalogRule
+
+
+def _tokenize(text: str) -> List[Tuple[str, Any, int]]:
+    """(kind, value, line) triples; kinds: ident, number, string, op."""
+    tokens: List[Tuple[str, Any, int]] = []
+    i, line, n = 0, 1, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+        elif ch.isspace():
+            i += 1
+        elif ch == "%":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "'\"":
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 1
+            if j >= n:
+                raise OQLSyntaxError("unterminated string in Datalog "
+                                     "input", line=line, column=i)
+            tokens.append(("string", text[i + 1:j], line))
+            i = j + 1
+        elif "0" <= ch <= "9" or (ch == "-" and i + 1 < n
+                                  and "0" <= text[i + 1] <= "9"):
+            j = i + 1
+            while j < n and ("0" <= text[j] <= "9" or text[j] == "."):
+                j += 1
+            literal = text[i:j]
+            value = float(literal) if "." in literal else int(literal)
+            tokens.append(("number", value, line))
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(("ident", text[i:j], line))
+            i = j
+        elif text.startswith(":-", i):
+            tokens.append(("op", ":-", line))
+            i += 2
+        elif ch in "(),.":
+            tokens.append(("op", ch, line))
+            i += 1
+        else:
+            raise OQLSyntaxError(f"unexpected character {ch!r} in "
+                                 f"Datalog input", line=line, column=i)
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, Any, int]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) \
+            else ("eof", "", -1)
+
+    def _expect(self, kind: str, value: Any = None):
+        token = self._peek()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise OQLSyntaxError(
+                f"expected {value or kind}, found {token[1]!r}",
+                line=token[2])
+        self.pos += 1
+        return token
+
+    def _term(self) -> Any:
+        token = self._peek()
+        if token[0] in ("number", "string"):
+            self.pos += 1
+            return token[1]
+        if token[0] == "ident":
+            self.pos += 1
+            return token[1]  # variable-ness decided by case convention
+        raise OQLSyntaxError(f"expected a term, found {token[1]!r}",
+                             line=token[2])
+
+    def atom(self) -> Atom:
+        name = self._expect("ident")[1]
+        self._expect("op", "(")
+        terms = [self._term()]
+        while self._peek() == ("op", ",", self._peek()[2]):
+            self._expect("op", ",")
+            terms.append(self._term())
+        self._expect("op", ")")
+        return Atom(name, tuple(terms))
+
+    def program(self) -> DatalogProgram:
+        rules: List[DatalogRule] = []
+        facts: Dict[str, Set[Tuple[Any, ...]]] = {}
+        while self._peek()[0] != "eof":
+            head = self.atom()
+            if self._peek()[1] == ":-":
+                self._expect("op", ":-")
+                body = [self.atom()]
+                while self._peek()[1] == ",":
+                    self._expect("op", ",")
+                    body.append(self.atom())
+                rules.append(DatalogRule(head, tuple(body)))
+            else:
+                if head.variables():
+                    raise OQLSyntaxError(
+                        f"fact {head} contains variables")
+                facts.setdefault(head.predicate, set()).add(head.terms)
+            self._expect("op", ".")
+        return DatalogProgram(rules, facts)
+
+
+def parse_datalog(text: str) -> DatalogProgram:
+    """Parse a Datalog program (facts + rules) from text."""
+    return _Parser(_tokenize(text)).program()

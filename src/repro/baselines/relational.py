@@ -1,0 +1,114 @@
+"""A minimal relational algebra.
+
+Relations are named sets of equal-arity tuples with (optionally) named
+columns.  The operators are the textbook ones the Datalog engine needs:
+selection, projection, natural join (by column name), union, difference,
+and rename.  Everything is immutable-by-convention: operators return new
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import OQLSemanticError
+
+
+class Relation:
+    """A named set of tuples with named columns."""
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Tuple[Any, ...]] = ()):
+        self.name = name
+        self.columns = tuple(columns)
+        self.rows: Set[Tuple[Any, ...]] = set(rows)
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise OQLSemanticError(
+                    f"row {row!r} does not match columns {self.columns}")
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __contains__(self, row: Tuple[Any, ...]) -> bool:
+        return tuple(row) in self.rows
+
+    def _index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise OQLSemanticError(
+                f"relation {self.name!r} has no column {column!r} "
+                f"(columns: {list(self.columns)})") from None
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Tuple[Any, ...]], bool],
+               name: Optional[str] = None) -> "Relation":
+        return Relation(name or self.name, self.columns,
+                        {row for row in self.rows if predicate(row)})
+
+    def project(self, columns: Sequence[str],
+                name: Optional[str] = None) -> "Relation":
+        indices = [self._index_of(c) for c in columns]
+        return Relation(name or self.name, columns,
+                        {tuple(row[i] for i in indices)
+                         for row in self.rows})
+
+    def rename(self, mapping: dict, name: Optional[str] = None
+               ) -> "Relation":
+        columns = [mapping.get(c, c) for c in self.columns]
+        return Relation(name or self.name, columns, self.rows)
+
+    def union(self, other: "Relation",
+              name: Optional[str] = None) -> "Relation":
+        if len(self.columns) != len(other.columns):
+            raise OQLSemanticError(
+                f"union arity mismatch: {self.columns} vs {other.columns}")
+        return Relation(name or self.name, self.columns,
+                        self.rows | other.rows)
+
+    def difference(self, other: "Relation",
+                   name: Optional[str] = None) -> "Relation":
+        if len(self.columns) != len(other.columns):
+            raise OQLSemanticError(
+                f"difference arity mismatch: {self.columns} vs "
+                f"{other.columns}")
+        return Relation(name or self.name, self.columns,
+                        self.rows - other.rows)
+
+    def join(self, other: "Relation",
+             name: Optional[str] = None) -> "Relation":
+        """Natural join on the shared column names (hash join on the
+        smaller side)."""
+        shared = [c for c in self.columns if c in other.columns]
+        left_keys = [self._index_of(c) for c in shared]
+        right_keys = [other._index_of(c) for c in shared]
+        right_extra = [i for i, c in enumerate(other.columns)
+                       if c not in shared]
+
+        index: dict = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in right_keys)
+            index.setdefault(key, []).append(row)
+
+        out_columns = list(self.columns) + [other.columns[i]
+                                            for i in right_extra]
+        out_rows = set()
+        for row in self.rows:
+            key = tuple(row[i] for i in left_keys)
+            for match in index.get(key, ()):
+                out_rows.add(row + tuple(match[i] for i in right_extra))
+        return Relation(name or f"{self.name}*{other.name}",
+                        out_columns, out_rows)
+
+    def __repr__(self) -> str:
+        return (f"Relation({self.name!r}, columns={list(self.columns)}, "
+                f"{len(self.rows)} rows)")

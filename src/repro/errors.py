@@ -1,0 +1,166 @@
+"""Exception hierarchy for the deductive object-oriented database.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch a single base class.  The hierarchy mirrors the
+layers of the system:
+
+* schema-level problems (:class:`SchemaError` and subclasses),
+* data/extension-level problems (:class:`DataError` and subclasses),
+* OQL parsing and semantic analysis (:class:`OQLError` and subclasses),
+* the deductive rule language (:class:`RuleError` and subclasses).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Schema layer
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(ReproError):
+    """A problem with schema definition or schema-level name resolution."""
+
+
+class DuplicateClassError(SchemaError):
+    """A class with the same name is already defined in the schema."""
+
+
+class UnknownClassError(SchemaError):
+    """A class name was referenced that is not defined in the schema."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name does not exist on (or is not visible from) a class."""
+
+
+class DuplicateAssociationError(SchemaError):
+    """An association with the same key already exists in the schema."""
+
+
+class UnknownAssociationError(SchemaError):
+    """An association was referenced that is not defined in the schema."""
+
+
+class NoAssociationError(SchemaError):
+    """Two classes referenced by an association operator are not associated.
+
+    Raised when an association pattern expression applies ``*`` (or ``!``)
+    between two classes for which no direct, inherited, or generalization
+    (identity) association can be resolved.
+    """
+
+
+class AmbiguousPathError(SchemaError):
+    """A class inherits the status of being related to another class along
+    more than one generalization path.
+
+    This is the paper's ``TA * Section`` situation (Section 3.2): ``TA``
+    inherits an association with ``Section`` from both ``Teacher`` (teaches)
+    and ``Grad`` (is enrolled, via ``Student``), so at least one class along
+    the intended path must be referenced explicitly, e.g.
+    ``TA * Teacher * Section``.
+    """
+
+    def __init__(self, message: str, candidates: tuple = ()):  # noqa: D107
+        super().__init__(message)
+        #: The candidate associations that made the reference ambiguous.
+        self.candidates = tuple(candidates)
+
+
+class GeneralizationCycleError(SchemaError):
+    """Adding a generalization link would create a cycle in the G hierarchy."""
+
+
+# ---------------------------------------------------------------------------
+# Data / extension layer
+# ---------------------------------------------------------------------------
+
+
+class DataError(ReproError):
+    """A problem with extensional data (instances and links)."""
+
+
+class UnknownObjectError(DataError):
+    """An OID was referenced that does not exist in the database."""
+
+
+class TypeMismatchError(DataError):
+    """A value does not belong to the domain class of an attribute."""
+
+
+class ConstraintViolationError(DataError):
+    """A schema constraint (non-null, cardinality, membership) was violated."""
+
+
+class CyclicDataError(DataError):
+    """A transitive-closure loop encountered a cycle among instances.
+
+    The paper (Section 5.2, rule R6) assumes the relationship traversed by a
+    loop expression is acyclic.  By default the evaluator verifies that
+    assumption and raises this error; evaluation with ``on_cycle='stop'``
+    instead terminates each hierarchy when an instance repeats.
+    """
+
+
+# ---------------------------------------------------------------------------
+# OQL layer
+# ---------------------------------------------------------------------------
+
+
+class OQLError(ReproError):
+    """A problem with an OQL query or association pattern expression."""
+
+
+class OQLSyntaxError(OQLError):
+    """The query/rule text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None):
+        loc = ""
+        if line is not None:
+            loc = f" (line {line}, column {column})"
+        super().__init__(message + loc)
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class OQLSemanticError(OQLError):
+    """The query parsed but is not meaningful against the schema."""
+
+
+class UnknownSubdatabaseError(OQLError):
+    """A subdatabase qualifier names a subdatabase that does not exist and
+    that no registered rule derives."""
+
+
+# ---------------------------------------------------------------------------
+# Rule layer
+# ---------------------------------------------------------------------------
+
+
+class RuleError(ReproError):
+    """A problem with a deductive rule or the rule engine."""
+
+
+class RuleSyntaxError(RuleError):
+    """The rule text could not be parsed."""
+
+
+class RuleSemanticError(RuleError):
+    """The rule parsed but is inconsistent (e.g. a target class that does
+    not appear in the context expression)."""
+
+
+class CyclicRuleError(RuleError):
+    """The rule dependency graph contains a cycle.
+
+    The paper's language expresses transitive closure by looping inside a
+    single rule (Section 5) rather than by recursion between rules, so a
+    cyclic chain of subdatabase derivations is rejected.
+    """

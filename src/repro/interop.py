@@ -1,0 +1,117 @@
+"""NetworkX interoperability.
+
+Downstream analysis often wants the object database — or a derived
+subdatabase — as a graph: centrality of prerequisite chains, connected
+components of collaboration networks, shortest advising paths.  These
+helpers build :mod:`networkx` graphs without copying attribute data out
+of the database (node/edge attributes reference the live entities):
+
+* :func:`schema_graph` — the S-diagram as a ``MultiDiGraph`` (A/C/I/X
+  links and G edges, typed);
+* :func:`link_graph` — one association's extensional links as a
+  ``DiGraph`` over OID values;
+* :func:`subdatabase_graph` — a subdatabase's extensional diagram:
+  object nodes, one edge per adjacent non-null pattern pair;
+* :func:`closure_equals_reachability` — cross-validation helper: does a
+  loop result enumerate exactly networkx's reachability?
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.errors import UnknownAssociationError
+from repro.model.database import Database
+from repro.model.schema import Schema
+from repro.subdb.subdatabase import Subdatabase
+
+
+def schema_graph(schema: Schema) -> "nx.MultiDiGraph":
+    """The S-diagram as a typed multigraph.
+
+    Nodes: E-classes (``node_type='eclass'``) and D-classes
+    (``node_type='dclass'``).  Edges: aggregation-style links with
+    ``kind`` ('A'/'C'/'I'/'X'), ``name``, ``many``; generalization edges
+    with ``kind='G'`` from subclass to superclass.
+    """
+    graph = nx.MultiDiGraph(name=schema.name)
+    for cls in schema.eclass_names:
+        graph.add_node(cls, node_type="eclass")
+    for link in schema.aggregations():
+        if link.target in schema.dclass_names:
+            graph.add_node(link.target, node_type="dclass")
+        graph.add_edge(link.owner, link.target, key=link.name,
+                       kind=link.kind.value, name=link.name,
+                       many=link.many)
+    for g in schema.generalizations():
+        graph.add_edge(g.subclass, g.superclass, key="G", kind="G")
+    return graph
+
+
+def link_graph(db: Database, owner: str, name: str,
+               by_label: bool = False) -> "nx.DiGraph":
+    """One entity association's links as a directed graph.
+
+    Nodes are OID values (or labels with ``by_label=True``; unlabeled
+    objects fall back to ``#<value>``).
+    """
+    link = next((l for l in db.schema.aggregations()
+                 if l.owner == owner and l.name == name), None)
+    if link is None:
+        raise UnknownAssociationError(
+            f"class {owner!r} has no association {name!r}")
+
+    def node(oid):
+        return repr(oid) if by_label else oid.value
+
+    graph = nx.DiGraph(name=f"{owner}.{name}")
+    for a, b in db.link_pairs(link):
+        graph.add_edge(node(a), node(b))
+    return graph
+
+
+def subdatabase_graph(subdb: Subdatabase,
+                      by_label: bool = False) -> "nx.Graph":
+    """A subdatabase's extensional diagram as an undirected graph.
+
+    Nodes are (slot name, object) pairs; one edge per intension edge per
+    pattern with both endpoints non-null — exactly the links Figure 3.1b
+    draws.
+    """
+    graph = nx.Graph(name=subdb.name)
+    slots = subdb.intension.slot_names
+
+    def node(index, oid):
+        return (slots[index], repr(oid) if by_label else oid.value)
+
+    for pattern in subdb.patterns:
+        for i, value in enumerate(pattern.values):
+            if value is not None:
+                graph.add_node(node(i, value))
+        for edge in subdb.intension.edges:
+            a, b = pattern[edge.i], pattern[edge.j]
+            if a is not None and b is not None:
+                graph.add_edge(node(edge.i, a), node(edge.j, b),
+                               label=edge.label)
+    return graph
+
+
+def closure_equals_reachability(subdb: Subdatabase,
+                                graph: "nx.DiGraph") -> bool:
+    """True when the (ancestor, descendant) pairs enumerated by a loop
+    result equal the strict reachability pairs of ``graph`` (nodes as
+    OID values) — the networkx cross-check used by the test suite."""
+    pairs = set()
+    for pattern in subdb.patterns:
+        chain = [v for v in pattern.values if v is not None]
+        for i in range(len(chain)):
+            for j in range(i + 1, len(chain)):
+                pairs.add((chain[i].value, chain[j].value))
+    reach = set()
+    for source in graph.nodes:
+        for target in nx.descendants(graph, source):
+            if source != target:
+                reach.add((source, target))
+    return pairs == reach

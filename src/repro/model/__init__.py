@@ -1,0 +1,58 @@
+"""The OSAM* structural object model substrate.
+
+This subpackage implements the structurally object-oriented data model the
+paper builds on (Su 89, described in Section 2 of the paper):
+
+* :mod:`repro.model.oid` — system-generated unique object identifiers,
+* :mod:`repro.model.dclass` — domain classes (D-classes), value domains of
+  simple data types,
+* :mod:`repro.model.eclass` — entity classes (E-classes),
+* :mod:`repro.model.associations` — aggregation (A) and generalization (G)
+  association definitions,
+* :mod:`repro.model.schema` — the S-diagram: a network of classes and
+  associations, with inheritance closure and association resolution,
+* :mod:`repro.model.objects` — entity instances,
+* :mod:`repro.model.database` — the extensional store (extents plus link
+  indexes) with an update journal,
+* :mod:`repro.model.dictionary` — the metadata catalog the query processor
+  consults,
+* :mod:`repro.model.validation` — whole-database constraint checking.
+"""
+
+from repro.model.oid import OID, OIDAllocator
+from repro.model.dclass import DClass, INTEGER, STRING, REAL, BOOLEAN
+from repro.model.eclass import EClass
+from repro.model.associations import (
+    Aggregation,
+    AssociationKind,
+    Generalization,
+)
+from repro.model.schema import ResolvedLink, Schema
+from repro.model.objects import Entity
+from repro.model.database import Database, UpdateEvent, UpdateKind
+from repro.model.dictionary import Dictionary
+from repro.model.validation import check_database
+from repro.model import evolution
+
+__all__ = [
+    "OID",
+    "OIDAllocator",
+    "DClass",
+    "INTEGER",
+    "STRING",
+    "REAL",
+    "BOOLEAN",
+    "EClass",
+    "Aggregation",
+    "Generalization",
+    "AssociationKind",
+    "Schema",
+    "ResolvedLink",
+    "Entity",
+    "Database",
+    "UpdateEvent",
+    "UpdateKind",
+    "Dictionary",
+    "check_database",
+    "evolution",
+]

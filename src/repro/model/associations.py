@@ -1,0 +1,177 @@
+"""Association definitions: aggregation (A) and generalization (G) links.
+
+OSAM* recognizes five association types; the two that appear in the paper's
+figures and semantics — and the two this language's constructs are defined
+over — are **aggregation** and **generalization** (paper, Section 2).  The
+remaining three (interaction, composition, crossproduct) are listed in
+:class:`AssociationKind` for completeness of the model's vocabulary but the
+query and rule languages operate on A and G links only, exactly as the
+paper does.
+
+An aggregation link represents an attribute and has the same name as the
+class it connects to unless specified otherwise (e.g. the link ``Major``
+from ``Student`` to ``Department``).  Aggregation links from an E-class to
+D-classes are the *descriptive attributes* of that class; links between two
+E-classes are *entity associations* and are what the association operator
+``*`` traverses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class AssociationKind(enum.Enum):
+    """The five OSAM* association types."""
+
+    AGGREGATION = "A"
+    GENERALIZATION = "G"
+    INTERACTION = "I"
+    COMPOSITION = "C"
+    CROSSPRODUCT = "X"
+
+
+@dataclass(frozen=True)
+class Aggregation:
+    """An aggregation-style link (an attribute) emanating from an E-class.
+
+    The same record carries the attribute links of all five OSAM*
+    association types — its ``kind`` distinguishes them.  Plain
+    AGGREGATION links are ordinary attributes; COMPOSITION links add
+    exclusive part-of semantics (see
+    :meth:`repro.model.schema.Schema.add_composition`); links created by
+    interaction / crossproduct class declarations carry INTERACTION /
+    CROSSPRODUCT so the dictionary can render the S-diagram faithfully.
+    All of them are traversable by the association operator ``*``, since
+    structurally each is an attribute connecting two classes.
+
+    Attributes
+    ----------
+    owner:
+        Name of the E-class the link emanates from.
+    name:
+        The attribute name.  Defaults to the connected class's name in
+        :meth:`repro.model.schema.Schema.add_attribute` /
+        :meth:`~repro.model.schema.Schema.add_association` when omitted.
+    target:
+        Name of the class the link connects to (a D-class for descriptive
+        attributes, an E-class for entity associations).
+    many:
+        ``True`` if an owner instance may be linked to several target
+        instances (e.g. a Teacher teaches many Sections).
+    required:
+        Non-null constraint: every owner instance must be linked to at
+        least one target instance / carry a value.  The paper notes
+        (Section 3.1 footnote) that such constraints exist in general but
+        are *waived* for the example database so that Section ``s4`` may
+        have no Course; the constraint machinery is here and checked by
+        :func:`repro.model.validation.check_database`.
+    """
+
+    owner: str
+    name: str
+    target: str
+    many: bool = False
+    required: bool = False
+    kind: AssociationKind = AssociationKind.AGGREGATION
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The unique identity of the link: (owner class, attribute name)."""
+        return (self.owner, self.name)
+
+    def __str__(self) -> str:
+        card = "*" if self.many else "1"
+        return (f"{self.owner} --{self.kind.value}:{self.name}[{card}]--> "
+                f"{self.target}")
+
+
+@dataclass(frozen=True)
+class InteractionClass:
+    """An interaction (I) association: an E-class whose instances each
+    relate exactly one instance of every participant class.
+
+    The University schema's ``Advising`` is the canonical case: each
+    Advising object interacts one Faculty with one Grad.  Declared with
+    :meth:`repro.model.schema.Schema.declare_interaction`; participation
+    is audited by :func:`repro.model.validation.check_database`.
+    """
+
+    cls: str
+    participants: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.cls} --I--> ({', '.join(self.participants)})"
+
+
+@dataclass(frozen=True)
+class CrossproductClass:
+    """A crossproduct (X) association: an E-class whose instances are
+    unique combinations of one instance from each component class.
+
+    Declared with
+    :meth:`repro.model.schema.Schema.declare_crossproduct`; the
+    uniqueness of complete combinations is enforced at link time and
+    audited by :func:`repro.model.validation.check_database`.
+    """
+
+    cls: str
+    components: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.cls} --X--> ({', '.join(self.components)})"
+
+
+@dataclass(frozen=True)
+class Generalization:
+    """A generalization link from a superclass to one of its subclasses.
+
+    The extensional semantics is *identity*: an instance of the subclass
+    and the corresponding instance of the superclass are two perspectives
+    of the same real-world object (paper, Section 3.2, the TA/Grad
+    example).  In this implementation an object therefore carries a single
+    OID and is a member of the extent of every superclass of its direct
+    class.
+    """
+
+    superclass: str
+    subclass: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.superclass, self.subclass)
+
+    def __str__(self) -> str:
+        return f"{self.superclass} --G--> {self.subclass}"
+
+
+@dataclass(frozen=True)
+class InheritedAggregation:
+    """An aggregation link as *seen from* an inheriting class.
+
+    Figure 2.2 of the paper shows the class ``RA`` with all associations it
+    inherits from its superclasses explicitly represented.  This record is
+    the element of such a view: the underlying stored link plus the class
+    through which it was inherited and the endpoint at which the viewing
+    class stands.
+    """
+
+    link: Aggregation
+    #: The class whose view this is (e.g. ``RA``).
+    viewer: str
+    #: The (super)class at which the link is actually defined.
+    defined_at: str
+    #: ``"owner"`` if the viewer stands at the link's emanating end,
+    #: ``"target"`` if at the connected end.
+    end: str = "owner"
+
+    def partner(self) -> str:
+        """The class at the other end of the link from the viewer."""
+        return self.link.target if self.end == "owner" else self.link.owner
+
+    def __str__(self) -> str:
+        direction = "->" if self.end == "owner" else "<-"
+        return (f"{self.viewer} {direction} {self.partner()} "
+                f"(via {self.defined_at}, link {self.link.name!r})")

@@ -1,0 +1,454 @@
+"""The extensional store.
+
+:class:`Database` holds the instances (extents) of every E-class and the
+extensional links of every entity association, indexed in both directions
+so that the association operator traverses a link at equal cost either way.
+
+Every mutation — insert, delete, associate, dissociate, attribute update —
+bumps a version counter and emits an :class:`UpdateEvent` to registered
+listeners.  The rule engine subscribes to these events to drive forward
+chaining and to invalidate memoized derived subdatabases (paper, Section 6:
+"whenever the data that is used to derive a subdatabase is updated ... the
+relevant deductive rules are run to maintain the consistency between the
+derived subdatabase and the original database").
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import (
+    ConstraintViolationError,
+    UnknownAttributeError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+from repro.model.associations import Aggregation, AssociationKind
+from repro.model.objects import Entity
+from repro.model.oid import OID, OIDAllocator
+from repro.model.schema import ResolvedLink, Schema
+
+
+class UpdateKind(enum.Enum):
+    """The kinds of extensional updates the paper enumerates (Section 6):
+    inserting/deleting objects, associating/dissociating objects, and
+    attribute modification.  ``BATCH`` is the single combined event a
+    :meth:`Database.batch` block emits on exit."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    ASSOCIATE = "associate"
+    DISSOCIATE = "dissociate"
+    SET_ATTRIBUTE = "set_attribute"
+    BATCH = "batch"
+    SCHEMA = "schema"
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """A single extensional update, as reported to listeners.
+
+    ``classes`` names every E-class whose extension (instances or links)
+    the update touched — the rule engine uses it to decide which derived
+    subdatabases are affected.  ``oids`` are the touched objects and
+    ``link`` the association key for ASSOCIATE/DISSOCIATE (in
+    (owner, target) order) — the incremental maintainer consumes both.
+    A BATCH event carries its constituent events in ``sub_events``.
+    """
+
+    kind: UpdateKind
+    classes: Tuple[str, ...]
+    version: int
+    detail: str = ""
+    oids: Tuple["OID", ...] = ()
+    link: Optional[Tuple[str, str]] = None
+    sub_events: Tuple["UpdateEvent", ...] = ()
+
+
+Listener = Callable[[UpdateEvent], None]
+
+
+class Database:
+    """An in-memory object database over a :class:`Schema`."""
+
+    def __init__(self, schema: Schema, name: str = "db"):
+        self.schema = schema
+        self.name = name
+        self._allocator = OIDAllocator()
+        #: direct extents: class name -> {oid: entity}
+        self._extents: Dict[str, Dict[OID, Entity]] = {
+            cls: {} for cls in schema.eclass_names}
+        #: link indexes per association key, forward (owner -> targets)
+        self._fwd: Dict[Tuple[str, str], Dict[OID, Set[OID]]] = {}
+        #: and reverse (target -> owners)
+        self._rev: Dict[Tuple[str, str], Dict[OID, Set[OID]]] = {}
+        self._entities: Dict[OID, Entity] = {}
+        self._version = 0
+        self._listeners: List[Listener] = []
+        self._batch_depth = 0
+        self._batch_classes: Set[str] = set()
+        self._batch_count = 0
+        self._batch_events: List[UpdateEvent] = []
+
+    # ------------------------------------------------------------------
+    # Versioning & listeners
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing counter, bumped by every mutation."""
+        return self._version
+
+    def add_listener(self, listener: Listener) -> None:
+        """Register a callback invoked after every mutation."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.remove(listener)
+
+    def _emit(self, kind: UpdateKind, classes: Iterable[str],
+              detail: str = "", oids: Tuple[OID, ...] = (),
+              link: Optional[Tuple[str, str]] = None) -> None:
+        self._version += 1
+        event = UpdateEvent(kind=kind, classes=tuple(classes),
+                            version=self._version, detail=detail,
+                            oids=oids, link=link)
+        if self._batch_depth > 0:
+            self._batch_classes.update(classes)
+            self._batch_count += 1
+            self._batch_events.append(event)
+            return
+        for listener in list(self._listeners):
+            listener(event)
+
+    @contextmanager
+    def batch(self):
+        """Group several mutations into one update event.
+
+        Listener notification (and hence rule maintenance — the forward
+        pass of Section 6) is deferred to the end of the outermost batch
+        block, which then emits a single :data:`UpdateKind.BATCH` event
+        whose ``classes`` is the union of every touched class.  Each
+        mutation still bumps the version counter individually.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_count:
+                classes = tuple(sorted(self._batch_classes))
+                count = self._batch_count
+                sub_events = tuple(self._batch_events)
+                self._batch_classes = set()
+                self._batch_count = 0
+                self._batch_events = []
+                event = UpdateEvent(kind=UpdateKind.BATCH,
+                                    classes=classes,
+                                    version=self._version,
+                                    detail=f"batch of {count} updates",
+                                    sub_events=sub_events)
+                for listener in list(self._listeners):
+                    listener(event)
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+
+    def insert(self, cls: str, label: Optional[str] = None,
+               **attrs: Any) -> Entity:
+        """Create a new instance of E-class ``cls``.
+
+        Attribute values are validated against the descriptive attributes
+        visible from the class (own + inherited) and their domain classes.
+        """
+        extent = self._require_extent(cls)
+        visible = self.schema.descriptive_attributes(cls)
+        for name, value in attrs.items():
+            if name not in visible:
+                raise UnknownAttributeError(
+                    f"class {cls!r} has no descriptive attribute {name!r}")
+            self.schema.dclass(visible[name].target).validate(value)
+        oid = self._allocator.allocate(label)
+        entity = Entity(oid, cls, attrs)
+        extent[oid] = entity
+        self._entities[oid] = entity
+        affected = self.schema.up(cls)
+        self._emit(UpdateKind.INSERT, affected, f"insert {cls} {oid!r}",
+                   oids=(oid,))
+        return entity
+
+    def _check_crossproduct(self, link: Aggregation, owner_oid: OID,
+                            target_oid: OID) -> None:
+        """Reject a link that would complete a duplicate crossproduct
+        combination: no two instances of a crossproduct class may relate
+        the same tuple of component instances."""
+        if link.kind is not AssociationKind.CROSSPRODUCT:
+            return
+        declaration = self.schema.crossproduct_of(link.owner)
+        if declaration is None:  # pragma: no cover - defensive
+            return
+        combination = []
+        for component in declaration.components:
+            key = (link.owner, component.lower())
+            if component == link.target and key == link.key:
+                combination.append(target_oid)
+                continue
+            linked = self._fwd.get(key, {}).get(owner_oid, set())
+            if not linked:
+                return  # incomplete combination: nothing to compare yet
+            combination.append(next(iter(linked)))
+        for other in self.direct_extent(link.owner):
+            if other == owner_oid:
+                continue
+            other_combination = []
+            for component in declaration.components:
+                key = (link.owner, component.lower())
+                linked = self._fwd.get(key, {}).get(other, set())
+                if not linked:
+                    break
+                other_combination.append(next(iter(linked)))
+            else:
+                if other_combination == combination:
+                    raise ConstraintViolationError(
+                        f"crossproduct {link.owner!r}: combination "
+                        f"{combination!r} already exists as {other!r}")
+
+    def delete(self, oid: OID) -> None:
+        """Remove an instance and every link it participates in.
+
+        Parts held through a composition (C) link are deleted with their
+        whole (cascade)."""
+        entity = self.entity(oid)
+        # Cascade composition parts first.
+        for link in self.schema.aggregations():
+            if link.kind is AssociationKind.COMPOSITION and \
+                    self.schema.is_subclass_of(entity.cls, link.owner):
+                for part in list(self._fwd.get(link.key, {})
+                                 .get(oid, ())):
+                    if self.has(part):
+                        self.delete(part)
+        # Drop links first (silently; their removal is part of this event).
+        for key, index in list(self._fwd.items()):
+            if oid in index:
+                for target in list(index[oid]):
+                    self._unlink(key, oid, target)
+        for key, index in list(self._rev.items()):
+            if oid in index:
+                for owner in list(index[oid]):
+                    self._unlink(key, owner, oid)
+        del self._extents[entity.cls][oid]
+        del self._entities[oid]
+        affected = self.schema.up(entity.cls)
+        self._emit(UpdateKind.DELETE, affected,
+                   f"delete {entity.cls} {oid!r}", oids=(oid,))
+
+    def entity(self, oid: OID) -> Entity:
+        """The entity carrying ``oid`` (raises if it does not exist)."""
+        try:
+            return self._entities[oid]
+        except KeyError:
+            raise UnknownObjectError(f"no object with OID {oid!r}") from None
+
+    def has(self, oid: OID) -> bool:
+        return oid in self._entities
+
+    def _require_extent(self, cls: str) -> Dict[OID, Entity]:
+        """The direct-extent dict of ``cls``, created lazily so classes
+        added to the schema after this database was built (schema
+        evolution) work transparently."""
+        extent = self._extents.get(cls)
+        if extent is None:
+            if not self.schema.has_eclass(cls):
+                raise UnknownClassError(f"unknown E-class {cls!r}")
+            extent = self._extents.setdefault(cls, {})
+        return extent
+
+    def extent(self, cls: str) -> Set[OID]:
+        """The extent of ``cls``: its direct instances plus (by the
+        identity semantics of generalization) the instances of all its
+        subclasses."""
+        out: Set[OID] = set(self._require_extent(cls))
+        for sub in self.schema.subclasses(cls):
+            out.update(self._extents.get(sub, ()))
+        return out
+
+    def direct_extent(self, cls: str) -> Set[OID]:
+        """Only the instances whose *direct* class is ``cls``."""
+        return set(self._require_extent(cls))
+
+    def is_instance_of(self, oid: OID, cls: str) -> bool:
+        """True if the object belongs to the extent of ``cls``."""
+        entity = self.entity(oid)
+        return self.schema.is_subclass_of(entity.cls, cls)
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def iter_entities(self) -> Iterator[Entity]:
+        return iter(self._entities.values())
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def get_attribute(self, oid: OID, name: str) -> Any:
+        """The value of descriptive attribute ``name`` on the object
+        (``None`` when unset); the attribute must be visible from the
+        object's direct class."""
+        entity = self.entity(oid)
+        self.schema.attribute(entity.cls, name)  # visibility check
+        return entity.get(name)
+
+    def set_attribute(self, oid: OID, name: str, value: Any) -> None:
+        """Update a descriptive attribute (validated, journaled)."""
+        entity = self.entity(oid)
+        link = self.schema.attribute(entity.cls, name)
+        self.schema.dclass(link.target).validate(value)
+        entity._set(name, value)
+        affected = self.schema.up(entity.cls)
+        self._emit(UpdateKind.SET_ATTRIBUTE, affected,
+                   f"set {entity.cls} {oid!r}.{name}", oids=(oid,))
+
+    # ------------------------------------------------------------------
+    # Links (entity associations)
+    # ------------------------------------------------------------------
+
+    def _resolve_assoc(self, owner_oid: OID,
+                       name: str) -> Tuple[Aggregation, str]:
+        """Find the entity association named ``name`` visible from the
+        owner object's class (own or inherited)."""
+        entity = self.entity(owner_oid)
+        for cls in sorted(self.schema.up(entity.cls)):
+            link = next((l for l in self.schema.aggregations()
+                         if l.owner == cls and l.name == name
+                         and self.schema.has_eclass(l.target)), None)
+            if link is not None:
+                return link, cls
+        raise UnknownAttributeError(
+            f"class {entity.cls!r} has no entity association {name!r}")
+
+    def associate(self, owner: Entity | OID, name: str,
+                  target: Entity | OID) -> None:
+        """Create an extensional link of association ``name`` between the
+        two objects.
+
+        The owner object must be an instance of the association's owner
+        class (possibly via inheritance), the target an instance of its
+        target class.  Single-valued associations enforce their
+        cardinality.
+        """
+        owner_oid = owner.oid if isinstance(owner, Entity) else owner
+        target_oid = target.oid if isinstance(target, Entity) else target
+        link, _ = self._resolve_assoc(owner_oid, name)
+        if not self.is_instance_of(target_oid, link.target):
+            raise ConstraintViolationError(
+                f"object {target_oid!r} is not an instance of "
+                f"{link.target!r} (association {link.name!r})")
+        fwd = self._fwd.setdefault(link.key, {})
+        existing = fwd.get(owner_oid, set())
+        if not link.many and existing and target_oid not in existing:
+            raise ConstraintViolationError(
+                f"association {link.name!r} of {link.owner!r} is "
+                f"single-valued; {owner_oid!r} is already linked")
+        if link.kind is AssociationKind.COMPOSITION:
+            owners = self._rev.get(link.key, {}).get(target_oid, set())
+            if owners and owner_oid not in owners:
+                raise ConstraintViolationError(
+                    f"composition {link.name!r}: part {target_oid!r} "
+                    f"already belongs to another whole (exclusive "
+                    f"part-of)")
+        self._check_crossproduct(link, owner_oid, target_oid)
+        self._link(link.key, owner_oid, target_oid)
+        affected = (self.schema.up(self.entity(owner_oid).cls)
+                    | self.schema.up(self.entity(target_oid).cls))
+        self._emit(UpdateKind.ASSOCIATE, affected,
+                   f"associate {owner_oid!r} -{link.name}-> {target_oid!r}",
+                   oids=(owner_oid, target_oid), link=link.key)
+
+    def dissociate(self, owner: Entity | OID, name: str,
+                   target: Entity | OID) -> None:
+        """Remove an extensional link previously created by
+        :meth:`associate`."""
+        owner_oid = owner.oid if isinstance(owner, Entity) else owner
+        target_oid = target.oid if isinstance(target, Entity) else target
+        link, _ = self._resolve_assoc(owner_oid, name)
+        if target_oid not in self._fwd.get(link.key, {}).get(owner_oid, ()):
+            raise ConstraintViolationError(
+                f"objects {owner_oid!r} and {target_oid!r} are not linked "
+                f"by {link.name!r}")
+        self._unlink(link.key, owner_oid, target_oid)
+        affected = (self.schema.up(self.entity(owner_oid).cls)
+                    | self.schema.up(self.entity(target_oid).cls))
+        self._emit(UpdateKind.DISSOCIATE, affected,
+                   f"dissociate {owner_oid!r} -{link.name}-> {target_oid!r}",
+                   oids=(owner_oid, target_oid), link=link.key)
+
+    def _link(self, key: Tuple[str, str], owner: OID, target: OID) -> None:
+        self._fwd.setdefault(key, {}).setdefault(owner, set()).add(target)
+        self._rev.setdefault(key, {}).setdefault(target, set()).add(owner)
+
+    def _unlink(self, key: Tuple[str, str], owner: OID, target: OID) -> None:
+        self._fwd[key][owner].discard(target)
+        if not self._fwd[key][owner]:
+            del self._fwd[key][owner]
+        self._rev[key][target].discard(owner)
+        if not self._rev[key][target]:
+            del self._rev[key][target]
+
+    # ------------------------------------------------------------------
+    # Link traversal (used by the pattern-matching engine)
+    # ------------------------------------------------------------------
+
+    def linked(self, oid: OID, link: Aggregation,
+               from_owner: bool = True) -> Set[OID]:
+        """The objects linked to ``oid`` through ``link``.
+
+        ``from_owner=True`` reads the forward index (``oid`` stands at the
+        emanating end); ``False`` reads the reverse index.
+        """
+        index = self._fwd if from_owner else self._rev
+        return set(index.get(link.key, {}).get(oid, ()))
+
+    def link_pairs(self, link: Aggregation) -> Set[Tuple[OID, OID]]:
+        """Every (owner, target) pair of the association."""
+        out = set()
+        for owner, targets in self._fwd.get(link.key, {}).items():
+            for target in targets:
+                out.add((owner, target))
+        return out
+
+    def link_count(self, link: Aggregation) -> int:
+        return sum(len(t) for t in self._fwd.get(link.key, {}).values())
+
+    def neighbors(self, oid: OID, resolved: ResolvedLink,
+                  forward: bool = True) -> Set[OID]:
+        """Traverse a :class:`ResolvedLink` from ``oid``.
+
+        For an aggregation link the direction is derived from the
+        resolution (``a_is_owner``) combined with ``forward`` (whether we
+        are moving from the resolved pair's first class to its second).
+        For an identity link the neighbor is the object itself — the two
+        classes' instances are the same real-world objects.
+        """
+        if resolved.kind == "identity":
+            return {oid}
+        from_owner = resolved.a_is_owner if forward else not resolved.a_is_owner
+        return self.linked(oid, resolved.link, from_owner=from_owner)
+
+    # ------------------------------------------------------------------
+    # Bulk statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Coarse size statistics (for benchmarks and diagnostics)."""
+        return {
+            "objects": len(self._entities),
+            "links": sum(len(t) for index in self._fwd.values()
+                         for t in index.values()),
+            "classes": len(self._extents),
+            "version": self._version,
+        }

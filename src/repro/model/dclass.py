@@ -1,0 +1,76 @@
+"""Domain classes (D-classes).
+
+The sole function of a D-class is to form a domain of values of a simple
+data type (integers, strings, reals, booleans) from which the descriptive
+attributes of entity objects draw their values (paper, Section 2).
+
+Besides the underlying Python type a D-class may carry an arbitrary
+``check`` predicate, so schemas can express restricted domains such as
+"grade letters" or "course numbers between 1000 and 7999".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import TypeMismatchError
+
+
+class DClass:
+    """A domain of values of a simple data type.
+
+    Parameters
+    ----------
+    name:
+        The domain-class name as it appears in the S-diagram (circular
+        nodes in Figure 2.1).
+    pytype:
+        The Python type (or tuple of types) instances must belong to.
+    check:
+        Optional extra predicate a value must satisfy.
+    """
+
+    __slots__ = ("name", "pytype", "check")
+
+    def __init__(self, name: str, pytype: type | tuple[type, ...],
+                 check: Optional[Callable[[Any], bool]] = None):
+        self.name = name
+        self.pytype = pytype
+        self.check = check
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` if it belongs to this domain, else raise.
+
+        ``bool`` is rejected for integer domains even though it subclasses
+        ``int`` in Python: mixing booleans into an integer attribute is
+        almost always a bug in application code.
+        """
+        if isinstance(value, bool) and self.pytype is not bool:
+            raise TypeMismatchError(
+                f"value {value!r} is a boolean, not a {self.name}")
+        if not isinstance(value, self.pytype):
+            raise TypeMismatchError(
+                f"value {value!r} does not belong to domain class "
+                f"{self.name!r} ({self.pytype})")
+        if self.check is not None and not self.check(value):
+            raise TypeMismatchError(
+                f"value {value!r} fails the domain check of D-class "
+                f"{self.name!r}")
+        return value
+
+    def __repr__(self) -> str:
+        return f"DClass({self.name!r})"
+
+
+def _numeric_ok(value: Any) -> bool:
+    return True
+
+
+#: Predefined domain of integers.
+INTEGER = DClass("integer", int)
+#: Predefined domain of strings.
+STRING = DClass("string", str)
+#: Predefined domain of reals (floats; ints are accepted and widen).
+REAL = DClass("real", (float, int))
+#: Predefined domain of booleans.
+BOOLEAN = DClass("boolean", bool)

@@ -1,0 +1,45 @@
+"""Entity classes (E-classes).
+
+An E-class forms a domain of objects that occur in an application's world
+(Faculty, Department, ...).  Each of its objects is represented by a
+system-generated unique OID (paper, Section 2).
+
+The class object itself is deliberately light-weight: all structural
+information — descriptive attributes, entity associations, generalization
+links — lives in the :class:`~repro.model.schema.Schema`, which is the
+single source of truth for the S-diagram.  An E-class may additionally
+register *operations* (the behaviorally object-oriented side of the model,
+Section 1): named Python callables invocable from OQL operation clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class EClass:
+    """An entity class node of the S-diagram.
+
+    Parameters
+    ----------
+    name:
+        The class name (rectangular nodes in Figure 2.1).
+    doc:
+        Optional human-readable description, stored in the dictionary.
+    """
+
+    __slots__ = ("name", "doc", "operations")
+
+    def __init__(self, name: str, doc: str = ""):
+        self.name = name
+        self.doc = doc
+        #: User-defined operations registered with the class (e.g. the
+        #: paper's ``Rotate``, ``Order-part``, ``Hire_employee``).
+        self.operations: Dict[str, Callable] = {}
+
+    def register_operation(self, name: str, fn: Callable) -> None:
+        """Register a user-defined operation invocable from OQL."""
+        self.operations[name.lower()] = fn
+
+    def __repr__(self) -> str:
+        return f"EClass({self.name!r})"

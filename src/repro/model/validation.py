@@ -1,0 +1,125 @@
+"""Whole-database constraint checking.
+
+The paper's example database deliberately *waives* two constraints so the
+figures can show the general case (Section 3.1 footnote: Section ``s3`` is
+related to two Courses and ``s4`` to none).  The constraint machinery is
+nevertheless part of the model: :func:`check_database` verifies every
+declared non-null (``required``) and single-valued (``many=False``)
+aggregation constraint and returns the violations found, so applications
+can run it as an integrity audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.model.database import Database
+from repro.model.oid import OID
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation discovered by :func:`check_database`."""
+
+    kind: str          # "non_null" | "cardinality"
+    cls: str           # class of the offending object
+    oid: OID
+    link_name: str
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def _check_interactions(db: Database) -> List[Violation]:
+    """Every instance of an interaction (I) class must relate exactly
+    one instance of each participant class."""
+    violations: List[Violation] = []
+    for declaration in db.schema.interactions:
+        for oid in sorted(db.direct_extent(declaration.cls)):
+            for participant in declaration.participants:
+                key = (declaration.cls, participant.lower())
+                linked = db._fwd.get(key, {}).get(oid, set())
+                if len(linked) != 1:
+                    violations.append(Violation(
+                        "interaction", declaration.cls, oid,
+                        participant.lower(),
+                        f"{oid!r}: interaction {declaration.cls!r} "
+                        f"relates {len(linked)} {participant!r} "
+                        f"instances (exactly 1 required)"))
+    return violations
+
+
+def _check_crossproducts(db: Database) -> List[Violation]:
+    """Crossproduct (X) class instances must be complete, unique
+    combinations of their components."""
+    violations: List[Violation] = []
+    for declaration in db.schema.crossproducts:
+        seen = {}
+        for oid in sorted(db.direct_extent(declaration.cls)):
+            combination = []
+            complete = True
+            for component in declaration.components:
+                key = (declaration.cls, component.lower())
+                linked = db._fwd.get(key, {}).get(oid, set())
+                if len(linked) != 1:
+                    complete = False
+                    violations.append(Violation(
+                        "crossproduct", declaration.cls, oid,
+                        component.lower(),
+                        f"{oid!r}: crossproduct {declaration.cls!r} "
+                        f"relates {len(linked)} {component!r} "
+                        f"instances (exactly 1 required)"))
+                else:
+                    combination.append(next(iter(linked)))
+            if complete:
+                signature = tuple(combination)
+                if signature in seen:
+                    violations.append(Violation(
+                        "crossproduct", declaration.cls, oid,
+                        declaration.cls,
+                        f"{oid!r}: duplicates the combination of "
+                        f"{seen[signature]!r}"))
+                else:
+                    seen[signature] = oid
+    return violations
+
+
+def check_database(db: Database) -> List[Violation]:
+    """Audit every declared constraint; return the violations found.
+
+    * ``required`` descriptive attributes must carry a value on every
+      instance of the owning class (and its subclasses);
+    * ``required`` entity associations must link every owner instance to
+      at least one target;
+    * ``many=False`` entity associations must link every owner instance to
+      at most one target.  (Insert-time checks enforce this too; the audit
+      re-verifies, e.g. after bulk loads that bypass ``associate``.)
+    """
+    violations: List[Violation] = []
+    schema = db.schema
+    violations.extend(_check_interactions(db))
+    violations.extend(_check_crossproducts(db))
+    for link in schema.aggregations():
+        owners = db.extent(link.owner)
+        is_attribute = link.target in schema.dclass_names
+        for oid in sorted(owners):
+            if is_attribute:
+                if link.required and db.entity(oid).get(link.name) is None:
+                    violations.append(Violation(
+                        "non_null", db.entity(oid).cls, oid, link.name,
+                        f"{oid!r}: required attribute {link.name!r} unset"))
+                continue
+            targets = db.linked(oid, link, from_owner=True)
+            if link.required and not targets:
+                violations.append(Violation(
+                    "non_null", db.entity(oid).cls, oid, link.name,
+                    f"{oid!r}: required association {link.name!r} has no "
+                    f"target"))
+            if not link.many and len(targets) > 1:
+                violations.append(Violation(
+                    "cardinality", db.entity(oid).cls, oid, link.name,
+                    f"{oid!r}: single-valued association {link.name!r} "
+                    f"links {len(targets)} targets"))
+    return violations

@@ -1,0 +1,56 @@
+"""OQL: the object-oriented query language (ALA89a) plus the constructs
+the deductive rule language borrows from it.
+
+A query block consists of a Context clause — an association pattern
+expression over E-classes, with optional intra-class conditions, brace
+subexpressions and a loop superscript — an optional Where subclause
+(inter-class comparisons and aggregation conditions), an optional Select
+subclause, and an operation (Display/Print or a user-defined operation).
+
+The public entry points are :func:`parse_query`, :func:`parse_expression`
+and :class:`QueryProcessor`.
+"""
+
+from repro.oql.ast import (
+    AggComparison,
+    AttrRef,
+    BoolOp,
+    Chain,
+    ClassTerm,
+    Comparison,
+    ContextExpr,
+    Literal,
+    LoopSpec,
+    NotOp,
+    Query,
+    SelectItem,
+)
+from repro.oql.lexer import Token, tokenize
+from repro.oql.parser import parse_expression, parse_query
+from repro.oql.evaluator import PatternEvaluator
+from repro.oql.operations import OperationRegistry, Table
+from repro.oql.query import QueryProcessor, QueryResult
+
+__all__ = [
+    "AggComparison",
+    "AttrRef",
+    "BoolOp",
+    "Chain",
+    "ClassTerm",
+    "Comparison",
+    "ContextExpr",
+    "Literal",
+    "LoopSpec",
+    "NotOp",
+    "Query",
+    "SelectItem",
+    "Token",
+    "tokenize",
+    "parse_expression",
+    "parse_query",
+    "PatternEvaluator",
+    "OperationRegistry",
+    "Table",
+    "QueryProcessor",
+    "QueryResult",
+]

@@ -1,0 +1,224 @@
+"""Abstract syntax for OQL queries and rule bodies.
+
+The AST mirrors the paper's clause structure:
+
+* :class:`ContextExpr` — the association pattern expression of the Context
+  clause: a :class:`Chain` of class terms and brace groups connected by
+  ``*``/``!``, optionally carrying a :class:`LoopSpec` superscript;
+* the condition nodes (:class:`Comparison`, :class:`BoolOp`,
+  :class:`NotOp`) serve both intra-class conditions (in brackets after a
+  class name) and the Where subclause's inter-class comparisons;
+* :class:`AggComparison` — the Where subclause's aggregation-function
+  conditions (``COUNT(Student by Course) > 39``);
+* :class:`SelectItem` and :class:`Query` complete the query block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.subdb.refs import ClassRef
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number, string, boolean or Null."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return "null" if self.value is None else str(self.value)
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """A reference to a descriptive attribute.
+
+    Inside an intra-class condition ``owner`` is ``None`` (the attribute
+    belongs to the class the condition is attached to); in the Where
+    subclause attributes are qualified — ``TA[name]`` / ``TA.name``.
+    """
+
+    attr: str
+    owner: Optional[ClassRef] = None
+
+    def __str__(self) -> str:
+        return f"{self.owner}.{self.attr}" if self.owner else self.attr
+
+
+Operand = Union[Literal, AttrRef]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` with op in ``= != < <= > >=``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``and`` / ``or`` over two or more conditions."""
+
+    op: str
+    items: Tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        return f" {self.op} ".join(f"({item})" for item in self.items)
+
+
+@dataclass(frozen=True)
+class NotOp:
+    item: "Condition"
+
+    def __str__(self) -> str:
+        return f"not ({self.item})"
+
+
+Condition = Union[Comparison, BoolOp, NotOp]
+
+
+@dataclass(frozen=True)
+class AggComparison:
+    """An aggregation condition of the Where subclause.
+
+    ``COUNT(Student by Course) > 39`` — for each distinct object at the
+    ``by`` class's slot, aggregate over the distinct associated objects at
+    the target class's slot (their ``attr`` values for SUM/AVG/MIN/MAX),
+    and keep only the extensional patterns whose ``by`` object satisfies
+    the comparison (paper, rule R2).
+    """
+
+    func: str                 # count | sum | avg | min | max
+    target: ClassRef
+    attr: Optional[str]
+    by: ClassRef
+    op: str
+    value: Literal
+
+    def __str__(self) -> str:
+        target = f"{self.target}.{self.attr}" if self.attr else str(self.target)
+        return (f"{self.func.upper()}({target} by {self.by}) "
+                f"{self.op} {self.value}")
+
+
+WhereCond = Union[Comparison, AggComparison, BoolOp, NotOp]
+
+
+# ---------------------------------------------------------------------------
+# Association pattern expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassTerm:
+    """A class reference with an optional intra-class condition."""
+
+    ref: ClassRef
+    condition: Optional[Condition] = None
+
+    def __str__(self) -> str:
+        if self.condition is None:
+            return str(self.ref)
+        return f"{self.ref}[{self.condition}]"
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A sequence of elements (class terms or brace groups) joined by the
+    association (``*``) / non-association (``!``) operators."""
+
+    elements: Tuple[Union[ClassTerm, "Chain"], ...]
+    ops: Tuple[str, ...]       # len(elements) - 1 entries, each "*" or "!"
+    braced: bool = False
+
+    def __post_init__(self):
+        assert len(self.ops) == max(len(self.elements) - 1, 0)
+
+    def __str__(self) -> str:
+        parts = [str(self.elements[0])]
+        for op, element in zip(self.ops, self.elements[1:]):
+            parts.append(f" {op} {element}")
+        body = "".join(parts)
+        return "{" + body + "}" if self.braced else body
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """The loop superscript: ``^*`` (iterate to Nulls — transitive
+    closure) or ``^N`` (N traversals of the cycle)."""
+
+    count: Optional[int] = None     # None = unbounded
+
+    def __str__(self) -> str:
+        return "^*" if self.count is None else f"^{self.count}"
+
+
+@dataclass(frozen=True)
+class ContextExpr:
+    """The Context clause's association pattern expression."""
+
+    chain: Chain
+    loop: Optional[LoopSpec] = None
+
+    def __str__(self) -> str:
+        return f"{self.chain} {self.loop}" if self.loop else str(self.chain)
+
+
+# ---------------------------------------------------------------------------
+# Select clause & query block
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the Select subclause.
+
+    * bare attribute — ``ref is None``, one entry in ``attrs``; the class
+      is found by uniqueness among the context classes;
+    * ``Class`` — ``attrs is None``: all visible attributes of the class;
+    * ``Class[a, b]`` / ``Class.a`` — the listed attributes.
+    """
+
+    ref: Optional[ClassRef]
+    attrs: Optional[Tuple[str, ...]]
+
+    def __str__(self) -> str:
+        if self.ref is None:
+            return self.attrs[0]
+        if self.attrs is None:
+            return str(self.ref)
+        return f"{self.ref}[{', '.join(self.attrs)}]"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full OQL query block."""
+
+    context: ContextExpr
+    where: Tuple[WhereCond, ...] = ()
+    select: Optional[Tuple[SelectItem, ...]] = None
+    operation: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = [f"context {self.context}"]
+        if self.where:
+            parts.append("where " + " and ".join(str(w) for w in self.where))
+        if self.select is not None:
+            parts.append("select " + " ".join(str(s) for s in self.select))
+        if self.operation:
+            parts.append(self.operation)
+        return "\n".join(parts)

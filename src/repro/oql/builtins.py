@@ -1,0 +1,66 @@
+"""Built-in user-operations for the operation clause.
+
+The paper's operation clause admits system-defined data-manipulation
+operations beyond Display/Print (Section 3.2).  This module provides a
+practical set, registered with
+:func:`register_builtin_operations`::
+
+    context Teacher * Section count()      -- number of result rows
+    context Teacher * Section to_csv()     -- the table as CSV text
+    context Teacher * Section describe()   -- the subdatabase description
+    context Teacher * Section to_dot()     -- DOT text of the extension
+
+Each returns its value through ``QueryResult.op_result``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.oql.operations import OperationRegistry, Table
+from repro.subdb.subdatabase import Subdatabase
+from repro.subdb.universe import Universe
+
+
+def op_count(universe: Universe, subdb: Subdatabase,
+             table: Table) -> int:
+    """The number of (deduplicated) result rows."""
+    return len(table)
+
+
+def op_to_csv(universe: Universe, subdb: Subdatabase,
+              table: Table) -> str:
+    """The bound table as CSV text (header + rows, Nulls empty)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(["" if value is None else value
+                         for value in row])
+    return buffer.getvalue()
+
+
+def op_describe(universe: Universe, subdb: Subdatabase,
+                table: Table) -> str:
+    """The context subdatabase's full description (intension, patterns,
+    induced links)."""
+    return subdb.describe()
+
+
+def op_to_dot(universe: Universe, subdb: Subdatabase,
+              table: Table) -> str:
+    """The extensional diagram as Graphviz DOT text."""
+    from repro.viz import extension_to_dot
+    return extension_to_dot(subdb)
+
+
+def register_builtin_operations(registry: OperationRegistry
+                                ) -> OperationRegistry:
+    """Register the built-in operations on ``registry`` (returned for
+    chaining)."""
+    registry.register("count", op_count)
+    registry.register("to_csv", op_to_csv)
+    registry.register("describe", op_describe)
+    registry.register("to_dot", op_to_dot)
+    return registry

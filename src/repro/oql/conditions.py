@@ -1,0 +1,85 @@
+"""Evaluation of condition ASTs.
+
+Two getters drive the same recursive evaluation:
+
+* intra-class conditions read attributes of a single object (the class
+  term the condition is attached to);
+* Where-subclause comparisons read attributes of the objects at specific
+  slots of an extensional pattern.
+
+Comparison semantics: ``=``/``!=`` work across types (different types are
+simply unequal); ordering comparisons require both operands comparable
+(numbers with numbers, strings with strings) and raise
+:class:`~repro.errors.OQLSemanticError` otherwise — the paper permits
+inter-class comparisons only "if these attributes are type comparable".
+A ``None`` (Null/unset) operand satisfies only ``= null`` / ``!= <x>``
+style checks: ordering against Null is false.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import OQLSemanticError
+from repro.oql.ast import (
+    AttrRef,
+    BoolOp,
+    Comparison,
+    Condition,
+    Literal,
+    NotOp,
+)
+
+Getter = Callable[[AttrRef], Any]
+
+_NUMBER_TYPES = (int, float)
+
+
+def compare(left: Any, op: str, right: Any) -> bool:
+    """Apply one comparison operator with the semantics above."""
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    # Ordering comparisons.
+    if left is None or right is None:
+        return False
+    left_num = isinstance(left, _NUMBER_TYPES) and not isinstance(left, bool)
+    right_num = isinstance(right, _NUMBER_TYPES) and not isinstance(right, bool)
+    if left_num != right_num or (not left_num and
+                                 type(left) is not type(right)):
+        raise OQLSemanticError(
+            f"operands {left!r} and {right!r} are not type comparable")
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise OQLSemanticError(f"unknown comparison operator {op!r}")
+
+
+def _operand_value(operand, getter: Getter) -> Any:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, AttrRef):
+        return getter(operand)
+    raise OQLSemanticError(f"unknown operand {operand!r}")
+
+
+def evaluate(condition: Condition, getter: Getter) -> bool:
+    """Recursively evaluate a condition AST with ``getter`` supplying
+    attribute values."""
+    if isinstance(condition, Comparison):
+        left = _operand_value(condition.left, getter)
+        right = _operand_value(condition.right, getter)
+        return compare(left, condition.op, right)
+    if isinstance(condition, BoolOp):
+        if condition.op == "and":
+            return all(evaluate(item, getter) for item in condition.items)
+        return any(evaluate(item, getter) for item in condition.items)
+    if isinstance(condition, NotOp):
+        return not evaluate(condition.item, getter)
+    raise OQLSemanticError(f"unknown condition node {condition!r}")

@@ -1,0 +1,557 @@
+"""The pattern-matching engine.
+
+:class:`PatternEvaluator` turns an association pattern expression into a
+:class:`~repro.subdb.subdatabase.Subdatabase`:
+
+* a **linear chain** ``A * B * C`` is matched by a left-to-right join over
+  the (own, inherited, or derived) association resolved between each pair
+  of adjacent classes — keeping only fully connected patterns, exactly as
+  the association operator is defined in Section 3.2;
+* the **non-association operator** ``!`` extends a partial pattern with
+  the extent objects *not* associated with the current end;
+* **brace groups** identify additional pattern types (Section 5.1):
+  ``A * {B * C} * D`` yields all patterns of types (A,B,C,D) and (B,C),
+  with the subsumption rule dropping a brace pattern that is part of a
+  retained larger pattern — Codd's outer-join semantics;
+* a **loop superscript** ``^*`` / ``^N`` on a cyclic chain performs the
+  transitive closure of Section 5.2 by iterating over the cycle,
+  automatically generating aliases ``B_1, C_1, A_2, ...`` per level and
+  keeping hierarchies that terminate early (implicit braces).
+
+The Where subclause is applied afterwards: inter-class comparisons and
+aggregation conditions (``COUNT ... by ...``) drop extensional patterns
+from the context subdatabase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import CyclicDataError, OQLSemanticError
+from repro.model.oid import OID
+from repro.oql import conditions
+from repro.oql.ast import (
+    AggComparison,
+    AttrRef,
+    BoolOp,
+    Chain,
+    ClassTerm,
+    Comparison,
+    ContextExpr,
+    NotOp,
+    WhereCond,
+)
+from repro.subdb.intension import Edge, IntensionalPattern
+from repro.subdb.pattern import ExtensionalPattern, subsume
+from repro.subdb.refs import ClassRef
+from repro.subdb.subdatabase import Subdatabase
+from repro.subdb.universe import EdgeResolution, Universe
+
+
+@dataclass
+class EvaluationMetrics:
+    """Instrumentation collected during one evaluation (an EXPLAIN
+    ANALYZE-style record, exposed as ``PatternEvaluator.last_metrics``
+    and ``QueryResult.metrics``)."""
+
+    #: Objects pulled from class extents (after intra-class filtering).
+    extent_objects: int = 0
+    #: Neighbor-set lookups performed while matching.
+    edge_traversals: int = 0
+    #: Partial rows materialized across all match ranges.
+    rows_generated: int = 0
+    #: Patterns dropped by the subsumption rule.
+    patterns_subsumed: int = 0
+    #: Patterns in the final result.
+    patterns_out: int = 0
+    #: Loop levels materialized (0 for non-loop evaluations).
+    loop_levels: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "extent_objects": self.extent_objects,
+            "edge_traversals": self.edge_traversals,
+            "rows_generated": self.rows_generated,
+            "patterns_subsumed": self.patterns_subsumed,
+            "patterns_out": self.patterns_out,
+            "loop_levels": self.loop_levels,
+        }
+
+
+@dataclass
+class _Flattened:
+    """A chain flattened to slot order, with brace-group ranges."""
+
+    terms: List[ClassTerm]
+    ops: List[str]                       # between consecutive slots
+    groups: List[Tuple[int, int]]        # inclusive ranges, outermost first
+
+
+def _flatten(chain: Chain) -> _Flattened:
+    terms: List[ClassTerm] = []
+    ops: List[str] = []
+    groups: List[Tuple[int, int]] = []
+
+    def walk(node: Chain) -> None:
+        start = len(terms)
+        for index, element in enumerate(node.elements):
+            if index > 0:
+                ops.append(node.ops[index - 1])
+            if isinstance(element, Chain):
+                walk(element)
+            else:
+                terms.append(element)
+        if node.braced:
+            groups.append((start, len(terms) - 1))
+
+    walk(chain)
+    whole = (0, len(terms) - 1)
+    ordered = [whole] + [g for g in groups if g != whole]
+    # Outer groups before inner ones (wider ranges first) so subsumption
+    # processes larger pattern types first.
+    ordered.sort(key=lambda g: (g[0] - g[1], g[0]))
+    _Flattened_groups = []
+    seen = set()
+    for group in ordered:
+        if group not in seen:
+            seen.add(group)
+            _Flattened_groups.append(group)
+    return _Flattened(terms, ops, _Flattened_groups)
+
+
+class PatternEvaluator:
+    """Evaluates context expressions against a :class:`Universe`."""
+
+    def __init__(self, universe: Universe, on_cycle: str = "error",
+                 max_depth: int = 1000, optimize: bool = True):
+        if on_cycle not in ("error", "stop"):
+            raise ValueError("on_cycle must be 'error' or 'stop'")
+        self.universe = universe
+        #: Behaviour when a loop revisits an instance: ``"error"`` raises
+        #: :class:`CyclicDataError` (the paper assumes acyclic data),
+        #: ``"stop"`` terminates that hierarchy (computes the closure of a
+        #: cyclic graph).
+        self.on_cycle = on_cycle
+        #: Safety bound on unbounded-loop depth.
+        self.max_depth = max_depth
+        #: When True, chain matching anchors at the smallest filtered
+        #: extent and expands greedily in both directions (the paper's
+        #: "search engine of the underlying OO DBMS"); when False, the
+        #: naive left-to-right join is used.  Results are identical.
+        self.optimize = optimize
+        #: Instrumentation of the most recent evaluate() call.
+        self.last_metrics = EvaluationMetrics()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def evaluate(self, expr: ContextExpr,
+                 where: Sequence[WhereCond] = (),
+                 name: str = "result") -> Subdatabase:
+        """Evaluate a context expression (+ optional Where subclause)."""
+        self.last_metrics = EvaluationMetrics()
+        flat = _flatten(expr.chain)
+        self._check_unique_slots(flat)
+        if expr.loop is not None:
+            subdb = self._evaluate_loop(flat, expr.loop.count, name)
+        else:
+            subdb = self._evaluate_chain(flat, name)
+        if where:
+            subdb = self._apply_where(subdb, where)
+        self.last_metrics.patterns_out = len(subdb.patterns)
+        return subdb
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    def _check_unique_slots(self, flat: _Flattened) -> None:
+        seen: Set[str] = set()
+        for term in flat.terms:
+            slot = term.ref.slot
+            if slot in seen:
+                raise OQLSemanticError(
+                    f"class {slot!r} appears twice in the expression; use "
+                    f"an alias ({slot}_1) for the second occurrence")
+            seen.add(slot)
+
+    def _extent(self, term: ClassTerm) -> Set[OID]:
+        """The term's extent, filtered by its intra-class condition."""
+        extent = self.universe.extent(term.ref)
+        if term.condition is None:
+            self.last_metrics.extent_objects += len(extent)
+            return extent
+
+        def getter_for(oid: OID):
+            def getter(attr_ref: AttrRef):
+                if attr_ref.owner is not None:
+                    raise OQLSemanticError(
+                        "intra-class conditions may only reference the "
+                        "class's own attributes")
+                return self.universe.attr_value(term.ref, oid, attr_ref.attr)
+            return getter
+
+        filtered = {oid for oid in extent
+                    if conditions.evaluate(term.condition,
+                                           getter_for(oid))}
+        self.last_metrics.extent_objects += len(filtered)
+        return filtered
+
+    def _resolutions(self, flat: _Flattened) -> List[EdgeResolution]:
+        return [self.universe.resolve_edge(flat.terms[i].ref,
+                                           flat.terms[i + 1].ref)
+                for i in range(len(flat.terms) - 1)]
+
+    def _match_range(self, start: int, end: int,
+                     extents: List[Set[OID]],
+                     ops: List[str],
+                     resolutions: List[EdgeResolution]
+                     ) -> List[Tuple[OID, ...]]:
+        """All fully connected tuples over slots ``start..end``."""
+        if self.optimize and end > start:
+            return self._match_range_greedy(start, end, extents, ops,
+                                            resolutions)
+        return self._match_range_ltr(start, end, extents, ops,
+                                     resolutions)
+
+    def _match_range_ltr(self, start: int, end: int,
+                         extents: List[Set[OID]],
+                         ops: List[str],
+                         resolutions: List[EdgeResolution]
+                         ) -> List[Tuple[OID, ...]]:
+        """Naive left-to-right chain join (the ablation baseline)."""
+        rows: List[Tuple[OID, ...]] = [(oid,) for oid in extents[start]]
+        for k in range(start, end):
+            if not rows:
+                break
+            resolution = resolutions[k]
+            op = ops[k]
+            next_extent = extents[k + 1]
+            extended: List[Tuple[OID, ...]] = []
+            for row in rows:
+                self.last_metrics.edge_traversals += 1
+                neighbors = self.universe.edge_neighbors(
+                    row[-1], resolution, forward=True)
+                if op == "*":
+                    candidates = neighbors & next_extent
+                else:  # "!": the non-association operator
+                    candidates = next_extent - neighbors
+                for oid in candidates:
+                    extended.append(row + (oid,))
+            rows = extended
+            self.last_metrics.rows_generated += len(rows)
+        return rows
+
+    def _match_range_greedy(self, start: int, end: int,
+                            extents: List[Set[OID]],
+                            ops: List[str],
+                            resolutions: List[EdgeResolution]
+                            ) -> List[Tuple[OID, ...]]:
+        """Anchor at the smallest filtered extent, then expand the
+        contiguous block towards whichever side has the smaller adjacent
+        extent — a greedy chain-join order.
+
+        A selective intra-class condition anywhere in the chain (e.g.
+        ``Department[name = 'CIS']`` at the left of rule R2, or a filter
+        at the far right of a long chain) then prunes the search from the
+        first hop instead of after a full scan.
+        """
+        anchor = min(range(start, end + 1), key=lambda i: len(extents[i]))
+        # rows hold the contiguous slot block [lo, hi].
+        lo = hi = anchor
+        rows: List[Tuple[OID, ...]] = [(oid,) for oid in extents[anchor]]
+        while rows and (lo > start or hi < end):
+            grow_left = lo > start and (
+                hi == end or len(extents[lo - 1]) <= len(extents[hi + 1]))
+            extended: List[Tuple[OID, ...]] = []
+            if grow_left:
+                op = ops[lo - 1]
+                resolution = resolutions[lo - 1]
+                prev_extent = extents[lo - 1]
+                for row in rows:
+                    self.last_metrics.edge_traversals += 1
+                    neighbors = self.universe.edge_neighbors(
+                        row[0], resolution, forward=False)
+                    if op == "*":
+                        candidates = neighbors & prev_extent
+                    else:
+                        candidates = prev_extent - neighbors
+                    for oid in candidates:
+                        extended.append((oid,) + row)
+                lo -= 1
+            else:
+                op = ops[hi]
+                resolution = resolutions[hi]
+                next_extent = extents[hi + 1]
+                for row in rows:
+                    self.last_metrics.edge_traversals += 1
+                    neighbors = self.universe.edge_neighbors(
+                        row[-1], resolution, forward=True)
+                    if op == "*":
+                        candidates = neighbors & next_extent
+                    else:
+                        candidates = next_extent - neighbors
+                    for oid in candidates:
+                        extended.append(row + (oid,))
+                hi += 1
+            rows = extended
+            self.last_metrics.rows_generated += len(rows)
+        if lo > start or hi < end:
+            return []  # rows emptied before covering the range
+        return rows
+
+    def _intension(self, flat: _Flattened,
+                   resolutions: List[EdgeResolution]) -> IntensionalPattern:
+        edges = []
+        for i, resolution in enumerate(resolutions):
+            edges.append(self._edge_for(i, i + 1, flat.ops[i], resolution))
+        return IntensionalPattern([t.ref for t in flat.terms], edges)
+
+    @staticmethod
+    def _edge_for(i: int, j: int, op: str,
+                  resolution: EdgeResolution) -> Edge:
+        if resolution.kind == "identity":
+            label = "identity"
+            kind = "base"
+        elif resolution.kind == "base":
+            label = resolution.resolved.link.name
+            kind = "base"
+        else:
+            label = f"derived@{resolution.subdb}"
+            kind = "derived"
+        if op == "!":
+            label = f"!{label}"
+        return Edge(i, j, kind, label)
+
+    # ------------------------------------------------------------------
+    # Plain chains (with brace groups)
+    # ------------------------------------------------------------------
+
+    def _evaluate_chain(self, flat: _Flattened, name: str) -> Subdatabase:
+        width = len(flat.terms)
+        extents = [self._extent(term) for term in flat.terms]
+        resolutions = self._resolutions(flat)
+
+        patterns: Set[ExtensionalPattern] = set()
+        for start, end in flat.groups:
+            for row in self._match_range(start, end, extents, flat.ops,
+                                         resolutions):
+                values: List[Optional[OID]] = [None] * width
+                values[start:end + 1] = row
+                patterns.add(ExtensionalPattern(values))
+
+        kept = subsume(patterns)
+        self.last_metrics.patterns_subsumed += len(patterns) - len(kept)
+        intension = self._intension(flat, resolutions)
+        return Subdatabase(name, intension, kept)
+
+    # ------------------------------------------------------------------
+    # Loops: transitive closure as iteration (Section 5.2)
+    # ------------------------------------------------------------------
+
+    def _evaluate_loop(self, flat: _Flattened, count: Optional[int],
+                       name: str) -> Subdatabase:
+        if len(flat.groups) > 1:
+            raise OQLSemanticError(
+                "brace groups may not be combined with a loop superscript "
+                "(the loop generates its own implicit braces)")
+        terms = flat.terms
+        n = len(terms)
+        if n < 2:
+            raise OQLSemanticError("a loop requires at least two classes")
+        first, last = terms[0].ref, terms[-1].ref
+        if first.cls != last.cls or first.subdb != last.subdb:
+            raise OQLSemanticError(
+                f"a loop expression must form a cycle: the last class "
+                f"({last}) must be an alias of the first ({first})")
+        if any(op != "*" for op in flat.ops):
+            raise OQLSemanticError(
+                "loop expressions may use the association operator only")
+
+        extents = [self._extent(term) for term in terms]
+        resolutions = self._resolutions(flat)
+        body = n - 1  # slots appended per additional traversal
+        max_level = count if count is not None else self.max_depth
+
+        # Level 1: one full traversal of the cycle.
+        frontier = self._match_range(0, n - 1, extents, flat.ops,
+                                     resolutions)
+        all_rows: List[Tuple[OID, ...]] = list(frontier)
+        level = 1
+        while frontier and level < max_level:
+            level += 1
+            extended: List[Tuple[OID, ...]] = []
+            for row in frontier:
+                anchor = row[-1]
+                # Traverse the cycle body once more, starting at the
+                # anchor (the deepest hierarchy-root instance so far).
+                partials: List[Tuple[OID, ...]] = [(anchor,)]
+                for k in range(n - 1):
+                    if not partials:
+                        break
+                    next_partials: List[Tuple[OID, ...]] = []
+                    for partial in partials:
+                        neighbors = self.universe.edge_neighbors(
+                            partial[-1], resolutions[k], forward=True)
+                        for oid in neighbors & extents[k + 1]:
+                            next_partials.append(partial + (oid,))
+                    partials = next_partials
+                for partial in partials:
+                    extension = partial[1:]  # drop the shared anchor
+                    root_positions = range(0, len(row), body)
+                    if any(row[p] == extension[-1] for p in root_positions):
+                        if self.on_cycle == "error":
+                            raise CyclicDataError(
+                                f"instance {extension[-1]!r} repeats in a "
+                                f"loop hierarchy; the paper assumes the "
+                                f"traversed relationship is acyclic "
+                                f"(use on_cycle='stop' to truncate)")
+                        continue
+                    extended.append(row + extension)
+            all_rows.extend(extended)
+            frontier = extended
+        if count is None and frontier and level >= self.max_depth:
+            raise CyclicDataError(
+                f"unbounded loop did not terminate within "
+                f"{self.max_depth} levels")
+
+        levels_reached = max(
+            (1 + (len(row) - n) // body for row in all_rows), default=1)
+
+        # Slot list: the base cycle, then per extra level a copy of the
+        # body slots with automatically generated aliases (Section 5.2:
+        # "appending an underscore and an integer to the class name").
+        slots: List[ClassRef] = [t.ref for t in terms]
+        edge_list: List[Edge] = []
+        for i, resolution in enumerate(resolutions):
+            edge_list.append(self._edge_for(i, i + 1, "*", resolution))
+        for extra in range(2, levels_reached + 1):
+            bump = extra - 1
+            for j in range(1, n):
+                ref = terms[j].ref
+                slots.append(ref.with_alias((ref.alias or 0) + bump))
+            base_index = len(slots) - body - 1
+            for k in range(n - 1):
+                i, j = base_index + k, base_index + k + 1
+                edge_list.append(self._edge_for(i, j, "*", resolutions[k]))
+
+        width = len(slots)
+        patterns = set()
+        for row in all_rows:
+            padded = row + (None,) * (width - len(row))
+            patterns.add(ExtensionalPattern(padded))
+        kept = subsume(patterns)
+        self.last_metrics.patterns_subsumed += len(patterns) - len(kept)
+        self.last_metrics.loop_levels = levels_reached
+        intension = IntensionalPattern(slots, edge_list)
+        return Subdatabase(name, intension, kept)
+
+    # ------------------------------------------------------------------
+    # The Where subclause
+    # ------------------------------------------------------------------
+
+    def _slot_for(self, subdb: Subdatabase, owner: ClassRef) -> int:
+        """Resolve a Where-subclause qualifier to a slot index.
+
+        Exact slot names win; otherwise an unqualified class name matches
+        the unique slot of that class (any subdatabase qualifier / alias),
+        mirroring the paper's rule that qualification is only needed when
+        ambiguous.
+        """
+        intension = subdb.intension
+        if intension.has_slot(owner.slot):
+            return intension.index_of(owner.slot)
+        matches = [i for i, ref in enumerate(intension.slots)
+                   if ref.cls == owner.cls
+                   and (owner.subdb is None or ref.subdb == owner.subdb)]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise OQLSemanticError(
+                f"where subclause references {owner}, which is not a "
+                f"context class (context: {list(subdb.slot_names)})")
+        raise OQLSemanticError(
+            f"where subclause reference {owner} is ambiguous among "
+            f"context classes {list(subdb.slot_names)}")
+
+    def _apply_where(self, subdb: Subdatabase,
+                     where: Sequence[WhereCond]) -> Subdatabase:
+        patterns = set(subdb.patterns)
+        for cond in where:
+            if isinstance(cond, AggComparison):
+                patterns = self._apply_agg(subdb, patterns, cond)
+            else:
+                patterns = self._apply_cmp(subdb, patterns, cond)
+        return Subdatabase(subdb.name, subdb.intension, patterns,
+                           subdb.derived_info)
+
+    def _apply_cmp(self, subdb: Subdatabase,
+                   patterns: Set[ExtensionalPattern],
+                   cond) -> Set[ExtensionalPattern]:
+        slots = subdb.intension.slots
+
+        def keeps(pattern: ExtensionalPattern) -> bool:
+            def getter(attr_ref: AttrRef):
+                if attr_ref.owner is None:
+                    raise OQLSemanticError(
+                        "where-subclause attributes must be qualified "
+                        "(Class.attr)")
+                index = self._slot_for(subdb, attr_ref.owner)
+                oid = pattern[index]
+                if oid is None:
+                    return None
+                return self.universe.attr_value(slots[index], oid,
+                                                attr_ref.attr)
+            # A pattern lacking an involved object cannot satisfy the
+            # comparison; evaluate() returns False on Null operands for
+            # ordering ops, and Null equality only matches literal null.
+            return conditions.evaluate(cond, getter)
+
+        return {p for p in patterns if keeps(p)}
+
+    def _apply_agg(self, subdb: Subdatabase,
+                   patterns: Set[ExtensionalPattern],
+                   cond: AggComparison) -> Set[ExtensionalPattern]:
+        by_index = self._slot_for(subdb, cond.by)
+        target_index = self._slot_for(subdb, cond.target)
+        target_ref = subdb.intension.slots[target_index]
+
+        groups: Dict[OID, Set[OID]] = {}
+        for pattern in patterns:
+            key = pattern[by_index]
+            member = pattern[target_index]
+            if key is None or member is None:
+                continue
+            groups.setdefault(key, set()).add(member)
+
+        def aggregate(members: Set[OID]) -> Optional[float]:
+            if cond.func == "count":
+                return len(members)
+            if cond.attr is None:
+                raise OQLSemanticError(
+                    f"{cond.func.upper()} requires an attribute "
+                    f"({cond.target}.<attr> by {cond.by})")
+            values = [self.universe.attr_value(target_ref, oid, cond.attr)
+                      for oid in members]
+            values = [v for v in values if v is not None]
+            if not values:
+                return None
+            if cond.func == "sum":
+                return sum(values)
+            if cond.func == "avg":
+                return sum(values) / len(values)
+            if cond.func == "min":
+                return min(values)
+            return max(values)
+
+        passing: Set[OID] = set()
+        for key, members in groups.items():
+            value = aggregate(members)
+            if value is not None and \
+                    conditions.compare(value, cond.op, cond.value.value):
+                passing.add(key)
+
+        return {p for p in patterns
+                if p[by_index] is not None and p[by_index] in passing}

@@ -1,0 +1,136 @@
+"""Tokenizer for OQL queries and deductive rules.
+
+The surface syntax follows the paper as closely as plain text allows:
+
+* keywords (case-insensitive): ``context where select display print if
+  then and or not by null`` and the aggregation functions ``count sum avg
+  min max``;
+* identifiers may contain ``#`` after the first character, so the paper's
+  attribute names ``c#``, ``SS#`` and ``section#`` are legal;
+* the association operator is ``*``, the non-association operator ``!``;
+* comparison operators: ``= != <> < <= > >=``;
+* the loop superscript of Section 5.2 is written ``^*`` (unbounded) or
+  ``^N``;
+* string literals use single or double quotes; numbers are integers or
+  decimals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.errors import OQLSyntaxError
+
+KEYWORDS = {
+    "context", "where", "select", "display", "print", "if", "then",
+    "and", "or", "not", "by", "null",
+    "count", "sum", "avg", "min", "max",
+}
+
+AGG_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+#: Multi-character operators must precede their prefixes.
+_OPERATORS = ["<=", ">=", "!=", "<>", "*", "!", "=", "<", ">", "^",
+              "(", ")", "[", "]", "{", "}", ",", ":", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    kind: str  # "ident" | "keyword" | "number" | "string" | "op" | "eof"
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    @property
+    def text(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.column}"
+
+
+def _is_digit(ch: str) -> bool:
+    # str.isdigit() accepts Unicode digits (e.g. superscripts) that
+    # int() rejects; numbers are ASCII only.
+    return "0" <= ch <= "9"
+
+
+def _ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_#"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            line_start = i + 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        col = i - line_start + 1
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 1
+            if j >= n:
+                raise OQLSyntaxError("unterminated string literal",
+                                     position=i, line=line, column=col)
+            tokens.append(Token("string", text[i + 1:j], line, col))
+            i = j + 1
+            continue
+        if _is_digit(ch):
+            j = i
+            while j < n and _is_digit(text[j]):
+                j += 1
+            if j < n and text[j] == "." and j + 1 < n and \
+                    _is_digit(text[j + 1]):
+                j += 1
+                while j < n and _is_digit(text[j]):
+                    j += 1
+                tokens.append(Token("number", float(text[i:j]), line, col))
+            else:
+                tokens.append(Token("number", int(text[i:j]), line, col))
+            i = j
+            continue
+        if _ident_start(ch):
+            j = i
+            while j < n and _ident_char(text[j]):
+                j += 1
+            word = text[i:j]
+            if word.lower() in KEYWORDS:
+                tokens.append(Token("keyword", word.lower(), line, col))
+            else:
+                tokens.append(Token("ident", word, line, col))
+            i = j
+            continue
+        matched: Optional[str] = None
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise OQLSyntaxError(f"unexpected character {ch!r}",
+                                 position=i, line=line, column=col)
+        # Normalize the alternative inequality spelling.
+        tokens.append(Token("op", "!=" if matched == "<>" else matched,
+                            line, col))
+        i += len(matched)
+    tokens.append(Token("eof", "", line, n - line_start + 1))
+    return tokens

@@ -1,0 +1,194 @@
+"""Operation clause: Display/Print and user-defined operations.
+
+The Display (Print) operation causes the values of the descriptive
+attributes identified by the Select subclause to be displayed (printed) in
+tabular form (paper, Section 3.2): Query 3.1's result is "a binary table
+in which each tuple contains a name value and a section# value".
+
+:func:`build_table` binds the Select subclause against the context
+subdatabase — bare attribute names must be unique among the context
+classes, otherwise they must be qualified (``TA[name]``, Section 4.3) —
+and produces a :class:`Table` of de-duplicated, deterministically ordered
+rows (the language is set-oriented).
+
+User-defined operations (the paper's ``Rotate``, ``Order-part``, ...) are
+held in an :class:`OperationRegistry` and invoked with the universe, the
+context subdatabase and the bound table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OQLSemanticError, UnknownAttributeError
+from repro.oql.ast import SelectItem
+from repro.subdb.refs import ClassRef
+from repro.subdb.subdatabase import Subdatabase
+from repro.subdb.universe import Universe
+
+
+@dataclass
+class Table:
+    """A rendered query result: column headers plus value rows."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+
+    def render(self) -> str:
+        """An ASCII rendering with column-width alignment."""
+        def fmt(value: Any) -> str:
+            return "Null" if value is None else str(value)
+
+        headers = list(self.columns)
+        body = [[fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in headers]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(widths[i])
+                              for i, c in enumerate(cells))
+
+        rule = "-+-".join("-" * w for w in widths)
+        out = [line(headers), rule]
+        out.extend(line(row) for row in body)
+        return "\n".join(out)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise OQLSemanticError(
+                f"no column {name!r} (columns: {self.columns})") from None
+        return [row[index] for row in self.rows]
+
+
+def _sort_key(row: Tuple[Any, ...]):
+    return tuple((v is None, str(type(v)), str(v)) for v in row)
+
+
+def _bind_bare_name(universe: Universe, subdb: Subdatabase,
+                    name: str) -> List[Tuple[int, str]]:
+    """Bind a bare Select identifier: a context class name takes priority;
+    otherwise it must be an attribute visible from exactly one context
+    class."""
+    intension = subdb.intension
+    # Class interpretation: exact slot, else unique class-name match.
+    if intension.has_slot(name):
+        index = intension.index_of(name)
+        return [(index, attr) for attr in
+                universe.visible_attributes(intension.slots[index])]
+    class_matches = intension.indices_of_class(name)
+    if len(class_matches) == 1:
+        index = class_matches[0]
+        return [(index, attr) for attr in
+                universe.visible_attributes(intension.slots[index])]
+    if len(class_matches) > 1:
+        raise OQLSemanticError(
+            f"select item {name!r} is ambiguous among slots "
+            f"{list(subdb.slot_names)}")
+    # Attribute interpretation.
+    owners = []
+    for index, ref in enumerate(intension.slots):
+        if name in universe.visible_attributes(ref):
+            owners.append(index)
+    if not owners:
+        raise OQLSemanticError(
+            f"select item {name!r} is neither a context class nor an "
+            f"attribute of one (context: {list(subdb.slot_names)})")
+    if len(owners) > 1:
+        ambiguous = [subdb.slot_names[i] for i in owners]
+        raise OQLSemanticError(
+            f"attribute {name!r} is not unique among the context classes "
+            f"{ambiguous}; qualify it (Class[{name}])")
+    return [(owners[0], name)]
+
+
+def _bind_class_item(universe: Universe, subdb: Subdatabase,
+                     ref: ClassRef,
+                     attrs: Optional[Tuple[str, ...]]
+                     ) -> List[Tuple[int, str]]:
+    intension = subdb.intension
+    if intension.has_slot(ref.slot):
+        index = intension.index_of(ref.slot)
+    else:
+        matches = [i for i, slot in enumerate(intension.slots)
+                   if slot.cls == ref.cls
+                   and (ref.subdb is None or slot.subdb == ref.subdb)]
+        if len(matches) != 1:
+            raise OQLSemanticError(
+                f"select item {ref} does not identify a unique context "
+                f"class (context: {list(subdb.slot_names)})")
+        index = matches[0]
+    slot_ref = intension.slots[index]
+    if attrs is None:
+        attrs = universe.visible_attributes(slot_ref)
+    else:
+        for attr in attrs:
+            universe.check_attribute(slot_ref, attr)
+    return [(index, attr) for attr in attrs]
+
+
+def build_table(universe: Universe, subdb: Subdatabase,
+                select: Optional[Sequence[SelectItem]] = None) -> Table:
+    """Bind the Select subclause and materialize the Display/Print table.
+
+    Without a Select subclause every context class contributes all of its
+    visible descriptive attributes (the paper's default: the descriptive
+    attributes of a class appear with it in a subdatabase).
+    """
+    bound: List[Tuple[int, str]] = []
+    if select is None:
+        for index, ref in enumerate(subdb.intension.slots):
+            for attr in universe.visible_attributes(ref):
+                bound.append((index, attr))
+    else:
+        for item in select:
+            if item.ref is None:
+                bound.extend(_bind_bare_name(universe, subdb,
+                                             item.attrs[0]))
+            else:
+                bound.extend(_bind_class_item(universe, subdb, item.ref,
+                                              item.attrs))
+
+    columns = [f"{subdb.slot_names[index]}.{attr}" for index, attr in bound]
+    slots = subdb.intension.slots
+    rows = set()
+    for pattern in subdb.patterns:
+        row = []
+        for index, attr in bound:
+            oid = pattern[index]
+            row.append(None if oid is None
+                       else universe.attr_value(slots[index], oid, attr))
+        rows.add(tuple(row))
+    return Table(columns, sorted(rows, key=_sort_key))
+
+
+OperationFn = Callable[[Universe, Subdatabase, Table], Any]
+
+
+class OperationRegistry:
+    """Named user-defined operations invocable from the operation clause."""
+
+    def __init__(self):
+        self._operations: Dict[str, OperationFn] = {}
+
+    def register(self, name: str, fn: OperationFn) -> None:
+        self._operations[name.lower()] = fn
+
+    def get(self, name: str) -> OperationFn:
+        try:
+            return self._operations[name.lower()]
+        except KeyError:
+            raise OQLSemanticError(
+                f"unknown operation {name!r} (registered: "
+                f"{sorted(self._operations)})") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._operations

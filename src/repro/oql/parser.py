@@ -1,0 +1,420 @@
+"""Recursive-descent parser for OQL queries and (via the rules package)
+deductive rule bodies.
+
+The concrete grammar, in the order the paper presents the clauses::
+
+    query        := 'context' context_expr
+                    { 'where' where_list | 'select' select_list }
+                    [ operation ]
+    context_expr := chain [ '^' ( '*' | NUMBER ) ]
+    chain        := element ( ('*' | '!') element )*
+    element      := '{' chain '}' | class_term
+    class_term   := qualname [ '[' condition ']' ]
+    qualname     := IDENT [ ':' IDENT ]
+    condition    := or_cond
+    or_cond      := and_cond ( 'or' and_cond )*
+    and_cond     := not_cond ( 'and' not_cond )*
+    not_cond     := 'not' not_cond | primary_cond
+    primary_cond := '(' condition ')' | operand cmp operand
+    operand      := NUMBER | STRING | 'null' | IDENT
+    where_list   := where_cond ( 'and' where_cond )*
+    where_cond   := agg_cond | interclass_cmp
+    agg_cond     := AGGFUNC [ '(' ] qualname [ '.' IDENT ]
+                    'by' qualname [ ')' ] cmp literal
+    interclass   := qualified cmp ( qualified | literal )
+    qualified    := qualname ( '.' IDENT | '[' IDENT ']' )
+    select_list  := select_item ( [','] select_item )*
+    select_item  := qualname ( '[' IDENT (',' IDENT)* ']' | '.' IDENT )?
+    operation    := 'display' | 'print' | IDENT '(' ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import OQLSyntaxError
+from repro.oql.ast import (
+    AggComparison,
+    AttrRef,
+    BoolOp,
+    Chain,
+    ClassTerm,
+    Comparison,
+    Condition,
+    ContextExpr,
+    Literal,
+    LoopSpec,
+    NotOp,
+    Query,
+    SelectItem,
+    WhereCond,
+)
+from repro.oql.lexer import AGG_FUNCS, Token, tokenize
+from repro.subdb.refs import ClassRef
+
+_CMP_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """A cursor over a token list with the grammar's productions."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Cursor primitives
+    # ------------------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, value: Optional[object] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[object] = None
+               ) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[object] = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, value):
+            want = f"{kind} {value!r}" if value is not None else kind
+            raise OQLSyntaxError(
+                f"expected {want}, found {token.kind} {token.value!r}",
+                line=token.line, column=token.column)
+        return self.advance()
+
+    def error(self, message: str) -> OQLSyntaxError:
+        token = self.peek()
+        return OQLSyntaxError(message, line=token.line, column=token.column)
+
+    # ------------------------------------------------------------------
+    # Names
+    # ------------------------------------------------------------------
+
+    def qualname(self) -> ClassRef:
+        first = self.expect("ident")
+        if self.accept("op", ":"):
+            second = self.expect("ident")
+            return ClassRef.parse(f"{first.value}:{second.value}")
+        return ClassRef.parse(str(first.value))
+
+    # ------------------------------------------------------------------
+    # Context clause
+    # ------------------------------------------------------------------
+
+    def context_expr(self) -> ContextExpr:
+        chain = self.chain()
+        loop: Optional[LoopSpec] = None
+        if self.accept("op", "^"):
+            if self.accept("op", "*"):
+                loop = LoopSpec(None)
+            else:
+                count = self.expect("number")
+                if not isinstance(count.value, int) or count.value < 1:
+                    raise OQLSyntaxError(
+                        "loop count must be a positive integer",
+                        line=count.line, column=count.column)
+                loop = LoopSpec(count.value)
+        return ContextExpr(chain, loop)
+
+    def chain(self, braced: bool = False) -> Chain:
+        elements: List[Union[ClassTerm, Chain]] = [self.element()]
+        ops: List[str] = []
+        while self.at("op", "*") or self.at("op", "!"):
+            ops.append(str(self.advance().value))
+            elements.append(self.element())
+        return Chain(tuple(elements), tuple(ops), braced)
+
+    def element(self) -> Union[ClassTerm, Chain]:
+        if self.accept("op", "{"):
+            inner = self.chain(braced=True)
+            self.expect("op", "}")
+            return inner
+        return self.class_term()
+
+    def class_term(self) -> ClassTerm:
+        ref = self.qualname()
+        condition: Optional[Condition] = None
+        if self.accept("op", "["):
+            condition = self.condition()
+            self.expect("op", "]")
+        return ClassTerm(ref, condition)
+
+    # ------------------------------------------------------------------
+    # Conditions (intra-class)
+    # ------------------------------------------------------------------
+
+    def condition(self) -> Condition:
+        return self._or_cond()
+
+    def _or_cond(self) -> Condition:
+        items = [self._and_cond()]
+        while self.accept("keyword", "or"):
+            items.append(self._and_cond())
+        if len(items) == 1:
+            return items[0]
+        return BoolOp("or", tuple(items))
+
+    def _and_cond(self) -> Condition:
+        items = [self._not_cond()]
+        while self.accept("keyword", "and"):
+            items.append(self._not_cond())
+        if len(items) == 1:
+            return items[0]
+        return BoolOp("and", tuple(items))
+
+    def _not_cond(self) -> Condition:
+        if self.accept("keyword", "not"):
+            return NotOp(self._not_cond())
+        if self.accept("op", "("):
+            inner = self.condition()
+            self.expect("op", ")")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Comparison:
+        left = self._operand()
+        op = self._cmp_op()
+        right = self._operand()
+        return Comparison(left, op, right)
+
+    def _cmp_op(self) -> str:
+        token = self.peek()
+        if token.kind == "op" and token.value in _CMP_OPS:
+            self.advance()
+            return str(token.value)
+        raise self.error(
+            f"expected comparison operator, found {token.value!r}")
+
+    def _operand(self):
+        if self.at("number"):
+            return Literal(self.advance().value)
+        if self.at("string"):
+            return Literal(self.advance().value)
+        if self.accept("keyword", "null"):
+            return Literal(None)
+        if self.at("ident"):
+            return AttrRef(str(self.advance().value))
+        raise self.error(f"expected attribute or literal, "
+                         f"found {self.peek().value!r}")
+
+    # ------------------------------------------------------------------
+    # Where subclause
+    # ------------------------------------------------------------------
+
+    def where_list(self) -> Tuple[WhereCond, ...]:
+        conds: List[WhereCond] = [self.where_cond()]
+        while self.accept("keyword", "and"):
+            conds.append(self.where_cond())
+        return tuple(conds)
+
+    def where_cond(self) -> WhereCond:
+        token = self.peek()
+        if token.kind == "keyword" and token.value in AGG_FUNCS:
+            # Lookahead: an aggregation condition is FUNC '(' name 'by'
+            # ... — a parenthesized boolean group also starts after a
+            # keyword only when the keyword is 'not'.
+            return self._agg_cond()
+        if self.at("op", "(") or self.at("keyword", "not"):
+            return self._where_bool()
+        return self._interclass_cmp()
+
+    def _where_bool(self) -> WhereCond:
+        """A parenthesized boolean combination of inter-class
+        comparisons: ``(A.x = 1 or B.y = 2)``.  Aggregation conditions
+        stay at the top level (they group over the whole pattern set)."""
+        items = [self._where_bool_and()]
+        while self.accept("keyword", "or"):
+            items.append(self._where_bool_and())
+        if len(items) == 1:
+            return items[0]
+        return BoolOp("or", tuple(items))
+
+    def _where_bool_and(self) -> WhereCond:
+        items = [self._where_bool_not()]
+        while self.at("keyword", "and") and not self._next_is_top_level():
+            self.advance()
+            items.append(self._where_bool_not())
+        if len(items) == 1:
+            return items[0]
+        return BoolOp("and", tuple(items))
+
+    def _next_is_top_level(self) -> bool:
+        """Inside a group, 'and' binds locally; at the top level of the
+        where list 'and' separates conditions.  Disambiguate by whether
+        an aggregation condition follows."""
+        nxt = self.peek(1)
+        return nxt.kind == "keyword" and nxt.value in AGG_FUNCS
+
+    def _where_bool_not(self) -> WhereCond:
+        if self.accept("keyword", "not"):
+            return NotOp(self._where_bool_not())
+        if self.accept("op", "("):
+            inner = self._where_bool()
+            self.expect("op", ")")
+            return inner
+        return self._interclass_cmp()
+
+    def _agg_cond(self) -> AggComparison:
+        func = str(self.advance().value)
+        parenthesized = bool(self.accept("op", "("))
+        target = self.qualname()
+        attr: Optional[str] = None
+        if self.accept("op", "."):
+            attr = str(self.expect("ident").value)
+        self.expect("keyword", "by")
+        by = self.qualname()
+        if parenthesized:
+            self.expect("op", ")")
+        op = self._cmp_op()
+        value = self._literal()
+        return AggComparison(func, target, attr, by, op, value)
+
+    def _literal(self) -> Literal:
+        if self.at("number") or self.at("string"):
+            return Literal(self.advance().value)
+        if self.accept("keyword", "null"):
+            return Literal(None)
+        raise self.error(f"expected literal, found {self.peek().value!r}")
+
+    def _interclass_cmp(self) -> Comparison:
+        left = self._qualified_attr()
+        op = self._cmp_op()
+        if self.at("ident"):
+            right = self._qualified_attr()
+        else:
+            right = self._literal()
+        return Comparison(left, op, right)
+
+    def _qualified_attr(self) -> AttrRef:
+        ref = self.qualname()
+        if self.accept("op", "."):
+            attr = str(self.expect("ident").value)
+        elif self.accept("op", "["):
+            attr = str(self.expect("ident").value)
+            self.expect("op", "]")
+        else:
+            raise self.error(
+                "where-subclause attributes must be qualified: "
+                "Class.attr or Class[attr]")
+        return AttrRef(attr, ref)
+
+    # ------------------------------------------------------------------
+    # Select subclause
+    # ------------------------------------------------------------------
+
+    _SELECT_STOP = {"display", "print", "where", "select"}
+
+    def select_list(self) -> Tuple[SelectItem, ...]:
+        items: List[SelectItem] = []
+        while True:
+            token = self.peek()
+            if token.kind == "eof":
+                break
+            if token.kind == "keyword" and token.value in self._SELECT_STOP:
+                break
+            if token.kind != "ident":
+                break
+            if self.peek(1).kind == "op" and self.peek(1).value == "(":
+                break  # a user-operation invocation, not a select item
+            items.append(self._select_item())
+            self.accept("op", ",")
+        if not items:
+            raise self.error("empty select subclause")
+        return tuple(items)
+
+    def _select_item(self) -> SelectItem:
+        first = self.expect("ident")
+        qualified = False
+        if self.accept("op", ":"):
+            second = self.expect("ident")
+            ref = ClassRef.parse(f"{first.value}:{second.value}")
+            qualified = True
+        else:
+            ref = ClassRef.parse(str(first.value))
+        if self.accept("op", "["):
+            attrs = [str(self.expect("ident").value)]
+            while self.accept("op", ","):
+                attrs.append(str(self.expect("ident").value))
+            self.expect("op", "]")
+            return SelectItem(ref, tuple(attrs))
+        if self.accept("op", "."):
+            attr = str(self.expect("ident").value)
+            return SelectItem(ref, (attr,))
+        if qualified:
+            return SelectItem(ref, None)
+        # A bare identifier: class or unique attribute — the binder decides
+        # (paper, Section 4.3: qualification is only needed when the
+        # attribute is not unique among the context classes).
+        return SelectItem(None, (str(first.value),))
+
+    # ------------------------------------------------------------------
+    # Operation clause & query block
+    # ------------------------------------------------------------------
+
+    def operation(self) -> Optional[str]:
+        if self.at("keyword", "display") or self.at("keyword", "print"):
+            return str(self.advance().value)
+        # A user/built-in operation: NAME '(' ')'.  Aggregation-function
+        # names are keywords lexically, but `count()` as an operation is
+        # unambiguous (an aggregation condition only occurs after
+        # 'where').
+        if self.peek().kind in ("ident", "keyword") and \
+                self.peek(1).kind == "op" and self.peek(1).value == "(":
+            name = str(self.advance().value)
+            self.expect("op", "(")
+            self.expect("op", ")")
+            return name
+        return None
+
+    def query(self) -> Query:
+        self.expect("keyword", "context")
+        context = self.context_expr()
+        where: Tuple[WhereCond, ...] = ()
+        select: Optional[Tuple[SelectItem, ...]] = None
+        # The paper writes where before select, but both orders occur in
+        # derived literature; accept either, at most once each.
+        while True:
+            if where == () and self.accept("keyword", "where"):
+                where = self.where_list()
+                continue
+            if select is None and self.accept("keyword", "select"):
+                select = self.select_list()
+                continue
+            break
+        operation = self.operation()
+        token = self.peek()
+        if token.kind != "eof":
+            raise OQLSyntaxError(
+                f"unexpected trailing input: {token.value!r}",
+                line=token.line, column=token.column)
+        return Query(context, where, select, operation)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a full OQL query block."""
+    return Parser(tokenize(text)).query()
+
+
+def parse_expression(text: str) -> ContextExpr:
+    """Parse a bare association pattern expression."""
+    parser = Parser(tokenize(text))
+    expr = parser.context_expr()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise OQLSyntaxError(
+            f"unexpected trailing input: {token.value!r}",
+            line=token.line, column=token.column)
+    return expr

@@ -1,0 +1,60 @@
+"""The deductive rule-based language (the paper's primary contribution).
+
+A rule has an If-Then structure (Section 4.2)::
+
+    if context <association pattern expression>
+       [where <conditions>]
+    then <subdatabase-id> (Class1 [attr, ...], Class2, ...)
+
+The If clause identifies the extensional patterns satisfying the
+association pattern expression and the Where subclause; the Then clause
+derives new patterns of object associations among the listed target
+classes into the named subdatabase.  Each target class is linked to its
+source class by an *induced generalization association*, and target
+classes that were only indirectly connected get a *new direct derived
+association* (Figure 4.3).  Because the derived subdatabase is expressed
+in the same OO constructs as the base data, it can be read by further
+rules — the closure property.
+
+:class:`RuleEngine` manages a rule base, its dependency graph, backward
+and forward chaining, and the result-oriented control strategy of
+Section 6.
+"""
+
+from repro.rules.rule import DeductiveRule, TargetSpec, parse_rule
+from repro.rules.derivation import apply_rule, derive_target
+from repro.rules.chaining import topological_order
+from repro.rules.control import (
+    EvaluationMode,
+    IncrementalResultController,
+    ResultOrientedController,
+    RuleChainingMode,
+    RuleOrientedController,
+)
+from repro.rules.engine import EngineStats, RuleEngine
+from repro.rules.explain import Explanation, explain
+from repro.rules.incremental import IncrementalRule, NotIncremental
+from repro.rules.provenance import Support, Why, explain_pattern
+
+__all__ = [
+    "DeductiveRule",
+    "TargetSpec",
+    "parse_rule",
+    "apply_rule",
+    "derive_target",
+    "topological_order",
+    "EvaluationMode",
+    "RuleChainingMode",
+    "ResultOrientedController",
+    "RuleOrientedController",
+    "RuleEngine",
+    "EngineStats",
+    "Explanation",
+    "explain",
+    "IncrementalRule",
+    "NotIncremental",
+    "IncrementalResultController",
+    "Why",
+    "Support",
+    "explain_pattern",
+]

@@ -1,0 +1,86 @@
+"""Rule dependency graphs and chaining order.
+
+The two control strategies of Section 6 both need the same structural
+facts about the rule base:
+
+* the **dependency graph** — which derived subdatabases each target reads
+  (rule R4 reading ``Suggest_offer`` makes May_teach depend on
+  Suggest_offer);
+* a **topological order** of that graph, for forward passes (sources
+  before dependents);
+* the **downstream closure** of a set of targets, for invalidation.
+
+The language expresses transitive closure by looping *inside* one rule
+(Section 5), not by recursion between rules, so a cyclic dependency graph
+is rejected with :class:`~repro.errors.CyclicRuleError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.errors import CyclicRuleError
+
+
+def topological_order(graph: Dict[str, Set[str]]) -> List[str]:
+    """Order targets so every target follows all of its sources.
+
+    ``graph`` maps each target name to the set of target names it reads
+    (source names that are not targets themselves — i.e. base classes —
+    must not appear).  Ties break alphabetically so the order is
+    deterministic.
+    """
+    pending = {name: {s for s in sources if s in graph}
+               for name, sources in graph.items()}
+    order: List[str] = []
+    satisfied: Set[str] = set()
+    while pending:
+        ready = sorted(name for name, sources in pending.items()
+                       if sources <= satisfied)
+        if not ready:
+            cycle = sorted(pending)
+            raise CyclicRuleError(
+                f"the rule dependency graph contains a cycle among "
+                f"{cycle}; the language expresses transitive closure by "
+                f"looping within a rule, not by recursion between rules")
+        for name in ready:
+            order.append(name)
+            satisfied.add(name)
+            del pending[name]
+    return order
+
+
+def downstream_closure(graph: Dict[str, Set[str]],
+                       seeds: Iterable[str]) -> Set[str]:
+    """Every target that (transitively) reads one of ``seeds`` —
+    including the seeds themselves when they are targets."""
+    dependents: Dict[str, Set[str]] = {name: set() for name in graph}
+    for name, sources in graph.items():
+        for source in sources:
+            if source in dependents:
+                dependents[source].add(name)
+    out: Set[str] = set()
+    frontier = [s for s in seeds if s in graph]
+    while frontier:
+        name = frontier.pop()
+        if name in out:
+            continue
+        out.add(name)
+        frontier.extend(dependents.get(name, ()))
+    return out
+
+
+def upstream_closure(graph: Dict[str, Set[str]],
+                     seeds: Iterable[str]) -> Set[str]:
+    """Every target one of ``seeds`` (transitively) reads — including the
+    seeds themselves when they are targets.  This is the set backward
+    chaining must derive before a query on the seeds can run."""
+    out: Set[str] = set()
+    frontier = [s for s in seeds if s in graph]
+    while frontier:
+        name = frontier.pop()
+        if name in out:
+            continue
+        out.add(name)
+        frontier.extend(s for s in graph.get(name, ()) if s in graph)
+    return out

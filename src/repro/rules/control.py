@@ -1,0 +1,290 @@
+"""Control strategies (paper, Section 6).
+
+**Result-oriented control** (the paper's proposal): pre-/post-evaluation
+is a property of each *derived subdatabase*.  A PRE_EVALUATED result is
+kept up to date by running the relevant rules forward whenever the data
+they read is updated (an up-to-date copy is always stored); a
+POST_EVALUATED result is computed when a retrieval needs it.  The *same
+rule* may thus run forward while maintaining one result and backward while
+deriving another — which removes POSTGRES's restriction that a forward
+chaining rule cannot read data written by backward chaining rules.
+
+**Rule-oriented control** (the POSTGRES baseline, STO87): each *rule* is
+forward or backward.  A forward rule runs when the data it reads is
+updated and its output is stored; a backward rule runs when its output is
+requested and the output is not preserved afterwards.  The paper's
+Ra→Rb→Rc→Rd scenario shows the flaw this implementation reproduces
+faithfully: with Ra, Rb backward and Rc, Rd forward, a base update leaves
+REd *stale but still stored* until somebody happens to query REb —
+:meth:`RuleOrientedController.is_stale` lets tests and benchmarks observe
+the inconsistency window.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+
+from repro.errors import UnknownSubdatabaseError
+from repro.model.database import UpdateEvent
+from repro.rules.chaining import topological_order
+from repro.rules.rule import DeductiveRule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rules.engine import RuleEngine
+
+
+class EvaluationMode(enum.Enum):
+    """Result-oriented modes, attached to derived subdatabases."""
+
+    PRE_EVALUATED = "pre"
+    POST_EVALUATED = "post"
+
+
+class RuleChainingMode(enum.Enum):
+    """Rule-oriented modes, attached to rules (the POSTGRES baseline)."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class ResultOrientedController:
+    """The paper's result-oriented control strategy."""
+
+    def __init__(self, engine: "RuleEngine",
+                 default_mode: EvaluationMode =
+                 EvaluationMode.POST_EVALUATED):
+        self.engine = engine
+        self.default_mode = default_mode
+        self._modes: Dict[str, EvaluationMode] = {}
+        self._stale: Set[str] = set()
+
+    # -- configuration --------------------------------------------------
+
+    def on_rule_added(self, rule: DeductiveRule,
+                      mode: Optional[EvaluationMode]) -> None:
+        if mode is not None:
+            self._modes[rule.target] = mode
+        else:
+            self._modes.setdefault(rule.target, self.default_mode)
+
+    def set_mode(self, name: str, mode: EvaluationMode) -> None:
+        self._modes[name] = mode
+
+    def mode_of(self, name: str) -> EvaluationMode:
+        return self._modes.get(name, self.default_mode)
+
+    # -- event handling --------------------------------------------------
+
+    def on_update(self, event: UpdateEvent) -> None:
+        """Invalidate every affected result, then run a forward pass that
+        re-materializes the PRE_EVALUATED ones (sources first)."""
+        engine = self.engine
+        affected = engine.affected_by_event(event)
+        if not affected:
+            return
+        for name in affected:
+            engine.universe.unregister(name)
+            self._stale.add(name)
+            engine.stats.stale_markings += 1
+        for name in engine.topological_targets():
+            if name in affected and \
+                    self.mode_of(name) is EvaluationMode.PRE_EVALUATED:
+                engine.derive(name, force=True)
+
+    def on_derived(self, name: str) -> None:
+        self._stale.discard(name)
+
+    def after_query(self, derived: Sequence[str]) -> None:
+        """Result-oriented post-evaluation keeps the computed result as a
+        valid memo (it is invalidated by the next relevant update), so
+        nothing needs to happen here."""
+
+    def is_stale(self, name: str) -> bool:
+        """True when the stored/known value of ``name`` no longer matches
+        the base data and has not been recomputed yet.  Under this
+        strategy a stale result is never *served*: it was unregistered,
+        so the next query recomputes it."""
+        return name in self._stale
+
+
+class IncrementalResultController(ResultOrientedController):
+    """Result-oriented control with delta maintenance of pre-evaluated
+    results.
+
+    For an affected PRE_EVALUATED target whose rules are all within the
+    incrementally-maintainable fragment (see
+    :mod:`repro.rules.incremental`), the update is applied to the
+    maintained match sets instead of re-running the rules from scratch —
+    the forward pass costs time proportional to the *change*.  Targets
+    outside the fragment (loops, braces, aggregations, derived sources)
+    transparently fall back to full re-derivation.
+    """
+
+    def __init__(self, engine: "RuleEngine",
+                 default_mode: EvaluationMode =
+                 EvaluationMode.PRE_EVALUATED):
+        super().__init__(engine, default_mode)
+        # target -> list of IncrementalRule (or None if ineligible)
+        self._maintainers: Dict[str, Optional[list]] = {}
+
+    def _maintainers_for(self, name: str):
+        from repro.rules.incremental import IncrementalRule, NotIncremental
+        if name not in self._maintainers:
+            try:
+                self._maintainers[name] = [
+                    IncrementalRule(rule, self.engine.universe)
+                    for rule in self.engine.rules_for(name)]
+            except NotIncremental:
+                self._maintainers[name] = None
+        return self._maintainers[name]
+
+    def on_rule_added(self, rule: DeductiveRule,
+                      mode: Optional[EvaluationMode]) -> None:
+        super().on_rule_added(rule, mode)
+        # The rule set changed; maintainers must be rebuilt.
+        self._maintainers.pop(rule.target, None)
+
+    def on_update(self, event: UpdateEvent) -> None:
+        from repro.model.database import UpdateKind
+        engine = self.engine
+        if event.kind is UpdateKind.SCHEMA:
+            # Rule meanings may have changed: rebuild maintainers and
+            # fall back to the plain result-oriented pass.
+            self._maintainers.clear()
+            super().on_update(event)
+            return
+        affected = engine.affected_by_event(event)
+        if not affected:
+            return
+        for name in engine.topological_targets():
+            if name not in affected:
+                continue
+            if self.mode_of(name) is not EvaluationMode.PRE_EVALUATED:
+                engine.universe.unregister(name)
+                self._stale.add(name)
+                engine.stats.stale_markings += 1
+                continue
+            maintainers = self._maintainers_for(name)
+            if maintainers is None or any(
+                    rule.source_subdatabases()
+                    for rule in engine.rules_for(name)):
+                # Ineligible, or reads derived data whose value may have
+                # just changed: full re-derivation.
+                engine.derive(name, force=True)
+                continue
+            merged = None
+            for maintainer in maintainers:
+                maintainer.on_event(event)
+                contribution = maintainer.target_contribution()
+                merged = contribution if merged is None else \
+                    merged.merge(contribution)
+            engine.universe.register(merged)
+            engine.stats.incremental_refreshes += 1
+            self._stale.discard(name)
+
+
+class RuleOrientedController:
+    """The POSTGRES-style rule-oriented baseline."""
+
+    def __init__(self, engine: "RuleEngine",
+                 default_mode: RuleChainingMode = RuleChainingMode.FORWARD):
+        self.engine = engine
+        self.default_mode = default_mode
+        self._rule_modes: Dict[DeductiveRule, RuleChainingMode] = {}
+        self._stale: Set[str] = set()
+
+    # -- configuration --------------------------------------------------
+
+    def on_rule_added(self, rule: DeductiveRule,
+                      mode: Optional[RuleChainingMode]) -> None:
+        self._rule_modes[rule] = mode or self.default_mode
+
+    def set_mode(self, name: str, mode: RuleChainingMode) -> None:
+        """Assign a chaining mode to every rule deriving ``name`` (the
+        rule-oriented strategy restricts a rule to one mode at all
+        times)."""
+        for rule in self.engine.rules_for(name):
+            self._rule_modes[rule] = mode
+
+    def mode_of(self, name: str) -> RuleChainingMode:
+        """A target is forward-maintained only if *all* its rules are
+        forward; a backward rule's output is not preserved."""
+        rules = self.engine.rules_for(name)
+        if rules and all(self._rule_modes.get(r, self.default_mode)
+                         is RuleChainingMode.FORWARD for r in rules):
+            return RuleChainingMode.FORWARD
+        return RuleChainingMode.BACKWARD
+
+    # -- event handling --------------------------------------------------
+
+    def on_update(self, event: UpdateEvent) -> None:
+        """Trigger forward rules whose *read data* changed.
+
+        A forward target recomputes when the update touches the base
+        classes its rules read, or when one of its stored sources was
+        just recomputed.  A forward target whose trigger data lives in a
+        backward (unstored) result is **not** triggered — its stored copy
+        silently goes stale: the paper's criticism of POSTGRES.
+        """
+        engine = self.engine
+        classes = set(event.classes)
+        affected = engine.affected_by_event(event)
+        if not affected:
+            return
+        graph = engine.rule_graph()
+        engine._derived_log = []
+        recomputed: Set[str] = set()
+        for name in engine.topological_targets():
+            if name not in affected:
+                continue
+            direct_hit = any(rule.base_classes() & classes
+                             for rule in engine.rules_for(name))
+            source_hit = any(source in recomputed
+                             for source in graph.get(name, ()))
+            if self.mode_of(name) is RuleChainingMode.FORWARD and \
+                    (direct_hit or source_hit):
+                engine.derive(name, force=True)
+                recomputed.add(name)
+            else:
+                self._stale.add(name)
+                engine.stats.stale_markings += 1
+                if self.mode_of(name) is RuleChainingMode.BACKWARD:
+                    # Backward results are not preserved anyway.
+                    engine.universe.unregister(name)
+                # Forward results KEEP their stored — now inconsistent —
+                # copy: that is the observable flaw.
+        # Backward results freshly derived as intermediates of the
+        # forward pass are not preserved (POSTGRES: a backward rule's
+        # output lives only for the duration of a query session).
+        for name in engine._derived_log:
+            if name in graph and \
+                    self.mode_of(name) is RuleChainingMode.BACKWARD:
+                engine.universe.unregister(name)
+
+    def on_derived(self, name: str) -> None:
+        self._stale.discard(name)
+
+    def after_query(self, derived: Sequence[str]) -> None:
+        """Once a query has forced backward rules to produce fresh
+        values, forward rules that read those values finally trigger;
+        afterwards the backward results are dropped (not preserved after
+        the query session)."""
+        engine = self.engine
+        graph = engine.rule_graph()
+        recomputed: Set[str] = set(derived)
+        for name in engine.topological_targets():
+            if self.mode_of(name) is not RuleChainingMode.FORWARD:
+                continue
+            source_hit = any(source in recomputed
+                             for source in graph.get(name, ()))
+            if source_hit and name in self._stale:
+                engine.derive(name, force=True)
+                recomputed.add(name)
+        for name in derived:
+            if name in engine.rule_graph() and \
+                    self.mode_of(name) is RuleChainingMode.BACKWARD:
+                engine.universe.unregister(name)
+
+    def is_stale(self, name: str) -> bool:
+        return name in self._stale

@@ -1,0 +1,283 @@
+"""The rule engine: rule base, dependency graph, chaining, statistics.
+
+:class:`RuleEngine` is the top-level object of the deductive system.  It
+owns the :class:`~repro.subdb.universe.Universe` (installing itself as the
+universe's subdatabase *provider*, which is how a query that references a
+derived class triggers backward chaining exactly as Section 4.3
+describes: Query 4.1 triggers R4 and R5, which trigger R2), listens to
+base-database updates, and delegates maintenance decisions to a control
+strategy (Section 6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Union
+
+from repro.errors import CyclicRuleError, UnknownSubdatabaseError
+from repro.model.database import Database, UpdateEvent
+from repro.oql.evaluator import PatternEvaluator
+from repro.oql.operations import OperationRegistry
+from repro.oql.query import QueryProcessor, QueryResult
+from repro.rules.chaining import downstream_closure, topological_order
+from repro.rules.control import (
+    EvaluationMode,
+    IncrementalResultController,
+    ResultOrientedController,
+    RuleChainingMode,
+    RuleOrientedController,
+)
+from repro.rules.derivation import derive_target
+from repro.rules.rule import DeductiveRule, parse_rule
+from repro.subdb.subdatabase import Subdatabase
+from repro.subdb.universe import Universe
+
+
+@dataclass
+class EngineStats:
+    """Counters the benchmarks and the control-strategy tests observe."""
+
+    derivations: Counter = field(default_factory=Counter)
+    rule_applications: Counter = field(default_factory=Counter)
+    queries: int = 0
+    update_events: int = 0
+    stale_markings: int = 0
+    incremental_refreshes: int = 0
+
+    def total_derivations(self) -> int:
+        return sum(self.derivations.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "derivations": self.total_derivations(),
+            "queries": self.queries,
+            "update_events": self.update_events,
+            "stale_markings": self.stale_markings,
+            "incremental_refreshes": self.incremental_refreshes,
+        }
+
+
+class RuleEngine:
+    """A deductive object-oriented database session."""
+
+    def __init__(self, db: Database, controller: str = "result",
+                 on_cycle: str = "error",
+                 operations: Optional[OperationRegistry] = None):
+        self.db = db
+        self.universe = Universe(db)
+        self.universe.provider = self._provide
+        self.evaluator = PatternEvaluator(self.universe, on_cycle=on_cycle)
+        self.processor = QueryProcessor(self.universe, on_cycle=on_cycle,
+                                        operations=operations)
+        self.rules: List[DeductiveRule] = []
+        self._by_target: Dict[str, List[DeductiveRule]] = {}
+        self.stats = EngineStats()
+        if controller == "result":
+            self.controller = ResultOrientedController(self)
+        elif controller == "rule":
+            self.controller = RuleOrientedController(self)
+        elif controller == "incremental":
+            self.controller = IncrementalResultController(self)
+        else:
+            raise ValueError(
+                "controller must be 'result', 'rule' or 'incremental'")
+        self._deriving: Set[str] = set()
+        self._derived_log: List[str] = []
+        db.add_listener(self._on_update)
+
+    # ------------------------------------------------------------------
+    # Rule base
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: Union[str, DeductiveRule],
+                 label: Optional[str] = None,
+                 mode: Optional[Union[EvaluationMode,
+                                      RuleChainingMode]] = None
+                 ) -> DeductiveRule:
+        """Register a deductive rule (text or pre-parsed).
+
+        ``mode`` is interpreted by the active control strategy: an
+        :class:`EvaluationMode` for the result-oriented controller (it
+        applies to the rule's *target subdatabase*), a
+        :class:`RuleChainingMode` for the rule-oriented baseline (it
+        applies to the *rule*).  Adding a rule that would make the
+        dependency graph cyclic is rejected.
+        """
+        if isinstance(rule, str):
+            rule = parse_rule(rule, label)
+        else:
+            rule.validate()
+        self.rules.append(rule)
+        self._by_target.setdefault(rule.target, []).append(rule)
+        try:
+            topological_order(self.rule_graph())
+        except CyclicRuleError:
+            self.rules.remove(rule)
+            self._by_target[rule.target].remove(rule)
+            if not self._by_target[rule.target]:
+                del self._by_target[rule.target]
+            raise
+        self.controller.on_rule_added(rule, mode)
+        # A previously materialized value of this target no longer
+        # reflects the full rule set.
+        self.universe.unregister(rule.target)
+        return rule
+
+    def remove_rule(self, rule: Union[str, DeductiveRule]
+                    ) -> DeductiveRule:
+        """Unregister a rule, by object or by label.
+
+        The target subdatabase and everything downstream of it are
+        invalidated; remaining rules for the same target still derive
+        it, and a target whose last rule is removed becomes unknown
+        again.
+        """
+        from repro.errors import RuleSemanticError
+        from repro.rules.chaining import downstream_closure
+        if isinstance(rule, str):
+            matches = [r for r in self.rules if r.label == rule]
+            if len(matches) != 1:
+                raise RuleSemanticError(
+                    f"{len(matches)} rules carry label {rule!r}")
+            rule = matches[0]
+        if rule not in self.rules:
+            raise RuleSemanticError(
+                f"rule {rule.label or rule.target!r} is not registered")
+        # Compute the downstream closure before mutating the rule base:
+        # once the target's last rule is gone it drops out of the graph.
+        affected = downstream_closure(self.rule_graph(),
+                                      [rule.target]) | {rule.target}
+        self.rules.remove(rule)
+        self._by_target[rule.target].remove(rule)
+        if not self._by_target[rule.target]:
+            del self._by_target[rule.target]
+        for name in affected:
+            self.universe.unregister(name)
+        return rule
+
+    def rules_for(self, name: str) -> List[DeductiveRule]:
+        return list(self._by_target.get(name, ()))
+
+    @property
+    def target_names(self) -> List[str]:
+        return sorted(self._by_target)
+
+    def rule_graph(self) -> Dict[str, Set[str]]:
+        """target name -> the derived subdatabases its rules read."""
+        return {name: set().union(*(rule.source_subdatabases()
+                                    for rule in rules))
+                for name, rules in self._by_target.items()}
+
+    def topological_targets(self) -> List[str]:
+        """Every target, sources before dependents."""
+        return topological_order(self.rule_graph())
+
+    def affected_by_event(self, event: UpdateEvent) -> Set[str]:
+        """Targets an update event may change.  Schema-evolution events
+        conservatively affect every target (rule meanings can shift);
+        data events affect the readers of the touched classes and their
+        downstream closure."""
+        from repro.model.database import UpdateKind
+        if event.kind is UpdateKind.SCHEMA:
+            return set(self._by_target)
+        return self.affected_targets(set(event.classes))
+
+    def affected_targets(self, classes: Set[str]) -> Set[str]:
+        """Targets whose value may change when the given base classes'
+        extensions change — the direct readers plus everything
+        downstream of them."""
+        direct = {name for name, rules in self._by_target.items()
+                  if any(rule.base_classes() & classes for rule in rules)}
+        return downstream_closure(self.rule_graph(), direct)
+
+    def set_mode(self, name: str,
+                 mode: Union[EvaluationMode, RuleChainingMode]) -> None:
+        """Change the evaluation/chaining mode for a target (see the
+        active controller's documentation)."""
+        self.controller.set_mode(name, mode)
+
+    # ------------------------------------------------------------------
+    # Derivation (backward chaining happens through the provider)
+    # ------------------------------------------------------------------
+
+    def _provide(self, name: str) -> Optional[Subdatabase]:
+        if name in self._by_target:
+            return self.derive(name)
+        return None
+
+    def derive(self, name: str, force: bool = False) -> Subdatabase:
+        """Materialize one derived subdatabase.
+
+        Evaluating the rules' context expressions resolves any source
+        subdatabases through the universe, which recursively derives them
+        — the backward-chaining cascade of Section 4.3.
+        """
+        if not force and self.universe.has_subdb(name):
+            return self.universe.get_subdb(name)
+        if name not in self._by_target:
+            raise UnknownSubdatabaseError(
+                f"no rule derives subdatabase {name!r}")
+        if name in self._deriving:
+            raise CyclicRuleError(
+                f"cyclic derivation detected while deriving {name!r}")
+        self._deriving.add(name)
+        try:
+            if force:
+                # Source values may themselves be stale re-registrations;
+                # a forced derivation re-reads whatever is materialized.
+                self.universe.unregister(name)
+            for rule in self._by_target[name]:
+                self.stats.rule_applications[
+                    rule.label or rule.target] += 1
+            result = derive_target(self._by_target[name], self.evaluator)
+            self.universe.register(result)
+            self.stats.derivations[name] += 1
+            self.controller.on_derived(name)
+            self._derived_log.append(name)
+        finally:
+            self._deriving.discard(name)
+        return result
+
+    def refresh(self) -> None:
+        """Materialize every target, sources first (useful to warm
+        pre-evaluated results after bulk-loading data)."""
+        for name in self.topological_targets():
+            self.derive(name, force=True)
+
+    # ------------------------------------------------------------------
+    # Queries and updates
+    # ------------------------------------------------------------------
+
+    def query(self, text: str, name: Optional[str] = None) -> QueryResult:
+        """Run an OQL query.  Derived classes it references are derived
+        on demand (backward chaining); afterwards the controller applies
+        its post-query policy (the rule-oriented baseline cascades
+        forward rules and drops unpreserved backward results)."""
+        self.stats.queries += 1
+        self._derived_log = []
+        result = self.processor.execute(text, name=name)
+        self.controller.after_query(list(self._derived_log))
+        return result
+
+    def is_stale(self, name: str) -> bool:
+        """Whether the controller currently considers ``name`` stale."""
+        return self.controller.is_stale(name)
+
+    def explain(self, query_text: str):
+        """The backward-chaining plan for a query (which rules would
+        trigger, in what order, what is already warm) — see
+        :mod:`repro.rules.explain`."""
+        from repro.rules.explain import explain
+        return explain(self, query_text)
+
+    def why(self, target: str, pattern, depth: int = 2):
+        """Justify one pattern of a derived subdatabase: the rule(s)
+        and source rows it came from, recursively — see
+        :mod:`repro.rules.provenance`."""
+        from repro.rules.provenance import explain_pattern
+        return explain_pattern(self, target, pattern, depth=depth)
+
+    def _on_update(self, event: UpdateEvent) -> None:
+        self.stats.update_events += 1
+        self.controller.on_update(event)

@@ -1,0 +1,158 @@
+"""Explain: the backward-chaining plan of a query or target.
+
+``engine.explain("context Faculty * Advising * May_teach:TA ...")``
+answers: which derived subdatabases does this query reference, which
+rules derive them, what do those rules read (recursively down to base
+classes), is each result currently materialized and under which
+evaluation mode, and in what order would derivation run?
+
+The paper walks exactly this trace for Query 4.1 (Section 4.3): "rules
+R4 and R5 will be triggered ... this causes rule R2 that derives
+Suggest_offer to be triggered ... R2 does not refer to any other derived
+subdatabase, hence its expressions are evaluated against the base
+classes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.oql.ast import Chain, Query
+from repro.oql.parser import parse_query
+from repro.rules.chaining import topological_order, upstream_closure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rules.engine import RuleEngine
+
+
+@dataclass
+class RuleStep:
+    """One rule contributing to a target."""
+
+    label: str
+    reads_targets: List[str]
+    reads_base: List[str]
+
+    def render(self) -> str:
+        reads = self.reads_targets + [f"{c} (base)"
+                                      for c in self.reads_base]
+        return f"rule {self.label}: reads {', '.join(reads) or '(nothing)'}"
+
+
+@dataclass
+class TargetNode:
+    """One derived subdatabase in the plan tree."""
+
+    name: str
+    materialized: bool
+    mode: str
+    rules: List[RuleStep] = field(default_factory=list)
+    sources: List["TargetNode"] = field(default_factory=list)
+
+
+@dataclass
+class Explanation:
+    """The full backward-chaining plan for one query."""
+
+    query_text: str
+    #: Derived subdatabases the query references directly.
+    referenced: List[str]
+    #: Base classes the query references directly.
+    base_classes: List[str]
+    #: Plan trees rooted at the referenced targets.
+    roots: List[TargetNode]
+    #: The order derivation would run (sources before dependents),
+    #: skipping already-materialized results.
+    derivation_order: List[str]
+
+    def render(self) -> str:
+        lines = [f"query: {self.query_text}"]
+        if self.base_classes:
+            lines.append(
+                f"base classes: {', '.join(self.base_classes)}")
+        if not self.roots:
+            lines.append("no derived subdatabases referenced — "
+                         "evaluates directly against the base database")
+            return "\n".join(lines)
+        lines.append("derived subdatabases:")
+
+        def walk(node: TargetNode, depth: int) -> None:
+            pad = "  " * depth
+            status = "warm (materialized)" if node.materialized \
+                else "cold (will derive)"
+            lines.append(f"{pad}- {node.name} [{node.mode}] {status}")
+            for step in node.rules:
+                lines.append(f"{pad}    {step.render()}")
+            for source in node.sources:
+                walk(source, depth + 1)
+
+        for root in self.roots:
+            walk(root, 1)
+        if self.derivation_order:
+            lines.append("derivation order: "
+                         + " -> ".join(self.derivation_order))
+        else:
+            lines.append("derivation order: (everything warm)")
+        return "\n".join(lines)
+
+
+def _query_refs(query: Query):
+    refs = []
+
+    def walk(chain: Chain) -> None:
+        for element in chain.elements:
+            if isinstance(element, Chain):
+                walk(element)
+            else:
+                refs.append(element.ref)
+
+    walk(query.context.chain)
+    return refs
+
+
+def _mode_name(engine: "RuleEngine", name: str) -> str:
+    mode = engine.controller.mode_of(name)
+    return getattr(mode, "value", str(mode))
+
+
+def explain(engine: "RuleEngine", query_text: str) -> Explanation:
+    """Build the backward-chaining plan for ``query_text``."""
+    query = parse_query(query_text)
+    refs = _query_refs(query)
+    referenced = sorted({ref.subdb for ref in refs
+                         if ref.subdb is not None
+                         and ref.subdb in engine.rule_graph()})
+    base_classes = sorted({ref.cls for ref in refs if ref.subdb is None})
+
+    memo: Dict[str, TargetNode] = {}
+
+    def build(name: str) -> TargetNode:
+        if name in memo:
+            return memo[name]
+        node = TargetNode(
+            name=name,
+            materialized=engine.universe.has_subdb(name),
+            mode=_mode_name(engine, name))
+        memo[name] = node
+        source_names: Set[str] = set()
+        for rule in engine.rules_for(name):
+            reads = sorted(rule.source_subdatabases())
+            node.rules.append(RuleStep(
+                label=rule.label or name,
+                reads_targets=reads,
+                reads_base=sorted(rule.base_classes())))
+            source_names.update(s for s in reads
+                                if s in engine.rule_graph())
+        node.sources = [build(s) for s in sorted(source_names)]
+        return node
+
+    roots = [build(name) for name in referenced]
+
+    graph = engine.rule_graph()
+    needed = upstream_closure(graph, referenced)
+    order = [name for name in topological_order(graph)
+             if name in needed and not engine.universe.has_subdb(name)]
+    return Explanation(query_text=query_text, referenced=referenced,
+                       base_classes=base_classes, roots=roots,
+                       derivation_order=order)

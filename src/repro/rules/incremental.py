@@ -1,0 +1,276 @@
+"""Incremental maintenance of derived subdatabases.
+
+The paper's forward chaining re-runs the relevant rules whenever their
+read data changes (Section 6).  For a large class of rules a full
+re-derivation is unnecessary: this module maintains the rule's *context
+match set* under single-object / single-link deltas, so a pre-evaluated
+result is refreshed in time proportional to the change, not to the
+database:
+
+* ASSOCIATE adds matches seeded at the new link (pin the two objects at
+  the edge's slots, expand outward through the chain);
+* DISSOCIATE removes the matches that used the link;
+* DELETE removes the matches containing the object;
+* INSERT adds single-class matches (longer chains need links first);
+* SET_ATTRIBUTE re-validates matches containing the object and seeds new
+  ones (the object may newly satisfy an intra-class condition);
+* the non-association operator ``!`` swaps the ASSOCIATE/DISSOCIATE
+  roles (a new link *removes* complement matches and vice versa);
+* a BATCH replays its recorded sub-events in order.
+
+**Eligibility.**  A rule is incrementally maintainable when its context
+is a plain linear chain (no braces, no loop), every class reference is a
+*base* class, and the Where subclause has no aggregation conditions
+(group membership is non-local).  :class:`IncrementalRule` raises
+:class:`NotIncremental` otherwise and the caller falls back to full
+re-derivation — see
+:class:`~repro.rules.control.IncrementalResultController`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.model.database import UpdateEvent, UpdateKind
+from repro.model.oid import OID
+from repro.oql import conditions
+from repro.oql.ast import AggComparison, AttrRef, ClassTerm
+from repro.oql.evaluator import PatternEvaluator, _flatten
+from repro.rules.derivation import project_to_target
+from repro.rules.rule import DeductiveRule
+from repro.subdb.intension import IntensionalPattern
+from repro.subdb.pattern import ExtensionalPattern
+from repro.subdb.subdatabase import Subdatabase
+from repro.subdb.universe import EdgeResolution, Universe
+
+
+class NotIncremental(ReproError):
+    """The rule is outside the incrementally-maintainable fragment."""
+
+
+Row = Tuple[OID, ...]
+
+
+class IncrementalRule:
+    """Delta-maintains the full context match set of one eligible rule."""
+
+    def __init__(self, rule: DeductiveRule, universe: Universe,
+                 evaluator: Optional[PatternEvaluator] = None):
+        self.rule = rule
+        self.universe = universe
+        self.evaluator = evaluator or PatternEvaluator(universe)
+        flat = _flatten(rule.context.chain)
+        if rule.context.loop is not None:
+            raise NotIncremental("loop contexts are not incremental")
+        if len(flat.groups) > 1:
+            raise NotIncremental("brace groups are not incremental")
+        if any(ref.subdb is not None for ref in rule.context_refs()):
+            raise NotIncremental(
+                "contexts reading derived subdatabases are not "
+                "incremental")
+        if any(isinstance(cond, AggComparison) for cond in rule.where):
+            raise NotIncremental(
+                "aggregation conditions are not incremental")
+        self.terms: List[ClassTerm] = flat.terms
+        self.ops: List[str] = flat.ops
+        self.resolutions: List[EdgeResolution] = [
+            universe.resolve_edge(self.terms[i].ref,
+                                  self.terms[i + 1].ref)
+            for i in range(len(self.terms) - 1)]
+        self.rows: Set[Row] = set()
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Full (re)initialization
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Compute the match set from scratch (used once, and as the
+        ground truth in consistency tests)."""
+        source = self.evaluator.evaluate(self.rule.context,
+                                         self.rule.where,
+                                         name="_incremental_init")
+        self.rows = {tuple(p.values) for p in source.patterns}
+        self._initialized = True
+
+    # ------------------------------------------------------------------
+    # Membership and row checks
+    # ------------------------------------------------------------------
+
+    def _passes(self, index: int, oid: OID) -> bool:
+        """Is ``oid`` a member of slot ``index`` (class membership plus
+        intra-class condition)?"""
+        term = self.terms[index]
+        db = self.universe.db
+        if not db.has(oid) or not db.is_instance_of(oid, term.ref.cls):
+            return False
+        if term.condition is None:
+            return True
+
+        def getter(attr_ref: AttrRef):
+            return self.universe.attr_value(term.ref, oid, attr_ref.attr)
+
+        return conditions.evaluate(term.condition, getter)
+
+    def _where_keeps(self, row: Row) -> bool:
+        if not self.rule.where:
+            return True
+        slots = [t.ref for t in self.terms]
+        slot_index = {ref.slot: i for i, ref in enumerate(slots)}
+
+        def getter(attr_ref: AttrRef):
+            owner = attr_ref.owner
+            index = slot_index.get(owner.slot)
+            if index is None:
+                matches = [i for i, ref in enumerate(slots)
+                           if ref.cls == owner.cls]
+                index = matches[0]
+            return self.universe.attr_value(slots[index], row[index],
+                                            attr_ref.attr)
+
+        return all(conditions.evaluate(cond, getter)
+                   for cond in self.rule.where)
+
+    # ------------------------------------------------------------------
+    # Seeded expansion
+    # ------------------------------------------------------------------
+
+    def _expand(self, lo: int, hi: int, seed: Row) -> List[Row]:
+        """Grow the pinned contiguous block ``[lo, hi] = seed`` outward
+        to the full chain, honoring ops, extents and conditions."""
+        n = len(self.terms)
+        rows: List[Row] = [seed]
+        while rows and (lo > 0 or hi < n - 1):
+            extended: List[Row] = []
+            if lo > 0:
+                op = self.ops[lo - 1]
+                resolution = self.resolutions[lo - 1]
+                for row in rows:
+                    neighbors = self.universe.edge_neighbors(
+                        row[0], resolution, forward=False)
+                    if op == "*":
+                        candidates = neighbors
+                    else:
+                        candidates = self.universe.extent(
+                            self.terms[lo - 1].ref) - neighbors
+                    for oid in candidates:
+                        if self._passes(lo - 1, oid):
+                            extended.append((oid,) + row)
+                lo -= 1
+            else:
+                op = self.ops[hi]
+                resolution = self.resolutions[hi]
+                for row in rows:
+                    neighbors = self.universe.edge_neighbors(
+                        row[-1], resolution, forward=True)
+                    if op == "*":
+                        candidates = neighbors
+                    else:
+                        candidates = self.universe.extent(
+                            self.terms[hi + 1].ref) - neighbors
+                    for oid in candidates:
+                        if self._passes(hi + 1, oid):
+                            extended.append(row + (oid,))
+                hi += 1
+            rows = extended
+        return [row for row in rows if self._where_keeps(row)]
+
+    def _seed_at_slot(self, index: int, oid: OID) -> List[Row]:
+        if not self._passes(index, oid):
+            return []
+        return self._expand(index, index, (oid,))
+
+    def _seed_at_edge(self, k: int, left: OID, right: OID) -> List[Row]:
+        if not (self._passes(k, left) and self._passes(k + 1, right)):
+            return []
+        return self._expand(k, k + 1, (left, right))
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+    # ------------------------------------------------------------------
+
+    def _edges_using(self, link_key: Tuple[str, str]) -> List[int]:
+        out = []
+        for k, resolution in enumerate(self.resolutions):
+            if resolution.kind == "base" and \
+                    resolution.resolved.link.key == link_key:
+                out.append(k)
+        return out
+
+    def _oriented(self, k: int, owner: OID, target: OID
+                  ) -> Tuple[OID, OID]:
+        """The (slot k, slot k+1) assignment of a link's (owner, target)
+        pair, honoring the edge's resolved orientation."""
+        if self.resolutions[k].resolved.a_is_owner:
+            return owner, target
+        return target, owner
+
+    def on_event(self, event: UpdateEvent) -> bool:
+        """Apply one update; returns True when the match set changed."""
+        if not self._initialized:
+            self.initialize()
+            return True
+        if event.kind is UpdateKind.BATCH:
+            changed = False
+            for sub in event.sub_events:
+                changed |= self.on_event(sub)
+            return changed
+
+        before = len(self.rows)
+        if event.kind in (UpdateKind.ASSOCIATE, UpdateKind.DISSOCIATE):
+            owner, target = event.oids
+            for k in self._edges_using(event.link):
+                left, right = self._oriented(k, owner, target)
+                adds_matches = (event.kind is UpdateKind.ASSOCIATE) == \
+                    (self.ops[k] == "*")
+                if adds_matches:
+                    self.rows.update(self._seed_at_edge(k, left, right))
+                else:
+                    self.rows = {
+                        row for row in self.rows
+                        if not (row[k] == left and row[k + 1] == right)}
+        elif event.kind is UpdateKind.DELETE:
+            # Deletion only removes rows: every vanished link involved
+            # the deleted object, so complement pairs between surviving
+            # objects are untouched and no new matches can appear.
+            (oid,) = event.oids
+            self.rows = {row for row in self.rows if oid not in row}
+        elif event.kind is UpdateKind.INSERT:
+            (oid,) = event.oids
+            if len(self.terms) == 1:
+                self.rows.update(self._seed_at_slot(0, oid))
+            elif "!" in self.ops:
+                # A fresh object with no links instantly matches every
+                # complement edge of its class: seed at each slot.
+                for index, term in enumerate(self.terms):
+                    self.rows.update(self._seed_at_slot(index, oid))
+        elif event.kind is UpdateKind.SET_ATTRIBUTE:
+            (oid,) = event.oids
+            self.rows = {row for row in self.rows if oid not in row}
+            for index in range(len(self.terms)):
+                self.rows.update(self._seed_at_slot(index, oid))
+        return len(self.rows) != before or \
+            event.kind in (UpdateKind.SET_ATTRIBUTE, UpdateKind.BATCH,
+                           UpdateKind.ASSOCIATE, UpdateKind.DISSOCIATE)
+
+    # ------------------------------------------------------------------
+    # Target construction
+    # ------------------------------------------------------------------
+
+    def source_subdatabase(self) -> Subdatabase:
+        """The maintained match set as the rule's context subdatabase."""
+        if not self._initialized:
+            self.initialize()
+        intension = IntensionalPattern(
+            [t.ref for t in self.terms],
+            [PatternEvaluator._edge_for(i, i + 1, self.ops[i],
+                                        self.resolutions[i])
+             for i in range(len(self.terms) - 1)])
+        patterns = {ExtensionalPattern(row) for row in self.rows}
+        return Subdatabase(f"_incremental_{self.rule.target}", intension,
+                           patterns)
+
+    def target_contribution(self) -> Subdatabase:
+        """The rule's projected contribution to its target subdatabase."""
+        return project_to_target(self.rule, self.source_subdatabase())

@@ -1,0 +1,185 @@
+"""Provenance: *why* is a pattern in a derived subdatabase?
+
+A classic deductive-database facility the paper's inference chains
+invite: given a derived pattern (e.g. ``(ta1, c1)`` in May_teach), report
+which rule(s) produced it and from which source rows — and, recursively,
+why those source rows' derived components exist.
+
+``engine`` integration::
+
+    why = explain_pattern(engine, "May_teach", ("ta1", "c1"))
+    print(why.render())
+
+yields a justification tree such as::
+
+    May_teach (ta1, c1)
+      by rule R4 from (ta1, ta1, s3, c1)
+        [Suggest_offer] why c1:
+          Suggest_offer (c1)
+            by rule R2 from (d1, c1, s2, st1) ... (+45 more)
+
+Supports are found by re-projecting each contributing rule's context
+match set, so they are exact for the current database state (the paper's
+backward chaining guarantees the sources are derivable on demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import OQLSemanticError, UnknownSubdatabaseError
+from repro.model.oid import OID
+from repro.rules.derivation import _resolve_target_indices
+from repro.subdb.pattern import ExtensionalPattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rules.engine import RuleEngine
+
+
+@dataclass
+class Support:
+    """One rule application supporting a derived pattern."""
+
+    rule_label: str
+    #: Source rows (full context matches) that project to the pattern.
+    rows: List[Tuple[Optional[OID], ...]]
+    #: For each derived class in the rule's context: nested explanations
+    #: of one sample component (depth-limited).
+    nested: List["Why"] = field(default_factory=list)
+
+
+@dataclass
+class Why:
+    """The justification of one pattern of one derived subdatabase."""
+
+    target: str
+    pattern: Tuple[Optional[OID], ...]
+    supports: List[Support]
+
+    @property
+    def is_supported(self) -> bool:
+        return any(support.rows for support in self.supports)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        rendered_pattern = ", ".join("Null" if v is None else repr(v)
+                                     for v in self.pattern)
+        lines = [f"{pad}{self.target} ({rendered_pattern})"]
+        if not self.is_supported:
+            lines.append(f"{pad}  UNSUPPORTED — no rule derives this "
+                         f"pattern from the current data")
+            return "\n".join(lines)
+        for support in self.supports:
+            if not support.rows:
+                continue
+            sample = support.rows[0]
+            row_text = ", ".join("Null" if v is None else repr(v)
+                                 for v in sample)
+            extra = (f" ... (+{len(support.rows) - 1} more)"
+                     if len(support.rows) > 1 else "")
+            lines.append(f"{pad}  by rule {support.rule_label} "
+                         f"from ({row_text}){extra}")
+            for nested in support.nested:
+                lines.append(nested.render(indent + 2))
+        return "\n".join(lines)
+
+
+def _coerce_pattern(engine: "RuleEngine", subdb,
+                    pattern) -> ExtensionalPattern:
+    """Accept an ExtensionalPattern, a tuple of OIDs/None, or a tuple of
+    OID labels."""
+    if isinstance(pattern, ExtensionalPattern):
+        return pattern
+    by_label = {repr(entity.oid): entity.oid
+                for entity in engine.db.iter_entities()}
+    values = []
+    for item in pattern:
+        if item is None or isinstance(item, OID):
+            values.append(item)
+        elif isinstance(item, str):
+            try:
+                values.append(by_label[item])
+            except KeyError:
+                raise OQLSemanticError(
+                    f"no object labeled {item!r}") from None
+        else:
+            raise OQLSemanticError(f"bad pattern component {item!r}")
+    if len(values) != len(subdb.intension):
+        raise OQLSemanticError(
+            f"pattern has {len(values)} components; {subdb.name!r} has "
+            f"{len(subdb.intension)} slots {list(subdb.slot_names)}")
+    return ExtensionalPattern(values)
+
+
+def explain_pattern(engine: "RuleEngine", target: str, pattern,
+                    depth: int = 2) -> Why:
+    """Justify one pattern of a derived subdatabase.
+
+    ``pattern`` may be an :class:`ExtensionalPattern`, a tuple of
+    OIDs/None, or a tuple of OID *labels* (``("ta1", "c1")``).  ``depth``
+    bounds the recursion into derived sources.
+    """
+    subdb = engine.universe.get_subdb(target)
+    wanted = _coerce_pattern(engine, subdb, pattern)
+    supports: List[Support] = []
+    for rule in engine.rules_for(target):
+        source = engine.evaluator.evaluate(
+            rule.context, rule.where, name=f"_why_{target}")
+        indices: List[Optional[int]] = []
+        for spec in rule.targets:
+            resolved = _resolve_target_indices(rule, source, spec)
+            indices.extend(resolved if resolved else [None])
+        # Align the rule's projection with the (possibly merged) target
+        # intension by slot name.
+        slot_map = {}
+        position = 0
+        for spec_index, index in enumerate(indices):
+            if index is None:
+                position += 1
+                continue
+            ref = source.intension.slots[index]
+            inner = ref.cls if ref.alias is None else \
+                f"{ref.cls}_{ref.alias}"
+            if subdb.intension.has_slot(inner):
+                slot_map[subdb.intension.index_of(inner)] = index
+            position += 1
+
+        def projects_to(row: ExtensionalPattern) -> bool:
+            for target_index in range(len(wanted)):
+                source_index = slot_map.get(target_index)
+                expected = wanted[target_index]
+                actual = None if source_index is None \
+                    else row[source_index]
+                if expected != actual:
+                    return False
+            return True
+
+        rows = sorted((tuple(row.values) for row in source.patterns
+                       if projects_to(row)),
+                      key=lambda r: [(-1 if v is None else v.value)
+                                     for v in r])
+        support = Support(rule_label=rule.label or target, rows=rows)
+        if rows and depth > 0:
+            sample = rows[0]
+            for slot_index, ref in enumerate(source.intension.slots):
+                if ref.subdb is None or slot_index >= len(sample):
+                    continue
+                component = sample[slot_index]
+                if component is None:
+                    continue
+                try:
+                    inner_subdb = engine.universe.get_subdb(ref.subdb)
+                except UnknownSubdatabaseError:  # pragma: no cover
+                    continue
+                # Find a pattern of the source subdatabase containing
+                # this component at a slot of the right class.
+                for inner_pattern in inner_subdb.patterns:
+                    if component in inner_pattern.values:
+                        support.nested.append(explain_pattern(
+                            engine, ref.subdb, inner_pattern,
+                            depth=depth - 1))
+                        break
+        supports.append(support)
+    return Why(target=target, pattern=tuple(wanted.values),
+               supports=supports)

@@ -1,0 +1,256 @@
+"""An interactive shell for the deductive object-oriented database.
+
+Run::
+
+    python -m repro.shell                  # the paper's University DB
+    python -m repro.shell --empty          # a fresh, schema-less session
+    python -m repro.shell --session f.json # reopen a saved session
+
+Anything starting with ``context`` runs as an OQL query; anything
+starting with ``if`` is added as a deductive rule.  Meta-commands start
+with a backslash::
+
+    \\help                 this text
+    \\schema               render the S-diagram
+    \\class NAME           one class: attributes, associations, hierarchy
+    \\subdbs               materialized derived subdatabases
+    \\subdb NAME           describe one subdatabase (derives on demand)
+    \\rules                the rule base
+    \\explain QUERY        the backward-chaining plan for a query
+    \\metrics              instrumentation of the last query
+    \\why TARGET l1 l2 ..  justify a derived pattern (OID labels)
+    \\stats                engine statistics
+    \\save PATH            persist the session as JSON
+    \\quit                 leave
+
+A trailing backslash continues the statement on the next line.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, List, Optional, TextIO
+
+from repro.errors import ReproError
+from repro.model.dictionary import Dictionary
+from repro.rules.engine import RuleEngine
+
+
+class Shell:
+    """The command interpreter, decoupled from stdin for testability."""
+
+    PROMPT = "dood> "
+    CONTINUATION = "....> "
+
+    def __init__(self, engine: RuleEngine, out: Optional[TextIO] = None):
+        self.engine = engine
+        self.out = out or sys.stdout
+        self._buffer: List[str] = []
+        self._last_metrics = None
+        self._commands = {
+            "help": self._cmd_help,
+            "schema": self._cmd_schema,
+            "class": self._cmd_class,
+            "subdbs": self._cmd_subdbs,
+            "subdb": self._cmd_subdb,
+            "rules": self._cmd_rules,
+            "explain": self._cmd_explain,
+            "metrics": self._cmd_metrics,
+            "why": self._cmd_why,
+            "stats": self._cmd_stats,
+            "save": self._cmd_save,
+            "quit": self._cmd_quit,
+            "exit": self._cmd_quit,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the session ends."""
+        if line.rstrip().endswith("\\"):
+            self._buffer.append(line.rstrip()[:-1])
+            return True
+        if self._buffer:
+            self._buffer.append(line)
+            line = " ".join(self._buffer)
+            self._buffer = []
+        stripped = line.strip()
+        if not stripped:
+            return True
+        try:
+            if stripped.startswith("\\"):
+                return self._meta(stripped[1:])
+            lowered = stripped.lower()
+            if lowered.startswith("if"):
+                rule = self.engine.add_rule(stripped)
+                self._print(f"rule added: derives {rule.target!r}")
+            elif lowered.startswith("context"):
+                result = self.engine.query(stripped)
+                self._last_metrics = result.metrics
+                self._print(result.render())
+            else:
+                self._print("unrecognized input — queries start with "
+                            "'context', rules with 'if', commands with "
+                            "'\\' (try \\help)")
+        except ReproError as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    @property
+    def pending(self) -> bool:
+        """True while a continued (backslash) statement is buffered."""
+        return bool(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Meta-commands
+    # ------------------------------------------------------------------
+
+    def _meta(self, text: str) -> bool:
+        name, _, argument = text.partition(" ")
+        command = self._commands.get(name.lower())
+        if command is None:
+            self._print(f"unknown command \\{name} (try \\help)")
+            return True
+        return command(argument.strip())
+
+    def _cmd_help(self, _: str) -> bool:
+        self._print(__doc__.strip())
+        return True
+
+    def _cmd_schema(self, _: str) -> bool:
+        self._print(Dictionary(self.engine.db.schema).render_sdiagram())
+        return True
+
+    def _cmd_class(self, name: str) -> bool:
+        if not name:
+            self._print("usage: \\class NAME")
+            return True
+        info = Dictionary(self.engine.db.schema).class_info(name)
+        self._print(f"class {info['name']}  "
+                    f"({len(self.engine.db.extent(name))} instances)")
+        if info["superclasses"]:
+            self._print(f"  superclasses: "
+                        f"{', '.join(info['superclasses'])}")
+        if info["subclasses"]:
+            self._print(f"  subclasses: {', '.join(info['subclasses'])}")
+        for attr, domain in info["attributes"].items():
+            self._print(f"  attribute {attr}: {domain}")
+        for assoc in info["associations"]:
+            self._print(f"  {assoc}")
+        return True
+
+    def _cmd_subdbs(self, _: str) -> bool:
+        names = self.engine.universe.subdb_names
+        if not names:
+            self._print("(no materialized subdatabases)")
+        for name in names:
+            subdb = self.engine.universe.get_subdb(name)
+            self._print(f"{name}: classes "
+                        f"{', '.join(subdb.slot_names)} — "
+                        f"{len(subdb)} patterns")
+        return True
+
+    def _cmd_subdb(self, name: str) -> bool:
+        if not name:
+            self._print("usage: \\subdb NAME")
+            return True
+        self._print(self.engine.universe.get_subdb(name).describe())
+        return True
+
+    def _cmd_rules(self, _: str) -> bool:
+        if not self.engine.rules:
+            self._print("(no rules)")
+        for rule in self.engine.rules:
+            label = f"[{rule.label}] " if rule.label else ""
+            self._print(f"{label}{rule}")
+            self._print("")
+        return True
+
+    def _cmd_explain(self, query: str) -> bool:
+        if not query:
+            self._print("usage: \\explain context ...")
+            return True
+        self._print(self.engine.explain(query).render())
+        return True
+
+    def _cmd_metrics(self, _: str) -> bool:
+        if self._last_metrics is None:
+            self._print("(no query has run yet)")
+            return True
+        for key, value in self._last_metrics.snapshot().items():
+            self._print(f"{key}: {value}")
+        return True
+
+    def _cmd_why(self, argument: str) -> bool:
+        parts = argument.split()
+        if len(parts) < 2:
+            self._print("usage: \\why TARGET label [label ...] "
+                        "(use - for Null)")
+            return True
+        target = parts[0]
+        pattern = tuple(None if p == "-" else p for p in parts[1:])
+        self._print(self.engine.why(target, pattern).render())
+        return True
+
+    def _cmd_stats(self, _: str) -> bool:
+        for key, value in self.engine.stats.snapshot().items():
+            self._print(f"{key}: {value}")
+        db_stats = self.engine.db.stats()
+        self._print(f"objects: {db_stats['objects']}, "
+                    f"links: {db_stats['links']}")
+        return True
+
+    def _cmd_save(self, path: str) -> bool:
+        if not path:
+            self._print("usage: \\save PATH")
+            return True
+        from repro.storage import save_session
+        saved = save_session(self.engine, path)
+        self._print(f"session saved to {saved}")
+        return True
+
+    def _cmd_quit(self, _: str) -> bool:
+        self._print("bye")
+        return False
+
+
+def build_engine(args: List[str]) -> RuleEngine:
+    """Interpret the command-line arguments into an engine."""
+    if "--session" in args:
+        from repro.storage import load_session
+        path = args[args.index("--session") + 1]
+        return load_session(path)
+    if "--empty" in args:
+        from repro.model.database import Database
+        from repro.model.schema import Schema
+        return RuleEngine(Database(Schema("session")))
+    from repro.university import build_paper_database, build_sdb
+    data = build_paper_database()
+    engine = RuleEngine(data.db)
+    engine.universe.register(build_sdb(data))
+    return engine
+
+
+def repl(engine: RuleEngine) -> None:  # pragma: no cover - interactive
+    shell = Shell(engine)
+    print("Deductive OO database shell — \\help for commands.")
+    while True:
+        prompt = Shell.CONTINUATION if shell.pending else Shell.PROMPT
+        try:
+            line = input(prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        if not shell.handle(line):
+            break
+
+
+def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
+    repl(build_engine(argv if argv is not None else sys.argv[1:]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,46 @@
+"""Persistence: JSON serialization for schemas, databases, subdatabases
+and whole deductive sessions.
+
+The paper's prototype ran against a persistent OO DBMS; this subpackage
+gives the library durable storage so applications can close and reopen a
+deductive database:
+
+* :func:`schema_to_dict` / :func:`schema_from_dict` — the S-diagram,
+* :func:`database_to_dict` / :func:`database_from_dict` — extents and
+  links with **OID values preserved** (derived subdatabase snapshots and
+  external references stay valid across a save/load cycle),
+* :func:`subdatabase_to_dict` / :func:`subdatabase_from_dict` —
+  materialized derived subdatabases including their induced
+  generalization records,
+* :func:`save_session` / :func:`load_session` — a complete
+  :class:`~repro.rules.engine.RuleEngine`: schema, data, rule texts,
+  per-target evaluation modes, and (optionally) materialized results.
+
+The format is a single versioned JSON document; see ``FORMAT_VERSION``.
+Custom D-class ``check`` predicates are *not* serializable (they are
+arbitrary Python callables) — domains round-trip as their base type and
+a loud warning is recorded in the document.
+"""
+
+from repro.storage.serialize import (
+    FORMAT_VERSION,
+    database_from_dict,
+    database_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    subdatabase_from_dict,
+    subdatabase_to_dict,
+)
+from repro.storage.session import load_session, save_session
+
+__all__ = [
+    "FORMAT_VERSION",
+    "schema_to_dict",
+    "schema_from_dict",
+    "database_to_dict",
+    "database_from_dict",
+    "subdatabase_to_dict",
+    "subdatabase_from_dict",
+    "save_session",
+    "load_session",
+]

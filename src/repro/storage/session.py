@@ -1,0 +1,105 @@
+"""Whole-session persistence: a rule engine with its schema, data,
+rules, control modes, and (optionally) materialized derived results.
+
+``save_session(engine, path)`` writes one JSON document;
+``load_session(path)`` returns a fully wired
+:class:`~repro.rules.engine.RuleEngine` — rules re-registered with their
+labels and modes, materialized subdatabases restored so pre-evaluated
+results are warm immediately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import DataError
+from repro.rules.control import (
+    EvaluationMode,
+    ResultOrientedController,
+    RuleChainingMode,
+    RuleOrientedController,
+)
+from repro.rules.engine import RuleEngine
+from repro.storage.serialize import (
+    FORMAT_VERSION,
+    database_from_dict,
+    database_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    subdatabase_from_dict,
+    subdatabase_to_dict,
+)
+
+
+def _controller_kind(engine: RuleEngine) -> str:
+    if isinstance(engine.controller, RuleOrientedController):
+        return "rule"
+    return "result"
+
+
+def _rule_mode(engine: RuleEngine, rule) -> Optional[str]:
+    controller = engine.controller
+    if isinstance(controller, RuleOrientedController):
+        mode = controller._rule_modes.get(rule)
+        return mode.value if mode else None
+    mode = controller._modes.get(rule.target)
+    return mode.value if mode else None
+
+
+def session_to_dict(engine: RuleEngine,
+                    include_materialized: bool = True) -> Dict[str, Any]:
+    """Serialize a whole deductive session."""
+    doc: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "controller": _controller_kind(engine),
+        "schema": schema_to_dict(engine.db.schema),
+        "database": database_to_dict(engine.db),
+        "rules": [
+            {"text": rule.text or str(rule), "label": rule.label,
+             "mode": _rule_mode(engine, rule)}
+            for rule in engine.rules],
+    }
+    if include_materialized:
+        doc["materialized"] = [
+            subdatabase_to_dict(engine.universe.get_subdb(name))
+            for name in engine.universe.subdb_names]
+    return doc
+
+
+def session_from_dict(doc: Dict[str, Any]) -> RuleEngine:
+    """Rebuild a session (inverse of :func:`session_to_dict`)."""
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DataError(
+            f"unsupported session format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})")
+    schema = schema_from_dict(doc["schema"])
+    db = database_from_dict(doc["database"], schema)
+    controller = doc.get("controller", "result")
+    engine = RuleEngine(db, controller=controller)
+    mode_enum = (RuleChainingMode if controller == "rule"
+                 else EvaluationMode)
+    for entry in doc.get("rules", ()):
+        mode = mode_enum(entry["mode"]) if entry.get("mode") else None
+        engine.add_rule(entry["text"], label=entry.get("label"),
+                        mode=mode)
+    for sub_doc in doc.get("materialized", ()):
+        engine.universe.register(subdatabase_from_dict(sub_doc, db))
+    return engine
+
+
+def save_session(engine: RuleEngine, path: Union[str, Path],
+                 include_materialized: bool = True) -> Path:
+    """Write the session document to ``path`` (JSON)."""
+    path = Path(path)
+    doc = session_to_dict(engine, include_materialized)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    return path
+
+
+def load_session(path: Union[str, Path]) -> RuleEngine:
+    """Read a session document written by :func:`save_session`."""
+    doc = json.loads(Path(path).read_text())
+    return session_from_dict(doc)

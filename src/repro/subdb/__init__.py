@@ -1,0 +1,35 @@
+"""Subdatabases: the closed world the rule language operates in.
+
+A subdatabase (paper, Section 3.1) is a portion of the database consisting
+of an *intensional association pattern* — a network of E-classes and their
+associations — and a set of *extensional association patterns* — networks
+of instances, representable as tuples of OIDs with Null components.
+
+Because both the intension and the extension of a derived subdatabase are
+expressed with the same structural constructs as the base database
+(classes, associations, objects), a derived subdatabase can be uniformly
+operated on by further queries and rules: the world of subdatabases is
+closed under the language (paper, Sections 1 and 4).
+"""
+
+from repro.subdb.refs import ClassRef
+from repro.subdb.pattern import ExtensionalPattern, PatternType, covers
+from repro.subdb.intension import Edge, IntensionalPattern
+from repro.subdb.subdatabase import Subdatabase
+from repro.subdb.derived import DerivedClassInfo
+from repro.subdb.universe import EdgeResolution, Universe
+from repro.subdb import algebra
+
+__all__ = [
+    "algebra",
+    "ClassRef",
+    "ExtensionalPattern",
+    "PatternType",
+    "covers",
+    "Edge",
+    "IntensionalPattern",
+    "Subdatabase",
+    "DerivedClassInfo",
+    "EdgeResolution",
+    "Universe",
+]

@@ -1,0 +1,95 @@
+"""Set algebra on subdatabases.
+
+Because the world of subdatabases is closed, applications often end up
+holding several subdatabases over the *same* intensional pattern — two
+query results, two snapshots of a derived result, the contributions of
+two rules — and want their union, intersection or difference.  These
+helpers implement the obvious pattern-set semantics:
+
+* operands must be **slot-compatible**: the same slot names bound to the
+  same classes (order may differ; patterns are re-aligned);
+* ``union`` applies the subsumption rule afterwards (a pattern must not
+  appear independently next to a larger one it is part of);
+* ``difference`` and ``intersection`` compare whole patterns (OID tuples
+  with Nulls), exactly as rule union compares them (Section 4.2).
+
+``restrict`` filters a subdatabase's patterns with a Python predicate —
+useful for programmatic post-processing that OQL's Where subclause does
+not cover.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import OQLSemanticError
+from repro.subdb.pattern import ExtensionalPattern, subsume
+from repro.subdb.subdatabase import Subdatabase
+
+
+def _alignment(a: Subdatabase, b: Subdatabase) -> List[int]:
+    """For each slot of ``a``, the index of the same slot in ``b``."""
+    if set(a.slot_names) != set(b.slot_names):
+        raise OQLSemanticError(
+            f"subdatabases {a.name!r} and {b.name!r} are not "
+            f"slot-compatible: {list(a.slot_names)} vs "
+            f"{list(b.slot_names)}")
+    mapping = []
+    for name in a.slot_names:
+        i = b.intension.index_of(name)
+        if b.intension.slots[i].cls != \
+                a.intension.slots[a.intension.index_of(name)].cls:
+            raise OQLSemanticError(
+                f"slot {name!r} binds different classes in "
+                f"{a.name!r} and {b.name!r}")  # pragma: no cover
+        mapping.append(i)
+    return mapping
+
+
+def _aligned_patterns(a: Subdatabase, b: Subdatabase):
+    mapping = _alignment(a, b)
+    return {ExtensionalPattern([p[i] for i in mapping])
+            for p in b.patterns}
+
+
+def union(a: Subdatabase, b: Subdatabase,
+          name: Optional[str] = None) -> Subdatabase:
+    """All patterns of either operand (subsumption re-applied)."""
+    patterns = set(a.patterns) | _aligned_patterns(a, b)
+    return Subdatabase(name or f"{a.name}_union_{b.name}", a.intension,
+                       subsume(patterns), a.derived_info)
+
+
+def intersection(a: Subdatabase, b: Subdatabase,
+                 name: Optional[str] = None) -> Subdatabase:
+    """The patterns present in both operands."""
+    patterns = set(a.patterns) & _aligned_patterns(a, b)
+    return Subdatabase(name or f"{a.name}_intersect_{b.name}",
+                       a.intension, patterns, a.derived_info)
+
+
+def difference(a: Subdatabase, b: Subdatabase,
+               name: Optional[str] = None) -> Subdatabase:
+    """The patterns of ``a`` not present in ``b``."""
+    patterns = set(a.patterns) - _aligned_patterns(a, b)
+    return Subdatabase(name or f"{a.name}_minus_{b.name}", a.intension,
+                       patterns, a.derived_info)
+
+
+def restrict(subdb: Subdatabase,
+             predicate: Callable[[ExtensionalPattern], bool],
+             name: Optional[str] = None) -> Subdatabase:
+    """Keep only the patterns satisfying a Python predicate."""
+    patterns = {p for p in subdb.patterns if predicate(p)}
+    return Subdatabase(name or f"{subdb.name}_restricted",
+                       subdb.intension, patterns, subdb.derived_info)
+
+
+def symmetric_difference(a: Subdatabase, b: Subdatabase,
+                         name: Optional[str] = None) -> Subdatabase:
+    """The patterns in exactly one operand — handy for diffing two
+    snapshots of the same derived result."""
+    aligned = _aligned_patterns(a, b)
+    patterns = (set(a.patterns) - aligned) | (aligned - set(a.patterns))
+    return Subdatabase(name or f"{a.name}_xor_{b.name}", a.intension,
+                       patterns, a.derived_info)

@@ -1,0 +1,56 @@
+"""Derived classes and the induced generalization association.
+
+Between every target class and its source class there is a generalization
+association *induced* by the deductive rule (paper, Section 4.1).  A target
+class therefore inherits all the aggregation associations of its source
+class — transitively up to the base class — which is what establishes
+inter-subdatabase connections and makes expressions such as
+``SD1:A * SD2:C`` and ``Department * Suggest_offer:Course`` legal.
+
+:class:`DerivedClassInfo` is the record attached to each slot of a derived
+subdatabase; walking its ``source`` chain reaches the base class.  The set
+of instances of a target class is a subset of the set of instances of the
+source class from which it is derived (Section 4), so attribute access and
+association traversal for a derived class can always be delegated to the
+base database once visibility has been checked along the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.subdb.refs import ClassRef
+
+
+@dataclass(frozen=True)
+class DerivedClassInfo:
+    """Metadata for one derived class (one slot of a derived subdatabase).
+
+    Attributes
+    ----------
+    ref:
+        The derived class itself (``Suggest_offer:Course``).
+    source:
+        The class it was derived from — the superclass end of the induced
+        generalization link.  It may itself be derived (rule chains); the
+        base class is reached by following the chain.
+    visible_attrs:
+        When a rule lists attributes in brackets after a target class
+        (``Teacher_course (Teacher [SS, Degree], Course)``), only those
+        descriptive attributes are inherited; ``None`` means *all*
+        attributes (the paper's default).
+    """
+
+    ref: ClassRef
+    source: ClassRef
+    visible_attrs: Optional[Tuple[str, ...]] = None
+
+    @property
+    def induced_generalization(self) -> str:
+        """A rendering of the induced G link (superclass -> subclass)."""
+        return f"{self.source} --G(induced)--> {self.ref}"
+
+    def allows_attribute(self, name: str) -> bool:
+        """Whether ``name`` survives this link's attribute subsetting."""
+        return self.visible_attrs is None or name in self.visible_attrs

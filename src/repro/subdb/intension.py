@@ -1,0 +1,113 @@
+"""Intensional association patterns.
+
+The intensional pattern of a subdatabase is a network of E-classes and
+their associations (paper, Section 3.1).  Here it is an ordered list of
+*slots* (class references — order matters because extensional patterns are
+tuples aligned to it) plus a set of undirected *edges* recording which
+slots are associated and how:
+
+* ``kind="base"`` — the association is an aggregation or generalization
+  link of the original schema (possibly inherited);
+* ``kind="derived"`` — a *new direct association* inferred by a deductive
+  rule between classes that were only indirectly connected in the source
+  (Figure 4.3a: Teacher and Course, previously connected through Section,
+  get a direct derived association in Teacher_course).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import OQLSemanticError
+from repro.subdb.refs import ClassRef
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An association between two slots of an intensional pattern."""
+
+    i: int
+    j: int
+    kind: str = "base"      # "base" | "derived"
+    label: str = ""         # the schema link name, "identity", or ""
+
+    def touches(self, index: int) -> bool:
+        return index == self.i or index == self.j
+
+    def other(self, index: int) -> int:
+        return self.j if index == self.i else self.i
+
+
+class IntensionalPattern:
+    """An ordered network of class slots and their association edges."""
+
+    def __init__(self, slots: Iterable[ClassRef],
+                 edges: Iterable[Edge] = ()):
+        self.slots: Tuple[ClassRef, ...] = tuple(slots)
+        self.edges: Tuple[Edge, ...] = tuple(edges)
+        self._by_name: Dict[str, int] = {
+            ref.slot: i for i, ref in enumerate(self.slots)}
+        if len(self._by_name) != len(self.slots):
+            names = [ref.slot for ref in self.slots]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise OQLSemanticError(
+                f"duplicate slot(s) in intensional pattern: {dupes}; use "
+                f"aliases (e.g. {dupes[0]}_1) for repeated classes")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def slot_names(self) -> Tuple[str, ...]:
+        return tuple(ref.slot for ref in self.slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def index_of(self, ref: ClassRef | str) -> int:
+        """The slot index of an exact reference (raises if absent)."""
+        name = ref if isinstance(ref, str) else ref.slot
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise OQLSemanticError(
+                f"no slot {name!r} in intensional pattern "
+                f"{list(self._by_name)}") from None
+
+    def has_slot(self, ref: ClassRef | str) -> bool:
+        name = ref if isinstance(ref, str) else ref.slot
+        return name in self._by_name
+
+    def indices_of_class(self, cls: str) -> List[int]:
+        """Every slot (any alias level) whose class is ``cls``."""
+        return [i for i, ref in enumerate(self.slots) if ref.cls == cls]
+
+    def levels_of_class(self, cls: str) -> List[int]:
+        """Slots of ``cls`` ordered by hierarchy level (0, 1, 2, ...)."""
+        return sorted(self.indices_of_class(cls),
+                      key=lambda i: self.slots[i].level)
+
+    def edge_between(self, i: int, j: int) -> Optional[Edge]:
+        for edge in self.edges:
+            if {edge.i, edge.j} == {i, j}:
+                return edge
+        return None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def with_edges(self, extra: Iterable[Edge]) -> "IntensionalPattern":
+        return IntensionalPattern(self.slots, tuple(self.edges) + tuple(extra))
+
+    def describe(self) -> str:
+        """Human-readable rendering used by examples and EXPERIMENTS.md."""
+        lines = ["classes: " + ", ".join(self.slot_names)]
+        for edge in self.edges:
+            a = self.slots[edge.i].slot
+            b = self.slots[edge.j].slot
+            tag = f" [{edge.kind}{':' + edge.label if edge.label else ''}]"
+            lines.append(f"  {a} --- {b}{tag}")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Class references.
+
+Expressions in the language refer to classes in three flavors (paper,
+Sections 4.1 and 5.2):
+
+* an unqualified name — ``Teacher`` — denotes the *base* class of the
+  original database;
+* a name qualified by a subdatabase — ``Suggest_offer:Course`` — denotes
+  the derived class of that subdatabase;
+* a name with an appended underscore and integer — ``Grad_2`` — is an
+  automatically generated *alias* (range variable) of the class, used for
+  cycles and transitive closure.
+
+:class:`ClassRef` is the canonical value for all three; its string form is
+the *slot name* under which the class appears in a subdatabase's
+intensional pattern.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+_ALIAS_RE = re.compile(r"^(?P<base>.*?)_(?P<n>\d+)$")
+
+
+@dataclass(frozen=True)
+class ClassRef:
+    """A (possibly qualified, possibly aliased) reference to a class."""
+
+    #: The class name within its subdatabase (base class names are
+    #: preserved by derivation, so this is also the *source base class*).
+    cls: str
+    #: The subdatabase qualifier, ``None`` for the original database.
+    subdb: Optional[str] = None
+    #: Alias (range-variable) number: ``A_1`` has alias 1, plain ``A`` has
+    #: ``None`` (equivalent to level 0 of a hierarchy).
+    alias: Optional[int] = None
+
+    @classmethod
+    def parse(cls, text: str) -> "ClassRef":
+        """Parse ``[Subdb:]Name[_N]`` into a reference.
+
+        A trailing ``_<integer>`` is an alias marker; class names that end
+        this way on purpose should avoid the convention (the paper defines
+        it as the alias-generation syntax, Section 5.2).
+        """
+        subdb = None
+        name = text
+        if ":" in text:
+            subdb, name = text.split(":", 1)
+            subdb = subdb.strip()
+        name = name.strip()
+        alias = None
+        match = _ALIAS_RE.match(name)
+        if match:
+            name = match.group("base")
+            alias = int(match.group("n"))
+        return cls(cls=name, subdb=subdb, alias=alias)
+
+    def with_alias(self, alias: Optional[int]) -> "ClassRef":
+        return ClassRef(self.cls, self.subdb, alias)
+
+    def without_alias(self) -> "ClassRef":
+        return ClassRef(self.cls, self.subdb, None)
+
+    @property
+    def is_derived(self) -> bool:
+        return self.subdb is not None
+
+    @property
+    def slot(self) -> str:
+        """The display/slot name: ``SD1:A_2`` etc."""
+        name = self.cls if self.alias is None else f"{self.cls}_{self.alias}"
+        return f"{self.subdb}:{name}" if self.subdb else name
+
+    @property
+    def level(self) -> int:
+        """Hierarchy level: plain refs are level 0, ``A_k`` is level k."""
+        return 0 if self.alias is None else self.alias
+
+    def __lt__(self, other: "ClassRef") -> bool:
+        # Total order by slot name so reference lists sort stably even
+        # when qualifiers/aliases are mixed (None vs str would not
+        # compare field-wise).
+        if not isinstance(other, ClassRef):
+            return NotImplemented
+        return self.slot < other.slot
+
+    def __str__(self) -> str:
+        return self.slot

@@ -1,0 +1,254 @@
+"""The universe: base database plus the world of derived subdatabases.
+
+The OQL evaluator and the rule engine both operate against a
+:class:`Universe`, which answers every reference-resolution question:
+
+* the extent of a class reference (base class, or derived class of a
+  subdatabase — any hierarchy level),
+* descriptive-attribute access with visibility checked along the induced
+  generalization chain (a rule may subset the attributes a target class
+  inherits, Section 4.2),
+* resolution of the association between two class references — inside one
+  derived subdatabase (a derived direct association), or through the base
+  schema via the inheritance established by induced generalization
+  (Section 4.1: ``SD1:A * SD2:C``).
+
+When a referenced subdatabase has not been materialized, the universe asks
+its *provider* — installed by the rule engine — to derive it; this is the
+hook through which backward chaining happens (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import (
+    UnknownAttributeError,
+    UnknownSubdatabaseError,
+)
+from repro.model.database import Database
+from repro.model.oid import OID
+from repro.model.schema import ResolvedLink, Schema
+from repro.subdb.refs import ClassRef
+from repro.subdb.subdatabase import Subdatabase
+
+
+@dataclass(frozen=True)
+class EdgeResolution:
+    """How the association between two class references is traversed.
+
+    ``kind`` is:
+
+    * ``"base"`` — via an aggregation link of the original schema
+      (``resolved`` holds the :class:`ResolvedLink`),
+    * ``"identity"`` — via a generalization relation (match on equal OIDs),
+    * ``"subdb"`` — via a derived direct association inside subdatabase
+      ``subdb`` between its slots ``i`` and ``j``.
+    """
+
+    kind: str
+    resolved: Optional[ResolvedLink] = None
+    subdb: Optional[str] = None
+    i: int = -1
+    j: int = -1
+
+
+def _inner_slot(ref: ClassRef) -> str:
+    """A derived class's slot name *inside* its subdatabase (subdatabase
+    intensions store unqualified references)."""
+    return ClassRef(ref.cls, None, ref.alias).slot
+
+
+class Universe:
+    """Resolution context: schema + base database + derived subdatabases."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.schema: Schema = db.schema
+        self._subdbs: Dict[str, Subdatabase] = {}
+        #: Called with a subdatabase name when it is referenced but not
+        #: materialized; may derive and return it (backward chaining), or
+        #: return ``None`` to signal the name is truly unknown.
+        self.provider: Optional[Callable[[str], Optional[Subdatabase]]] = None
+        # Per-derived-association pair index cache:
+        # (name, i, j) -> (subdatabase object, fwd map, rev map)
+        self._pair_cache: Dict[Tuple[str, int, int], tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Subdatabase registry
+    # ------------------------------------------------------------------
+
+    def register(self, subdb: Subdatabase) -> None:
+        """Materialize (or replace) a derived subdatabase."""
+        self._subdbs[subdb.name] = subdb
+        stale = [key for key in self._pair_cache if key[0] == subdb.name]
+        for key in stale:
+            del self._pair_cache[key]
+
+    def unregister(self, name: str) -> None:
+        self._subdbs.pop(name, None)
+        stale = [key for key in self._pair_cache if key[0] == name]
+        for key in stale:
+            del self._pair_cache[key]
+
+    def has_subdb(self, name: str) -> bool:
+        return name in self._subdbs
+
+    @property
+    def subdb_names(self) -> list[str]:
+        return sorted(self._subdbs)
+
+    def get_subdb(self, name: str) -> Subdatabase:
+        """The named subdatabase, deriving it through the provider when it
+        is not yet materialized (the backward-chaining hook)."""
+        if name in self._subdbs:
+            return self._subdbs[name]
+        if self.provider is not None:
+            derived = self.provider(name)
+            if derived is not None:
+                return derived
+        raise UnknownSubdatabaseError(
+            f"unknown subdatabase {name!r} (materialized: "
+            f"{self.subdb_names}; no rule derives it)")
+
+    # ------------------------------------------------------------------
+    # Extents
+    # ------------------------------------------------------------------
+
+    def extent(self, ref: ClassRef) -> Set[OID]:
+        """The set of instances a class reference ranges over.
+
+        On a *base* class an alias marker is a pure range variable
+        (Section 5.2): ``A_1`` ranges over the same extent as ``A``.  On
+        a *derived* class the alias selects the matching hierarchy-level
+        slot when the subdatabase has one (``GG:Grad_2`` is the third
+        level of the Grad-teaching-grad hierarchy, by analogy with rule
+        R7's level-selecting targets); otherwise — and for unaliased
+        derived references — the extent is the union over every slot of
+        the class.
+        """
+        if ref.subdb is None:
+            return self.db.extent(ref.cls)
+        subdb = self.get_subdb(ref.subdb)
+        if ref.alias is not None:
+            slot = _inner_slot(ref)
+            if subdb.intension.has_slot(slot):
+                return subdb.extent_of_slot(slot)
+        return subdb.extent_of_class(ref.cls)
+
+    # ------------------------------------------------------------------
+    # Attribute access through the induced-generalization chain
+    # ------------------------------------------------------------------
+
+    def check_attribute(self, ref: ClassRef, attr: str) -> None:
+        """Verify ``attr`` is visible from ``ref``.
+
+        Walks the induced-generalization chain: every derivation step may
+        have restricted the inherited attributes; the base class must
+        finally declare (or inherit) the attribute.
+        """
+        current = ref
+        guard = 0
+        while current.subdb is not None:
+            guard += 1
+            if guard > 100:  # pragma: no cover - defensive
+                raise UnknownAttributeError(
+                    f"derivation chain too deep resolving {ref}.{attr}")
+            subdb = self.get_subdb(current.subdb)
+            info = subdb.info_for(_inner_slot(current))
+            if info is None:
+                # Slot recorded without derivation metadata (plain query
+                # result); treat as unrestricted view of the base class.
+                current = ClassRef(current.cls)
+                continue
+            if not info.allows_attribute(attr):
+                raise UnknownAttributeError(
+                    f"attribute {attr!r} is not inherited by derived class "
+                    f"{current} (visible: {sorted(info.visible_attrs)})")
+            current = info.source
+        self.schema.attribute(current.cls, attr)
+
+    def attr_value(self, ref: ClassRef, oid: OID, attr: str) -> Any:
+        """Read a descriptive attribute of an object through a (possibly
+        derived) class reference."""
+        self.check_attribute(ref, attr)
+        return self.db.entity(oid).get(attr)
+
+    def visible_attributes(self, ref: ClassRef) -> Tuple[str, ...]:
+        """The descriptive attributes visible from a class reference,
+        after every attribute subsetting along the derivation chain."""
+        current = ref
+        restrictions: list[frozenset] = []
+        while current.subdb is not None:
+            subdb = self.get_subdb(current.subdb)
+            info = subdb.info_for(_inner_slot(current))
+            if info is None:
+                current = ClassRef(current.cls)
+                continue
+            if info.visible_attrs is not None:
+                restrictions.append(frozenset(info.visible_attrs))
+            current = info.source
+        names = sorted(self.schema.descriptive_attributes(current.cls))
+        for restriction in restrictions:
+            names = [n for n in names if n in restriction]
+        return tuple(names)
+
+    # ------------------------------------------------------------------
+    # Association resolution
+    # ------------------------------------------------------------------
+
+    def resolve_edge(self, a: ClassRef, b: ClassRef) -> EdgeResolution:
+        """Resolve how the association operator traverses from ``a`` to
+        ``b``.
+
+        Inside one derived subdatabase a *derived direct association*
+        between the two slots takes precedence (Figure 4.3: Teacher and
+        Course are directly associated in Teacher_course even though only
+        indirectly in the base schema).  Otherwise resolution falls to the
+        base schema between the source base classes — legal whenever the
+        base classes are associated, because induced generalization makes
+        every derived class inherit its source's aggregation links.
+        """
+        if a.subdb is not None and a.subdb == b.subdb:
+            subdb = self.get_subdb(a.subdb)
+            slot_a, slot_b = _inner_slot(a), _inner_slot(b)
+            if subdb.intension.has_slot(slot_a) and \
+                    subdb.intension.has_slot(slot_b):
+                i = subdb.intension.index_of(slot_a)
+                j = subdb.intension.index_of(slot_b)
+                if subdb.intension.edge_between(i, j) is not None:
+                    return EdgeResolution("subdb", subdb=a.subdb, i=i, j=j)
+        resolved = self.schema.resolve_link(a.cls, b.cls)
+        if resolved.kind == "identity":
+            return EdgeResolution("identity")
+        return EdgeResolution("base", resolved=resolved)
+
+    def _pair_maps(self, name: str, i: int, j: int):
+        subdb = self.get_subdb(name)
+        key = (name, i, j)
+        cached = self._pair_cache.get(key)
+        if cached is not None and cached[0] is subdb:
+            return cached[1], cached[2]
+        fwd: Dict[OID, Set[OID]] = {}
+        rev: Dict[OID, Set[OID]] = {}
+        for left, right in subdb.pairs(i, j):
+            fwd.setdefault(left, set()).add(right)
+            rev.setdefault(right, set()).add(left)
+        self._pair_cache[key] = (subdb, fwd, rev)
+        return fwd, rev
+
+    def edge_neighbors(self, oid: OID, edge: EdgeResolution,
+                       forward: bool = True) -> Set[OID]:
+        """Objects reachable from ``oid`` across a resolved edge.
+
+        ``forward=True`` moves from the resolution's first reference to
+        its second.
+        """
+        if edge.kind == "identity":
+            return {oid}
+        if edge.kind == "base":
+            return self.db.neighbors(oid, edge.resolved, forward=forward)
+        fwd, rev = self._pair_maps(edge.subdb, edge.i, edge.j)
+        index = fwd if forward else rev
+        return set(index.get(oid, ()))

@@ -1,0 +1,23 @@
+"""The paper's running example: the University database.
+
+* :func:`build_university_schema` — the S-diagram of Figure 2.1,
+* :func:`build_paper_database` — base data whose Teacher/Section/Course
+  portion is exactly the extensional diagram of Figure 3.1b, extended with
+  the departments, students, transcripts, TAs, faculty and advising links
+  the example rules R1-R5 and queries 3.1-5.1 exercise,
+* :func:`build_sdb` — the subdatabase SDB of Figure 3.1,
+* :func:`generate_university` — a seeded, scale-parameterized generator
+  for benchmarks.
+"""
+
+from repro.university.schema import build_university_schema
+from repro.university.data import build_paper_database, build_sdb
+from repro.university.generator import GeneratorConfig, generate_university
+
+__all__ = [
+    "build_university_schema",
+    "build_paper_database",
+    "build_sdb",
+    "GeneratorConfig",
+    "generate_university",
+]

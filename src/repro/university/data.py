@@ -1,0 +1,227 @@
+"""The paper's extensional data.
+
+:func:`build_paper_database` loads a base database whose
+Teacher/Section/Course portion reproduces the extensional diagram of
+Figure 3.1b exactly, extended with the departments, students, transcripts,
+TAs, faculty and advising relationships that rules R1-R6 and queries
+3.1-5.1 exercise.  The returned :class:`PaperData` exposes every named
+object under the paper's labels (``t1``, ``s2``, ``c1``, ...).
+
+:func:`build_sdb` constructs the subdatabase SDB of Figure 3.1 — intension
+(Teacher, Section, Course with the teaches/course associations) and the
+seven extensional patterns::
+
+    (t1, s2, c1)   (t2, s3, c1)   (t2, s3, c2)      type (Teacher, Section, Course)
+    (t3, s4, -)                                     type (Teacher, Section)
+    (-, s5, c4)                                     type (Section, Course)
+    (t4, -, -)                                      type (Teacher)
+    (-, -, c3)                                      type (Course)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.model.database import Database
+from repro.model.objects import Entity
+from repro.subdb.intension import Edge, IntensionalPattern
+from repro.subdb.pattern import ExtensionalPattern
+from repro.subdb.refs import ClassRef
+from repro.subdb.subdatabase import Subdatabase
+from repro.university.schema import build_university_schema
+
+
+@dataclass
+class PaperData:
+    """The paper database plus its named objects."""
+
+    db: Database
+    objects: Dict[str, Entity] = field(default_factory=dict)
+
+    def __getitem__(self, label: str) -> Entity:
+        return self.objects[label]
+
+    def oid(self, label: str):
+        return self.objects[label].oid
+
+
+def build_paper_database() -> PaperData:
+    """Load the base database described in the module docstring."""
+    schema = build_university_schema()
+    db = Database(schema, name="University")
+    data = PaperData(db)
+    objs = data.objects
+
+    def add(cls: str, label: str, **attrs) -> Entity:
+        entity = db.insert(cls, label, **attrs)
+        objs[label] = entity
+        return entity
+
+    # ------------------------------------------------------------------
+    # Departments
+    # ------------------------------------------------------------------
+    add("Department", "d1", name="CIS", college="Engineering")
+    add("Department", "d2", name="Math", college="Liberal Arts")
+    add("Department", "d3", name="EE", college="Engineering")
+
+    # ------------------------------------------------------------------
+    # Courses (c# values chosen so Query 3.2's 6000-level filter and rule
+    # R5's "< 5000" filter both have matches and non-matches)
+    # ------------------------------------------------------------------
+    add("Course", "c1", **{"c#": 6100, "title": "Database Systems",
+                           "credit_hours": 3})
+    add("Course", "c2", **{"c#": 3000, "title": "Data Structures",
+                           "credit_hours": 3})
+    add("Course", "c3", **{"c#": 4000, "title": "Calculus",
+                           "credit_hours": 4})
+    add("Course", "c4", **{"c#": 6700, "title": "Expert Systems",
+                           "credit_hours": 3})
+    db.associate(objs["c1"], "department", objs["d1"])
+    db.associate(objs["c2"], "department", objs["d1"])
+    db.associate(objs["c3"], "department", objs["d2"])
+    db.associate(objs["c4"], "department", objs["d1"])
+    # Prereq self-association: Expert Systems <- Database Systems <- Data
+    # Structures (a chain the transitive-closure examples traverse).
+    db.associate(objs["c4"], "prereq", objs["c1"])
+    db.associate(objs["c1"], "prereq", objs["c2"])
+
+    # ------------------------------------------------------------------
+    # Sections — Figure 3.1b plus s6/s7 for the Grad-teaching-grad loop
+    # ------------------------------------------------------------------
+    add("Section", "s2", **{"section#": 1, "textbook": "Ullman"})
+    add("Section", "s3", **{"section#": 2, "textbook": "Date"})
+    add("Section", "s4", **{"section#": 3, "textbook": "Knuth"})
+    add("Section", "s5", **{"section#": 4, "textbook": "Korth"})
+    add("Section", "s6", **{"section#": 5, "textbook": "Aho"})
+    add("Section", "s7", **{"section#": 6, "textbook": "Sedgewick"})
+    # Figure 3.1b course links: s3 relates to two courses (the waived 1:N
+    # constraint), s4 to none.
+    db.associate(objs["s2"], "course", objs["c1"])
+    db.associate(objs["s3"], "course", objs["c1"])
+    db.associate(objs["s3"], "course", objs["c2"])
+    db.associate(objs["s5"], "course", objs["c4"])
+    db.associate(objs["s6"], "course", objs["c2"])
+    db.associate(objs["s7"], "course", objs["c2"])
+
+    # ------------------------------------------------------------------
+    # Teachers — Figure 3.1b: t4 teaches nothing
+    # ------------------------------------------------------------------
+    add("Teacher", "t1", **{"SS#": "100-00-0001", "name": "Smith",
+                            "degree": "PhD"})
+    add("Teacher", "t2", **{"SS#": "100-00-0002", "name": "Jones",
+                            "degree": "PhD"})
+    add("Teacher", "t3", **{"SS#": "100-00-0003", "name": "Chen",
+                            "degree": "MS"})
+    add("Teacher", "t4", **{"SS#": "100-00-0004", "name": "Silva",
+                            "degree": "PhD"})
+    db.associate(objs["t1"], "teaches", objs["s2"])
+    db.associate(objs["t2"], "teaches", objs["s3"])
+    db.associate(objs["t3"], "teaches", objs["s4"])
+
+    # ------------------------------------------------------------------
+    # Faculty and graduate students
+    # ------------------------------------------------------------------
+    add("Faculty", "f1", **{"SS#": "200-00-0001", "name": "Su",
+                            "degree": "PhD", "rank": "Professor"})
+    add("Faculty", "f2", **{"SS#": "200-00-0002", "name": "Lam",
+                            "degree": "PhD",
+                            "rank": "Associate Professor"})
+    add("Grad", "g1", **{"SS#": "300-00-0001", "name": "Adams",
+                         "GPA": 3.6})
+    add("Grad", "g2", **{"SS#": "300-00-0002", "name": "Baker",
+                         "GPA": 2.9})
+    add("TA", "ta1", **{"SS#": "300-00-0003", "name": "Quinn",
+                        "GPA": 3.2, "degree": "BS"})
+    add("TA", "ta2", **{"SS#": "300-00-0004", "name": "Reyes",
+                        "GPA": 3.8, "degree": "BS"})
+    add("RA", "ra1", **{"SS#": "300-00-0005", "name": "Ivanov",
+                        "GPA": 3.4, "project": "OSAM*"})
+    add("Undergrad", "u1", **{"SS#": "400-00-0001", "name": "Young",
+                              "GPA": 3.1, "year": 2})
+    add("Undergrad", "u2", **{"SS#": "400-00-0002", "name": "Zhou",
+                              "GPA": 3.9, "year": 3})
+    for grad in ("g1", "g2", "ta1", "ta2", "ra1"):
+        db.associate(objs[grad], "Major", objs["d1"])
+
+    # Both TAs teach a Section of the Database Systems course (rule R4),
+    # and each additionally teaches a Data Structures section in which
+    # other grads are enrolled (rule R6's Grad-teaching-grad hierarchy:
+    # ta1 -> {ta2, g2} via s6, ta2 -> {g1} via s7 and s3).
+    db.associate(objs["ta1"], "teaches", objs["s3"])
+    db.associate(objs["ta2"], "teaches", objs["s3"])
+    db.associate(objs["ta1"], "teaches", objs["s6"])
+    db.associate(objs["ta2"], "teaches", objs["s7"])
+    db.associate(objs["g1"], "enrolled", objs["s3"])
+    db.associate(objs["ta2"], "enrolled", objs["s6"])
+    db.associate(objs["g2"], "enrolled", objs["s6"])
+    db.associate(objs["g1"], "enrolled", objs["s7"])
+    db.associate(objs["ra1"], "enrolled", objs["s2"])
+    db.associate(objs["u1"], "enrolled", objs["s2"])
+    db.associate(objs["u2"], "enrolled", objs["s3"])
+
+    # ------------------------------------------------------------------
+    # A student body sized so that rule R2's verbatim threshold (more
+    # than 39 students enrolled in a CIS course) is met by c1 only:
+    # c1 draws 25 (s2) + 20 (s3) + the named students above, c2 stays
+    # well under 40.
+    # ------------------------------------------------------------------
+    for i in range(1, 26):
+        student = add("Student", f"st{i}",
+                      **{"SS#": f"500-00-{i:04d}",
+                         "name": f"Student{i}",
+                         "GPA": 2.0 + (i % 20) / 10.0})
+        db.associate(student, "enrolled", objs["s2"])
+        db.associate(student, "Major", objs["d1" if i % 2 else "d2"])
+    for i in range(26, 46):
+        student = add("Student", f"st{i}",
+                      **{"SS#": f"500-00-{i:04d}",
+                         "name": f"Student{i}",
+                         "GPA": 2.0 + (i % 20) / 10.0})
+        db.associate(student, "enrolled", objs["s3"])
+        db.associate(student, "Major", objs["d1" if i % 2 else "d2"])
+
+    # ------------------------------------------------------------------
+    # Transcripts (grades on the 4.0 scale; B = 3.0 — see schema module)
+    # ------------------------------------------------------------------
+    transcripts = [
+        ("tr1", "g1", "c2", 3.7, "A-"),
+        ("tr2", "ta1", "c2", 4.0, "A"),
+        ("tr3", "g2", "c2", 2.0, "C"),
+        ("tr4", "ta2", "c2", 3.5, "B+"),
+        ("tr5", "g1", "c3", 3.0, "B"),
+    ]
+    for label, student, course, grade, letter in transcripts:
+        record = add("Transcript", label, grade=grade, letter=letter)
+        db.associate(record, "student", objs[student])
+        db.associate(record, "course", objs[course])
+
+    # ------------------------------------------------------------------
+    # Advising (faculty advises grad)
+    # ------------------------------------------------------------------
+    a1 = add("Advising", "a1")
+    db.associate(a1, "faculty", objs["f1"])
+    db.associate(a1, "grad", objs["ta1"])
+    a2 = add("Advising", "a2")
+    db.associate(a2, "faculty", objs["f2"])
+    db.associate(a2, "grad", objs["g1"])
+
+    return data
+
+
+def build_sdb(data: PaperData, name: str = "SDB") -> Subdatabase:
+    """The subdatabase SDB of Figure 3.1 over the paper database."""
+    intension = IntensionalPattern(
+        [ClassRef("Teacher"), ClassRef("Section"), ClassRef("Course")],
+        [Edge(0, 1, "base", "teaches"), Edge(1, 2, "base", "course")])
+    oid = data.oid
+    patterns = [
+        ExtensionalPattern([oid("t1"), oid("s2"), oid("c1")]),
+        ExtensionalPattern([oid("t2"), oid("s3"), oid("c1")]),
+        ExtensionalPattern([oid("t2"), oid("s3"), oid("c2")]),
+        ExtensionalPattern([oid("t3"), oid("s4"), None]),
+        ExtensionalPattern([None, oid("s5"), oid("c4")]),
+        ExtensionalPattern([oid("t4"), None, None]),
+        ExtensionalPattern([None, None, oid("c3")]),
+    ]
+    return Subdatabase(name, intension, patterns)

@@ -1,0 +1,155 @@
+"""A seeded, scale-parameterized University data generator.
+
+Benchmarks need databases orders of magnitude larger than the paper's
+figure; :func:`generate_university` builds one deterministically from a
+:class:`GeneratorConfig` (same seed, same database).  The shape mirrors
+the paper database: departments own courses, courses have sections,
+teachers (some of them TAs) teach sections, students enroll, grads hold
+transcripts and advising relationships.
+
+For the transitive-closure benchmarks the course ``prereq``
+self-association is populated as a random DAG (edges always point from a
+higher-numbered course to a lower-numbered one, so the paper's acyclicity
+assumption holds); ``prereq_cyclic=True`` adds back-edges for exercising
+``on_cycle='stop'``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.model.database import Database
+from repro.model.objects import Entity
+from repro.university.schema import build_university_schema
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for :func:`generate_university`."""
+
+    departments: int = 3
+    courses: int = 20
+    sections_per_course: int = 2
+    teachers: int = 10
+    students: int = 200
+    enrollments_per_student: int = 3
+    tas: int = 4
+    grads: int = 20
+    faculty: int = 5
+    transcripts_per_grad: int = 2
+    prereqs_per_course: int = 1
+    prereq_cyclic: bool = False
+    seed: int = 42
+
+
+@dataclass
+class GeneratedData:
+    """The generated database plus per-class object lists."""
+
+    db: Database
+    by_class: Dict[str, List[Entity]]
+
+    def all_of(self, cls: str) -> List[Entity]:
+        return self.by_class.get(cls, [])
+
+
+def generate_university(config: GeneratorConfig) -> GeneratedData:
+    """Build a deterministic University database of the configured size."""
+    rng = random.Random(config.seed)
+    schema = build_university_schema()
+    db = Database(schema, name=f"University(seed={config.seed})")
+    by_class: Dict[str, List[Entity]] = {}
+
+    def add(cls: str, label: str, **attrs) -> Entity:
+        entity = db.insert(cls, label, **attrs)
+        by_class.setdefault(cls, []).append(entity)
+        return entity
+
+    departments = [
+        add("Department", f"d{i}", name=f"Dept{i}",
+            college=f"College{i % 3}")
+        for i in range(config.departments)]
+
+    courses = []
+    for i in range(config.courses):
+        course = add("Course", f"c{i}",
+                     **{"c#": 1000 + i * 37 % 7000,
+                        "title": f"Course {i}",
+                        "credit_hours": 1 + i % 5})
+        db.associate(course, "department",
+                     departments[i % len(departments)])
+        courses.append(course)
+
+    # Prerequisite DAG (optionally with cycles).
+    for i, course in enumerate(courses):
+        for _ in range(config.prereqs_per_course):
+            if i > 0:
+                target = courses[rng.randrange(i)]
+                db.associate(course, "prereq", target)
+        if config.prereq_cyclic and i > 0 and rng.random() < 0.3:
+            db.associate(courses[rng.randrange(i)], "prereq", course)
+
+    sections = []
+    for i, course in enumerate(courses):
+        for j in range(config.sections_per_course):
+            section = add("Section", f"s{i}_{j}",
+                          **{"section#": j + 1,
+                             "textbook": f"Book{(i + j) % 11}"})
+            db.associate(section, "course", course)
+            sections.append(section)
+
+    teachers = [
+        add("Teacher", f"t{i}",
+            **{"SS#": f"1-{i:06d}", "name": f"Teacher{i}",
+               "degree": rng.choice(["PhD", "MS"])})
+        for i in range(config.teachers)]
+    faculty = [
+        add("Faculty", f"f{i}",
+            **{"SS#": f"2-{i:06d}", "name": f"Faculty{i}",
+               "degree": "PhD",
+               "rank": rng.choice(["Assistant", "Associate", "Full"])})
+        for i in range(config.faculty)]
+    grads = [
+        add("Grad", f"g{i}",
+            **{"SS#": f"3-{i:06d}", "name": f"Grad{i}",
+               "GPA": round(2.0 + rng.random() * 2.0, 2)})
+        for i in range(config.grads)]
+    tas = [
+        add("TA", f"ta{i}",
+            **{"SS#": f"4-{i:06d}", "name": f"TA{i}",
+               "GPA": round(2.0 + rng.random() * 2.0, 2),
+               "degree": "BS"})
+        for i in range(config.tas)]
+
+    teaching_pool = teachers + faculty + tas
+    for section in sections:
+        db.associate(rng.choice(teaching_pool), "teaches", section)
+
+    students = [
+        add("Student", f"st{i}",
+            **{"SS#": f"5-{i:06d}", "name": f"Student{i}",
+               "GPA": round(2.0 + rng.random() * 2.0, 2)})
+        for i in range(config.students)]
+    for student in students + grads:
+        db.associate(student, "Major", rng.choice(departments))
+        picks = rng.sample(sections,
+                           min(config.enrollments_per_student,
+                               len(sections)))
+        for section in picks:
+            db.associate(student, "enrolled", section)
+
+    for index, grad in enumerate(grads + tas):
+        for j in range(config.transcripts_per_grad):
+            record = add("Transcript", f"tr{index}_{j}",
+                         grade=round(2.0 + rng.random() * 2.0, 1),
+                         letter=rng.choice(["A", "B", "C"]))
+            db.associate(record, "student", grad)
+            db.associate(record, "course", rng.choice(courses))
+        if faculty:
+            advising = add("Advising", f"a{index}")
+            db.associate(advising, "faculty", rng.choice(faculty))
+            db.associate(advising, "grad", grad)
+
+    return GeneratedData(db, by_class)

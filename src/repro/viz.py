@@ -1,0 +1,137 @@
+"""Graphviz (DOT) renderings of schemas and subdatabases.
+
+The paper's group built G-OQL, a graphics interface to OQL (TY88); this
+module is its batch-mode analogue: emit DOT text for the diagrams the
+paper draws, without requiring graphviz at runtime —
+
+* :func:`schema_to_dot` — the S-diagram (Figure 2.1): E-classes as
+  boxes, D-classes as ellipses, aggregation links as labeled arrows,
+  generalization links as hollow-arrow edges, I/X declarations as
+  diamond fan-outs;
+* :func:`intension_to_dot` — a subdatabase's intensional association
+  pattern (Figure 3.1a), derived direct associations dashed;
+* :func:`extension_to_dot` — a subdatabase's extensional diagram
+  (Figure 3.1b): object nodes grouped per class with the extensional
+  links between pattern components.
+
+Render with ``dot -Tsvg out.dot -o out.svg`` (or any DOT viewer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.model.associations import AssociationKind
+from repro.model.schema import Schema
+from repro.subdb.subdatabase import Subdatabase
+
+
+def _quote(text: str) -> str:
+    escaped = str(text).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def schema_to_dot(schema: Schema, name: Optional[str] = None) -> str:
+    """The S-diagram as a DOT digraph."""
+    lines: List[str] = [
+        f"digraph {_quote(name or schema.name)} {{",
+        "  rankdir=BT;",
+        "  node [fontname=Helvetica];",
+    ]
+    for cls in schema.eclass_names:
+        lines.append(f"  {_quote(cls)} [shape=box];")
+    used_dclasses: Set[str] = set()
+    for link in schema.aggregations():
+        if link.target in schema.dclass_names:
+            used_dclasses.add(link.target)
+    for dclass in sorted(used_dclasses):
+        lines.append(
+            f"  {_quote('D:' + dclass)} [shape=ellipse, "
+            f"label={_quote(dclass)}];")
+    for link in schema.aggregations():
+        target = link.target
+        target_node = f"D:{target}" if target in schema.dclass_names \
+            else target
+        style = ""
+        if link.kind is AssociationKind.COMPOSITION:
+            style = ", arrowhead=diamond"
+        elif link.kind in (AssociationKind.INTERACTION,
+                           AssociationKind.CROSSPRODUCT):
+            style = ", style=dotted"
+        card = "*" if link.many else "1"
+        lines.append(
+            f"  {_quote(link.owner)} -> {_quote(target_node)} "
+            f"[label={_quote(f'{link.kind.value}:{link.name}[{card}]')}"
+            f"{style}];")
+    for g in schema.generalizations():
+        lines.append(
+            f"  {_quote(g.subclass)} -> {_quote(g.superclass)} "
+            f"[arrowhead=onormal, label=\"G\"];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def intension_to_dot(subdb: Subdatabase) -> str:
+    """A subdatabase's intensional pattern (Figure 3.1a / 4.3a style)."""
+    lines = [f"digraph {_quote(subdb.name)} {{",
+             "  rankdir=LR;",
+             "  node [shape=box, fontname=Helvetica];"]
+    for ref in subdb.intension.slots:
+        lines.append(f"  {_quote(ref.slot)};")
+    for edge in subdb.intension.edges:
+        a = subdb.intension.slots[edge.i].slot
+        b = subdb.intension.slots[edge.j].slot
+        style = ", style=dashed" if edge.kind == "derived" else ""
+        lines.append(
+            f"  {_quote(a)} -> {_quote(b)} [dir=none, "
+            f"label={_quote(edge.label)}{style}];")
+    for info in subdb.derived_info.values():
+        lines.append(
+            f"  {_quote(str(info.source))} [shape=box, "
+            f"style=rounded];")
+        inner = info.ref.slot.split(":", 1)[-1]
+        lines.append(
+            f"  {_quote(inner)} -> {_quote(str(info.source))} "
+            f"[arrowhead=onormal, label=\"G (induced)\", style=bold];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def extension_to_dot(subdb: Subdatabase) -> str:
+    """A subdatabase's extensional diagram (Figure 3.1b style): object
+    nodes in one rank per class, links from the patterns' adjacent
+    non-null components."""
+    intension = subdb.intension
+    lines = [f"digraph {_quote(subdb.name + '_extension')} {{",
+             "  rankdir=LR;",
+             "  node [shape=circle, fontname=Helvetica, "
+             "fixedsize=false];"]
+    # One subgraph (same rank) per slot.
+    per_slot: Dict[int, Set[str]] = {i: set()
+                                     for i in range(len(intension))}
+    for pattern in subdb.patterns:
+        for i, value in enumerate(pattern.values):
+            if value is not None:
+                per_slot[i].add(repr(value))
+    for i, ref in enumerate(intension.slots):
+        lines.append(f"  subgraph {_quote('cluster_' + ref.slot)} {{")
+        lines.append(f"    label={_quote(ref.slot)};")
+        for node in sorted(per_slot[i]):
+            lines.append(f"    {_quote(f'{i}:{node}')} "
+                         f"[label={_quote(node)}];")
+        lines.append("  }")
+    drawn: Set[tuple] = set()
+    for pattern in subdb.patterns:
+        for edge in intension.edges:
+            a, b = pattern[edge.i], pattern[edge.j]
+            if a is None or b is None:
+                continue
+            key = (edge.i, repr(a), edge.j, repr(b))
+            if key in drawn:
+                continue
+            drawn.add(key)
+            lines.append(
+                f"  {_quote(f'{edge.i}:{a!r}')} -> "
+                f"{_quote(f'{edge.j}:{b!r}')} [dir=none];")
+    lines.append("}")
+    return "\n".join(lines)

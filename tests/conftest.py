@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+``paper`` builds the paper database fresh per test (tests mutate it);
+``universe``/``qp`` wrap it for OQL-level tests; ``engine`` gives a rule
+engine with no rules loaded.  ``tiny_generated`` is a small deterministic
+generated database for integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryProcessor, RuleEngine, Universe
+from repro.university import (
+    GeneratorConfig,
+    build_paper_database,
+    build_sdb,
+    generate_university,
+)
+
+
+@pytest.fixture
+def paper():
+    return build_paper_database()
+
+
+@pytest.fixture
+def universe(paper):
+    return Universe(paper.db)
+
+
+@pytest.fixture
+def qp(universe):
+    return QueryProcessor(universe)
+
+
+@pytest.fixture
+def sdb(paper, universe):
+    subdb = build_sdb(paper)
+    universe.register(subdb)
+    return subdb
+
+
+@pytest.fixture
+def engine(paper):
+    return RuleEngine(paper.db)
+
+
+@pytest.fixture(scope="session")
+def tiny_generated():
+    return generate_university(GeneratorConfig(
+        departments=2, courses=8, sections_per_course=2, teachers=5,
+        students=30, enrollments_per_student=2, tas=2, grads=6,
+        faculty=3, transcripts_per_grad=2, seed=7))
+
+
+def labels(subdb):
+    """Patterns of a subdatabase as sorted tuples of OID labels."""
+    return sorted(subdb.labels(), key=lambda t: tuple(str(x) for x in t))

@@ -1,0 +1,112 @@
+"""Tests for the subdatabase set algebra."""
+
+import pytest
+
+from repro.errors import OQLSemanticError
+from repro.model.oid import OID
+from repro.subdb.algebra import (
+    difference,
+    intersection,
+    restrict,
+    symmetric_difference,
+    union,
+)
+from repro.subdb.intension import IntensionalPattern
+from repro.subdb.pattern import ExtensionalPattern
+from repro.subdb.refs import ClassRef
+from repro.subdb.subdatabase import Subdatabase
+
+
+def P(*values):
+    return ExtensionalPattern([None if v is None else OID(v)
+                               for v in values])
+
+
+def make(name, slots, patterns):
+    return Subdatabase(name,
+                       IntensionalPattern([ClassRef.parse(s)
+                                           for s in slots]),
+                       patterns)
+
+
+@pytest.fixture
+def ab():
+    a = make("A1", ["X", "Y"], [P(1, 2), P(3, 4)])
+    b = make("A2", ["X", "Y"], [P(3, 4), P(5, 6)])
+    return a, b
+
+
+class TestUnion:
+    def test_basic(self, ab):
+        a, b = ab
+        assert union(a, b).patterns == {P(1, 2), P(3, 4), P(5, 6)}
+
+    def test_subsumption_applied(self):
+        a = make("A", ["X", "Y"], [P(1, None)])
+        b = make("B", ["X", "Y"], [P(1, 2)])
+        assert union(a, b).patterns == {P(1, 2)}
+
+    def test_alignment_by_slot_name(self):
+        a = make("A", ["X", "Y"], [P(1, 2)])
+        b = make("B", ["Y", "X"], [P(2, 1)])  # same pattern, swapped
+        assert union(a, b).patterns == {P(1, 2)}
+
+    def test_incompatible_slots_rejected(self):
+        a = make("A", ["X", "Y"], [])
+        b = make("B", ["X", "Z"], [])
+        with pytest.raises(OQLSemanticError):
+            union(a, b)
+
+    def test_custom_name(self, ab):
+        a, b = ab
+        assert union(a, b, name="combined").name == "combined"
+
+
+class TestIntersectionDifference:
+    def test_intersection(self, ab):
+        a, b = ab
+        assert intersection(a, b).patterns == {P(3, 4)}
+
+    def test_difference(self, ab):
+        a, b = ab
+        assert difference(a, b).patterns == {P(1, 2)}
+        assert difference(b, a).patterns == {P(5, 6)}
+
+    def test_symmetric_difference(self, ab):
+        a, b = ab
+        assert symmetric_difference(a, b).patterns == {P(1, 2), P(5, 6)}
+
+    def test_null_components_compare_exactly(self):
+        a = make("A", ["X", "Y"], [P(1, None)])
+        b = make("B", ["X", "Y"], [P(1, 2)])
+        assert intersection(a, b).patterns == set()
+
+
+class TestRestrict:
+    def test_predicate_filtering(self, ab):
+        a, _ = ab
+        result = restrict(a, lambda p: p[0].value > 1)
+        assert result.patterns == {P(3, 4)}
+
+    def test_derived_info_preserved(self):
+        from repro.subdb.derived import DerivedClassInfo
+        info = {"X": DerivedClassInfo(ClassRef("X", "S"), ClassRef("X"))}
+        a = Subdatabase("A",
+                        IntensionalPattern([ClassRef("X")]),
+                        [P(1)], info)
+        assert restrict(a, lambda p: True).derived_info == info
+
+
+class TestEndToEnd:
+    def test_diff_two_snapshots_of_a_derived_result(self):
+        from repro.rules.engine import RuleEngine
+        from repro.university import build_paper_database
+        data = build_paper_database()
+        engine = RuleEngine(data.db)
+        engine.add_rule("if context Teacher * Section then TS "
+                        "(Teacher, Section)")
+        before = engine.derive("TS")
+        data.db.associate(data["t4"], "teaches", data["s5"])
+        after = engine.derive("TS", force=True)
+        delta = symmetric_difference(after, before)
+        assert delta.labels() == {("t4", "s5")}

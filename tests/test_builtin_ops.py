@@ -1,0 +1,60 @@
+"""Tests for the built-in operation-clause operations."""
+
+import pytest
+
+from repro.oql.query import QueryProcessor
+from repro.subdb.universe import Universe
+from repro.university import build_paper_database, build_sdb
+
+
+@pytest.fixture
+def qp():
+    data = build_paper_database()
+    universe = Universe(data.db)
+    universe.register(build_sdb(data))
+    return QueryProcessor(universe)
+
+
+class TestBuiltins:
+    def test_count(self, qp):
+        result = qp.execute("context SDB:Teacher * SDB:Section "
+                            "select name count()")
+        assert result.op_result == 3
+
+    def test_to_csv(self, qp):
+        result = qp.execute("context SDB:Teacher * SDB:Section "
+                            "select name section# to_csv()")
+        lines = result.op_result.strip().splitlines()
+        assert lines[0] == "SDB:Teacher.name,SDB:Section.section#"
+        assert "Smith,1" in lines
+
+    def test_to_csv_renders_null_empty(self, qp):
+        result = qp.execute("context {{Grad} * Advising} * Faculty "
+                            "select Grad[name] Faculty[name] to_csv()")
+        assert any(line.endswith(",") for line in
+                   result.op_result.strip().splitlines()[1:])
+
+    def test_describe(self, qp):
+        result = qp.execute("context SDB:Teacher * SDB:Section describe()")
+        assert "classes: SDB:Teacher, SDB:Section" in result.op_result
+
+    def test_to_dot(self, qp):
+        result = qp.execute("context SDB:Teacher * SDB:Section to_dot()")
+        assert result.op_result.startswith("digraph")
+
+    def test_custom_registry_replaces_builtins(self):
+        from repro.errors import OQLSemanticError
+        from repro.oql.operations import OperationRegistry
+        data = build_paper_database()
+        qp = QueryProcessor(Universe(data.db),
+                            operations=OperationRegistry())
+        with pytest.raises(OQLSemanticError):
+            qp.execute("context Teacher count()")
+
+    def test_builtins_usable_through_engine(self):
+        from repro.rules.engine import RuleEngine
+        data = build_paper_database()
+        engine = RuleEngine(data.db)
+        engine.add_rule("if context Teacher * Section then TS (Teacher)")
+        result = engine.query("context TS:Teacher count()")
+        assert result.op_result == 5

@@ -1,0 +1,92 @@
+"""Unit tests for condition evaluation semantics."""
+
+import pytest
+
+from repro.errors import OQLSemanticError
+from repro.oql.ast import (
+    AttrRef,
+    BoolOp,
+    Comparison,
+    Literal,
+    NotOp,
+)
+from repro.oql.conditions import compare, evaluate
+
+
+class TestCompare:
+    def test_equality_within_types(self):
+        assert compare(3, "=", 3)
+        assert not compare(3, "=", 4)
+        assert compare("a", "=", "a")
+
+    def test_equality_across_types_is_false(self):
+        assert not compare(3, "=", "3")
+        assert compare(3, "!=", "3")
+
+    def test_null_equality(self):
+        assert compare(None, "=", None)
+        assert compare(None, "!=", 3)
+        assert not compare(None, "=", 3)
+
+    def test_null_ordering_is_false(self):
+        assert not compare(None, "<", 3)
+        assert not compare(3, ">=", None)
+
+    def test_numeric_ordering_mixes_int_float(self):
+        assert compare(3, "<", 3.5)
+        assert compare(4.0, ">=", 4)
+
+    def test_string_ordering(self):
+        assert compare("apple", "<", "banana")
+
+    def test_ordering_across_types_raises(self):
+        with pytest.raises(OQLSemanticError):
+            compare(3, "<", "x")
+
+    def test_bool_is_not_a_number_for_ordering(self):
+        with pytest.raises(OQLSemanticError):
+            compare(True, "<", 3)
+
+    def test_all_ordering_operators(self):
+        assert compare(1, "<", 2)
+        assert compare(2, "<=", 2)
+        assert compare(3, ">", 2)
+        assert compare(3, ">=", 3)
+
+    def test_unknown_operator(self):
+        with pytest.raises(OQLSemanticError):
+            compare(1, "~", 2)
+
+
+class TestEvaluate:
+    def getter(self, values):
+        return lambda ref: values.get(ref.attr)
+
+    def test_comparison_with_getter(self):
+        cond = Comparison(AttrRef("x"), ">", Literal(10))
+        assert evaluate(cond, self.getter({"x": 11}))
+        assert not evaluate(cond, self.getter({"x": 9}))
+
+    def test_attr_to_attr(self):
+        cond = Comparison(AttrRef("x"), "=", AttrRef("y"))
+        assert evaluate(cond, self.getter({"x": 5, "y": 5}))
+
+    def test_and_or(self):
+        cond = BoolOp("and", (
+            Comparison(AttrRef("x"), ">", Literal(0)),
+            BoolOp("or", (
+                Comparison(AttrRef("y"), "=", Literal("a")),
+                Comparison(AttrRef("y"), "=", Literal("b")),
+            ))))
+        assert evaluate(cond, self.getter({"x": 1, "y": "b"}))
+        assert not evaluate(cond, self.getter({"x": 1, "y": "c"}))
+
+    def test_not(self):
+        cond = NotOp(Comparison(AttrRef("x"), "=", Literal(1)))
+        assert evaluate(cond, self.getter({"x": 2}))
+
+    def test_missing_attribute_value_behaves_as_null(self):
+        cond = Comparison(AttrRef("x"), "<", Literal(3))
+        assert not evaluate(cond, self.getter({}))
+        is_null = Comparison(AttrRef("x"), "=", Literal(None))
+        assert evaluate(is_null, self.getter({}))

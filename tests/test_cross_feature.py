@@ -1,0 +1,123 @@
+"""Cross-feature integration: combinations the individual suites don't
+exercise — derived loop results queried externally, algebra over rule
+outputs, persistence of loop-derived hierarchies, incremental control
+with mixed rule sets, metrics through the engine."""
+
+import pytest
+
+from repro import RuleEngine, algebra
+from repro.storage import load_session, save_session
+from repro.university import build_paper_database
+
+
+@pytest.fixture
+def data():
+    return build_paper_database()
+
+
+@pytest.fixture
+def engine(data):
+    return RuleEngine(data.db)
+
+
+class TestLoopResultsAsSources:
+    def test_query_joins_base_class_to_hierarchy_class(self, engine):
+        engine.add_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then GG (Grad, Grad_)", label="R6")
+        # GG:Grad ranges over every hierarchy level; join to Advising.
+        result = engine.query(
+            "context GG:Grad * Advising * Faculty "
+            "select Grad[name] Faculty[name] display")
+        rows = set(result.table.rows)
+        assert ("Quinn", "Su") in rows       # ta1 (level 0) advised by f1
+        assert ("Adams", "Lam") in rows      # g1 (deep level) advised by f2
+
+    def test_rule_over_hierarchy_levels(self, engine):
+        engine.add_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then GG (Grad, Grad_)", label="R6")
+        engine.add_rule(
+            "if context GG:Grad_2 then Deep_students (Grad_2)",
+            label="DS")
+        subdb = engine.derive("Deep_students")
+        assert subdb.labels() == {("g1",)}
+
+    def test_hierarchy_persists_and_reloads(self, engine, data,
+                                            tmp_path):
+        engine.add_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then GG (Grad, Grad_)", label="R6")
+        engine.derive("GG")
+        restored = load_session(save_session(engine, tmp_path / "s.json"))
+        subdb = restored.universe.get_subdb("GG")
+        assert subdb.slot_names == ("Grad", "Grad_1", "Grad_2")
+        assert ("ta1", "ta2", "g1") in subdb.labels()
+
+
+class TestAlgebraOverRuleOutputs:
+    def test_difference_of_two_rule_variants(self, engine):
+        engine.add_rule("if context Teacher * Section * Course "
+                        "then All_tc (Teacher, Course)", label="A")
+        engine.add_rule("if context Teacher * Section * Course "
+                        "[c# >= 6000] then Grad_tc (Teacher, Course)",
+                        label="B")
+        all_tc = engine.derive("All_tc")
+        grad_tc = engine.derive("Grad_tc")
+        undergrad_only = algebra.difference(all_tc, grad_tc)
+        courses = {l[1] for l in undergrad_only.labels()}
+        assert "c1" not in courses
+        assert "c2" in courses
+
+    def test_union_matches_multi_rule_target(self, engine):
+        # algebra.union of two single-rule targets == one two-rule target.
+        engine.add_rule("if context TA * Teacher * Section then A_ts "
+                        "(TA, Section)", label="A")
+        engine.add_rule("if context RA * Grad * Section then B_ts "
+                        "(RA, Section)", label="B")
+        engine.add_rule("if context TA * Teacher * Section then Both "
+                        "(TA, Section)", label="C1")
+        engine.add_rule("if context RA * Grad * Section then Both "
+                        "(RA, Section)", label="C2")
+        merged_by_engine = engine.derive("Both")
+        assert merged_by_engine.slot_names == ("TA", "Section", "RA")
+        a = engine.derive("A_ts")   # slots (TA, Section)
+        b = engine.derive("B_ts")   # slots (RA, Section)
+        union_labels = {(ta, s, None) for ta, s in a.labels()} | \
+                       {(None, s, ra) for ra, s in b.labels()}
+        assert merged_by_engine.labels() == union_labels
+
+
+class TestIncrementalWithMixedRuleSets:
+    def test_eligible_and_ineligible_targets_coexist(self, data):
+        engine = RuleEngine(data.db, controller="incremental")
+        engine.add_rule("if context Teacher * Section then TS "
+                        "(Teacher, Section)", label="ok")
+        engine.add_rule(
+            "if context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 39 "
+            "then Agg (Course)", label="agg")
+        engine.refresh()
+        data.db.associate(data["t4"], "teaches", data["s5"])
+        # TS incrementally, Agg via full re-derivation; both fresh.
+        assert engine.stats.incremental_refreshes >= 1
+        ts = engine.universe.get_subdb("TS")
+        assert ("t4", "s5") in ts.labels()
+        assert engine.universe.has_subdb("Agg")
+
+
+class TestMetricsThroughEngine:
+    def test_query_metrics_available(self, engine):
+        engine.add_rule("if context Teacher * Section then TS "
+                        "(Teacher)", label="TS")
+        result = engine.query("context TS:Teacher select name")
+        assert result.metrics.patterns_out == len(result.subdatabase)
+
+    def test_explain_then_query_consistency(self, engine):
+        engine.add_rule("if context Teacher * Section then TS "
+                        "(Teacher)", label="TS")
+        plan = engine.explain("context TS:Teacher select name")
+        assert plan.derivation_order == ["TS"]
+        engine.query("context TS:Teacher select name")
+        plan_after = engine.explain("context TS:Teacher select name")
+        assert plan_after.derivation_order == []

@@ -1,0 +1,292 @@
+"""Unit tests for the extensional store: extents, links, constraints,
+and the update journal."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolationError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+from repro.model.database import Database, UpdateKind
+from repro.university.schema import build_university_schema
+
+
+@pytest.fixture
+def db():
+    return Database(build_university_schema())
+
+
+class TestInsert:
+    def test_insert_returns_entity(self, db):
+        t = db.insert("Teacher", name="Smith")
+        assert t.cls == "Teacher"
+        assert t["name"] == "Smith"
+
+    def test_unknown_class(self, db):
+        with pytest.raises(UnknownClassError):
+            db.insert("Ghost")
+
+    def test_unknown_attribute(self, db):
+        with pytest.raises(UnknownAttributeError):
+            db.insert("Teacher", salary=10)
+
+    def test_inherited_attribute_accepted(self, db):
+        ta = db.insert("TA", name="Quinn", GPA=3.5, degree="BS")
+        assert ta["GPA"] == 3.5
+
+    def test_domain_validation(self, db):
+        with pytest.raises(TypeMismatchError):
+            db.insert("Teacher", name=42)
+
+    def test_labels_on_oids(self, db):
+        t = db.insert("Teacher", "t1")
+        assert repr(t.oid) == "t1"
+
+    def test_len_counts_objects(self, db):
+        db.insert("Teacher")
+        db.insert("Course")
+        assert len(db) == 2
+
+
+class TestExtents:
+    def test_direct_extent(self, db):
+        t = db.insert("Teacher")
+        ta = db.insert("TA")
+        assert t.oid in db.direct_extent("Teacher")
+        assert ta.oid not in db.direct_extent("Teacher")
+
+    def test_extent_includes_subclasses(self, db):
+        ta = db.insert("TA")
+        assert ta.oid in db.extent("Teacher")
+        assert ta.oid in db.extent("Grad")
+        assert ta.oid in db.extent("Person")
+
+    def test_extent_excludes_siblings(self, db):
+        ra = db.insert("RA")
+        assert ra.oid not in db.extent("Teacher")
+
+    def test_is_instance_of(self, db):
+        ta = db.insert("TA")
+        assert db.is_instance_of(ta.oid, "Student")
+        assert not db.is_instance_of(ta.oid, "Faculty")
+
+    def test_unknown_class_extent(self, db):
+        with pytest.raises(UnknownClassError):
+            db.extent("Ghost")
+
+
+class TestDelete:
+    def test_delete_removes_from_extent(self, db):
+        t = db.insert("Teacher")
+        db.delete(t.oid)
+        assert t.oid not in db.extent("Teacher")
+
+    def test_delete_removes_links_both_directions(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section", **{"section#": 1})
+        db.associate(t, "teaches", s)
+        db.delete(s.oid)
+        link = db.schema.resolve_link("Teacher", "Section").link
+        assert db.linked(t.oid, link) == set()
+
+    def test_delete_unknown_oid(self, db):
+        t = db.insert("Teacher")
+        db.delete(t.oid)
+        with pytest.raises(UnknownObjectError):
+            db.delete(t.oid)
+
+
+class TestAttributes:
+    def test_get_set(self, db):
+        t = db.insert("Teacher", name="Smith")
+        db.set_attribute(t.oid, "name", "Jones")
+        assert db.get_attribute(t.oid, "name") == "Jones"
+
+    def test_set_validates_domain(self, db):
+        t = db.insert("Teacher", name="Smith")
+        with pytest.raises(TypeMismatchError):
+            db.set_attribute(t.oid, "name", 3)
+
+    def test_set_unknown_attribute(self, db):
+        t = db.insert("Teacher")
+        with pytest.raises(UnknownAttributeError):
+            db.set_attribute(t.oid, "salary", 1)
+
+    def test_unset_attribute_reads_none(self, db):
+        t = db.insert("Teacher")
+        assert db.get_attribute(t.oid, "name") is None
+
+    def test_attributes_copy_is_isolated(self, db):
+        t = db.insert("Teacher", name="Smith")
+        snapshot = t.attributes
+        snapshot["name"] = "Hacked"
+        assert t["name"] == "Smith"
+
+
+class TestLinks:
+    def test_associate_and_traverse(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        db.associate(t, "teaches", s)
+        link = db.schema.resolve_link("Teacher", "Section").link
+        assert db.linked(t.oid, link, from_owner=True) == {s.oid}
+        assert db.linked(s.oid, link, from_owner=False) == {t.oid}
+
+    def test_inherited_association_usable_by_subclass(self, db):
+        ta = db.insert("TA")
+        s = db.insert("Section")
+        db.associate(ta, "teaches", s)  # inherited from Teacher
+        link = db.schema.resolve_link("Teacher", "Section").link
+        assert (ta.oid, s.oid) in db.link_pairs(link)
+
+    def test_target_membership_checked(self, db):
+        t = db.insert("Teacher")
+        c = db.insert("Course")
+        with pytest.raises(ConstraintViolationError):
+            db.associate(t, "teaches", c)
+
+    def test_unknown_association_name(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        with pytest.raises(UnknownAttributeError):
+            db.associate(t, "advises", s)
+
+    def test_single_valued_cardinality_enforced(self, db):
+        tr = db.insert("Transcript")
+        s1 = db.insert("Student")
+        s2 = db.insert("Student")
+        db.associate(tr, "student", s1)
+        with pytest.raises(ConstraintViolationError):
+            db.associate(tr, "student", s2)
+
+    def test_single_valued_relink_same_target_is_idempotent(self, db):
+        tr = db.insert("Transcript")
+        s1 = db.insert("Student")
+        db.associate(tr, "student", s1)
+        db.associate(tr, "student", s1)  # no error
+        link = next(l for l in db.schema.aggregations()
+                    if l.key == ("Transcript", "student"))
+        assert db.link_count(link) == 1
+
+    def test_dissociate(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        db.associate(t, "teaches", s)
+        db.dissociate(t, "teaches", s)
+        link = db.schema.resolve_link("Teacher", "Section").link
+        assert db.linked(t.oid, link) == set()
+
+    def test_dissociate_nonexistent_link(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        with pytest.raises(ConstraintViolationError):
+            db.dissociate(t, "teaches", s)
+
+    def test_neighbors_identity(self, db):
+        from repro.model.schema import ResolvedLink
+        ta = db.insert("TA")
+        identity = ResolvedLink("identity")
+        assert db.neighbors(ta.oid, identity) == {ta.oid}
+
+    def test_neighbors_respects_resolution_direction(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        db.associate(t, "teaches", s)
+        fwd = db.schema.resolve_link("Teacher", "Section")
+        rev = db.schema.resolve_link("Section", "Teacher")
+        assert db.neighbors(t.oid, fwd, forward=True) == {s.oid}
+        assert db.neighbors(s.oid, rev, forward=True) == {t.oid}
+        assert db.neighbors(s.oid, fwd, forward=False) == {t.oid}
+
+
+class TestJournal:
+    def test_version_bumps_on_every_mutation(self, db):
+        v0 = db.version
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        db.associate(t, "teaches", s)
+        db.set_attribute(t.oid, "name", "X")
+        db.dissociate(t, "teaches", s)
+        db.delete(t.oid)
+        assert db.version == v0 + 6
+
+    def test_events_carry_kind_and_classes(self, db):
+        events = []
+        db.add_listener(events.append)
+        ta = db.insert("TA")
+        assert events[-1].kind is UpdateKind.INSERT
+        assert set(events[-1].classes) == {"TA", "Grad", "Teacher",
+                                           "Student", "Person"}
+
+    def test_associate_event_covers_both_ends(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        events = []
+        db.add_listener(events.append)
+        db.associate(t, "teaches", s)
+        assert {"Teacher", "Section"} <= set(events[-1].classes)
+
+    def test_remove_listener(self, db):
+        events = []
+        db.add_listener(events.append)
+        db.remove_listener(events.append.__self__ if False
+                           else events.append)
+        db.insert("Teacher")
+        assert events == []
+
+    def test_stats(self, db):
+        t = db.insert("Teacher")
+        s = db.insert("Section")
+        db.associate(t, "teaches", s)
+        stats = db.stats()
+        assert stats["objects"] == 2
+        assert stats["links"] == 1
+
+
+class TestBatch:
+    def test_batch_emits_single_combined_event(self, db):
+        events = []
+        db.add_listener(events.append)
+        with db.batch():
+            t = db.insert("Teacher")
+            s = db.insert("Section")
+            db.associate(t, "teaches", s)
+        assert len(events) == 1
+        assert events[0].kind is UpdateKind.BATCH
+        assert {"Teacher", "Section"} <= set(events[0].classes)
+
+    def test_batch_still_bumps_version_per_mutation(self, db):
+        v0 = db.version
+        with db.batch():
+            db.insert("Teacher")
+            db.insert("Teacher")
+        assert db.version == v0 + 2
+
+    def test_nested_batches_flatten(self, db):
+        events = []
+        db.add_listener(events.append)
+        with db.batch():
+            db.insert("Teacher")
+            with db.batch():
+                db.insert("Course")
+        assert len(events) == 1
+
+    def test_empty_batch_emits_nothing(self, db):
+        events = []
+        db.add_listener(events.append)
+        with db.batch():
+            pass
+        assert events == []
+
+    def test_event_emitted_even_when_body_raises(self, db):
+        events = []
+        db.add_listener(events.append)
+        with pytest.raises(RuntimeError):
+            with db.batch():
+                db.insert("Teacher")
+                raise RuntimeError("boom")
+        # The successful mutations still propagate to listeners.
+        assert len(events) == 1

@@ -1,0 +1,220 @@
+"""Unit tests for the relational algebra and the Datalog baseline."""
+
+import pytest
+
+from repro.baselines.datalog import (
+    Atom,
+    DatalogProgram,
+    DatalogRule,
+    is_variable,
+    naive_eval,
+    seminaive_eval,
+    transitive_closure_program,
+)
+from repro.baselines.export import extent_as_relation, links_as_relation
+from repro.baselines.relational import Relation
+from repro.errors import (
+    OQLSemanticError,
+    RuleSemanticError,
+    UnknownAssociationError,
+)
+from repro.university import build_paper_database
+
+
+class TestRelation:
+    def test_construction_checks_arity(self):
+        with pytest.raises(OQLSemanticError):
+            Relation("r", ("a", "b"), [(1,)])
+
+    def test_select(self):
+        r = Relation("r", ("a",), [(1,), (2,), (3,)])
+        assert r.select(lambda row: row[0] > 1).rows == {(2,), (3,)}
+
+    def test_project_reorders_and_dedups(self):
+        r = Relation("r", ("a", "b"), [(1, 9), (2, 9)])
+        assert r.project(["b"]).rows == {(9,)}
+        assert r.project(["b", "a"]).rows == {(9, 1), (9, 2)}
+
+    def test_project_unknown_column(self):
+        r = Relation("r", ("a",), [])
+        with pytest.raises(OQLSemanticError):
+            r.project(["z"])
+
+    def test_rename(self):
+        r = Relation("r", ("a", "b"), [(1, 2)])
+        assert r.rename({"a": "x"}).columns == ("x", "b")
+
+    def test_union_and_difference(self):
+        a = Relation("a", ("x",), [(1,), (2,)])
+        b = Relation("b", ("x",), [(2,), (3,)])
+        assert a.union(b).rows == {(1,), (2,), (3,)}
+        assert a.difference(b).rows == {(1,)}
+
+    def test_union_arity_mismatch(self):
+        a = Relation("a", ("x",), [])
+        b = Relation("b", ("x", "y"), [])
+        with pytest.raises(OQLSemanticError):
+            a.union(b)
+
+    def test_natural_join(self):
+        left = Relation("l", ("a", "b"), [(1, 2), (3, 4)])
+        right = Relation("r", ("b", "c"), [(2, 9), (4, 8), (5, 7)])
+        joined = left.join(right)
+        assert joined.columns == ("a", "b", "c")
+        assert joined.rows == {(1, 2, 9), (3, 4, 8)}
+
+    def test_join_without_shared_columns_is_cross_product(self):
+        left = Relation("l", ("a",), [(1,), (2,)])
+        right = Relation("r", ("b",), [(3,)])
+        assert left.join(right).rows == {(1, 3), (2, 3)}
+
+    def test_contains_and_len(self):
+        r = Relation("r", ("a",), [(1,)])
+        assert (1,) in r
+        assert len(r) == 1
+
+
+class TestDatalogBasics:
+    def test_variable_convention(self):
+        assert is_variable("X") and is_variable("Next")
+        assert not is_variable("x") and not is_variable(3)
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(RuleSemanticError):
+            DatalogRule(Atom("p", ("X", "Y")), (Atom("q", ("X",)),))
+
+    def test_single_rule_join(self):
+        # p(X, Z) :- e(X, Y), e(Y, Z)
+        program = DatalogProgram(
+            [DatalogRule(Atom("p", ("X", "Z")),
+                         (Atom("e", ("X", "Y")), Atom("e", ("Y", "Z"))))],
+            {"e": {(1, 2), (2, 3)}})
+        assert naive_eval(program)["p"] == {(1, 3)}
+
+    def test_constants_in_body(self):
+        program = DatalogProgram(
+            [DatalogRule(Atom("p", ("X",)), (Atom("e", (1, "X")),))],
+            {"e": {(1, 2), (3, 4)}})
+        assert naive_eval(program)["p"] == {(2,)}
+
+    def test_constants_in_head(self):
+        program = DatalogProgram(
+            [DatalogRule(Atom("p", ("ok", "X")), (Atom("e", ("X",)),))],
+            {"e": {(1,)}})
+        assert naive_eval(program)["p"] == {("ok", 1)}
+
+    def test_repeated_variable_in_atom(self):
+        # p(X) :- e(X, X)
+        program = DatalogProgram(
+            [DatalogRule(Atom("p", ("X",)), (Atom("e", ("X", "X")),))],
+            {"e": {(1, 1), (1, 2)}})
+        assert naive_eval(program)["p"] == {(1,)}
+
+
+class TestTransitiveClosure:
+    EDGES = [(1, 2), (2, 3), (3, 4), (2, 5)]
+    EXPECTED = {(1, 2), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4),
+                (2, 5), (3, 4)}
+
+    def test_naive(self):
+        program = transitive_closure_program(self.EDGES)
+        assert naive_eval(program)["tc"] == self.EXPECTED
+
+    def test_seminaive_agrees_with_naive(self):
+        program = transitive_closure_program(self.EDGES)
+        assert seminaive_eval(program)["tc"] == \
+            naive_eval(program)["tc"]
+
+    def test_cyclic_graph_terminates(self):
+        program = transitive_closure_program([(1, 2), (2, 1)])
+        result = seminaive_eval(program)["tc"]
+        assert result == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_empty_edges(self):
+        program = transitive_closure_program([])
+        assert seminaive_eval(program)["tc"] == set()
+
+    def test_long_chain(self):
+        edges = [(i, i + 1) for i in range(30)]
+        program = transitive_closure_program(edges)
+        result = seminaive_eval(program)["tc"]
+        assert len(result) == 30 * 31 // 2
+
+
+class TestExport:
+    def test_links_as_relation(self):
+        data = build_paper_database()
+        rel = links_as_relation(data.db, "Course", "prereq")
+        assert len(rel) == 2
+        values = {(a, b) for a, b in rel}
+        assert (data.oid("c4").value, data.oid("c1").value) in values
+
+    def test_unknown_link(self):
+        data = build_paper_database()
+        with pytest.raises(UnknownAssociationError):
+            links_as_relation(data.db, "Course", "nothing")
+
+    def test_extent_as_relation(self):
+        data = build_paper_database()
+        rel = extent_as_relation(data.db, "Department")
+        assert len(rel) == 3
+
+
+class TestDatalogParser:
+    def test_parse_and_evaluate_tc(self):
+        from repro.baselines.parser import parse_datalog
+        program = parse_datalog("""
+            % the classic transitive-closure program
+            edge(1, 2).  edge(2, 3).
+            edge(3, 4).
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- tc(X, Y), edge(Y, Z).
+        """)
+        result = seminaive_eval(program)["tc"]
+        assert (1, 4) in result
+        assert len(result) == 6
+
+    def test_constants_and_strings(self):
+        from repro.baselines.parser import parse_datalog
+        program = parse_datalog("""
+            parent('ann', 'bob').
+            parent('bob', 'cid').
+            grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+        """)
+        assert naive_eval(program)["grandparent"] == {("ann", "cid")}
+
+    def test_lowercase_idents_are_constants(self):
+        from repro.baselines.parser import parse_datalog
+        program = parse_datalog("""
+            likes(ann, bob).
+            mutual(X) :- likes(X, bob).
+        """)
+        assert naive_eval(program)["mutual"] == {("ann",)}
+
+    def test_negative_numbers(self):
+        from repro.baselines.parser import parse_datalog
+        program = parse_datalog("p(-3). q(X) :- p(X).")
+        assert naive_eval(program)["q"] == {(-3,)}
+
+    def test_fact_with_variable_rejected(self):
+        from repro.baselines.parser import parse_datalog
+        from repro.errors import OQLSyntaxError
+        with pytest.raises(OQLSyntaxError):
+            parse_datalog("edge(X, 2).")
+
+    def test_unsafe_rule_rejected(self):
+        from repro.baselines.parser import parse_datalog
+        from repro.errors import RuleSemanticError
+        with pytest.raises(RuleSemanticError):
+            parse_datalog("p(X, Y) :- q(X).")
+
+    def test_syntax_errors_carry_line(self):
+        from repro.baselines.parser import parse_datalog
+        from repro.errors import OQLSyntaxError
+        with pytest.raises(OQLSyntaxError):
+            parse_datalog("p(1)")  # missing period
+
+    def test_comments_ignored(self):
+        from repro.baselines.parser import parse_datalog
+        program = parse_datalog("% nothing\np(1). % trailing\n")
+        assert program.facts["p"] == {(1,)}

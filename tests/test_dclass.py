@@ -1,0 +1,63 @@
+"""Unit tests for domain classes."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.model.dclass import BOOLEAN, DClass, INTEGER, REAL, STRING
+
+
+class TestBuiltins:
+    def test_integer_accepts_int(self):
+        assert INTEGER.validate(7) == 7
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate("7")
+
+    def test_integer_rejects_bool(self):
+        # bool subclasses int in Python, but a boolean in an integer
+        # attribute is almost always an application bug.
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True)
+
+    def test_string_accepts_str(self):
+        assert STRING.validate("x") == "x"
+
+    def test_string_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            STRING.validate(7)
+
+    def test_real_accepts_float_and_int(self):
+        assert REAL.validate(3.5) == 3.5
+        assert REAL.validate(3) == 3
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            REAL.validate(False)
+
+    def test_boolean_accepts_bool(self):
+        assert BOOLEAN.validate(True) is True
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate(1)
+
+
+class TestCustomDomains:
+    def test_check_predicate_enforced(self):
+        grade = DClass("grade", str,
+                       check=lambda v: v in {"A", "B", "C", "D", "F"})
+        assert grade.validate("B") == "B"
+        with pytest.raises(TypeMismatchError):
+            grade.validate("Z")
+
+    def test_check_runs_after_type(self):
+        positive = DClass("positive", int, check=lambda v: v > 0)
+        with pytest.raises(TypeMismatchError):
+            positive.validate("not an int")
+        with pytest.raises(TypeMismatchError):
+            positive.validate(-3)
+        assert positive.validate(3) == 3
+
+    def test_repr(self):
+        assert "grade" in repr(DClass("grade", str))

@@ -1,0 +1,168 @@
+"""Unit tests for rule application: projection, induced generalization,
+derived direct associations, attribute subsetting, and multi-rule union."""
+
+import pytest
+
+from repro.oql.evaluator import PatternEvaluator
+from repro.rules.derivation import apply_rule, derive_target
+from repro.rules.rule import parse_rule
+from repro.subdb.refs import ClassRef
+from repro.subdb.universe import Universe
+from repro.university import build_paper_database, build_sdb
+
+
+@pytest.fixture
+def ctx():
+    data = build_paper_database()
+    universe = Universe(data.db)
+    universe.register(build_sdb(data))
+    return data, universe, PatternEvaluator(universe)
+
+
+class TestApplyRule:
+    def test_figure_43_derivation_over_sdb(self, ctx):
+        """R1 applied to the subdatabase SDB yields exactly Figure 4.3."""
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context SDB:Teacher * SDB:Section * SDB:Course "
+            "then Teacher_course (Teacher, Course)")
+        result = apply_rule(rule, evaluator)
+        assert result.labels() == {("t1", "c1"), ("t2", "c1"),
+                                   ("t2", "c2")}
+
+    def test_unreferenced_class_dropped(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context SDB:Teacher * SDB:Section * SDB:Course "
+            "then Teacher_course (Teacher, Course)")
+        result = apply_rule(rule, evaluator)
+        assert result.slot_names == ("Teacher", "Course")
+
+    def test_new_direct_association_derived(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context SDB:Teacher * SDB:Section * SDB:Course "
+            "then Teacher_course (Teacher, Course)")
+        result = apply_rule(rule, evaluator)
+        edge = result.intension.edge_between(0, 1)
+        assert edge.kind == "derived"
+
+    def test_existing_direct_association_kept(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context Teacher * Section * Course "
+            "then TS (Teacher, Section)")
+        result = apply_rule(rule, evaluator)
+        edge = result.intension.edge_between(0, 1)
+        assert edge.kind == "base"
+        assert edge.label == "teaches"
+
+    def test_induced_generalization_recorded(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context SDB:Teacher * SDB:Section * SDB:Course "
+            "then Teacher_course (Teacher, Course)")
+        result = apply_rule(rule, evaluator)
+        info = result.derived_info["Teacher"]
+        assert info.ref == ClassRef("Teacher", "Teacher_course")
+        assert info.source == ClassRef("Teacher", "SDB")
+
+    def test_attribute_subsetting_recorded(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context Teacher * Section * Course "
+            "then TC (Teacher [SS#, degree], Course)")
+        result = apply_rule(rule, evaluator)
+        assert result.derived_info["Teacher"].visible_attrs == \
+            ("SS#", "degree")
+
+    def test_patterns_deduplicated_after_projection(self, ctx):
+        _, universe, evaluator = ctx
+        # Teacher t2 teaches one section of two courses: projecting to
+        # (Teacher,) alone dedups to one pattern per teacher.
+        rule = parse_rule(
+            "if context SDB:Teacher * SDB:Section * SDB:Course "
+            "then T (Teacher)")
+        result = apply_rule(rule, evaluator)
+        assert result.labels() == {("t1",), ("t2",)}
+
+    def test_where_clause_filters_before_projection(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 39 "
+            "then Suggest_offer (Course)")
+        result = apply_rule(rule, evaluator)
+        assert result.labels() == {("c1",)}
+
+    def test_all_levels_expansion(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then GG (Grad, Grad_)")
+        result = apply_rule(rule, evaluator)
+        assert result.slot_names == ("Grad", "Grad_1", "Grad_2")
+        assert ("ta1", "ta2", "g1") in result.labels()
+
+    def test_hierarchy_edges_between_levels(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then GG (Grad, Grad_)")
+        result = apply_rule(rule, evaluator)
+        assert result.intension.edge_between(0, 1).kind == "derived"
+        assert result.intension.edge_between(1, 2).kind == "derived"
+
+    def test_unreached_level_yields_null_slot(self, ctx):
+        _, universe, evaluator = ctx
+        rule = parse_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then Deep (Grad, Grad_9)")
+        result = apply_rule(rule, evaluator)
+        assert "Grad_9" in result.slot_names
+        assert all(p[result.intension.index_of("Grad_9")] is None
+                   for p in result.patterns)
+
+
+class TestDeriveTarget:
+    def test_union_of_r4_r5(self, ctx):
+        _, universe, evaluator = ctx
+        r2 = parse_rule(
+            "if context Department[name = 'CIS'] * Course * Section * "
+            "Student where COUNT(Student by Course) > 39 "
+            "then Suggest_offer (Course)")
+        universe.register(apply_rule(r2, evaluator))
+        r4 = parse_rule(
+            "if context TA * Teacher * Section * Suggest_offer:Course "
+            "then May_teach (TA, Course)")
+        r5 = parse_rule(
+            "if context Grad * Transcript[grade >= 3.0] * "
+            "Course[c# < 5000] then May_teach (Grad, Course)")
+        result = derive_target([r4, r5], evaluator)
+        assert set(result.slot_names) == {"TA", "Course", "Grad"}
+        ta_rows = {(l[0], l[1]) for l in result.labels()
+                   if l[0] is not None}
+        assert ta_rows == {("ta1", "c1"), ("ta2", "c1")}
+        grad_rows = {(l[2], l[1]) for l in result.labels()
+                     if l[2] is not None}
+        assert grad_rows == {("g1", "c2"), ("ta1", "c2"), ("ta2", "c2"),
+                             ("g1", "c3")}
+
+    def test_mismatched_target_rejected(self, ctx):
+        _, _, evaluator = ctx
+        a = parse_rule("if context Teacher * Section then X (Teacher)")
+        b = parse_rule("if context Teacher * Section then Y (Teacher)")
+        from repro.errors import RuleSemanticError
+        with pytest.raises(RuleSemanticError):
+            derive_target([a, b], evaluator)
+
+    def test_empty_rule_list_rejected(self, ctx):
+        _, _, evaluator = ctx
+        from repro.errors import RuleSemanticError
+        with pytest.raises(RuleSemanticError):
+            derive_target([], evaluator)
+
+    def test_single_rule_passthrough(self, ctx):
+        _, _, evaluator = ctx
+        rule = parse_rule("if context Teacher * Section then X (Teacher)")
+        assert derive_target([rule], evaluator).name == "X"

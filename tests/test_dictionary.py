@@ -1,0 +1,59 @@
+"""Unit tests for the metadata dictionary."""
+
+import pytest
+
+from repro.model.dictionary import Dictionary
+from repro.university.schema import build_university_schema
+
+
+@pytest.fixture
+def catalog():
+    return Dictionary(build_university_schema())
+
+
+class TestClassInfo:
+    def test_structure(self, catalog):
+        info = catalog.class_info("TA")
+        assert info["name"] == "TA"
+        assert set(info["superclasses"]) == {"Grad", "Teacher", "Student",
+                                             "Person"}
+        assert info["attributes"]["GPA"] == "real"
+
+    def test_subclasses_listed(self, catalog):
+        info = catalog.class_info("Student")
+        assert set(info["subclasses"]) == {"Grad", "Undergrad", "TA", "RA"}
+
+    def test_associations_rendered(self, catalog):
+        info = catalog.class_info("RA")
+        assert any("enrolled" in assoc for assoc in info["associations"])
+
+
+class TestAttributeOwners:
+    def test_unique_attribute(self, catalog):
+        assert catalog.attribute_owners("project") == ["RA"]
+
+    def test_inherited_attribute_has_many_owners(self, catalog):
+        owners = catalog.attribute_owners("GPA")
+        assert "Student" in owners
+        assert "TA" in owners
+        assert "Teacher" not in owners
+
+    def test_unknown_attribute_has_no_owners(self, catalog):
+        assert catalog.attribute_owners("nonexistent") == []
+
+
+class TestRenderings:
+    def test_sdiagram_mentions_all_classes(self, catalog):
+        text = catalog.render_sdiagram()
+        for cls in catalog.schema.eclass_names:
+            assert cls in text
+
+    def test_sdiagram_shows_link_kinds(self, catalog):
+        text = catalog.render_sdiagram()
+        assert "A:teaches[*]" in text
+        assert "G ->" in text
+
+    def test_inherited_view_rendering(self, catalog):
+        text = catalog.render_inherited_view("RA")
+        assert "inherited from Student" in text
+        assert "enrolled" in text

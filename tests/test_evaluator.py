@@ -1,0 +1,354 @@
+"""Unit tests for the pattern-matching engine: chains, the
+non-association operator, brace groups (Section 5.1), the Where
+subclause, and loop-based transitive closure (Section 5.2)."""
+
+import pytest
+
+from repro.errors import CyclicDataError, OQLSemanticError
+from repro.model.database import Database
+from repro.model.dclass import INTEGER, STRING
+from repro.model.schema import Schema
+from repro.oql.evaluator import PatternEvaluator
+from repro.oql.parser import parse_expression, parse_query
+from repro.subdb.universe import Universe
+from repro.university import build_paper_database, build_sdb
+
+
+def abcd_universe():
+    """The paper's Section 5.1 example world: A*B*C*D linearly
+    associated, with exactly the two stored patterns (a1,b5,c5,d5) and
+    (a3,b2,c2)."""
+    schema = Schema("abcd")
+    for name in "ABCD":
+        schema.add_eclass(name)
+        schema.add_attribute(name, "tag", STRING)
+    schema.add_association("A", "B")
+    schema.add_association("B", "C")
+    schema.add_association("C", "D")
+    db = Database(schema)
+    objs = {}
+    for label in ["a1", "a3", "b5", "b2", "c5", "c2", "d5"]:
+        objs[label] = db.insert(label[0].upper(), label, tag=label)
+    db.associate(objs["a1"], "B", objs["b5"])
+    db.associate(objs["b5"], "C", objs["c5"])
+    db.associate(objs["c5"], "D", objs["d5"])
+    db.associate(objs["a3"], "B", objs["b2"])
+    db.associate(objs["b2"], "C", objs["c2"])
+    return Universe(db), objs
+
+
+def evaluate(universe, text, where=(), **kwargs):
+    evaluator = PatternEvaluator(universe, **kwargs)
+    return evaluator.evaluate(parse_expression(text), where)
+
+
+def rows(subdb):
+    return sorted(subdb.labels(),
+                  key=lambda t: tuple((x is None, str(x)) for x in t))
+
+
+@pytest.fixture
+def paper_universe():
+    data = build_paper_database()
+    return Universe(data.db), data
+
+
+class TestLinearChains:
+    def test_association_operator_drops_unassociated(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "Teacher * Section")
+        labels = dict.fromkeys(l[0] for l in result.labels())
+        assert "t4" not in labels  # teaches nothing
+
+    def test_three_way_chain_requires_full_connection(self):
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "A * B * C * D")
+        assert rows(result) == [("a1", "b5", "c5", "d5")]
+
+    def test_single_class_context(self):
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "D")
+        assert rows(result) == [("d5",)]
+
+    def test_chain_through_identity(self, paper_universe):
+        universe, data = paper_universe
+        result = evaluate(universe, "TA * Teacher * Section")
+        tas = {l[0] for l in result.labels()}
+        assert tas == {"ta1", "ta2"}
+        # Identity: the TA and Teacher slots hold the same object.
+        for pattern in result.patterns:
+            assert pattern[0] == pattern[1]
+
+    def test_intension_records_edges(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "Teacher * Section * Course")
+        labels = {e.label for e in result.intension.edges}
+        assert labels == {"teaches", "course"}
+
+    def test_duplicate_class_needs_alias(self, paper_universe):
+        universe, _ = paper_universe
+        with pytest.raises(OQLSemanticError):
+            evaluate(universe, "Course * Course")
+
+    def test_alias_allows_self_join(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "Course * Course_1")
+        assert rows(result) == [("c1", "c2"), ("c4", "c1")]
+
+
+class TestNonAssociation:
+    def test_complement_pairs(self):
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "A ! B")
+        assert rows(result) == [("a1", "b2"), ("a3", "b5")]
+
+    def test_complement_composes_in_chain(self):
+        universe, _ = abcd_universe()
+        # a1's B-partner is b5; the not-associated B is b2, whose C is c2.
+        result = evaluate(universe, "A ! B * C")
+        assert ("a1", "b2", "c2") in result.labels()
+        assert ("a3", "b5", "c5") in result.labels()
+
+    def test_intension_marks_non_association(self):
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "A ! B")
+        assert result.intension.edges[0].label.startswith("!")
+
+
+class TestIntraClassConditions:
+    def test_filtering(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(
+            universe, "Course [c# >= 6000 and c# < 7000] * Section")
+        courses = {l[0] for l in result.labels()}
+        assert courses == {"c1", "c4"}
+
+    def test_string_condition(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "Department [name = 'CIS'] * Course")
+        assert {l[0] for l in result.labels()} == {"d1"}
+
+    def test_condition_on_derived_class(self, paper_universe):
+        universe, data = paper_universe
+        universe.register(build_sdb(data))
+        result = evaluate(universe, "SDB:Teacher [degree = 'PhD']")
+        assert {l[0] for l in result.labels()} == {"t1", "t2", "t4"}
+
+    def test_unknown_attribute_in_condition(self, paper_universe):
+        universe, _ = paper_universe
+        from repro.errors import UnknownAttributeError
+        with pytest.raises(UnknownAttributeError):
+            evaluate(universe, "Course [salary > 3]")
+
+
+class TestBraces:
+    def test_paper_section_51_example(self):
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "A * {B * C} * D")
+        assert rows(result) == [
+            ("a1", "b5", "c5", "d5"),
+            (None, "b2", "c2", None),
+        ]
+
+    def test_subsumption_drops_contained_brace_pattern(self):
+        # (b5,c5) is part of (a1,b5,c5,d5): it must not appear alone.
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "A * {B * C} * D")
+        assert (None, "b5", "c5", None) not in result.labels()
+
+    def test_nested_braces_identify_prefix_types(self):
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "{{{A} * B} * C} * D")
+        types = {tuple(t.slots) for t in result.pattern_types()}
+        # a1 chains all the way: one full row; a3 reaches only C: the
+        # (A,B,C) type row survives; no bare (A) rows survive.
+        assert ("A", "B", "C", "D") in types
+        assert ("A", "B", "C") in types
+        assert rows(result) == [
+            ("a1", "b5", "c5", "d5"),
+            ("a3", "b2", "c2", None),
+        ]
+
+    def test_query_51_shape(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "{{Grad} * Advising} * Faculty")
+        by_grad = {l[0]: l[2] for l in result.labels()}
+        assert by_grad["ta1"] == "f1"
+        assert by_grad["g1"] == "f2"
+        assert by_grad["g2"] is None       # no advisor -> Null
+        assert by_grad["ra1"] is None
+
+    def test_whole_expression_braced_once(self):
+        universe, _ = abcd_universe()
+        result = evaluate(universe, "{A * B}")
+        assert rows(result) == [("a1", "b5"), ("a3", "b2")]
+
+
+class TestWhere:
+    def test_interclass_comparison(self):
+        universe, _ = abcd_universe()
+        query = parse_query("context A * B where A.tag = 'a1'")
+        result = PatternEvaluator(universe).evaluate(query.context,
+                                                     query.where)
+        assert rows(result) == [("a1", "b5")]
+
+    def test_interclass_attr_to_attr(self):
+        universe, _ = abcd_universe()
+        query = parse_query("context A * B where A.tag < B.tag")
+        result = PatternEvaluator(universe).evaluate(query.context,
+                                                     query.where)
+        assert rows(result) == [("a1", "b5"), ("a3", "b2")]
+
+    def test_count_aggregation(self, paper_universe):
+        universe, _ = paper_universe
+        query = parse_query(
+            "context Department[name = 'CIS'] * Course * Section * "
+            "Student where COUNT(Student by Course) > 39")
+        result = PatternEvaluator(universe).evaluate(query.context,
+                                                     query.where)
+        assert {l[1] for l in result.labels()} == {"c1"}
+
+    def test_count_threshold_not_met(self, paper_universe):
+        universe, _ = paper_universe
+        query = parse_query(
+            "context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 1000")
+        result = PatternEvaluator(universe).evaluate(query.context,
+                                                     query.where)
+        assert len(result) == 0
+
+    def test_sum_avg_min_max(self, paper_universe):
+        universe, _ = paper_universe
+        for func, op, value, expect_c1 in [
+            ("sum", ">", 5, True),     # credit hours over courses per dept
+            ("avg", ">=", 3.0, True),
+            ("min", ">=", 3, True),
+            ("max", ">", 10, False),
+        ]:
+            query = parse_query(
+                f"context Department[name = 'CIS'] * Course "
+                f"where {func.upper()}(Course.credit_hours by Department) "
+                f"{op} {value}")
+            result = PatternEvaluator(universe).evaluate(query.context,
+                                                         query.where)
+            assert bool(result.patterns) is expect_c1, func
+
+    def test_agg_without_attr_requires_count(self, paper_universe):
+        universe, _ = paper_universe
+        query = parse_query(
+            "context Department * Course where SUM(Course by Department) "
+            "> 3")
+        with pytest.raises(OQLSemanticError):
+            PatternEvaluator(universe).evaluate(query.context, query.where)
+
+    def test_where_unknown_class(self):
+        universe, _ = abcd_universe()
+        query = parse_query("context A * B where Z.tag = 'x'")
+        with pytest.raises(OQLSemanticError):
+            PatternEvaluator(universe).evaluate(query.context, query.where)
+
+    def test_where_matches_slot_by_class_when_unique(self, paper_universe):
+        universe, data = paper_universe
+        universe.register(build_sdb(data))
+        # Qualifier 'Teacher' matches the slot 'SDB:Teacher'.
+        query = parse_query(
+            "context SDB:Teacher * SDB:Section where Teacher.degree = 'MS'")
+        result = PatternEvaluator(universe).evaluate(query.context,
+                                                     query.where)
+        assert {l[0] for l in result.labels()} == {"t3"}
+
+
+class TestLoops:
+    def test_bounded_single_traversal(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "Course * Course_1 ^1")
+        assert result.slot_names == ("Course", "Course_1")
+        assert rows(result) == [("c1", "c2"), ("c4", "c1")]
+
+    def test_unbounded_closure(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "Course * Course_1 ^*")
+        assert result.slot_names == ("Course", "Course_1", "Course_2")
+        assert rows(result) == [("c1", "c2", None), ("c4", "c1", "c2")]
+
+    def test_bounded_stops_early(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(universe, "Course * Course_1 ^2")
+        assert ("c4", "c1", "c2") in result.labels()
+
+    def test_grad_teaching_grad(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(
+            universe,
+            "Grad * TA * Teacher * Section * Student * Grad_1 ^*")
+        grads = [(l[0], l[5], l[-1]) for l in result.labels()]
+        assert ("ta1", "ta2", "g1") in grads
+
+    def test_loop_aliases_generated_per_level(self, paper_universe):
+        universe, _ = paper_universe
+        result = evaluate(
+            universe,
+            "Grad * TA * Teacher * Section * Student * Grad_1 ^*")
+        assert "TA_1" in result.slot_names
+        assert "Grad_2" in result.slot_names
+
+    def test_cycle_raises_by_default(self):
+        schema = Schema()
+        schema.add_eclass("N")
+        schema.add_association("N", "N", name="next")
+        db = Database(schema)
+        a, b = db.insert("N", "a"), db.insert("N", "b")
+        db.associate(a, "next", b)
+        db.associate(b, "next", a)
+        with pytest.raises(CyclicDataError):
+            evaluate(Universe(db), "N * N_1 ^*")
+
+    def test_cycle_stop_truncates(self):
+        schema = Schema()
+        schema.add_eclass("N")
+        schema.add_association("N", "N", name="next")
+        db = Database(schema)
+        a, b = db.insert("N", "a"), db.insert("N", "b")
+        db.associate(a, "next", b)
+        db.associate(b, "next", a)
+        result = evaluate(Universe(db), "N * N_1 ^*", on_cycle="stop")
+        assert rows(result) == [("a", "b"), ("b", "a")]
+
+    def test_unbounded_guard(self, paper_universe):
+        universe, _ = paper_universe
+        evaluator = PatternEvaluator(universe, max_depth=1)
+        # With max_depth=1 the prereq chain of depth 2 aborts.
+        with pytest.raises(CyclicDataError):
+            evaluator.evaluate(parse_expression("Course * Course_1 ^*"))
+
+    def test_loop_must_form_cycle(self, paper_universe):
+        universe, _ = paper_universe
+        with pytest.raises(OQLSemanticError):
+            evaluate(universe, "Teacher * Section ^*")
+
+    def test_loop_rejects_braces(self, paper_universe):
+        universe, _ = paper_universe
+        with pytest.raises(OQLSemanticError):
+            evaluate(universe, "Course * {Course_1} ^*")
+
+    def test_loop_rejects_non_association_op(self, paper_universe):
+        universe, _ = paper_universe
+        with pytest.raises(OQLSemanticError):
+            evaluate(universe, "Course ! Course_1 ^*")
+
+    def test_loop_single_class_rejected(self, paper_universe):
+        universe, _ = paper_universe
+        with pytest.raises(OQLSemanticError):
+            evaluate(universe, "Course ^*")
+
+    def test_loop_respects_intra_conditions(self, paper_universe):
+        universe, _ = paper_universe
+        # Only 6000-level courses: the c1->c2 hop is filtered out.
+        result = evaluate(
+            universe, "Course [c# >= 6000] * Course_1 [c# >= 6000] ^*")
+        assert rows(result) == [("c4", "c1")]
+
+    def test_on_cycle_validation(self, paper_universe):
+        universe, _ = paper_universe
+        with pytest.raises(ValueError):
+            PatternEvaluator(universe, on_cycle="explode")

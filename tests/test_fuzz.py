@@ -1,0 +1,125 @@
+"""Robustness fuzzing: malformed inputs must fail with the package's
+own exception types (never ``KeyError``/``AttributeError``/...), and
+well-formed inputs must round-trip through their text forms."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.oql.lexer import tokenize
+from repro.oql.parser import parse_expression, parse_query
+from repro.rules.rule import parse_rule
+from repro.storage import schema_from_dict, schema_to_dict
+from repro.storage.session import session_from_dict, session_to_dict
+from repro.university.schema import build_university_schema
+
+_TOKEN_POOL = [
+    "context", "where", "select", "display", "print", "if", "then",
+    "and", "or", "not", "by", "count", "Teacher", "Section", "Course_1",
+    "SDB:Teacher", "Grad_", "*", "!", "{", "}", "[", "]", "(", ")",
+    "^", ",", ":", ".", "=", "<", ">=", "name", "c#", "'CIS'", "3.5",
+    "42", "null",
+]
+
+
+class TestParserFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(st.sampled_from(_TOKEN_POOL), min_size=0,
+                    max_size=15))
+    def test_random_token_soup_never_crashes(self, pieces):
+        text = " ".join(pieces)
+        for parser in (parse_query, parse_expression):
+            try:
+                parser(text)
+            except ReproError:
+                pass  # rejection with a library error type is correct
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            tokenize(text)
+            parse_query(text)
+        except ReproError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.sampled_from(_TOKEN_POOL), min_size=0,
+                    max_size=15))
+    def test_rule_parser_never_crashes(self, pieces):
+        try:
+            parse_rule(" ".join(pieces))
+        except ReproError:
+            pass
+
+
+class TestRoundTrips:
+    QUERIES = [
+        "context Teacher * Section select name section# display",
+        "context Department [name = 'CIS'] * Course "
+        "where COUNT(Course by Department) > 2 select title print",
+        "context {A * {B * C}} * D",
+        "context Course * Course_1 ^3",
+        "context Grad ! Advising select Grad[SS#]",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_query_str_reparses_identically(self, text):
+        query = parse_query(text)
+        again = parse_query(str(query))
+        assert str(again) == str(query)
+
+    RULES = [
+        "if context Teacher * Section * Course then TC (Teacher, Course)",
+        "if context A * B where A.x > 3 then T (A [x, y], B)",
+        "if context Grad * TA * Teacher * Section * Student * Grad_1 ^* "
+        "then GG (Grad, Grad_)",
+    ]
+
+    @pytest.mark.parametrize("text", RULES)
+    def test_rule_str_reparses_identically(self, text):
+        rule = parse_rule(text)
+        again = parse_rule(str(rule))
+        assert str(again) == str(rule)
+
+
+class TestStorageFuzz:
+    def _schema_doc(self):
+        return schema_to_dict(build_university_schema())
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_mangled_schema_docs_fail_cleanly(self, data):
+        doc = self._schema_doc()
+        # Drop one random top-level section or mangle one entry.
+        choice = data.draw(st.sampled_from(
+            ["drop_eclasses", "drop_aggregations", "mangle_target",
+             "mangle_generalization"]))
+        if choice == "drop_eclasses":
+            doc["eclasses"] = []
+        elif choice == "drop_aggregations":
+            doc["aggregations"] = [{"owner": "Ghost", "name": "x",
+                                    "target": "Teacher"}]
+        elif choice == "mangle_target":
+            if doc["aggregations"]:
+                doc["aggregations"][0]["target"] = "NoSuchClass"
+        else:
+            doc["generalizations"].append(
+                {"superclass": "TA", "subclass": "Person"})
+        try:
+            schema_from_dict(doc)
+        except ReproError:
+            pass
+
+    def test_session_doc_is_pure_json(self):
+        from repro.rules.engine import RuleEngine
+        from repro.university import build_paper_database
+        engine = RuleEngine(build_paper_database().db)
+        engine.add_rule("if context Teacher * Section then TS (Teacher)")
+        engine.derive("TS")
+        doc = session_to_dict(engine)
+        restored = session_from_dict(json.loads(json.dumps(doc)))
+        assert [r.target for r in restored.rules] == ["TS"]

@@ -1,0 +1,79 @@
+"""Unit tests for the scalable data generator."""
+
+import pytest
+
+from repro.model.validation import check_database
+from repro.university.generator import GeneratorConfig, generate_university
+
+
+class TestDeterminism:
+    def test_same_seed_same_database(self):
+        a = generate_university(GeneratorConfig(seed=5, students=20))
+        b = generate_university(GeneratorConfig(seed=5, students=20))
+        assert a.db.stats() == b.db.stats()
+        links_a = sorted((l.key, a.db.link_count(l))
+                         for l in a.db.schema.aggregations())
+        links_b = sorted((l.key, b.db.link_count(l))
+                         for l in b.db.schema.aggregations())
+        assert links_a == links_b
+
+    def test_different_seed_differs(self):
+        a = generate_university(GeneratorConfig(seed=5, students=50))
+        b = generate_university(GeneratorConfig(seed=6, students=50))
+        link = next(l for l in a.db.schema.aggregations()
+                    if l.name == "enrolled")
+        pairs_a = {(x.value, y.value) for x, y in a.db.link_pairs(link)}
+        pairs_b = {(x.value, y.value) for x, y in b.db.link_pairs(link)}
+        assert pairs_a != pairs_b
+
+
+class TestShape:
+    def test_sizes_match_config(self):
+        config = GeneratorConfig(departments=4, courses=10,
+                                 sections_per_course=3, teachers=7,
+                                 students=25, grads=5, tas=2, faculty=3)
+        data = generate_university(config)
+        assert len(data.all_of("Department")) == 4
+        assert len(data.all_of("Course")) == 10
+        assert len(data.all_of("Section")) == 30
+        assert len(data.all_of("Teacher")) == 7
+        assert len(data.all_of("Student")) == 25
+        assert len(data.all_of("Grad")) == 5
+        assert len(data.all_of("TA")) == 2
+
+    def test_every_section_has_a_teacher(self):
+        data = generate_university(GeneratorConfig())
+        link = next(l for l in data.db.schema.aggregations()
+                    if l.name == "teaches")
+        taught = {s for _, s in data.db.link_pairs(link)}
+        sections = {e.oid for e in data.all_of("Section")}
+        assert sections <= taught
+
+    def test_prereq_dag_is_acyclic_by_construction(self):
+        data = generate_university(GeneratorConfig(courses=30,
+                                                   prereqs_per_course=2))
+        link = next(l for l in data.db.schema.aggregations()
+                    if l.name == "prereq")
+        # Edges always point from later-created course to earlier.
+        for a, b in data.db.link_pairs(link):
+            assert a.value > b.value
+
+    def test_cyclic_prereqs_option(self):
+        data = generate_university(GeneratorConfig(
+            courses=30, prereqs_per_course=1, prereq_cyclic=True, seed=1))
+        link = next(l for l in data.db.schema.aggregations()
+                    if l.name == "prereq")
+        assert any(a.value < b.value
+                   for a, b in data.db.link_pairs(link))
+
+    def test_generated_database_audits_clean(self):
+        data = generate_university(GeneratorConfig())
+        assert check_database(data.db) == []
+
+    def test_queries_run_on_generated_data(self):
+        from repro.subdb import Universe
+        from repro.oql import QueryProcessor
+        data = generate_university(GeneratorConfig(seed=3))
+        qp = QueryProcessor(Universe(data.db))
+        result = qp.execute("context Teacher * Section * Course")
+        assert len(result.subdatabase) > 0

@@ -1,0 +1,306 @@
+"""Tests for incremental maintenance: per-event delta semantics,
+eligibility fallbacks, controller integration, and a hypothesis sweep
+asserting incremental == from-scratch under random update sequences."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.model.database import Database
+from repro.model.dclass import INTEGER, STRING
+from repro.model.schema import Schema
+from repro.rules.engine import RuleEngine
+from repro.rules.incremental import IncrementalRule, NotIncremental
+from repro.rules.rule import parse_rule
+from repro.subdb.universe import Universe
+from repro.university import build_paper_database
+
+
+def chain_db():
+    """A -ab-> B -bc-> C with attribute n on every class."""
+    schema = Schema()
+    for cls in "ABC":
+        schema.add_eclass(cls)
+        schema.add_attribute(cls, "n", INTEGER)
+    schema.add_association("A", "B", name="ab")
+    schema.add_association("B", "C", name="bc")
+    db = Database(schema)
+    objs = {}
+    for cls in "ABC":
+        for i in range(4):
+            objs[f"{cls.lower()}{i}"] = db.insert(cls, f"{cls.lower()}{i}",
+                                                  n=i)
+    return db, objs
+
+
+def maintainer(db, text):
+    universe = Universe(db)
+    rule = parse_rule(text)
+    inc = IncrementalRule(rule, universe)
+    db.add_listener(inc.on_event)
+    inc.initialize()
+    return inc
+
+
+def fresh_rows(db, text):
+    from repro.oql.evaluator import PatternEvaluator
+    rule = parse_rule(text)
+    source = PatternEvaluator(Universe(db)).evaluate(rule.context,
+                                                     rule.where)
+    return {tuple(p.values) for p in source.patterns}
+
+
+RULE_ABC = "if context A * B * C then X (A, C)"
+
+
+class TestEligibility:
+    def test_loop_rejected(self):
+        data = build_paper_database()
+        rule = parse_rule("if context Course * Course_1 ^* then X "
+                          "(Course, Course_)")
+        with pytest.raises(NotIncremental):
+            IncrementalRule(rule, Universe(data.db))
+
+    def test_braces_rejected(self):
+        data = build_paper_database()
+        rule = parse_rule("if context {Grad} * Advising then X (Grad)")
+        with pytest.raises(NotIncremental):
+            IncrementalRule(rule, Universe(data.db))
+
+    def test_aggregation_rejected(self):
+        data = build_paper_database()
+        rule = parse_rule(
+            "if context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 3 then X (Course)")
+        with pytest.raises(NotIncremental):
+            IncrementalRule(rule, Universe(data.db))
+
+    def test_derived_source_rejected(self):
+        data = build_paper_database()
+        rule = parse_rule("if context Department * Suggest_offer:Course "
+                          "then X (Department)")
+        with pytest.raises(NotIncremental):
+            IncrementalRule(rule, Universe(data.db))
+
+    def test_plain_chain_accepted(self):
+        db, _ = chain_db()
+        maintainer(db, RULE_ABC)
+
+
+class TestDeltaSemantics:
+    def test_associate_adds_matches(self):
+        db, o = chain_db()
+        inc = maintainer(db, RULE_ABC)
+        assert inc.rows == set()
+        db.associate(o["a0"], "ab", o["b0"])
+        db.associate(o["b0"], "bc", o["c0"])
+        assert inc.rows == {(o["a0"].oid, o["b0"].oid, o["c0"].oid)}
+        assert inc.rows == fresh_rows(db, RULE_ABC)
+
+    def test_dissociate_removes_matches(self):
+        db, o = chain_db()
+        inc = maintainer(db, RULE_ABC)
+        db.associate(o["a0"], "ab", o["b0"])
+        db.associate(o["b0"], "bc", o["c0"])
+        db.dissociate(o["a0"], "ab", o["b0"])
+        assert inc.rows == set()
+
+    def test_delete_removes_matches(self):
+        db, o = chain_db()
+        inc = maintainer(db, RULE_ABC)
+        db.associate(o["a0"], "ab", o["b0"])
+        db.associate(o["b0"], "bc", o["c0"])
+        db.delete(o["b0"].oid)
+        assert inc.rows == set()
+        assert inc.rows == fresh_rows(db, RULE_ABC)
+
+    def test_new_link_fans_out(self):
+        db, o = chain_db()
+        inc = maintainer(db, RULE_ABC)
+        db.associate(o["b0"], "bc", o["c0"])
+        db.associate(o["b0"], "bc", o["c1"])
+        db.associate(o["a0"], "ab", o["b0"])  # one event, two matches
+        assert len(inc.rows) == 2
+        assert inc.rows == fresh_rows(db, RULE_ABC)
+
+    def test_intra_class_condition_respected(self):
+        text = "if context A * B [n >= 2] * C then X (A, C)"
+        db, o = chain_db()
+        inc = maintainer(db, text)
+        db.associate(o["a0"], "ab", o["b1"])   # n=1: filtered
+        db.associate(o["b1"], "bc", o["c0"])
+        db.associate(o["a0"], "ab", o["b2"])   # n=2: kept
+        db.associate(o["b2"], "bc", o["c0"])
+        assert inc.rows == fresh_rows(db, text)
+        assert all(row[1] == o["b2"].oid for row in inc.rows)
+
+    def test_set_attribute_moves_object_in_and_out(self):
+        text = "if context A * B [n >= 2] * C then X (A, C)"
+        db, o = chain_db()
+        inc = maintainer(db, text)
+        db.associate(o["a0"], "ab", o["b1"])
+        db.associate(o["b1"], "bc", o["c0"])
+        assert inc.rows == set()
+        db.set_attribute(o["b1"].oid, "n", 5)     # now passes
+        assert inc.rows == fresh_rows(db, text)
+        assert len(inc.rows) == 1
+        db.set_attribute(o["b1"].oid, "n", 0)     # fails again
+        assert inc.rows == set()
+
+    def test_where_comparison_respected(self):
+        text = "if context A * B * C where A.n < C.n then X (A, C)"
+        db, o = chain_db()
+        inc = maintainer(db, text)
+        db.associate(o["a2"], "ab", o["b0"])
+        db.associate(o["b0"], "bc", o["c1"])   # a2.n=2 !< c1.n=1
+        db.associate(o["b0"], "bc", o["c3"])   # a2.n=2 < c3.n=3
+        assert inc.rows == fresh_rows(db, text)
+        assert len(inc.rows) == 1
+
+    def test_complement_edge_roles_swap(self):
+        text = "if context A ! B then X (A, B)"
+        db, o = chain_db()
+        inc = maintainer(db, text)
+        assert len(inc.rows) == 16  # 4x4, nothing associated
+        db.associate(o["a0"], "ab", o["b0"])    # removes one complement
+        assert len(inc.rows) == 15
+        assert inc.rows == fresh_rows(db, text)
+        db.dissociate(o["a0"], "ab", o["b0"])   # restores it
+        assert len(inc.rows) == 16
+        assert inc.rows == fresh_rows(db, text)
+
+    def test_insert_with_complement_edges(self):
+        text = "if context A ! B then X (A, B)"
+        db, o = chain_db()
+        inc = maintainer(db, text)
+        db.insert("B", "b9", n=9)
+        assert len(inc.rows) == 20
+        assert inc.rows == fresh_rows(db, text)
+
+    def test_single_class_context_tracks_inserts_and_deletes(self):
+        text = "if context A [n >= 1] then X (A)"
+        db, o = chain_db()
+        inc = maintainer(db, text)
+        assert len(inc.rows) == 3
+        fresh = db.insert("A", "a9", n=9)
+        assert len(inc.rows) == 4
+        db.delete(fresh.oid)
+        assert len(inc.rows) == 3
+        assert inc.rows == fresh_rows(db, text)
+
+    def test_batch_replays_sub_events(self):
+        db, o = chain_db()
+        inc = maintainer(db, RULE_ABC)
+        with db.batch():
+            db.associate(o["a0"], "ab", o["b0"])
+            db.associate(o["b0"], "bc", o["c0"])
+            db.associate(o["a1"], "ab", o["b0"])
+        assert inc.rows == fresh_rows(db, RULE_ABC)
+        assert len(inc.rows) == 2
+
+    def test_identity_edges_supported(self):
+        data = build_paper_database()
+        text = "if context TA * Teacher * Section then X (TA, Section)"
+        inc = maintainer(data.db, text)
+        before = set(inc.rows)
+        db = data.db
+        db.associate(data["ta1"], "teaches", data["s4"])
+        assert inc.rows == fresh_rows(db, text)
+        assert len(inc.rows) == len(before) + 1
+
+
+class TestControllerIntegration:
+    def _engine(self):
+        data = build_paper_database()
+        engine = RuleEngine(data.db, controller="incremental")
+        engine.add_rule("if context Teacher * Section * Course "
+                        "then TC (Teacher, Course)", label="R1")
+        engine.refresh()
+        return data, engine
+
+    def test_updates_refresh_incrementally(self):
+        data, engine = self._engine()
+        before_derivations = engine.stats.total_derivations()
+        data.db.associate(data["t4"], "teaches", data["s5"])
+        assert engine.stats.total_derivations() == before_derivations
+        assert engine.stats.incremental_refreshes == 1
+        result = engine.query(
+            "context TC:Teacher * TC:Course select Teacher[name] title "
+            "display")
+        assert ("Silva", "Expert Systems") in result.table.rows
+
+    def test_incremental_equals_full(self):
+        data, engine = self._engine()
+        data.db.associate(data["t4"], "teaches", data["s5"])
+        data.db.dissociate(data["t1"], "teaches", data["s2"])
+        maintained = engine.universe.get_subdb("TC").patterns
+        fresh = engine.derive("TC", force=True).patterns
+        assert maintained == fresh
+
+    def test_ineligible_rule_falls_back_to_full(self):
+        data = build_paper_database()
+        engine = RuleEngine(data.db, controller="incremental")
+        engine.add_rule(
+            "if context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 39 "
+            "then Suggest_offer (Course)", label="R2")
+        engine.refresh()
+        before = engine.stats.derivations["Suggest_offer"]
+        student = data.db.insert("Student", name="x", **{"SS#": "x"})
+        data.db.associate(student, "enrolled", data["s5"])
+        assert engine.stats.derivations["Suggest_offer"] > before
+        assert engine.stats.incremental_refreshes == 0
+
+    def test_post_targets_still_lazy(self):
+        from repro.rules.control import EvaluationMode
+        data = build_paper_database()
+        engine = RuleEngine(data.db, controller="incremental")
+        engine.add_rule("if context Teacher * Section then TS "
+                        "(Teacher, Section)", label="TS",
+                        mode=EvaluationMode.POST_EVALUATED)
+        engine.derive("TS")
+        data.db.associate(data["t4"], "teaches", data["s5"])
+        assert not engine.universe.has_subdb("TS")
+        assert engine.is_stale("TS")
+
+
+class TestIncrementalProperty:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("link_ab"), st.integers(0, 3),
+                      st.integers(0, 3)),
+            st.tuples(st.just("link_bc"), st.integers(0, 3),
+                      st.integers(0, 3)),
+            st.tuples(st.just("set_n"), st.integers(0, 3),
+                      st.integers(0, 9)),
+        ), min_size=0, max_size=20))
+    def test_incremental_always_equals_fresh(self, ops):
+        text = "if context A * B [n >= 2] * C where A.n < C.n then X (A, C)"
+        db, o = chain_db()
+        inc = maintainer(db, text)
+        linked = {"ab": set(), "bc": set()}
+        for op in ops:
+            if op[0] == "link_ab":
+                _, i, j = op
+                src, dst = o[f"a{i}"], o[f"b{j}"]
+                if (i, j) in linked["ab"]:
+                    db.dissociate(src, "ab", dst)
+                    linked["ab"].discard((i, j))
+                else:
+                    db.associate(src, "ab", dst)
+                    linked["ab"].add((i, j))
+            elif op[0] == "link_bc":
+                _, i, j = op
+                src, dst = o[f"b{i}"], o[f"c{j}"]
+                if (i, j) in linked["bc"]:
+                    db.dissociate(src, "bc", dst)
+                    linked["bc"].discard((i, j))
+                else:
+                    db.associate(src, "bc", dst)
+                    linked["bc"].add((i, j))
+            else:
+                _, i, value = op
+                db.set_attribute(o[f"b{i}"].oid, "n", value)
+            assert inc.rows == fresh_rows(db, text)

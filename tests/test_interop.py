@@ -1,0 +1,104 @@
+"""Tests for the NetworkX interoperability layer, including a third
+independent cross-check of loop-based transitive closure (evaluator vs
+Datalog vs networkx reachability)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import UnknownAssociationError
+from repro.interop import (
+    closure_equals_reachability,
+    link_graph,
+    schema_graph,
+    subdatabase_graph,
+)
+from repro.oql.evaluator import PatternEvaluator
+from repro.oql.parser import parse_expression
+from repro.subdb.universe import Universe
+from repro.university import build_paper_database, build_sdb
+
+
+@pytest.fixture
+def data():
+    return build_paper_database()
+
+
+class TestSchemaGraph:
+    def test_nodes_typed(self, data):
+        graph = schema_graph(data.db.schema)
+        assert graph.nodes["Teacher"]["node_type"] == "eclass"
+        assert graph.nodes["string"]["node_type"] == "dclass"
+
+    def test_edges_typed(self, data):
+        graph = schema_graph(data.db.schema)
+        assert graph.get_edge_data("Teacher", "Section",
+                                   key="teaches")["kind"] == "A"
+        assert graph.get_edge_data("TA", "Grad", key="G")["kind"] == "G"
+
+    def test_generalization_reachability(self, data):
+        graph = schema_graph(data.db.schema)
+        g_only = nx.subgraph_view(
+            graph, filter_edge=lambda u, v, k: k == "G")
+        assert nx.has_path(g_only, "TA", "Person")
+
+
+class TestLinkGraph:
+    def test_pairs_present(self, data):
+        graph = link_graph(data.db, "Course", "prereq")
+        assert graph.has_edge(data.oid("c4").value, data.oid("c1").value)
+
+    def test_by_label(self, data):
+        graph = link_graph(data.db, "Course", "prereq", by_label=True)
+        assert graph.has_edge("c4", "c1")
+
+    def test_unknown_link(self, data):
+        with pytest.raises(UnknownAssociationError):
+            link_graph(data.db, "Course", "bogus")
+
+
+class TestSubdatabaseGraph:
+    def test_figure_31b_structure(self, data):
+        graph = subdatabase_graph(build_sdb(data), by_label=True)
+        assert graph.has_edge(("Teacher", "t2"), ("Section", "s3"))
+        assert graph.has_edge(("Section", "s3"), ("Course", "c2"))
+        assert ("Teacher", "t4") in graph.nodes   # isolated pattern
+        assert graph.degree[("Teacher", "t4")] == 0
+
+    def test_component_count(self, data):
+        graph = subdatabase_graph(build_sdb(data), by_label=True)
+        # {t1,t2,s2,s3,c1,c2}, {t3,s4}, {s5,c4}, {t4}, {c3}
+        assert nx.number_connected_components(graph) == 5
+
+
+class TestClosureCrossCheck:
+    def test_prereq_closure_matches_reachability(self, data):
+        evaluator = PatternEvaluator(Universe(data.db))
+        subdb = evaluator.evaluate(parse_expression("Course * Course_1 ^*"))
+        graph = link_graph(data.db, "Course", "prereq")
+        assert closure_equals_reachability(subdb, graph)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+            lambda e: e[0] < e[1]),
+        min_size=0, max_size=16).map(set))
+    def test_random_dags_match_networkx(self, edges):
+        from repro.model.database import Database
+        from repro.model.schema import Schema
+        schema = Schema()
+        schema.add_eclass("N")
+        schema.add_association("N", "N", name="next")
+        db = Database(schema)
+        nodes = {}
+        for value in sorted({x for e in edges for x in e}):
+            nodes[value] = db.insert("N", f"n{value}")
+        for a, b in edges:
+            db.associate(nodes[a], "next", nodes[b])
+        subdb = PatternEvaluator(Universe(db)).evaluate(
+            parse_expression("N * N_1 ^*"))
+        graph = link_graph(db, "N", "next")
+        for value, entity in nodes.items():
+            graph.add_node(entity.oid.value)
+        assert closure_equals_reachability(subdb, graph)

@@ -1,0 +1,79 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import OQLSyntaxError
+from repro.oql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers(self):
+        assert kinds("Teacher Course_1") == [
+            ("ident", "Teacher"), ("ident", "Course_1")]
+
+    def test_hash_in_identifiers(self):
+        # The paper's attribute names c#, SS#, section#.
+        assert kinds("c# SS# section#") == [
+            ("ident", "c#"), ("ident", "SS#"), ("ident", "section#")]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("CONTEXT Where sElEcT") == [
+            ("keyword", "context"), ("keyword", "where"),
+            ("keyword", "select")]
+
+    def test_agg_functions_are_keywords(self):
+        assert kinds("COUNT sum") == [
+            ("keyword", "count"), ("keyword", "sum")]
+
+    def test_integers_and_floats(self):
+        assert kinds("39 3.5") == [("number", 39), ("number", 3.5)]
+
+    def test_integer_followed_by_dot_is_not_float(self):
+        # "A.x" style access after a number never occurs, but a lone
+        # trailing dot must not absorb into the number.
+        values = kinds("3.x")
+        assert values[0] == ("number", 3)
+        assert ("op", ".") in values
+
+    def test_strings_single_and_double(self):
+        assert kinds("'CIS' \"Math\"") == [
+            ("string", "CIS"), ("string", "Math")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(OQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert [v for _, v in kinds("* ! = != <> < <= > >= ^ { } [ ]")] \
+            == ["*", "!", "=", "!=", "!=", "<", "<=", ">", ">=", "^",
+                "{", "}", "[", "]"]
+
+    def test_bang_vs_bang_equals(self):
+        assert kinds("A != B")[1] == ("op", "!=")
+        assert kinds("A ! B")[1] == ("op", "!")
+
+    def test_unexpected_character(self):
+        with pytest.raises(OQLSyntaxError):
+            tokenize("A @ B")
+
+    def test_positions(self):
+        tokens = tokenize("context\n  Teacher")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_error_reports_position(self):
+        with pytest.raises(OQLSyntaxError) as err:
+            tokenize("abc\n  @")
+        assert err.value.line == 2
+
+    def test_token_text_property(self):
+        assert tokenize("42")[0].text == "42"

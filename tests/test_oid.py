@@ -1,0 +1,65 @@
+"""Unit tests for OIDs and the allocator."""
+
+import pytest
+
+from repro.model.oid import OID, OIDAllocator
+
+
+class TestOID:
+    def test_equality_is_by_value(self):
+        assert OID(1) == OID(1)
+        assert OID(1) != OID(2)
+
+    def test_label_does_not_affect_equality(self):
+        assert OID(1, "t1") == OID(1, "other")
+
+    def test_label_does_not_affect_hash(self):
+        assert hash(OID(3, "x")) == hash(OID(3))
+
+    def test_usable_in_sets(self):
+        assert len({OID(1, "a"), OID(1, "b"), OID(2)}) == 2
+
+    def test_ordering(self):
+        assert OID(1) < OID(2)
+        assert OID(2) > OID(1)
+        assert OID(1) <= OID(1)
+        assert OID(2) >= OID(2)
+
+    def test_sorted_is_by_value(self):
+        oids = [OID(3, "c"), OID(1, "a"), OID(2, "b")]
+        assert [o.value for o in sorted(oids)] == [1, 2, 3]
+
+    def test_repr_uses_label(self):
+        assert repr(OID(5, "t5")) == "t5"
+
+    def test_repr_without_label(self):
+        assert repr(OID(5)) == "#5"
+
+    def test_not_equal_to_other_types(self):
+        assert OID(1) != 1
+        assert not OID(1) == "x"
+
+
+class TestAllocator:
+    def test_monotonic(self):
+        alloc = OIDAllocator()
+        a, b, c = alloc.allocate(), alloc.allocate(), alloc.allocate()
+        assert a.value < b.value < c.value
+
+    def test_unique(self):
+        alloc = OIDAllocator()
+        oids = {alloc.allocate() for _ in range(100)}
+        assert len(oids) == 100
+
+    def test_labels_pass_through(self):
+        alloc = OIDAllocator()
+        assert alloc.allocate("t1").label == "t1"
+
+    def test_custom_start(self):
+        alloc = OIDAllocator(start=100)
+        assert alloc.allocate().value == 100
+
+    def test_next_value(self):
+        alloc = OIDAllocator()
+        alloc.allocate()
+        assert alloc.next_value == 2

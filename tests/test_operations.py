@@ -1,0 +1,150 @@
+"""Unit tests for the operation clause: table building / Select binding,
+rendering, and user-defined operations."""
+
+import pytest
+
+from repro.errors import OQLSemanticError
+from repro.oql.operations import (
+    OperationRegistry,
+    Table,
+    build_table,
+)
+from repro.oql.parser import parse_query
+from repro.oql.evaluator import PatternEvaluator
+from repro.subdb.universe import Universe
+from repro.university import build_paper_database, build_sdb
+
+
+@pytest.fixture
+def ctx():
+    data = build_paper_database()
+    universe = Universe(data.db)
+    universe.register(build_sdb(data))
+    return data, universe
+
+
+def run(universe, text):
+    query = parse_query(text)
+    subdb = PatternEvaluator(universe).evaluate(query.context, query.where)
+    return query, subdb
+
+
+class TestSelectBinding:
+    def test_bare_unique_attribute(self, ctx):
+        _, universe = ctx
+        query, subdb = run(universe,
+                           "context SDB:Teacher * SDB:Section "
+                           "select name section# display")
+        table = build_table(universe, subdb, query.select)
+        assert table.columns == ["SDB:Teacher.name",
+                                 "SDB:Section.section#"]
+
+    def test_bare_ambiguous_attribute_rejected(self, ctx):
+        _, universe = ctx
+        # 'SS#' is visible from both Teacher and Student contexts.
+        query, subdb = run(universe,
+                           "context Teacher * Section * Student "
+                           "select SS# display")
+        with pytest.raises(OQLSemanticError) as err:
+            build_table(universe, subdb, query.select)
+        assert "not unique" in str(err.value)
+
+    def test_qualified_attribute_resolves_ambiguity(self, ctx):
+        _, universe = ctx
+        query, subdb = run(universe,
+                           "context Teacher * Section * Student "
+                           "select Student[SS#] display")
+        table = build_table(universe, subdb, query.select)
+        assert table.columns == ["Student.SS#"]
+
+    def test_bare_class_name_takes_priority(self, ctx):
+        _, universe = ctx
+        query, subdb = run(universe,
+                           "context Department * Course select Department")
+        table = build_table(universe, subdb, query.select)
+        assert set(table.columns) == {"Department.college",
+                                      "Department.name"}
+
+    def test_unknown_item_rejected(self, ctx):
+        _, universe = ctx
+        query, subdb = run(universe, "context Teacher select bogus")
+        with pytest.raises(OQLSemanticError):
+            build_table(universe, subdb, query.select)
+
+    def test_default_select_is_all_attributes(self, ctx):
+        _, universe = ctx
+        _, subdb = run(universe, "context Department * Course")
+        table = build_table(universe, subdb, None)
+        assert "Course.title" in table.columns
+        assert "Department.name" in table.columns
+
+    def test_class_item_with_attr_subset(self, ctx):
+        _, universe = ctx
+        query, subdb = run(universe,
+                           "context Course select Course[title, c#]")
+        table = build_table(universe, subdb, query.select)
+        assert table.columns == ["Course.title", "Course.c#"]
+
+    def test_class_item_unknown_attr(self, ctx):
+        _, universe = ctx
+        from repro.errors import UnknownAttributeError
+        query, subdb = run(universe, "context Course select Course[bogus]")
+        with pytest.raises(UnknownAttributeError):
+            build_table(universe, subdb, query.select)
+
+
+class TestTable:
+    def test_rows_deduplicated(self, ctx):
+        _, universe = ctx
+        # Two patterns (t2,s3,c1) and (t2,s3,c2) give one (name,section#)
+        # row after projection.
+        query, subdb = run(universe,
+                           "context SDB:Teacher * SDB:Section * SDB:Course "
+                           "select name section# display")
+        table = build_table(universe, subdb, query.select)
+        assert len([r for r in table.rows if r[0] == "Jones"]) == 1
+
+    def test_null_rendered(self, ctx):
+        _, universe = ctx
+        query, subdb = run(universe,
+                           "context {{Grad} * Advising} * Faculty "
+                           "select Grad[name] Faculty[name] display")
+        table = build_table(universe, subdb, query.select)
+        assert "Null" in table.render()
+
+    def test_render_alignment(self):
+        table = Table(["a", "long_column"], [(1, "x"), (22, "yy")])
+        lines = table.render().splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_column_accessor(self):
+        table = Table(["a", "b"], [(1, 2), (3, 4)])
+        assert table.column("b") == [2, 4]
+        with pytest.raises(OQLSemanticError):
+            table.column("zzz")
+
+    def test_len(self):
+        assert len(Table(["a"], [(1,), (2,)])) == 2
+
+    def test_rows_deterministic_order(self, ctx):
+        _, universe = ctx
+        query, subdb = run(universe,
+                           "context SDB:Teacher * SDB:Section "
+                           "select name display")
+        t1 = build_table(universe, subdb, query.select)
+        t2 = build_table(universe, subdb, query.select)
+        assert t1.rows == t2.rows
+
+
+class TestOperationRegistry:
+    def test_register_and_get_case_insensitive(self):
+        registry = OperationRegistry()
+        fn = lambda u, s, t: "done"
+        registry.register("Rotate", fn)
+        assert registry.get("rotate") is fn
+        assert "ROTATE" in registry
+
+    def test_unknown_operation(self):
+        registry = OperationRegistry()
+        with pytest.raises(OQLSemanticError):
+            registry.get("hire_employee")

@@ -1,0 +1,400 @@
+"""The experiment index: every figure, query, and rule of the paper,
+reproduced end-to-end.  Each test class cites the artifact it verifies
+(see DESIGN.md Section 5 and EXPERIMENTS.md)."""
+
+import pytest
+
+from repro import (
+    AmbiguousPathError,
+    ClassRef,
+    Dictionary,
+    EvaluationMode,
+    PatternType,
+    QueryProcessor,
+    RuleChainingMode,
+    RuleEngine,
+    Universe,
+)
+from repro.university import build_paper_database, build_sdb
+
+
+@pytest.fixture
+def data():
+    return build_paper_database()
+
+
+@pytest.fixture
+def engine(data):
+    engine = RuleEngine(data.db)
+    engine.universe.register(build_sdb(data))
+    return engine
+
+
+def add_paper_rules(engine):
+    engine.add_rule(
+        "if context Teacher * Section * Course "
+        "then Teacher_course (Teacher, Course)", label="R1")
+    engine.add_rule(
+        "if context Department[name = 'CIS'] * Course * Section * Student "
+        "where COUNT(Student by Course) > 39 "
+        "then Suggest_offer (Course)", label="R2")
+    engine.add_rule(
+        "if context Department * Suggest_offer:Course "
+        "where COUNT(Suggest_offer:Course by Department) > 20 "
+        "then Deps_need_res (Department)", label="R3")
+    engine.add_rule(
+        "if context TA * Teacher * Section * Suggest_offer:Course "
+        "then May_teach (TA, Course)", label="R4")
+    engine.add_rule(
+        "if context Grad * Transcript[grade >= 3.0] * Course[c# < 5000] "
+        "then May_teach (Grad, Course)", label="R5")
+
+
+class TestFigure21_UniversitySchema:
+    def test_classes_present(self, data):
+        schema = data.db.schema
+        for cls in ["Person", "Student", "Teacher", "Grad", "Undergrad",
+                    "TA", "RA", "Faculty", "Section", "Course",
+                    "Department", "Transcript", "Advising"]:
+            assert schema.has_eclass(cls)
+
+    def test_person_has_two_link_types(self, data):
+        # "Person has two types of links: Aggregation links connecting
+        # Person to the D-classes SS# and Name, and Generalization links
+        # to Student and Teacher."
+        schema = data.db.schema
+        attrs = schema.descriptive_attributes("Person")
+        assert set(attrs) == {"SS#", "name"}
+        assert schema._subclasses["Person"] == {"Student", "Teacher"}
+
+    def test_major_link_renamed(self, data):
+        # "the link labeled Major which emanates from the class Student
+        # has a different name from the class it connects to."
+        link = data.db.schema.resolve_link("Student", "Department").link
+        assert link.name == "Major"
+        assert link.target == "Department"
+
+    def test_sdiagram_renders(self, data):
+        text = Dictionary(data.db.schema).render_sdiagram()
+        assert "Person" in text and "G ->" in text
+
+
+class TestFigure22_InheritedViewOfRA:
+    def test_ra_inherits_along_unique_path(self, data):
+        # "RA * Section is a legal expression since the class RA inherits
+        # the aggregation association with Section along a unique
+        # generalization path."
+        resolved = data.db.schema.resolve_link("RA", "Section")
+        assert resolved.link.name == "enrolled"
+
+    def test_ra_view_explicit(self, data):
+        view = data.db.schema.inherited_view("RA")
+        inherited_from = {v.defined_at for v in view}
+        assert {"Person", "Student", "Grad", "RA"} <= inherited_from
+
+    def test_ta_ambiguity_requires_intermediate(self, data):
+        # "the ambiguity in the expression TA * Section is resolved by
+        # using either TA * Grad * Section or TA * Teacher * Section."
+        universe = Universe(data.db)
+        qp = QueryProcessor(universe)
+        with pytest.raises(AmbiguousPathError):
+            qp.execute("context TA * Section")
+        via_teacher = qp.execute("context TA * Teacher * Section")
+        via_grad = qp.execute("context TA * Grad * Section")
+        assert len(via_teacher.subdatabase) > 0
+        assert len(via_grad.subdatabase) > 0
+
+
+class TestFigure31_SubdatabaseSDB:
+    def test_intension(self, data):
+        sdb = build_sdb(data)
+        assert sdb.slot_names == ("Teacher", "Section", "Course")
+        assert sdb.intension.edge_between(0, 1).label == "teaches"
+        assert sdb.intension.edge_between(1, 2).label == "course"
+
+    def test_extensional_diagram(self, data):
+        sdb = build_sdb(data)
+        assert sdb.labels() == {
+            ("t1", "s2", "c1"), ("t2", "s3", "c1"), ("t2", "s3", "c2"),
+            ("t3", "s4", None), (None, "s5", "c4"), ("t4", None, None),
+            (None, None, "c3")}
+
+    def test_five_pattern_types(self, data):
+        sdb = build_sdb(data)
+        assert sdb.pattern_types() == {
+            PatternType(("Teacher", "Section", "Course")),
+            PatternType(("Teacher", "Section")),
+            PatternType(("Section", "Course")),
+            PatternType(("Teacher",)),
+            PatternType(("Course",))}
+
+    def test_s3_relates_to_two_courses(self, data):
+        # The deliberately waived 1:N constraint.
+        sdb = build_sdb(data)
+        s3_courses = {repr(p[2]) for p in sdb.patterns
+                      if repr(p[1]) == "s3" and p[2] is not None}
+        assert s3_courses == {"c1", "c2"}
+
+
+class TestQuery31_Figure32:
+    """context Teacher * Section  select name section#  display"""
+
+    def test_applied_to_sdb(self, data, engine):
+        result = engine.query(
+            "context SDB:Teacher * SDB:Section select name section# "
+            "display")
+        assert result.subdatabase.labels() == {
+            ("t1", "s2"), ("t2", "s3"), ("t3", "s4")}
+
+    def test_t4_and_s5_dropped(self, data, engine):
+        # "The extensional pattern (t4, Null) is not included in the
+        # result ... similarly the pattern (s5)."
+        result = engine.query("context SDB:Teacher * SDB:Section")
+        flattened = {x for l in result.subdatabase.labels() for x in l}
+        assert "t4" not in flattened
+        assert "s5" not in flattened
+
+    def test_binary_display_table(self, data, engine):
+        result = engine.query(
+            "context SDB:Teacher * SDB:Section select name section# "
+            "display")
+        assert len(result.table.columns) == 2
+        assert result.table.rows == [("Chen", 3), ("Jones", 2),
+                                     ("Smith", 1)]
+
+
+class TestQuery32:
+    """Departments offering 6000-level courses with current sections."""
+
+    def test_result(self, data, engine):
+        result = engine.query(
+            "context Department * Course [c# >= 6000 and c# < 7000] * "
+            "Section select name title textbook print")
+        assert set(result.table.rows) == {
+            ("CIS", "Database Systems", "Ullman"),
+            ("CIS", "Database Systems", "Date"),
+            ("CIS", "Expert Systems", "Korth")}
+
+
+class TestSection41_InducedGeneralization:
+    def test_derived_class_inherits_source_associations(self, engine):
+        # Suggest_offer:Course inherits the aggregation link to
+        # Department from its superclass (base) Course — making
+        # Department * Suggest_offer:Course legal.
+        add_paper_rules(engine)
+        result = engine.query("context Department * Suggest_offer:Course")
+        assert result.subdatabase.labels() == {("d1", "c1")}
+
+    def test_cross_subdatabase_expression(self, engine):
+        # The SD1:A * SD2:C shape: two different derived subdatabases
+        # joined through inherited base associations.
+        engine.add_rule("if context Teacher * Section then SD1 (Teacher)",
+                        label="SD1")
+        engine.add_rule("if context Section * Course then SD2 (Section)",
+                        label="SD2")
+        result = engine.query("context SD1:Teacher * SD2:Section")
+        # Teachers teaching a section that offers a course.
+        labels = result.subdatabase.labels()
+        assert ("t1", "s2") in labels
+        assert ("t3", "s4") not in labels  # s4 offers no course -> not in SD2
+
+    def test_induced_generalization_recorded(self, engine):
+        add_paper_rules(engine)
+        subdb = engine.derive("Suggest_offer")
+        info = subdb.derived_info["Course"]
+        assert info.ref == ClassRef("Course", "Suggest_offer")
+        assert info.source == ClassRef("Course")
+
+    def test_attribute_access_through_chain(self, engine):
+        add_paper_rules(engine)
+        result = engine.query(
+            "context Suggest_offer:Course select title display")
+        assert "Database Systems" in result.output
+
+
+class TestRule1_Figure43:
+    def test_teacher_course_over_sdb(self, engine):
+        engine.add_rule(
+            "if context SDB:Teacher * SDB:Section * SDB:Course "
+            "then Teacher_course (Teacher, Course)", label="R1")
+        subdb = engine.derive("Teacher_course")
+        assert subdb.labels() == {("t1", "c1"), ("t2", "c1"),
+                                  ("t2", "c2")}
+        assert subdb.slot_names == ("Teacher", "Course")
+        assert subdb.intension.edge_between(0, 1).kind == "derived"
+
+    def test_attribute_subsetting_variant(self, engine):
+        # "the attribute Name will not be accessible from the class
+        # Teacher_course:Teacher."
+        from repro.errors import UnknownAttributeError
+        engine.add_rule(
+            "if context SDB:Teacher * SDB:Section * SDB:Course "
+            "then Teacher_course (Teacher [SS#, degree], Course)")
+        engine.derive("Teacher_course")
+        ok = engine.query(
+            "context Teacher_course:Teacher select Teacher_course:Teacher[SS#]")
+        assert len(ok.table) == 2
+        with pytest.raises(UnknownAttributeError):
+            engine.query("context Teacher_course:Teacher "
+                         "select Teacher_course:Teacher[name]")
+
+
+class TestRule2_SuggestOffer:
+    def test_only_course_with_more_than_39_students(self, engine):
+        add_paper_rules(engine)
+        subdb = engine.derive("Suggest_offer")
+        assert subdb.labels() == {("c1",)}
+
+    def test_closure_property_result_queryable(self, engine):
+        add_paper_rules(engine)
+        result = engine.query(
+            "context Suggest_offer:Course select title c# display")
+        assert result.table.rows == [("Database Systems", 6100)]
+
+
+class TestRule3_DepsNeedRes:
+    def test_paper_threshold_not_met_by_small_data(self, engine):
+        # With the paper's verbatim "> 20" and one suggested course,
+        # no department qualifies.
+        add_paper_rules(engine)
+        subdb = engine.derive("Deps_need_res")
+        assert len(subdb) == 0
+
+    def test_adapted_threshold(self, engine):
+        add_paper_rules(engine)
+        engine.add_rule(
+            "if context Department * Suggest_offer:Course "
+            "where COUNT(Suggest_offer:Course by Department) > 0 "
+            "then Needy (Department)", label="R3'")
+        subdb = engine.derive("Needy")
+        assert subdb.labels() == {("d1",)}
+
+
+class TestRules45_MayTeachUnion:
+    def test_union_of_two_rules(self, engine):
+        add_paper_rules(engine)
+        subdb = engine.derive("May_teach")
+        assert set(subdb.slot_names) == {"TA", "Course", "Grad"}
+        ta = subdb.intension.index_of("TA")
+        course = subdb.intension.index_of("Course")
+        grad = subdb.intension.index_of("Grad")
+        via_r4 = {(repr(p[ta]), repr(p[course])) for p in subdb.patterns
+                  if p[ta] is not None}
+        via_r5 = {(repr(p[grad]), repr(p[course])) for p in subdb.patterns
+                  if p[grad] is not None}
+        assert via_r4 == {("ta1", "c1"), ("ta2", "c1")}
+        assert via_r5 == {("g1", "c2"), ("ta1", "c2"), ("ta2", "c2"),
+                          ("g1", "c3")}
+
+
+class TestQuery41_BackwardChaining:
+    def test_result(self, engine):
+        add_paper_rules(engine)
+        result = engine.query(
+            "context Faculty * Advising * May_teach:TA [GPA < 3.5] "
+            "select TA[name] Faculty[name] display")
+        assert result.table.rows == [("Quinn", "Su")]
+
+    def test_trigger_order(self, engine):
+        # "rules R4 and R5 will be triggered ... this causes rule R2
+        # that derives Suggest_offer to be triggered."
+        add_paper_rules(engine)
+        engine.query(
+            "context Faculty * Advising * May_teach:TA [GPA < 3.5] "
+            "select TA[name] display")
+        assert engine.stats.derivations["Suggest_offer"] == 1
+        assert engine.stats.derivations["May_teach"] == 1
+        assert engine.stats.derivations.get("Teacher_course", 0) == 0
+
+    def test_gpa_filter_excludes_high_gpa_ta(self, engine):
+        add_paper_rules(engine)
+        result = engine.query(
+            "context Faculty * Advising * May_teach:TA [GPA < 3.5] "
+            "select TA[name] display")
+        assert all(row != ("Reyes",) for row in result.table.rows)
+
+
+class TestSection51_BracesOuterjoin:
+    def test_query_51(self, engine):
+        # Display the SS#'s of all grads, with advisor names or Null.
+        result = engine.query(
+            "context {{Grad} * Advising} * Faculty "
+            "select Grad[SS#] Faculty[name] display")
+        rows = dict(result.table.rows)
+        assert rows["300-00-0003"] == "Su"      # ta1 advised by f1
+        assert rows["300-00-0001"] == "Lam"     # g1 advised by f2
+        assert rows["300-00-0002"] is None      # g2: no advisor -> Null
+
+
+class TestSection52_TransitiveClosure:
+    def test_prereq_closure(self, engine):
+        result = engine.query("context Course * Course_1 ^*")
+        assert result.subdatabase.labels() == {
+            ("c4", "c1", "c2"), ("c1", "c2", None)}
+
+    def test_rule_r6_grad_teaching_grad(self, engine):
+        engine.add_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then Grad_teaching_grad (Grad, Grad_)", label="R6")
+        subdb = engine.derive("Grad_teaching_grad")
+        # Run-time determined intension.
+        assert subdb.slot_names == ("Grad", "Grad_1", "Grad_2")
+        assert ("ta1", "ta2", "g1") in subdb.labels()
+        assert ("ta1", "g2", None) in subdb.labels()
+
+    def test_rule_r7_first_and_third(self, engine):
+        engine.add_rule(
+            "if context Grad * TA * Teacher * Section * Student * "
+            "Grad_1 ^* then First_and_third (Grad, Grad_2)", label="R7")
+        subdb = engine.derive("First_and_third")
+        assert ("ta1", "g1") in subdb.labels()
+
+    def test_acyclicity_assumption_enforced(self, engine, data):
+        # "It is assumed here that the relationship between the
+        # instances of the class Grad is not cyclic."
+        from repro.errors import CyclicDataError
+        # Make it cyclic: ta1 teaches ta2 (via s6) and ta2 teaches ta1
+        # (via s4).
+        data.db.associate(data["ta2"], "teaches", data["s4"])
+        data.db.associate(data["ta1"], "enrolled", data["s4"])
+        with pytest.raises(CyclicDataError):
+            engine.query("context Grad * TA * Teacher * Section * "
+                         "Student * Grad_1 ^*")
+
+
+class TestSection6_ControlStrategies:
+    def test_rule_oriented_staleness_window(self, data):
+        engine = RuleEngine(data.db, controller="rule")
+        engine.add_rule("if context Teacher * Section then REa "
+                        "(Teacher, Section)", label="Ra",
+                        mode=RuleChainingMode.BACKWARD)
+        engine.add_rule("if context REa:Teacher * REa:Section then REb "
+                        "(Teacher)", label="Rb",
+                        mode=RuleChainingMode.BACKWARD)
+        engine.add_rule("if context REb:Teacher then REd (Teacher)",
+                        label="Rd", mode=RuleChainingMode.FORWARD)
+        engine.query("context REd:Teacher select name")
+        with data.db.batch():
+            t = data.db.insert("Teacher", name="Fresh", **{"SS#": "0"})
+            data.db.associate(t, "teaches", data["s4"])
+        assert engine.is_stale("REd")
+        served = engine.query("context REd:Teacher select name display")
+        assert "Fresh" not in served.output  # the POSTGRES flaw
+
+    def test_result_oriented_fixes_it(self, data):
+        engine = RuleEngine(data.db, controller="result")
+        engine.add_rule("if context Teacher * Section then REa "
+                        "(Teacher, Section)", label="Ra",
+                        mode=EvaluationMode.POST_EVALUATED)
+        engine.add_rule("if context REa:Teacher * REa:Section then REb "
+                        "(Teacher)", label="Rb",
+                        mode=EvaluationMode.POST_EVALUATED)
+        engine.add_rule("if context REb:Teacher then REd (Teacher)",
+                        label="Rd", mode=EvaluationMode.PRE_EVALUATED)
+        engine.refresh()
+        with data.db.batch():
+            t = data.db.insert("Teacher", name="Fresh", **{"SS#": "0"})
+            data.db.associate(t, "teaches", data["s4"])
+        assert not engine.is_stale("REd")
+        served = engine.query("context REd:Teacher select name display")
+        assert "Fresh" in served.output

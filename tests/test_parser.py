@@ -1,0 +1,272 @@
+"""Unit tests for the OQL parser."""
+
+import pytest
+
+from repro.errors import OQLSyntaxError
+from repro.oql.ast import (
+    AggComparison,
+    AttrRef,
+    BoolOp,
+    Chain,
+    ClassTerm,
+    Comparison,
+    Literal,
+    NotOp,
+    SelectItem,
+)
+from repro.oql.parser import parse_expression, parse_query
+from repro.subdb.refs import ClassRef
+
+
+class TestExpressions:
+    def test_single_class(self):
+        expr = parse_expression("Teacher")
+        assert len(expr.chain.elements) == 1
+        assert expr.chain.elements[0].ref == ClassRef("Teacher")
+
+    def test_linear_chain(self):
+        expr = parse_expression("Teacher * Section * Course")
+        assert expr.chain.ops == ("*", "*")
+        names = [e.ref.cls for e in expr.chain.elements]
+        assert names == ["Teacher", "Section", "Course"]
+
+    def test_non_association_operator(self):
+        expr = parse_expression("Teacher ! Section")
+        assert expr.chain.ops == ("!",)
+
+    def test_qualified_class(self):
+        expr = parse_expression("Department * Suggest_offer:Course")
+        ref = expr.chain.elements[1].ref
+        assert (ref.cls, ref.subdb) == ("Course", "Suggest_offer")
+
+    def test_alias(self):
+        expr = parse_expression("Course * Course_1")
+        assert expr.chain.elements[1].ref.alias == 1
+
+    def test_braces(self):
+        expr = parse_expression("A * {B * C} * D")
+        inner = expr.chain.elements[1]
+        assert isinstance(inner, Chain) and inner.braced
+        assert [e.ref.cls for e in inner.elements] == ["B", "C"]
+
+    def test_nested_braces(self):
+        expr = parse_expression("{{{A} * B} * C} * D")
+        level1 = expr.chain.elements[0]
+        level2 = level1.elements[0]
+        level3 = level2.elements[0]
+        assert level3.braced and level3.elements[0].ref.cls == "A"
+
+    def test_unbalanced_brace(self):
+        with pytest.raises(OQLSyntaxError):
+            parse_expression("{A * B")
+
+    def test_intra_class_condition(self):
+        expr = parse_expression("Course [c# >= 6000 and c# < 7000]")
+        cond = expr.chain.elements[0].condition
+        assert isinstance(cond, BoolOp) and cond.op == "and"
+        first = cond.items[0]
+        assert first == Comparison(AttrRef("c#"), ">=", Literal(6000))
+
+    def test_condition_or_not_parens(self):
+        expr = parse_expression(
+            "Course [not (c# = 1 or c# = 2) and title != 'x']")
+        cond = expr.chain.elements[0].condition
+        assert isinstance(cond, BoolOp) and cond.op == "and"
+        assert isinstance(cond.items[0], NotOp)
+
+    def test_condition_string_and_null_literals(self):
+        expr = parse_expression("Department [name = 'CIS']")
+        cond = expr.chain.elements[0].condition
+        assert cond.right == Literal("CIS")
+        expr2 = parse_expression("Course [title = null]")
+        assert expr2.chain.elements[0].condition.right == Literal(None)
+
+    def test_loop_unbounded(self):
+        expr = parse_expression("A * B * A_1 ^*")
+        assert expr.loop is not None and expr.loop.count is None
+
+    def test_loop_bounded(self):
+        expr = parse_expression("A * B * A_1 ^3")
+        assert expr.loop.count == 3
+
+    def test_loop_count_must_be_positive_int(self):
+        with pytest.raises(OQLSyntaxError):
+            parse_expression("A * A_1 ^0")
+        with pytest.raises(OQLSyntaxError):
+            parse_expression("A * A_1 ^1.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(OQLSyntaxError):
+            parse_expression("A * B extra")
+
+
+class TestQueries:
+    def test_context_only(self):
+        query = parse_query("context Teacher * Section")
+        assert query.where == ()
+        assert query.select is None
+        assert query.operation is None
+
+    def test_display_operation(self):
+        query = parse_query("context Teacher * Section display")
+        assert query.operation == "display"
+
+    def test_print_operation(self):
+        assert parse_query("context A print").operation == "print"
+        # ('A' alone parses as a one-class chain)
+
+    def test_user_operation_needs_parens(self):
+        query = parse_query("context Teacher rotate()")
+        assert query.operation == "rotate"
+
+    def test_select_bare_attributes(self):
+        query = parse_query("context Teacher * Section "
+                            "select name section# display")
+        assert query.select == (SelectItem(None, ("name",)),
+                                SelectItem(None, ("section#",)))
+
+    def test_select_class_with_attrs(self):
+        query = parse_query("context Faculty * Advising * TA "
+                            "select TA[name] Faculty[name] display")
+        assert query.select[0] == SelectItem(ClassRef("TA"), ("name",))
+
+    def test_select_dot_form(self):
+        query = parse_query("context Teacher select Teacher.name")
+        assert query.select[0] == SelectItem(ClassRef("Teacher"),
+                                             ("name",))
+
+    def test_select_qualified_class(self):
+        query = parse_query("context May_teach:TA select May_teach:TA")
+        assert query.select[0].ref == ClassRef("TA", "May_teach")
+        assert query.select[0].attrs is None
+
+    def test_select_multiple_attrs_in_brackets(self):
+        query = parse_query("context Teacher select Teacher[name, degree]")
+        assert query.select[0].attrs == ("name", "degree")
+
+    def test_select_commas_optional(self):
+        with_commas = parse_query("context A * B select x, y")
+        without = parse_query("context A * B select x y")
+        assert with_commas.select == without.select
+
+    def test_empty_select_rejected(self):
+        with pytest.raises(OQLSyntaxError):
+            parse_query("context Teacher select display")
+
+    def test_where_interclass_comparison(self):
+        query = parse_query(
+            "context A * B where A.x > B.y select x")
+        cond = query.where[0]
+        assert cond.left == AttrRef("x", ClassRef("A"))
+        assert cond.right == AttrRef("y", ClassRef("B"))
+
+    def test_where_bracket_qualification(self):
+        query = parse_query("context A * B where A[x] = 3")
+        assert query.where[0].left == AttrRef("x", ClassRef("A"))
+
+    def test_where_unqualified_attr_rejected(self):
+        with pytest.raises(OQLSyntaxError):
+            parse_query("context A * B where x > 3")
+
+    def test_where_count_with_parens(self):
+        query = parse_query(
+            "context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 39")
+        agg = query.where[0]
+        assert isinstance(agg, AggComparison)
+        assert agg.func == "count"
+        assert agg.target == ClassRef("Student")
+        assert agg.by == ClassRef("Course")
+        assert (agg.op, agg.value) == (">", Literal(39))
+
+    def test_where_count_without_parens(self):
+        query = parse_query("context A * B where COUNT A by B >= 2")
+        assert query.where[0].func == "count"
+
+    def test_where_agg_with_attribute(self):
+        query = parse_query(
+            "context Department * Course "
+            "where AVG(Course.credit_hours by Department) > 3")
+        agg = query.where[0]
+        assert (agg.func, agg.attr) == ("avg", "credit_hours")
+
+    def test_where_agg_qualified_target(self):
+        query = parse_query(
+            "context Department * Suggest_offer:Course "
+            "where COUNT(Suggest_offer:Course by Department) > 20")
+        assert query.where[0].target == ClassRef("Course", "Suggest_offer")
+
+    def test_multiple_where_conditions(self):
+        query = parse_query(
+            "context A * B where A.x > 1 and COUNT(A by B) > 2")
+        assert len(query.where) == 2
+
+    def test_where_and_select_in_either_order(self):
+        a = parse_query("context A * B where A.x = 1 select y display")
+        b = parse_query("context A * B select y where A.x = 1 display")
+        assert a.where == b.where and a.select == b.select
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(OQLSyntaxError):
+            parse_query("context A * B display extra")
+
+    def test_missing_context_keyword(self):
+        with pytest.raises(OQLSyntaxError):
+            parse_query("Teacher * Section display")
+
+    def test_str_roundtrip_parses(self):
+        text = ("context Department[name = 'CIS'] * Course * Section * "
+                "Student where COUNT(Student by Course) > 39 "
+                "select name display")
+        query = parse_query(text)
+        again = parse_query(str(query))
+        assert again.where == query.where
+        assert again.select == query.select
+
+
+class TestWhereBooleanGroups:
+    def test_parenthesized_or(self):
+        query = parse_query(
+            "context A * B where (A.x = 1 or B.y = 2)")
+        cond = query.where[0]
+        assert isinstance(cond, BoolOp) and cond.op == "or"
+
+    def test_group_and_binds_locally(self):
+        query = parse_query(
+            "context A * B where (A.x = 1 and B.y = 2 or A.x = 3)")
+        cond = query.where[0]
+        assert isinstance(cond, BoolOp) and cond.op == "or"
+        assert isinstance(cond.items[0], BoolOp)
+        assert cond.items[0].op == "and"
+
+    def test_group_followed_by_agg_condition(self):
+        query = parse_query(
+            "context A * B where (A.x = 1 or A.x = 2) "
+            "and COUNT(A by B) > 3")
+        assert len(query.where) == 2
+        assert isinstance(query.where[1], AggComparison)
+
+    def test_not_group(self):
+        query = parse_query("context A * B where not (A.x = B.y)")
+        assert isinstance(query.where[0], NotOp)
+
+    def test_nested_groups(self):
+        query = parse_query(
+            "context A * B where ((A.x = 1 or A.x = 2) and B.y > 0)")
+        cond = query.where[0]
+        assert isinstance(cond, BoolOp) and cond.op == "and"
+
+    def test_semantics_end_to_end(self):
+        from repro.oql.evaluator import PatternEvaluator
+        from repro.subdb import Universe
+        from repro.university import build_paper_database
+        data = build_paper_database()
+        query = parse_query(
+            "context Teacher * Section "
+            "where (Teacher.degree = 'MS' or Section.section# = 1)")
+        result = PatternEvaluator(Universe(data.db)).evaluate(
+            query.context, query.where)
+        labels = result.labels()
+        assert ("t3", "s4") in labels   # MS teacher
+        assert ("t1", "s2") in labels   # section# 1
+        assert ("t2", "s3") not in labels

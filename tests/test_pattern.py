@@ -1,0 +1,114 @@
+"""Unit tests for extensional patterns, pattern types, and the
+subsumption rule of Section 5.1."""
+
+import pytest
+
+from repro.model.oid import OID
+from repro.subdb.pattern import (
+    ExtensionalPattern,
+    PatternType,
+    covers,
+    subsume,
+)
+
+
+def P(*values):
+    return ExtensionalPattern([None if v is None else OID(v)
+                               for v in values])
+
+
+class TestExtensionalPattern:
+    def test_equality_and_hash(self):
+        assert P(1, 2) == P(1, 2)
+        assert P(1, 2) != P(2, 1)
+        assert len({P(1, 2), P(1, 2), P(1, None)}) == 2
+
+    def test_non_null_indices(self):
+        assert P(1, None, 3).non_null_indices == (0, 2)
+
+    def test_arity(self):
+        assert P(None, None).arity == 0
+        assert P(1, None, 3).arity == 2
+
+    def test_type_of(self):
+        ptype = P(1, None, 3).type_of(("A", "B", "C"))
+        assert ptype == PatternType(("A", "C"))
+
+    def test_project(self):
+        assert P(1, 2, 3).project([2, 0]) == P(3, 1)
+
+    def test_pad_realigns(self):
+        padded = P(1, 2).pad([2, 0], 4)
+        assert padded == P(2, None, 1, None)
+
+    def test_key_skips_nulls(self):
+        assert P(1, None, 3).key() == ((0, 1), (2, 3))
+
+    def test_repr_renders_nulls(self):
+        assert "Null" in repr(P(1, None))
+
+
+class TestPatternType:
+    def test_equality(self):
+        assert PatternType(["A", "B"]) == PatternType(("A", "B"))
+        assert PatternType(["A"]) != PatternType(["B"])
+
+    def test_iteration_and_len(self):
+        ptype = PatternType(("A", "B"))
+        assert list(ptype) == ["A", "B"]
+        assert len(ptype) == 2
+
+
+class TestCovers:
+    def test_strict_superset_with_agreement(self):
+        assert covers(P(1, 2, 3), P(1, 2, None))
+        assert covers(P(1, 2, 3), P(None, 2, None))
+
+    def test_disagreement_is_not_covering(self):
+        assert not covers(P(1, 2, 3), P(1, 9, None))
+
+    def test_equal_arity_is_not_covering(self):
+        assert not covers(P(1, 2, None), P(1, None, 2))
+        assert not covers(P(1, 2), P(1, 2))
+
+    def test_smaller_never_covers_larger(self):
+        assert not covers(P(1, None, None), P(1, 2, None))
+
+
+class TestSubsume:
+    def test_paper_example_section_5_1(self):
+        # From {(a1,b5,c5,d5), (a3,b2,c2 with no d)}: A*{B*C}*D returns
+        # (a1,b5,c5,d5) and (b2,c2); (b5,c5) is dropped because it is
+        # part of the larger retained pattern.
+        full = P(1, 5, 55, 555)
+        part_kept = P(None, 2, 22, None)
+        part_dropped = P(None, 5, 55, None)
+        result = subsume({full, part_kept, part_dropped})
+        assert result == {full, part_kept}
+
+    def test_chain_of_nesting(self):
+        # Transitivity: (a) < (a,b) < (a,b,c); only the largest stays.
+        result = subsume({P(1, None, None), P(1, 2, None), P(1, 2, 3)})
+        assert result == {P(1, 2, 3)}
+
+    def test_middle_dropped_even_when_largest_drops_it_first(self):
+        # (a,b) is covered by (a,b,c); (a) is covered by both.
+        result = subsume({P(1, 2, 3), P(1, 2, None), P(1, None, None),
+                          P(9, None, None)})
+        assert result == {P(1, 2, 3), P(9, None, None)}
+
+    def test_no_false_positives_on_disjoint(self):
+        patterns = {P(1, 2, None), P(None, 3, 4)}
+        assert subsume(patterns) == patterns
+
+    def test_same_value_different_slots_not_subsumed(self):
+        patterns = {P(1, 2, None), P(None, 1, 2)}
+        assert subsume(patterns) == patterns
+
+    def test_empty_input(self):
+        assert subsume([]) == set()
+
+    def test_idempotent(self):
+        patterns = {P(1, 2, 3), P(1, 2, None), P(4, None, None)}
+        once = subsume(patterns)
+        assert subsume(once) == once

@@ -1,0 +1,88 @@
+"""Table-driven brace semantics: which extensional pattern types does
+each expression shape identify, and which patterns survive subsumption —
+over a fully connected and a partially connected ABCD world."""
+
+import pytest
+
+from repro.model.database import Database
+from repro.model.dclass import STRING
+from repro.model.schema import Schema
+from repro.oql.evaluator import PatternEvaluator
+from repro.oql.parser import parse_expression
+from repro.subdb.universe import Universe
+
+
+def build_world(connect_d: bool):
+    """a-b-c linearly connected; d connected only when ``connect_d``."""
+    schema = Schema("abcd")
+    for name in "ABCD":
+        schema.add_eclass(name)
+        schema.add_attribute(name, "tag", STRING)
+    schema.add_association("A", "B")
+    schema.add_association("B", "C")
+    schema.add_association("C", "D")
+    db = Database(schema)
+    objs = {c: db.insert(c, c.lower(), tag=c.lower()) for c in "ABCD"}
+    db.associate(objs["A"], "B", objs["B"])
+    db.associate(objs["B"], "C", objs["C"])
+    if connect_d:
+        db.associate(objs["C"], "D", objs["D"])
+    return Universe(db)
+
+
+def types_of(universe, text):
+    subdb = PatternEvaluator(universe).evaluate(parse_expression(text))
+    return {tuple(t.slots) for t in subdb.pattern_types()}
+
+
+FULLY_CONNECTED = [
+    # (expression, expected pattern types when a-b-c-d all connected)
+    ("A * B * C * D", {("A", "B", "C", "D")}),
+    ("A * {B * C} * D", {("A", "B", "C", "D")}),
+    ("{A * B} * {C * D}", {("A", "B", "C", "D")}),
+    ("{{{A} * B} * C} * D", {("A", "B", "C", "D")}),
+    ("{A} * {B} * {C} * {D}", {("A", "B", "C", "D")}),
+]
+
+D_DISCONNECTED = [
+    # (expression, expected types when c-d is NOT linked)
+    ("A * B * C * D", set()),
+    ("A * {B * C} * D", {("B", "C")}),
+    ("{A * B} * {C * D}", {("A", "B")}),     # c-d brace has no pairs
+    ("{{{A} * B} * C} * D", {("A", "B", "C")}),
+    ("{A} * {B} * {C} * {D}", {("A",), ("B",), ("C",), ("D",)}),
+    ("{A * B * C} * D", {("A", "B", "C")}),
+]
+
+
+class TestFullyConnected:
+    """With a complete chain, subsumption collapses every brace type
+    into the full pattern."""
+
+    @pytest.mark.parametrize("text,expected", FULLY_CONNECTED)
+    def test_types(self, text, expected):
+        universe = build_world(connect_d=True)
+        assert types_of(universe, text) == expected
+
+
+class TestPartiallyConnected:
+    """With c-d missing, only the brace groups that still match
+    independently survive."""
+
+    @pytest.mark.parametrize("text,expected", D_DISCONNECTED)
+    def test_types(self, text, expected):
+        universe = build_world(connect_d=False)
+        assert types_of(universe, text) == expected
+
+    def test_full_rows_require_full_connectivity(self):
+        universe = build_world(connect_d=False)
+        subdb = PatternEvaluator(universe).evaluate(
+            parse_expression("A * B * C * D"))
+        assert len(subdb) == 0
+
+    def test_non_association_reaches_d(self):
+        # C ! D: c is NOT linked to d, so the complement pair matches.
+        universe = build_world(connect_d=False)
+        subdb = PatternEvaluator(universe).evaluate(
+            parse_expression("A * B * C ! D"))
+        assert len(subdb) == 1

@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on the core invariants:
+
+* the subsumption rule is sound, complete and idempotent;
+* pattern projection/padding round-trips;
+* loop-based transitive closure agrees with the Datalog baseline's
+  fixpoint on arbitrary DAGs;
+* naive and semi-naive Datalog evaluation agree on arbitrary graphs;
+* a pre-evaluated (forward-maintained) result always equals a
+  from-scratch recomputation, whatever update sequence ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.datalog import (
+    naive_eval,
+    seminaive_eval,
+    transitive_closure_program,
+)
+from repro.model.database import Database
+from repro.model.oid import OID
+from repro.model.schema import Schema
+from repro.oql.evaluator import PatternEvaluator
+from repro.oql.parser import parse_expression
+from repro.subdb.pattern import ExtensionalPattern, covers, subsume
+from repro.subdb.universe import Universe
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+def patterns(width: int = 4, max_value: int = 5):
+    slot = st.one_of(st.none(), st.integers(min_value=1,
+                                            max_value=max_value))
+    return st.lists(slot, min_size=width, max_size=width).map(
+        lambda vals: ExtensionalPattern(
+            [None if v is None else OID(v) for v in vals]))
+
+
+pattern_sets = st.lists(patterns(), min_size=0, max_size=24).map(set)
+
+dag_edges = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
+        lambda e: e[0] < e[1]),
+    min_size=0, max_size=20).map(set)
+
+any_edges = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(
+        lambda e: e[0] != e[1]),
+    min_size=0, max_size=16).map(set)
+
+
+# ---------------------------------------------------------------------------
+# Subsumption
+# ---------------------------------------------------------------------------
+
+class TestSubsumeProperties:
+    @given(pattern_sets)
+    def test_sound_no_kept_pattern_is_covered(self, pats):
+        kept = subsume(pats)
+        for p in kept:
+            assert not any(covers(q, p) for q in kept if q != p)
+
+    @given(pattern_sets)
+    def test_complete_every_dropped_pattern_is_covered(self, pats):
+        kept = subsume(pats)
+        for p in pats - kept:
+            assert any(covers(q, p) for q in kept)
+
+    @given(pattern_sets)
+    def test_idempotent(self, pats):
+        once = subsume(pats)
+        assert subsume(once) == once
+
+    @given(pattern_sets)
+    def test_result_is_subset(self, pats):
+        assert subsume(pats) <= pats
+
+    @given(pattern_sets)
+    def test_maximal_arity_patterns_always_kept(self, pats):
+        if not pats:
+            return
+        top = max(p.arity for p in pats)
+        kept = subsume(pats)
+        for p in pats:
+            if p.arity == top:
+                assert p in kept
+
+    @given(patterns(), patterns())
+    def test_covers_is_antisymmetric(self, a, b):
+        assert not (covers(a, b) and covers(b, a))
+
+    @given(patterns())
+    def test_covers_is_irreflexive(self, p):
+        assert not covers(p, p)
+
+
+class TestPatternAlgebra:
+    @given(patterns(width=5))
+    def test_project_then_pad_preserves_values(self, p):
+        projected = p.project([0, 2, 4])
+        padded = projected.pad([0, 2, 4], 5)
+        for i in (0, 2, 4):
+            assert padded[i] == p[i]
+        for i in (1, 3):
+            assert padded[i] is None
+
+    @given(patterns())
+    def test_type_arity_consistency(self, p):
+        assert len(p.type_of(tuple("ABCD"))) == p.arity
+
+
+# ---------------------------------------------------------------------------
+# Loop TC vs the Datalog baseline
+# ---------------------------------------------------------------------------
+
+def _node_db(edges):
+    schema = Schema("nodes")
+    schema.add_eclass("N")
+    schema.add_association("N", "N", name="next")
+    db = Database(schema)
+    nodes = {}
+    involved = sorted({x for e in edges for x in e})
+    for value in involved:
+        nodes[value] = db.insert("N", f"n{value}")
+    for a, b in edges:
+        db.associate(nodes[a], "next", nodes[b])
+    return db, nodes
+
+
+def _closure_pairs(subdb):
+    """(ancestor, descendant) OID-value pairs from hierarchy rows."""
+    pairs = set()
+    for pattern in subdb.patterns:
+        chain = [v for v in pattern.values if v is not None]
+        for i in range(len(chain)):
+            for j in range(i + 1, len(chain)):
+                pairs.add((chain[i].value, chain[j].value))
+    return pairs
+
+
+class TestLoopVsDatalog:
+    @settings(max_examples=40, deadline=None)
+    @given(dag_edges)
+    def test_loop_closure_equals_datalog_fixpoint(self, edges):
+        db, nodes = _node_db(edges)
+        evaluator = PatternEvaluator(Universe(db))
+        subdb = evaluator.evaluate(parse_expression("N * N_1 ^*"))
+        oid_edges = {(nodes[a].oid.value, nodes[b].oid.value)
+                     for a, b in edges}
+        expected = seminaive_eval(
+            transitive_closure_program(oid_edges))["tc"]
+        assert _closure_pairs(subdb) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(any_edges)
+    def test_loop_with_stop_equals_datalog_on_cyclic_graphs(self, edges):
+        db, nodes = _node_db(edges)
+        evaluator = PatternEvaluator(Universe(db), on_cycle="stop")
+        subdb = evaluator.evaluate(parse_expression("N * N_1 ^*"))
+        oid_edges = {(nodes[a].oid.value, nodes[b].oid.value)
+                     for a, b in edges}
+        expected = seminaive_eval(
+            transitive_closure_program(oid_edges))["tc"]
+        # With on_cycle='stop' a hierarchy never revisits a node, so
+        # self-reachability pairs (x, x) are not enumerated; everything
+        # else must match.
+        assert _closure_pairs(subdb) == {
+            (a, b) for a, b in expected if a != b}
+
+
+class TestDatalogProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(any_edges)
+    def test_naive_equals_seminaive(self, edges):
+        program = transitive_closure_program(edges)
+        assert naive_eval(program)["tc"] == \
+            seminaive_eval(program)["tc"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(dag_edges)
+    def test_closure_contains_edges_and_is_transitive(self, edges):
+        result = seminaive_eval(transitive_closure_program(edges))["tc"]
+        assert set(edges) <= result
+        for a, b in result:
+            for c, d in result:
+                if b == c:
+                    assert (a, d) in result
+
+
+# ---------------------------------------------------------------------------
+# Maintenance consistency
+# ---------------------------------------------------------------------------
+
+class TestMaintenanceConsistency:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                              st.booleans()),
+                    min_size=0, max_size=12))
+    def test_pre_evaluated_equals_recompute(self, ops):
+        """Whatever associate/dissociate sequence runs, the forward-
+        maintained result equals a from-scratch derivation."""
+        from repro.rules.control import EvaluationMode
+        from repro.rules.engine import RuleEngine
+
+        schema = Schema("ts")
+        schema.add_eclass("T")
+        schema.add_eclass("S")
+        schema.add_association("T", "S", name="teaches")
+        db = Database(schema)
+        teachers = [db.insert("T", f"t{i}") for i in range(4)]
+        sections = [db.insert("S", f"s{i}") for i in range(4)]
+
+        engine = RuleEngine(db, controller="result")
+        engine.add_rule("if context T * S then Pairs (T, S)",
+                        label="P", mode=EvaluationMode.PRE_EVALUATED)
+        engine.refresh()
+
+        linked = set()
+        for t_index, s_index, do_link in ops:
+            key = (t_index, s_index)
+            if do_link and key not in linked:
+                db.associate(teachers[t_index], "teaches",
+                             sections[s_index])
+                linked.add(key)
+            elif not do_link and key in linked:
+                db.dissociate(teachers[t_index], "teaches",
+                              sections[s_index])
+                linked.discard(key)
+
+        maintained = engine.universe.get_subdb("Pairs").patterns
+        fresh = engine.derive("Pairs", force=True).patterns
+        assert maintained == fresh
+        expected = {(teachers[a].oid, sections[b].oid)
+                    for a, b in linked}
+        assert {(p[0], p[1]) for p in maintained} == expected

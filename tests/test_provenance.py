@@ -1,0 +1,108 @@
+"""Tests for the provenance facility (why-explanations)."""
+
+import pytest
+
+from repro.errors import OQLSemanticError
+from repro.rules.engine import RuleEngine
+from repro.rules.provenance import explain_pattern
+from repro.university import build_paper_database
+
+
+@pytest.fixture
+def engine():
+    data = build_paper_database()
+    engine = RuleEngine(data.db)
+    engine.add_rule(
+        "if context Department[name = 'CIS'] * Course * Section * Student "
+        "where COUNT(Student by Course) > 39 "
+        "then Suggest_offer (Course)", label="R2")
+    engine.add_rule(
+        "if context TA * Teacher * Section * Suggest_offer:Course "
+        "then May_teach (TA, Course)", label="R4")
+    engine.add_rule(
+        "if context Grad * Transcript[grade >= 3.0] * Course[c# < 5000] "
+        "then May_teach (Grad, Course)", label="R5")
+    engine.derive("May_teach")
+    return engine
+
+
+class TestWhy:
+    def test_supported_pattern_names_rule_and_rows(self, engine):
+        why = engine.why("May_teach", ("ta1", "c1", None))
+        assert why.is_supported
+        r4 = next(s for s in why.supports if s.rule_label == "R4")
+        assert len(r4.rows) == 1
+        assert tuple(repr(v) for v in r4.rows[0]) == \
+            ("ta1", "ta1", "s3", "c1")
+        r5 = next(s for s in why.supports if s.rule_label == "R5")
+        assert r5.rows == []
+
+    def test_pattern_supported_by_other_rule(self, engine):
+        why = engine.why("May_teach", (None, "c2", "g1"))
+        r5 = next(s for s in why.supports if s.rule_label == "R5")
+        assert len(r5.rows) == 1
+
+    def test_recursion_into_derived_source(self, engine):
+        why = engine.why("May_teach", ("ta1", "c1", None))
+        r4 = next(s for s in why.supports if s.rule_label == "R4")
+        assert len(r4.nested) == 1
+        nested = r4.nested[0]
+        assert nested.target == "Suggest_offer"
+        assert nested.is_supported
+        assert nested.supports[0].rule_label == "R2"
+
+    def test_depth_zero_stops_recursion(self, engine):
+        why = engine.why("May_teach", ("ta1", "c1", None), depth=0)
+        r4 = next(s for s in why.supports if s.rule_label == "R4")
+        assert r4.nested == []
+
+    def test_unsupported_pattern(self, engine):
+        why = engine.why("May_teach", ("ta1", "c3", None))
+        assert not why.is_supported
+        assert "UNSUPPORTED" in why.render()
+
+    def test_render_shape(self, engine):
+        text = engine.why("May_teach", ("ta1", "c1", None)).render()
+        assert "by rule R4 from (ta1, ta1, s3, c1)" in text
+        assert "Suggest_offer (c1)" in text
+        assert "by rule R2 from" in text
+
+    def test_unknown_label_rejected(self, engine):
+        with pytest.raises(OQLSemanticError):
+            engine.why("May_teach", ("ghost", "c1", None))
+
+    def test_wrong_arity_rejected(self, engine):
+        with pytest.raises(OQLSemanticError):
+            engine.why("May_teach", ("ta1",))
+
+    def test_accepts_extensional_pattern_object(self, engine):
+        subdb = engine.universe.get_subdb("May_teach")
+        pattern = next(iter(subdb.patterns))
+        why = explain_pattern(engine, "May_teach", pattern)
+        assert why.is_supported
+
+    def test_many_supports_counted(self, engine):
+        why = engine.why("Suggest_offer", ("c1",))
+        r2 = why.supports[0]
+        # 46 distinct students reach c1 through two sections; each full
+        # match is one support row.
+        assert len(r2.rows) >= 46
+        assert "more)" in why.render()
+
+
+class TestShellWhy:
+    def test_why_command(self, engine):
+        import io
+        from repro.shell import Shell
+        out = io.StringIO()
+        shell = Shell(engine, out=out)
+        shell.handle("\\why May_teach ta1 c1 -")
+        assert "by rule R4" in out.getvalue()
+
+    def test_why_usage(self, engine):
+        import io
+        from repro.shell import Shell
+        out = io.StringIO()
+        shell = Shell(engine, out=out)
+        shell.handle("\\why May_teach")
+        assert "usage" in out.getvalue()

@@ -1,0 +1,111 @@
+"""Unit tests for class references and intensional patterns."""
+
+import pytest
+
+from repro.errors import OQLSemanticError
+from repro.subdb.intension import Edge, IntensionalPattern
+from repro.subdb.refs import ClassRef
+
+
+class TestClassRefParse:
+    def test_plain(self):
+        ref = ClassRef.parse("Teacher")
+        assert (ref.cls, ref.subdb, ref.alias) == ("Teacher", None, None)
+
+    def test_qualified(self):
+        ref = ClassRef.parse("Suggest_offer:Course")
+        assert (ref.cls, ref.subdb) == ("Course", "Suggest_offer")
+
+    def test_alias(self):
+        ref = ClassRef.parse("Grad_2")
+        assert (ref.cls, ref.alias) == ("Grad", 2)
+
+    def test_qualified_alias(self):
+        ref = ClassRef.parse("SD1:A_3")
+        assert (ref.cls, ref.subdb, ref.alias) == ("A", "SD1", 3)
+
+    def test_underscored_name_without_digits_is_not_alias(self):
+        ref = ClassRef.parse("May_teach")
+        assert ref.cls == "May_teach"
+        assert ref.alias is None
+
+    def test_name_with_digit_suffix_inside_word(self):
+        # Only an *underscore*-digit suffix is an alias.
+        assert ClassRef.parse("Grad2").cls == "Grad2"
+
+    def test_slot_roundtrip(self):
+        for text in ["Teacher", "SD:A", "A_1", "SD:A_2"]:
+            assert ClassRef.parse(text).slot == text
+
+    def test_level(self):
+        assert ClassRef.parse("A").level == 0
+        assert ClassRef.parse("A_4").level == 4
+
+    def test_with_and_without_alias(self):
+        ref = ClassRef("A", "SD", 1)
+        assert ref.without_alias().slot == "SD:A"
+        assert ref.with_alias(3).slot == "SD:A_3"
+
+    def test_ordering_is_total(self):
+        refs = [ClassRef("B"), ClassRef("A"), ClassRef("A", "S")]
+        assert sorted(refs)  # no TypeError
+
+
+class TestIntensionalPattern:
+    def test_slot_names(self):
+        ip = IntensionalPattern([ClassRef("A"), ClassRef("B", "SD")])
+        assert ip.slot_names == ("A", "SD:B")
+
+    def test_duplicate_slots_rejected_with_hint(self):
+        with pytest.raises(OQLSemanticError) as err:
+            IntensionalPattern([ClassRef("A"), ClassRef("A")])
+        assert "alias" in str(err.value)
+
+    def test_aliases_make_slots_distinct(self):
+        ip = IntensionalPattern([ClassRef("A"), ClassRef("A", None, 1)])
+        assert len(ip) == 2
+
+    def test_index_of(self):
+        ip = IntensionalPattern([ClassRef("A"), ClassRef("B")])
+        assert ip.index_of("B") == 1
+        assert ip.index_of(ClassRef("A")) == 0
+
+    def test_index_of_missing(self):
+        ip = IntensionalPattern([ClassRef("A")])
+        with pytest.raises(OQLSemanticError):
+            ip.index_of("Z")
+
+    def test_indices_and_levels_of_class(self):
+        ip = IntensionalPattern([ClassRef("A"), ClassRef("B"),
+                                 ClassRef("A", None, 2),
+                                 ClassRef("A", None, 1)])
+        assert ip.indices_of_class("A") == [0, 2, 3]
+        assert ip.levels_of_class("A") == [0, 3, 2]
+
+    def test_edge_between(self):
+        ip = IntensionalPattern([ClassRef("A"), ClassRef("B")],
+                                [Edge(0, 1, "base", "x")])
+        assert ip.edge_between(0, 1).label == "x"
+        assert ip.edge_between(1, 0).label == "x"
+
+    def test_with_edges(self):
+        ip = IntensionalPattern([ClassRef("A"), ClassRef("B")])
+        extended = ip.with_edges([Edge(0, 1, "derived", "r")])
+        assert extended.edge_between(0, 1).kind == "derived"
+        assert ip.edge_between(0, 1) is None
+
+    def test_describe_lists_classes_and_edges(self):
+        ip = IntensionalPattern([ClassRef("A"), ClassRef("B")],
+                                [Edge(0, 1, "derived", "r")])
+        text = ip.describe()
+        assert "A, B" in text
+        assert "derived" in text
+
+
+class TestEdge:
+    def test_touches_and_other(self):
+        edge = Edge(2, 5)
+        assert edge.touches(2) and edge.touches(5)
+        assert not edge.touches(3)
+        assert edge.other(2) == 5
+        assert edge.other(5) == 2

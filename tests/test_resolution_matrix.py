@@ -1,0 +1,116 @@
+"""Table-driven association-resolution tests: the complete behaviour of
+the association operator across the University schema's class pairs —
+the single most load-bearing semantic in the language."""
+
+import pytest
+
+from repro.errors import AmbiguousPathError, NoAssociationError
+from repro.university.schema import build_university_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_university_schema()
+
+
+#: (left class, right class, expected kind, expected link name or None)
+AGGREGATION_CASES = [
+    # Direct links, both orientations.
+    ("Teacher", "Section", "teaches"),
+    ("Section", "Teacher", "teaches"),
+    ("Student", "Section", "enrolled"),
+    ("Section", "Course", "course"),
+    ("Course", "Section", "course"),
+    ("Student", "Department", "Major"),
+    ("Department", "Student", "Major"),
+    ("Course", "Department", "department"),
+    ("Department", "Course", "department"),
+    ("Transcript", "Student", "student"),
+    ("Student", "Transcript", "student"),
+    ("Transcript", "Course", "course"),
+    ("Course", "Transcript", "course"),
+    ("Advising", "Faculty", "faculty"),
+    ("Faculty", "Advising", "faculty"),
+    ("Advising", "Grad", "grad"),
+    ("Grad", "Advising", "grad"),
+    # Inherited along unique generalization paths.
+    ("Faculty", "Section", "teaches"),     # Faculty <= Teacher
+    ("Grad", "Section", "enrolled"),       # Grad <= Student
+    ("RA", "Section", "enrolled"),         # the paper's RA case
+    ("Undergrad", "Section", "enrolled"),
+    ("Grad", "Department", "Major"),
+    ("RA", "Department", "Major"),
+    ("Undergrad", "Transcript", "student"),
+    ("Grad", "Transcript", "student"),
+    ("TA", "Advising", "grad"),            # TA <= Grad
+    ("TA", "Department", "Major"),
+    ("Advising", "TA", "grad"),
+    # Self-association.
+    ("Course", "Course", "prereq"),
+]
+
+IDENTITY_CASES = [
+    ("TA", "Grad"), ("Grad", "TA"),
+    ("TA", "Teacher"), ("Teacher", "TA"),
+    ("TA", "Student"), ("TA", "Person"),
+    ("Faculty", "Teacher"), ("Faculty", "Person"),
+    ("Grad", "Student"), ("Student", "Person"),
+    ("RA", "Grad"), ("Undergrad", "Student"),
+]
+
+AMBIGUOUS_CASES = [
+    ("TA", "Section"),        # teaches (via Teacher) vs enrolled (via Grad)
+    ("Section", "TA"),
+]
+
+UNASSOCIATED_CASES = [
+    ("Person", "Section"),     # links are not inherited upward
+    ("Person", "Department"),
+    ("Person", "Transcript"),
+    ("Teacher", "Department"),
+    ("Teacher", "Transcript"),
+    ("Teacher", "Course"),     # only via Section
+    ("Student", "Faculty"),    # Advising connects Grad, not Student
+    ("Faculty", "RA"),         # siblings under Teacher/Grad
+    ("Undergrad", "Grad"),
+    ("Section", "Department"),
+    ("Advising", "Undergrad"),
+    ("Teacher", "Advising"),   # Advising connects Faculty, not Teacher
+]
+
+
+class TestAggregationResolution:
+    @pytest.mark.parametrize("a,b,link", AGGREGATION_CASES)
+    def test_resolves_to_link(self, schema, a, b, link):
+        resolved = schema.resolve_link(a, b)
+        assert resolved.kind == "aggregation"
+        assert resolved.link.name == link
+
+    @pytest.mark.parametrize("a,b,link", AGGREGATION_CASES)
+    def test_orientation_is_consistent(self, schema, a, b, link):
+        forward = schema.resolve_link(a, b)
+        backward = schema.resolve_link(b, a)
+        assert forward.link == backward.link
+        if a != b:
+            assert forward.a_is_owner != backward.a_is_owner
+
+
+class TestIdentityResolution:
+    @pytest.mark.parametrize("a,b", IDENTITY_CASES)
+    def test_resolves_to_identity(self, schema, a, b):
+        assert schema.resolve_link(a, b).kind == "identity"
+
+
+class TestAmbiguity:
+    @pytest.mark.parametrize("a,b", AMBIGUOUS_CASES)
+    def test_raises_with_candidates(self, schema, a, b):
+        with pytest.raises(AmbiguousPathError) as err:
+            schema.resolve_link(a, b)
+        assert len(err.value.candidates) >= 2
+
+
+class TestUnassociated:
+    @pytest.mark.parametrize("a,b", UNASSOCIATED_CASES)
+    def test_raises_no_association(self, schema, a, b):
+        with pytest.raises(NoAssociationError):
+            schema.resolve_link(a, b)

@@ -1,0 +1,256 @@
+"""Unit tests for the S-diagram: construction, inheritance closure,
+the inherited view (Figure 2.2), and association resolution (Section 3.2's
+ambiguity semantics)."""
+
+import pytest
+
+from repro.errors import (
+    AmbiguousPathError,
+    DuplicateAssociationError,
+    DuplicateClassError,
+    GeneralizationCycleError,
+    NoAssociationError,
+    UnknownAttributeError,
+    UnknownClassError,
+)
+from repro.model.dclass import INTEGER, STRING
+from repro.model.schema import Schema
+from repro.university.schema import build_university_schema
+
+
+@pytest.fixture
+def uni():
+    return build_university_schema()
+
+
+class TestConstruction:
+    def test_duplicate_eclass_rejected(self):
+        s = Schema()
+        s.add_eclass("A")
+        with pytest.raises(DuplicateClassError):
+            s.add_eclass("A")
+
+    def test_dclass_eclass_name_collision_rejected(self):
+        s = Schema()
+        s.add_eclass("A")
+        with pytest.raises(DuplicateClassError):
+            s.add_dclass(INTEGER.__class__("A", int))
+
+    def test_attribute_requires_known_owner(self):
+        s = Schema()
+        with pytest.raises(UnknownClassError):
+            s.add_attribute("Ghost", "x", STRING)
+
+    def test_attribute_requires_known_domain_by_name(self):
+        s = Schema()
+        s.add_eclass("A")
+        with pytest.raises(UnknownClassError):
+            s.add_attribute("A", "x", "no-such-domain")
+
+    def test_duplicate_link_name_on_owner_rejected(self):
+        s = Schema()
+        s.add_eclass("A")
+        s.add_eclass("B")
+        s.add_association("A", "B")
+        with pytest.raises(DuplicateAssociationError):
+            s.add_association("A", "B")
+
+    def test_association_link_defaults_to_target_name(self):
+        s = Schema()
+        s.add_eclass("A")
+        s.add_eclass("B")
+        link = s.add_association("A", "B")
+        assert link.name == "B"
+
+    def test_generalization_cycle_rejected(self):
+        s = Schema()
+        s.add_eclass("A")
+        s.add_eclass("B")
+        s.add_subclass("A", "B")
+        with pytest.raises(GeneralizationCycleError):
+            s.add_subclass("B", "A")
+
+    def test_self_generalization_rejected(self):
+        s = Schema()
+        s.add_eclass("A")
+        with pytest.raises(GeneralizationCycleError):
+            s.add_subclass("A", "A")
+
+    def test_transitive_generalization_cycle_rejected(self):
+        s = Schema()
+        for name in "ABC":
+            s.add_eclass(name)
+        s.add_subclass("A", "B")
+        s.add_subclass("B", "C")
+        with pytest.raises(GeneralizationCycleError):
+            s.add_subclass("C", "A")
+
+
+class TestGeneralizationClosure:
+    def test_superclasses_transitive(self, uni):
+        assert uni.superclasses("TA") == {"Grad", "Teacher", "Student",
+                                          "Person"}
+
+    def test_subclasses_transitive(self, uni):
+        assert uni.subclasses("Person") == {
+            "Student", "Teacher", "Grad", "Undergrad", "TA", "RA",
+            "Faculty"}
+
+    def test_multiple_inheritance(self, uni):
+        assert "Teacher" in uni.superclasses("TA")
+        assert "Grad" in uni.superclasses("TA")
+
+    def test_is_subclass_of_reflexive(self, uni):
+        assert uni.is_subclass_of("Grad", "Grad")
+
+    def test_is_subclass_of_transitive(self, uni):
+        assert uni.is_subclass_of("TA", "Person")
+        assert not uni.is_subclass_of("Person", "TA")
+
+    def test_related_by_generalization(self, uni):
+        assert uni.related_by_generalization("TA", "Grad")
+        assert uni.related_by_generalization("Grad", "TA")
+        assert not uni.related_by_generalization("Teacher", "Student")
+
+    def test_up_and_down(self, uni):
+        assert "RA" in uni.down("Student")
+        assert "Person" in uni.up("RA")
+
+    def test_unknown_class_raises(self, uni):
+        with pytest.raises(UnknownClassError):
+            uni.superclasses("Ghost")
+
+
+class TestAttributeVisibility:
+    def test_inherited_attributes_visible(self, uni):
+        attrs = uni.descriptive_attributes("TA")
+        # name/SS# from Person, GPA from Student, degree from Teacher.
+        assert {"name", "SS#", "GPA", "degree"} <= set(attrs)
+
+    def test_own_attributes_visible(self, uni):
+        assert "project" in uni.descriptive_attributes("RA")
+
+    def test_attributes_not_inherited_upward(self, uni):
+        assert "GPA" not in uni.descriptive_attributes("Person")
+
+    def test_attribute_lookup_error_lists_visible(self, uni):
+        with pytest.raises(UnknownAttributeError) as err:
+            uni.attribute("Person", "GPA")
+        assert "name" in str(err.value)
+
+    def test_shadowing_nearer_definition_wins(self):
+        s = Schema()
+        s.add_eclass("A")
+        s.add_eclass("B")
+        s.add_subclass("A", "B")
+        s.add_attribute("A", "x", STRING)
+        s.add_attribute("B", "x", INTEGER)
+        assert s.descriptive_attributes("B")["x"].target == "integer"
+        assert s.descriptive_attributes("A")["x"].target == "string"
+
+
+class TestInheritedView:
+    """Figure 2.2: class RA with all inherited associations explicit."""
+
+    def test_ra_view_includes_every_superclass_link(self, uni):
+        partners = {(v.partner(), v.defined_at)
+                    for v in uni.inherited_view("RA")}
+        # Inherited entity associations:
+        assert ("Section", "Student") in partners    # enrolled
+        assert ("Department", "Student") in partners  # Major
+        assert ("Transcript", "Student") in partners  # connects-to end
+        assert ("Advising", "Grad") in partners
+        # Own descriptive attribute:
+        assert ("string", "RA") in partners           # project
+
+    def test_ra_view_excludes_teacher_links(self, uni):
+        # RA is not a Teacher subclass; teaches must not appear.
+        names = {v.link.name for v in uni.inherited_view("RA")}
+        assert "teaches" not in names
+
+    def test_ta_view_includes_both_paths(self, uni):
+        names = {v.link.name for v in uni.inherited_view("TA")}
+        assert {"teaches", "enrolled"} <= names
+
+    def test_view_marks_inheritance_origin(self, uni):
+        view = uni.inherited_view("RA")
+        enrolled = next(v for v in view if v.link.name == "enrolled")
+        assert enrolled.defined_at == "Student"
+        assert enrolled.viewer == "RA"
+
+
+class TestResolveLink:
+    def test_direct_association(self, uni):
+        resolved = uni.resolve_link("Teacher", "Section")
+        assert resolved.kind == "aggregation"
+        assert resolved.link.name == "teaches"
+        assert resolved.a_is_owner
+
+    def test_reverse_orientation(self, uni):
+        resolved = uni.resolve_link("Section", "Teacher")
+        assert resolved.link.name == "teaches"
+        assert not resolved.a_is_owner
+
+    def test_inherited_association(self, uni):
+        # RA inherits 'enrolled' from Student along a unique path.
+        resolved = uni.resolve_link("RA", "Section")
+        assert resolved.link.name == "enrolled"
+
+    def test_ambiguous_path_raises(self, uni):
+        # The paper's TA * Section case.
+        with pytest.raises(AmbiguousPathError) as err:
+            uni.resolve_link("TA", "Section")
+        names = {link.name for link in err.value.candidates}
+        assert names == {"teaches", "enrolled"}
+
+    def test_identity_for_generalization(self, uni):
+        assert uni.resolve_link("TA", "Grad").kind == "identity"
+        assert uni.resolve_link("Grad", "TA").kind == "identity"
+
+    def test_identity_not_for_siblings(self, uni):
+        with pytest.raises(NoAssociationError):
+            uni.resolve_link("Faculty", "RA")
+
+    def test_unassociated_classes_raise(self, uni):
+        with pytest.raises(NoAssociationError):
+            uni.resolve_link("Person", "Section")
+
+    def test_self_association(self, uni):
+        resolved = uni.resolve_link("Course", "Course")
+        assert resolved.link.name == "prereq"
+        assert resolved.a_is_owner
+
+    def test_aggregation_preferred_over_identity(self, uni):
+        # Course-Course has both a self link and trivial identity;
+        # the aggregation wins.
+        assert uni.resolve_link("Course", "Course").kind == "aggregation"
+
+    def test_are_associated_helper(self, uni):
+        assert uni.are_associated("Teacher", "Section")
+        assert not uni.are_associated("TA", "Section")  # ambiguous
+        assert not uni.are_associated("Person", "Section")
+
+    def test_disambiguation_through_intermediate(self, uni):
+        # TA * Teacher * Section and TA * Grad * Section both resolve.
+        assert uni.resolve_link("TA", "Teacher").kind == "identity"
+        assert uni.resolve_link("Teacher", "Section").link.name == "teaches"
+        assert uni.resolve_link("TA", "Grad").kind == "identity"
+        assert uni.resolve_link("Grad", "Section").link.name == "enrolled"
+
+
+class TestCatalogListings:
+    def test_eclass_names_sorted(self, uni):
+        names = uni.eclass_names
+        assert names == sorted(names)
+        assert "Course" in names
+
+    def test_generalizations_listing(self, uni):
+        pairs = {(g.superclass, g.subclass) for g in uni.generalizations()}
+        assert ("Grad", "TA") in pairs
+        assert ("Teacher", "TA") in pairs
+
+    def test_entity_links_at(self, uni):
+        names = {l.name for l in uni.entity_links_at("Course")}
+        # Emanating: department, prereq; connecting: Section.course,
+        # Transcript.course, Course.prereq (self).
+        assert {"department", "prereq", "course"} <= names

@@ -1,0 +1,161 @@
+"""Tests for the interactive shell's command interpreter."""
+
+import io
+
+import pytest
+
+from repro.rules.engine import RuleEngine
+from repro.shell import Shell, build_engine
+from repro.university import build_paper_database, build_sdb
+
+
+@pytest.fixture
+def shell():
+    data = build_paper_database()
+    engine = RuleEngine(data.db)
+    engine.universe.register(build_sdb(data))
+    out = io.StringIO()
+    return Shell(engine, out=out), out
+
+
+def output(out):
+    return out.getvalue()
+
+
+class TestStatements:
+    def test_query(self, shell):
+        sh, out = shell
+        sh.handle("context SDB:Teacher select name display")
+        assert "Smith" in output(out)
+
+    def test_rule_then_query(self, shell):
+        sh, out = shell
+        sh.handle("if context Teacher * Section * Course "
+                  "then TC (Teacher, Course)")
+        assert "derives 'TC'" in output(out)
+        sh.handle("context TC:Teacher select name display")
+        assert "Jones" in output(out)
+
+    def test_continuation_lines(self, shell):
+        sh, out = shell
+        sh.handle("context SDB:Teacher \\")
+        assert sh.pending
+        sh.handle("select name display")
+        assert not sh.pending
+        assert "Smith" in output(out)
+
+    def test_error_reported_not_raised(self, shell):
+        sh, out = shell
+        sh.handle("context Nothing * Here")
+        assert "error:" in output(out)
+
+    def test_unrecognized_input_hint(self, shell):
+        sh, out = shell
+        sh.handle("hello world")
+        assert "\\help" in output(out)
+
+    def test_blank_line_ignored(self, shell):
+        sh, out = shell
+        assert sh.handle("   ")
+        assert output(out) == ""
+
+
+class TestMetaCommands:
+    def test_help(self, shell):
+        sh, out = shell
+        sh.handle("\\help")
+        assert "\\schema" in output(out)
+
+    def test_schema(self, shell):
+        sh, out = shell
+        sh.handle("\\schema")
+        assert "Teacher" in output(out)
+
+    def test_class(self, shell):
+        sh, out = shell
+        sh.handle("\\class TA")
+        text = output(out)
+        assert "superclasses" in text
+        assert "GPA" in text
+
+    def test_class_usage(self, shell):
+        sh, out = shell
+        sh.handle("\\class")
+        assert "usage" in output(out)
+
+    def test_subdbs_and_subdb(self, shell):
+        sh, out = shell
+        sh.handle("\\subdbs")
+        assert "SDB" in output(out)
+        sh.handle("\\subdb SDB")
+        assert "patterns (7)" in output(out)
+
+    def test_rules_listing(self, shell):
+        sh, out = shell
+        sh.handle("\\rules")
+        assert "(no rules)" in output(out)
+        sh.handle("if context Teacher * Section then TS (Teacher)")
+        sh.handle("\\rules")
+        assert "then TS" in output(out)
+
+    def test_explain(self, shell):
+        sh, out = shell
+        sh.handle("if context Teacher * Section then TS (Teacher)")
+        sh.handle("\\explain context TS:Teacher select name")
+        assert "derivation order" in output(out)
+
+    def test_stats(self, shell):
+        sh, out = shell
+        sh.handle("\\stats")
+        assert "queries:" in output(out)
+        assert "objects:" in output(out)
+
+    def test_save(self, shell, tmp_path):
+        sh, out = shell
+        path = tmp_path / "session.json"
+        sh.handle(f"\\save {path}")
+        assert path.exists()
+        assert "saved" in output(out)
+
+    def test_quit(self, shell):
+        sh, out = shell
+        assert sh.handle("\\quit") is False
+
+    def test_unknown_command(self, shell):
+        sh, out = shell
+        sh.handle("\\frobnicate")
+        assert "unknown command" in output(out)
+
+
+class TestBuildEngine:
+    def test_default_is_paper_database(self):
+        engine = build_engine([])
+        assert engine.universe.has_subdb("SDB")
+
+    def test_empty(self):
+        engine = build_engine(["--empty"])
+        assert len(engine.db) == 0
+
+    def test_session_roundtrip(self, tmp_path):
+        from repro.storage import save_session
+        engine = build_engine([])
+        engine.add_rule("if context Teacher * Section then TS (Teacher)")
+        path = tmp_path / "s.json"
+        save_session(engine, path)
+        restored = build_engine(["--session", str(path)])
+        assert [r.target for r in restored.rules] == ["TS"]
+
+
+class TestMetricsCommand:
+    def test_metrics_before_any_query(self, shell):
+        sh, out = shell
+        sh.handle("\\metrics")
+        assert "no query" in output(out)
+
+    def test_metrics_after_query(self, shell):
+        sh, out = shell
+        sh.handle("context SDB:Teacher * SDB:Section select name display")
+        sh.handle("\\metrics")
+        text = output(out)
+        assert "edge_traversals:" in text
+        assert "patterns_out: 3" in text

@@ -1,0 +1,123 @@
+"""Stateful soak test: a hypothesis rule-based state machine drives a
+live deductive database — inserts, deletes, links, unlinks, attribute
+updates, queries — and checks the global invariants after every step:
+
+* every maintained (pre-evaluated, incrementally-maintained) result
+  equals a from-scratch derivation;
+* the constraint audit stays clean;
+* backward-chained query answers agree with direct derivation.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.model.database import Database
+from repro.model.dclass import INTEGER, STRING
+from repro.model.schema import Schema
+from repro.model.validation import check_database
+from repro.rules.control import EvaluationMode
+from repro.rules.engine import RuleEngine
+
+
+def build_schema() -> Schema:
+    schema = Schema("soak")
+    schema.add_eclass("Team")
+    schema.add_eclass("Member")
+    schema.add_eclass("Lead")
+    schema.add_subclass("Member", "Lead")
+    schema.add_attribute("Team", "name", STRING)
+    schema.add_attribute("Member", "level", INTEGER)
+    schema.add_association("Team", "Member", name="members", many=True)
+    return schema
+
+
+class DeductiveSoak(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database(build_schema())
+        self.engine = RuleEngine(self.db, controller="incremental")
+        self.engine.add_rule(
+            "if context Team * Member [level >= 3] "
+            "then Senior_staffing (Team, Member)",
+            label="KB", mode=EvaluationMode.PRE_EVALUATED)
+        self.engine.add_rule(
+            "if context Senior_staffing:Team then Staffed_teams (Team)",
+            label="KB2", mode=EvaluationMode.POST_EVALUATED)
+        self.teams = []
+        self.members = []
+        self.engine.refresh()
+
+    # -- actions ---------------------------------------------------------
+
+    @rule(level=st.integers(0, 5))
+    def add_member(self, level):
+        self.members.append(self.db.insert("Member", level=level))
+
+    @rule(level=st.integers(0, 5))
+    def add_lead(self, level):
+        self.members.append(self.db.insert("Lead", level=level))
+
+    @rule()
+    def add_team(self):
+        self.teams.append(
+            self.db.insert("Team", name=f"team{len(self.teams)}"))
+
+    @rule(ti=st.integers(0, 9), mi=st.integers(0, 19))
+    def toggle_link(self, ti, mi):
+        if not self.teams or not self.members:
+            return
+        team = self.teams[ti % len(self.teams)]
+        member = self.members[mi % len(self.members)]
+        link = self.db.schema.resolve_link("Team", "Member").link
+        if member.oid in self.db.linked(team.oid, link):
+            self.db.dissociate(team, "members", member)
+        else:
+            self.db.associate(team, "members", member)
+
+    @rule(mi=st.integers(0, 19), level=st.integers(0, 5))
+    def change_level(self, mi, level):
+        if not self.members:
+            return
+        member = self.members[mi % len(self.members)]
+        self.db.set_attribute(member.oid, "level", level)
+
+    @rule(mi=st.integers(0, 19))
+    def remove_member(self, mi):
+        if len(self.members) <= 1:
+            return
+        member = self.members.pop(mi % len(self.members))
+        self.db.delete(member.oid)
+
+    @rule()
+    def run_query(self):
+        result = self.engine.query(
+            "context Staffed_teams:Team select name")
+        direct = self.engine.derive("Staffed_teams", force=True)
+        assert result.subdatabase.patterns == direct.patterns
+
+    # -- invariants -------------------------------------------------------
+
+    @invariant()
+    def maintained_equals_fresh(self):
+        maintained = self.engine.universe.get_subdb(
+            "Senior_staffing").patterns
+        fresh = self.engine.derive("Senior_staffing",
+                                   force=True).patterns
+        assert maintained == fresh
+
+    @invariant()
+    def audit_clean(self):
+        assert check_database(self.db) == []
+
+
+DeductiveSoak.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None)
+
+TestDeductiveSoak = DeductiveSoak.TestCase

@@ -1,0 +1,306 @@
+"""Unit tests for persistence: schema/database/subdatabase round-trips
+and whole-session save/load."""
+
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.model.dclass import DClass
+from repro.model.schema import Schema
+from repro.rules.control import EvaluationMode
+from repro.rules.engine import RuleEngine
+from repro.storage import (
+    database_from_dict,
+    database_to_dict,
+    load_session,
+    save_session,
+    schema_from_dict,
+    schema_to_dict,
+    subdatabase_from_dict,
+    subdatabase_to_dict,
+)
+from repro.storage.session import session_from_dict, session_to_dict
+from repro.university import build_paper_database, build_sdb
+from repro.university.schema import build_university_schema
+
+
+class TestSchemaRoundtrip:
+    def test_university_roundtrip(self):
+        original = build_university_schema()
+        restored = schema_from_dict(schema_to_dict(original))
+        assert restored.eclass_names == original.eclass_names
+        assert [str(l) for l in restored.aggregations()] == \
+            [str(l) for l in original.aggregations()]
+        assert restored.generalizations() == original.generalizations()
+
+    def test_document_is_json_serializable(self):
+        doc = schema_to_dict(build_university_schema())
+        json.dumps(doc)
+
+    def test_check_predicate_recorded_as_warning(self):
+        schema = Schema()
+        schema.add_eclass("A")
+        schema.add_attribute("A", "grade",
+                             DClass("letter", str,
+                                    check=lambda v: v in "ABC"))
+        doc = schema_to_dict(schema)
+        assert any("letter" in w for w in doc["warnings"])
+
+    def test_restored_schema_resolves_links(self):
+        restored = schema_from_dict(
+            schema_to_dict(build_university_schema()))
+        assert restored.resolve_link("Teacher",
+                                     "Section").link.name == "teaches"
+        from repro.errors import AmbiguousPathError
+        with pytest.raises(AmbiguousPathError):
+            restored.resolve_link("TA", "Section")
+
+
+class TestDatabaseRoundtrip:
+    def test_entities_and_links_roundtrip(self):
+        data = build_paper_database()
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        restored = database_from_dict(database_to_dict(data.db), schema)
+        assert restored.stats()["objects"] == data.db.stats()["objects"]
+        assert restored.stats()["links"] == data.db.stats()["links"]
+
+    def test_oid_values_preserved(self):
+        data = build_paper_database()
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        restored = database_from_dict(database_to_dict(data.db), schema)
+        t1 = data.oid("t1")
+        assert restored.entity(t1)["name"] == "Smith"
+
+    def test_labels_preserved(self):
+        data = build_paper_database()
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        restored = database_from_dict(database_to_dict(data.db), schema)
+        labels = {e.oid.label for e in restored.iter_entities()}
+        assert "t1" in labels and "s5" in labels
+
+    def test_new_inserts_do_not_collide_after_load(self):
+        data = build_paper_database()
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        restored = database_from_dict(database_to_dict(data.db), schema)
+        fresh = restored.insert("Teacher", name="New")
+        assert fresh.oid.value > max(
+            e.oid.value for e in data.db.iter_entities())
+
+    def test_duplicate_oid_rejected(self):
+        data = build_paper_database()
+        doc = database_to_dict(data.db)
+        doc["entities"][1]["oid"] = doc["entities"][0]["oid"]
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        with pytest.raises(DataError):
+            database_from_dict(doc, schema)
+
+    def test_dangling_link_rejected(self):
+        data = build_paper_database()
+        doc = database_to_dict(data.db)
+        doc["links"][0]["pairs"].append([999999, 999998])
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        with pytest.raises(DataError):
+            database_from_dict(doc, schema)
+
+
+class TestSubdatabaseRoundtrip:
+    def test_sdb_roundtrip(self):
+        data = build_paper_database()
+        sdb = build_sdb(data)
+        restored = subdatabase_from_dict(subdatabase_to_dict(sdb),
+                                         data.db)
+        assert restored.slot_names == sdb.slot_names
+        assert restored.patterns == sdb.patterns
+        assert restored.intension.edge_between(0, 1).label == "teaches"
+
+    def test_derived_info_roundtrip(self):
+        data = build_paper_database()
+        engine = RuleEngine(data.db)
+        engine.add_rule(
+            "if context Teacher * Section * Course "
+            "then TC (Teacher [SS#, degree], Course)")
+        subdb = engine.derive("TC")
+        restored = subdatabase_from_dict(subdatabase_to_dict(subdb),
+                                         data.db)
+        assert restored.derived_info == subdb.derived_info
+
+    def test_unknown_oid_rejected(self):
+        data = build_paper_database()
+        doc = subdatabase_to_dict(build_sdb(data))
+        doc["patterns"][0][0] = 424242
+        with pytest.raises(DataError):
+            subdatabase_from_dict(doc, data.db)
+
+
+class TestSessionRoundtrip:
+    def _engine(self):
+        data = build_paper_database()
+        engine = RuleEngine(data.db)
+        engine.add_rule(
+            "if context Department[name = 'CIS'] * Course * Section * "
+            "Student where COUNT(Student by Course) > 39 "
+            "then Suggest_offer (Course)", label="R2",
+            mode=EvaluationMode.PRE_EVALUATED)
+        engine.add_rule(
+            "if context TA * Teacher * Section * Suggest_offer:Course "
+            "then May_teach (TA, Course)", label="R4")
+        engine.refresh()
+        return data, engine
+
+    def test_roundtrip_preserves_query_results(self, tmp_path):
+        data, engine = self._engine()
+        before = engine.query(
+            "context May_teach:TA select name display").output
+        path = save_session(engine, tmp_path / "session.json")
+        restored = load_session(path)
+        after = restored.query(
+            "context May_teach:TA select name display").output
+        assert before == after
+
+    def test_rules_and_modes_restored(self, tmp_path):
+        data, engine = self._engine()
+        restored = load_session(save_session(engine,
+                                             tmp_path / "s.json"))
+        assert [r.label for r in restored.rules] == ["R2", "R4"]
+        assert restored.controller.mode_of("Suggest_offer") is \
+            EvaluationMode.PRE_EVALUATED
+
+    def test_materialized_results_warm_after_load(self, tmp_path):
+        data, engine = self._engine()
+        restored = load_session(save_session(engine,
+                                             tmp_path / "s.json"))
+        assert restored.universe.has_subdb("Suggest_offer")
+        restored.query("context Suggest_offer:Course select title")
+        # No derivation needed: the stored copy was loaded warm.
+        assert restored.stats.derivations["Suggest_offer"] == 0
+
+    def test_restored_engine_maintains_on_update(self, tmp_path):
+        data, engine = self._engine()
+        restored = load_session(save_session(engine,
+                                             tmp_path / "s.json"))
+        # Enrolling 50 students into a section of c4 makes it suggested.
+        db = restored.db
+        c4 = data.oid("c4")
+        s5 = next(e for e in db.iter_entities()
+                  if e.oid.label == "s5")
+        with db.batch():
+            for i in range(50):
+                student = db.insert("Student", name=f"x{i}",
+                                    **{"SS#": f"x{i}"})
+                db.associate(student, "enrolled", s5)
+        result = restored.query(
+            "context Suggest_offer:Course select title display")
+        assert "Expert Systems" in result.output
+
+    def test_skip_materialized(self, tmp_path):
+        data, engine = self._engine()
+        path = save_session(engine, tmp_path / "s.json",
+                            include_materialized=False)
+        restored = load_session(path)
+        assert not restored.universe.has_subdb("Suggest_offer")
+        # Still derivable on demand.
+        restored.query("context Suggest_offer:Course select title")
+        assert restored.stats.derivations["Suggest_offer"] == 1
+
+    def test_version_check(self):
+        data, engine = self._engine()
+        doc = session_to_dict(engine)
+        doc["format_version"] = 999
+        with pytest.raises(DataError):
+            session_from_dict(doc)
+
+    def test_rule_oriented_controller_roundtrip(self, tmp_path):
+        from repro.rules.control import RuleChainingMode
+        data = build_paper_database()
+        engine = RuleEngine(data.db, controller="rule")
+        engine.add_rule("if context Teacher * Section then REa "
+                        "(Teacher, Section)", label="Ra",
+                        mode=RuleChainingMode.BACKWARD)
+        restored = load_session(save_session(engine,
+                                             tmp_path / "s.json"))
+        assert restored.controller.mode_of("REa") is \
+            RuleChainingMode.BACKWARD
+
+
+class TestNewAssociationKindsRoundtrip:
+    def test_all_five_kinds_roundtrip(self):
+        schema = Schema("factory")
+        for cls in ["Machine", "Component", "Operator", "Shift",
+                    "Assignment", "Slot"]:
+            schema.add_eclass(cls)
+        from repro.model.dclass import STRING
+        schema.add_attribute("Machine", "name", STRING)
+        schema.add_composition("Machine", "Component", name="parts")
+        schema.declare_interaction("Assignment", ["Operator", "Machine"])
+        schema.declare_crossproduct("Slot", ["Machine", "Shift"])
+        schema.add_subclass("Machine", "Slot") if False else None
+        restored = schema_from_dict(schema_to_dict(schema))
+        from repro.model.associations import AssociationKind
+        parts = next(l for l in restored.aggregations()
+                     if l.name == "parts")
+        assert parts.kind is AssociationKind.COMPOSITION
+        assert restored.interaction_of("Assignment").participants == \
+            ("Operator", "Machine")
+        assert restored.crossproduct_of("Slot").components == \
+            ("Machine", "Shift")
+
+    def test_restored_semantics_enforced(self):
+        from repro.errors import ConstraintViolationError
+        from repro.model.database import Database
+        schema = Schema("factory")
+        schema.add_eclass("Machine")
+        schema.add_eclass("Component")
+        schema.add_composition("Machine", "Component", name="parts")
+        restored = schema_from_dict(schema_to_dict(schema))
+        db = Database(restored)
+        m1, m2 = db.insert("Machine"), db.insert("Machine")
+        part = db.insert("Component")
+        db.associate(m1, "parts", part)
+        with pytest.raises(ConstraintViolationError):
+            db.associate(m2, "parts", part)
+
+
+class TestRoundtripProperties:
+    """Persistence fidelity over generated databases (hypothesis)."""
+
+    def test_generated_database_roundtrips_exactly(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.university import GeneratorConfig, generate_university
+
+        @settings(max_examples=8, deadline=None)
+        @given(seed=st.integers(0, 10_000))
+        def run(seed):
+            data = generate_university(GeneratorConfig(
+                departments=2, courses=6, sections_per_course=1,
+                teachers=4, students=15, grads=4, tas=1, faculty=2,
+                seed=seed))
+            schema = schema_from_dict(schema_to_dict(data.db.schema))
+            restored = database_from_dict(database_to_dict(data.db),
+                                          schema)
+            assert restored.stats()["objects"] == \
+                data.db.stats()["objects"]
+            assert restored.stats()["links"] == data.db.stats()["links"]
+            for link in data.db.schema.aggregations():
+                if link.target in data.db.schema.dclass_names:
+                    continue
+                original = {(a.value, b.value)
+                            for a, b in data.db.link_pairs(link)}
+                mirrored = next(
+                    l for l in restored.schema.aggregations()
+                    if l.key == link.key)
+                copied = {(a.value, b.value)
+                          for a, b in restored.link_pairs(mirrored)}
+                assert original == copied
+
+        run()
+
+    def test_double_roundtrip_is_stable(self):
+        data = build_paper_database()
+        doc1 = database_to_dict(data.db)
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        restored = database_from_dict(doc1, schema)
+        doc2 = database_to_dict(restored)
+        assert doc1["entities"] == doc2["entities"]
+        assert doc1["links"] == doc2["links"]

@@ -1,0 +1,221 @@
+"""Unit tests for the universe: extents, attribute visibility along
+induced-generalization chains, cross-subdatabase edge resolution, and the
+backward-chaining provider hook."""
+
+import pytest
+
+from repro.errors import (
+    UnknownAttributeError,
+    UnknownSubdatabaseError,
+)
+from repro.model.oid import OID
+from repro.subdb.derived import DerivedClassInfo
+from repro.subdb.intension import Edge, IntensionalPattern
+from repro.subdb.pattern import ExtensionalPattern
+from repro.subdb.refs import ClassRef
+from repro.subdb.subdatabase import Subdatabase
+from repro.subdb.universe import Universe
+from repro.university import build_paper_database
+
+
+@pytest.fixture
+def paper():
+    return build_paper_database()
+
+
+@pytest.fixture
+def universe(paper):
+    return Universe(paper.db)
+
+
+def make_subdb(name, slots, rows, info=None, edges=()):
+    ip = IntensionalPattern([ClassRef.parse(s) for s in slots], edges)
+    return Subdatabase(name, ip,
+                       [ExtensionalPattern(row) for row in rows], info)
+
+
+class TestRegistry:
+    def test_register_and_get(self, universe, paper):
+        sub = make_subdb("X", ["Teacher"], [[paper.oid("t1")]])
+        universe.register(sub)
+        assert universe.get_subdb("X") is sub
+        assert universe.has_subdb("X")
+        assert "X" in universe.subdb_names
+
+    def test_unregister(self, universe, paper):
+        universe.register(make_subdb("X", ["Teacher"],
+                                     [[paper.oid("t1")]]))
+        universe.unregister("X")
+        assert not universe.has_subdb("X")
+
+    def test_unknown_without_provider(self, universe):
+        with pytest.raises(UnknownSubdatabaseError):
+            universe.get_subdb("Nope")
+
+    def test_provider_invoked_for_missing(self, universe, paper):
+        sub = make_subdb("Lazy", ["Teacher"], [[paper.oid("t1")]])
+        calls = []
+
+        def provider(name):
+            calls.append(name)
+            return sub if name == "Lazy" else None
+
+        universe.provider = provider
+        assert universe.get_subdb("Lazy") is sub
+        assert calls == ["Lazy"]
+        with pytest.raises(UnknownSubdatabaseError):
+            universe.get_subdb("Other")
+
+    def test_materialized_wins_over_provider(self, universe, paper):
+        sub = make_subdb("X", ["Teacher"], [[paper.oid("t1")]])
+        universe.register(sub)
+        universe.provider = lambda name: pytest.fail("must not be called")
+        assert universe.get_subdb("X") is sub
+
+
+class TestExtents:
+    def test_base_extent_includes_subclasses(self, universe, paper):
+        extent = universe.extent(ClassRef("Teacher"))
+        assert paper.oid("ta1") in extent
+
+    def test_alias_ranges_over_same_extent(self, universe):
+        assert universe.extent(ClassRef("Grad", None, 2)) == \
+            universe.extent(ClassRef("Grad"))
+
+    def test_derived_extent(self, universe, paper):
+        universe.register(make_subdb(
+            "X", ["Teacher"], [[paper.oid("t1")], [paper.oid("t2")]]))
+        assert universe.extent(ClassRef("Teacher", "X")) == {
+            paper.oid("t1"), paper.oid("t2")}
+
+
+class TestAttributeVisibility:
+    def test_base_attribute(self, universe, paper):
+        value = universe.attr_value(ClassRef("Teacher"), paper.oid("t1"),
+                                    "name")
+        assert value == "Smith"
+
+    def test_derived_all_attributes_by_default(self, universe, paper):
+        info = {"Teacher": DerivedClassInfo(
+            ClassRef("Teacher", "X"), ClassRef("Teacher"), None)}
+        universe.register(make_subdb("X", ["Teacher"],
+                                     [[paper.oid("t1")]], info))
+        assert universe.attr_value(ClassRef("Teacher", "X"),
+                                   paper.oid("t1"), "name") == "Smith"
+
+    def test_attribute_subsetting_blocks_hidden(self, universe, paper):
+        # The paper: Teacher_course (Teacher [SS#, degree], Course) makes
+        # 'name' inaccessible from Teacher_course:Teacher.
+        info = {"Teacher": DerivedClassInfo(
+            ClassRef("Teacher", "X"), ClassRef("Teacher"),
+            ("SS#", "degree"))}
+        universe.register(make_subdb("X", ["Teacher"],
+                                     [[paper.oid("t1")]], info))
+        ref = ClassRef("Teacher", "X")
+        assert universe.attr_value(ref, paper.oid("t1"),
+                                   "SS#") == "100-00-0001"
+        with pytest.raises(UnknownAttributeError):
+            universe.attr_value(ref, paper.oid("t1"), "name")
+
+    def test_subsetting_composes_along_chain(self, universe, paper):
+        # X restricts to (SS#, degree); Y derives from X restricting to
+        # (SS#,): only SS# survives.
+        info_x = {"Teacher": DerivedClassInfo(
+            ClassRef("Teacher", "X"), ClassRef("Teacher"),
+            ("SS#", "degree"))}
+        info_y = {"Teacher": DerivedClassInfo(
+            ClassRef("Teacher", "Y"), ClassRef("Teacher", "X"), ("SS#",))}
+        universe.register(make_subdb("X", ["Teacher"],
+                                     [[paper.oid("t1")]], info_x))
+        universe.register(make_subdb("Y", ["Teacher"],
+                                     [[paper.oid("t1")]], info_y))
+        assert universe.visible_attributes(ClassRef("Teacher", "Y")) == \
+            ("SS#",)
+
+    def test_visible_attributes_base(self, universe):
+        assert universe.visible_attributes(ClassRef("Section")) == \
+            ("section#", "textbook")
+
+    def test_unknown_base_attribute(self, universe, paper):
+        with pytest.raises(UnknownAttributeError):
+            universe.attr_value(ClassRef("Teacher"), paper.oid("t1"),
+                                "salary")
+
+    def test_slot_without_info_falls_back_to_base(self, universe, paper):
+        universe.register(make_subdb("X", ["Teacher"],
+                                     [[paper.oid("t1")]]))
+        assert universe.attr_value(ClassRef("Teacher", "X"),
+                                   paper.oid("t1"), "name") == "Smith"
+
+
+class TestEdgeResolution:
+    def test_base_edge(self, universe):
+        edge = universe.resolve_edge(ClassRef("Teacher"),
+                                     ClassRef("Section"))
+        assert edge.kind == "base"
+        assert edge.resolved.link.name == "teaches"
+
+    def test_identity_edge(self, universe):
+        edge = universe.resolve_edge(ClassRef("TA"), ClassRef("Grad"))
+        assert edge.kind == "identity"
+
+    def test_same_subdb_derived_edge(self, universe, paper):
+        sub = make_subdb("X", ["Teacher", "Course"],
+                         [[paper.oid("t1"), paper.oid("c1")]],
+                         edges=[Edge(0, 1, "derived", "X")])
+        universe.register(sub)
+        edge = universe.resolve_edge(ClassRef("Teacher", "X"),
+                                     ClassRef("Course", "X"))
+        assert edge.kind == "subdb"
+        assert (edge.i, edge.j) == (0, 1)
+
+    def test_cross_subdb_falls_back_to_base(self, universe, paper):
+        # Department * Suggest_offer:Course resolves through the base
+        # schema thanks to induced generalization.
+        universe.register(make_subdb("SO", ["Course"],
+                                     [[paper.oid("c1")]]))
+        edge = universe.resolve_edge(ClassRef("Department"),
+                                     ClassRef("Course", "SO"))
+        assert edge.kind == "base"
+        assert edge.resolved.link.name == "department"
+
+    def test_same_subdb_without_edge_uses_base(self, universe, paper):
+        sub = make_subdb("X", ["Teacher", "Section"],
+                         [[paper.oid("t1"), paper.oid("s2")]])
+        universe.register(sub)
+        edge = universe.resolve_edge(ClassRef("Teacher", "X"),
+                                     ClassRef("Section", "X"))
+        assert edge.kind == "base"
+
+
+class TestEdgeNeighbors:
+    def test_base_neighbors_forward_and_back(self, universe, paper):
+        edge = universe.resolve_edge(ClassRef("Teacher"),
+                                     ClassRef("Section"))
+        assert universe.edge_neighbors(paper.oid("t1"), edge) == {
+            paper.oid("s2")}
+        assert universe.edge_neighbors(paper.oid("s2"), edge,
+                                       forward=False) == {paper.oid("t1")}
+
+    def test_identity_neighbors(self, universe, paper):
+        edge = universe.resolve_edge(ClassRef("TA"), ClassRef("Grad"))
+        assert universe.edge_neighbors(paper.oid("ta1"), edge) == {
+            paper.oid("ta1")}
+
+    def test_subdb_neighbors_and_cache_invalidation(self, universe, paper):
+        sub = make_subdb("X", ["Teacher", "Course"],
+                         [[paper.oid("t1"), paper.oid("c1")]],
+                         edges=[Edge(0, 1, "derived", "X")])
+        universe.register(sub)
+        edge = universe.resolve_edge(ClassRef("Teacher", "X"),
+                                     ClassRef("Course", "X"))
+        assert universe.edge_neighbors(paper.oid("t1"), edge) == {
+            paper.oid("c1")}
+        # Re-register with different patterns: the cache must refresh.
+        sub2 = make_subdb("X", ["Teacher", "Course"],
+                          [[paper.oid("t2"), paper.oid("c2")]],
+                          edges=[Edge(0, 1, "derived", "X")])
+        universe.register(sub2)
+        assert universe.edge_neighbors(paper.oid("t1"), edge) == set()
+        assert universe.edge_neighbors(paper.oid("t2"), edge) == {
+            paper.oid("c2")}

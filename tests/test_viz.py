@@ -1,0 +1,83 @@
+"""Tests for the DOT renderings."""
+
+import pytest
+
+from repro.rules.engine import RuleEngine
+from repro.university import build_paper_database, build_sdb
+from repro.viz import extension_to_dot, intension_to_dot, schema_to_dot
+
+
+@pytest.fixture
+def data():
+    return build_paper_database()
+
+
+class TestSchemaDot:
+    def test_valid_digraph_structure(self, data):
+        dot = schema_to_dot(data.db.schema)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_classes_and_links_present(self, data):
+        dot = schema_to_dot(data.db.schema)
+        assert '"Teacher" [shape=box]' in dot
+        assert "A:teaches[*]" in dot
+        assert 'label="G"' in dot
+
+    def test_dclasses_rendered_as_ellipses(self, data):
+        dot = schema_to_dot(data.db.schema)
+        assert "shape=ellipse" in dot
+
+    def test_composition_gets_diamond(self):
+        from repro.model.schema import Schema
+        schema = Schema()
+        schema.add_eclass("Whole")
+        schema.add_eclass("Part")
+        schema.add_composition("Whole", "Part")
+        dot = schema_to_dot(schema)
+        assert "arrowhead=diamond" in dot
+        assert "C:Part" in dot
+
+    def test_quoting_of_special_names(self):
+        from repro.model.schema import Schema
+        from repro.model.dclass import STRING
+        schema = Schema('with "quotes"')
+        schema.add_eclass("A")
+        schema.add_attribute("A", "x", STRING)
+        dot = schema_to_dot(schema)
+        assert '\\"quotes\\"' in dot
+
+
+class TestIntensionDot:
+    def test_sdb_intension(self, data):
+        dot = intension_to_dot(build_sdb(data))
+        assert '"Teacher" -> "Section"' in dot
+        assert 'label="teaches"' in dot
+
+    def test_derived_edges_dashed_and_induced_links_drawn(self, data):
+        engine = RuleEngine(data.db)
+        engine.add_rule("if context Teacher * Section * Course "
+                        "then TC (Teacher, Course)")
+        dot = intension_to_dot(engine.derive("TC"))
+        assert "style=dashed" in dot
+        assert "G (induced)" in dot
+
+
+class TestExtensionDot:
+    def test_figure_31b_objects_grouped(self, data):
+        dot = extension_to_dot(build_sdb(data))
+        assert 'subgraph "cluster_Teacher"' in dot
+        assert 'label="t3"' in dot
+        assert 'label="s4"' in dot
+
+    def test_links_drawn_once(self, data):
+        dot = extension_to_dot(build_sdb(data))
+        # t2-s3 appears in two patterns (with c1 and c2): one edge.
+        assert dot.count('"1:s3"') >= 1
+        edge = '"0:t2" -> "1:s3"'
+        assert dot.count(edge) == 1
+
+    def test_null_components_skipped(self, data):
+        dot = extension_to_dot(build_sdb(data))
+        assert "None" not in dot
