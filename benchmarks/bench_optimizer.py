@@ -1,8 +1,12 @@
-"""B9 (ablation) — greedy chain-join optimizer vs naive left-to-right.
+"""B9 (ablation) — join-order strategies: naive left-to-right vs the
+greedy smallest-extent heuristic vs the cost-based (DP) planner.
 
 Expected shape: with a selective intra-class condition away from the
-left end, the optimizer anchors at the small filtered extent and prunes
-from the first hop — large wins; with no selectivity, the two orders are
+left end, both optimizing strategies anchor at the small filtered extent
+and prune from the first hop — large wins over naive; the cost-based
+planner additionally orders the remaining hops by estimated fan-out,
+which separates it from greedy on chains whose cheapest growth is not
+towards the smaller adjacent extent.  With no selectivity all three are
 comparable (no regression).
 """
 
@@ -10,24 +14,43 @@ import pytest
 
 from repro.oql.evaluator import PatternEvaluator
 from repro.oql.parser import parse_expression
+from repro.oql.planner import OPTIMIZE_MODES
 from repro.subdb.universe import Universe
 
 SELECTIVE_RIGHT = "Student * Section * Course [c# = 1000]"
 SELECTIVE_LEFT = "Department [name = 'Dept0'] * Course * Section * Student"
 NO_FILTER = "Teacher * Section * Course"
 
+WORKLOADS = {
+    "selective-right": SELECTIVE_RIGHT,
+    "selective-left": SELECTIVE_LEFT,
+    "no-filter": NO_FILTER,
+}
+
 
 @pytest.mark.benchmark(group="B9-optimizer")
-@pytest.mark.parametrize("optimize", [True, False],
-                         ids=["greedy", "naive-ltr"])
-@pytest.mark.parametrize("workload", ["selective-right",
-                                      "selective-left", "no-filter"])
+@pytest.mark.parametrize("optimize", OPTIMIZE_MODES)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_optimizer_ablation(benchmark, medium_data, optimize, workload):
-    text = {"selective-right": SELECTIVE_RIGHT,
-            "selective-left": SELECTIVE_LEFT,
-            "no-filter": NO_FILTER}[workload]
     universe = Universe(medium_data.db)
     evaluator = PatternEvaluator(universe, optimize=optimize)
-    expr = parse_expression(text)
+    expr = parse_expression(WORKLOADS[workload])
     result = benchmark(lambda: evaluator.evaluate(expr))
     benchmark.extra_info["patterns"] = len(result)
+    plans = evaluator.last_metrics.plans
+    if plans:
+        benchmark.extra_info["plan"] = plans[0].snapshot()
+
+
+@pytest.mark.benchmark(group="B9-optimizer-equivalence")
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_all_modes_agree(medium_data, workload):
+    """Not a timing benchmark: the three strategies must return the
+    same subdatabase on every workload (run under --benchmark-disable
+    in CI as a smoke check)."""
+    universe = Universe(medium_data.db)
+    expr = parse_expression(WORKLOADS[workload])
+    results = [PatternEvaluator(universe, optimize=mode).evaluate(expr)
+               for mode in OPTIMIZE_MODES]
+    assert results[0].patterns == results[1].patterns == \
+        results[2].patterns

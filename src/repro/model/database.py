@@ -70,6 +70,11 @@ class UpdateEvent:
 
 Listener = Callable[[UpdateEvent], None]
 
+#: Shared immutable empty neighbor set, returned by the bulk lookups for
+#: objects with no links so callers can intersect/difference without a
+#: per-miss allocation.
+EMPTY_OIDS: frozenset = frozenset()
+
 
 class Database:
     """An in-memory object database over a :class:`Schema`."""
@@ -92,6 +97,10 @@ class Database:
         self._batch_classes: Set[str] = set()
         self._batch_count = 0
         self._batch_events: List[UpdateEvent] = []
+        # Full (subclass-inclusive) extents memoized per version; the
+        # returned sets are shared — callers must not mutate them.
+        self._extent_cache: Dict[str, Set[OID]] = {}
+        self._extent_cache_version = -1
 
     # ------------------------------------------------------------------
     # Versioning & listeners
@@ -270,15 +279,37 @@ class Database:
     def extent(self, cls: str) -> Set[OID]:
         """The extent of ``cls``: its direct instances plus (by the
         identity semantics of generalization) the instances of all its
-        subclasses."""
+        subclasses.
+
+        The returned set is a per-version memo shared between callers
+        and must not be mutated (copy it first).
+        """
+        if self._version != self._extent_cache_version:
+            self._extent_cache.clear()
+            self._extent_cache_version = self._version
+        cached = self._extent_cache.get(cls)
+        if cached is not None:
+            return cached
         out: Set[OID] = set(self._require_extent(cls))
         for sub in self.schema.subclasses(cls):
             out.update(self._extents.get(sub, ()))
+        self._extent_cache[cls] = out
         return out
 
     def direct_extent(self, cls: str) -> Set[OID]:
         """Only the instances whose *direct* class is ``cls``."""
         return set(self._require_extent(cls))
+
+    def extent_size(self, cls: str) -> int:
+        """``len(extent(cls))`` without materializing the set.
+
+        Direct extents of distinct classes are disjoint (every object has
+        exactly one direct class), so the sizes simply add up.
+        """
+        size = len(self._require_extent(cls))
+        for sub in self.schema.subclasses(cls):
+            size += len(self._extents.get(sub, ()))
+        return size
 
     def is_instance_of(self, oid: OID, cls: str) -> bool:
         """True if the object belongs to the extent of ``cls``."""
@@ -438,6 +469,23 @@ class Database:
             return {oid}
         from_owner = resolved.a_is_owner if forward else not resolved.a_is_owner
         return self.linked(oid, resolved.link, from_owner=from_owner)
+
+    def bulk_neighbors(self, oids: Iterable[OID], resolved: ResolvedLink,
+                       forward: bool = True) -> Dict[OID, Set[OID]]:
+        """Neighbor sets for a whole frontier of objects in one pass.
+
+        One index lookup resolves the association; each object then maps
+        to its stored neighbor set *by reference* (no per-object copy —
+        callers must not mutate the returned sets).  Objects without
+        links map to a shared empty set.  This is the hot lookup of the
+        frontier-batched join executor.
+        """
+        if resolved.kind == "identity":
+            return {oid: {oid} for oid in oids}
+        from_owner = resolved.a_is_owner if forward else not resolved.a_is_owner
+        index = self._fwd if from_owner else self._rev
+        table = index.get(resolved.link.key, {})
+        return {oid: table.get(oid, EMPTY_OIDS) for oid in oids}
 
     # ------------------------------------------------------------------
     # Bulk statistics

@@ -18,6 +18,17 @@
   automatically generating aliases ``B_1, C_1, A_2, ...`` per level and
   keeping hierarchies that terminate early (implicit braces).
 
+Chain matching is planned and executed in two layers:
+
+* a :class:`~repro.oql.planner.Planner` chooses a contiguous join order
+  (``optimize="naive" | "greedy" | "cost"``) from extent sizes and link
+  fan-out statistics, emitting a :class:`~repro.oql.planner.JoinPlan`;
+* a *frontier-batched executor* runs the plan hop by hop: one bulk
+  neighbor lookup per hop over the distinct frontier endpoints, one
+  set intersection (or difference, for ``!``) per distinct endpoint —
+  never per row.  All three strategies produce identical results; only
+  the join order and hence the intermediate row counts differ.
+
 The Where subclause is applied afterwards: inter-class comparisons and
 aggregation conditions (``COUNT ... by ...``) drop extensional patterns
 from the context subdatabase.
@@ -25,8 +36,8 @@ from the context subdatabase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import CyclicDataError, OQLSemanticError
 from repro.model.oid import OID
@@ -42,11 +53,40 @@ from repro.oql.ast import (
     NotOp,
     WhereCond,
 )
+from repro.oql.planner import OPTIMIZE_MODES, JoinPlan, Planner
 from repro.subdb.intension import Edge, IntensionalPattern
 from repro.subdb.pattern import ExtensionalPattern, subsume
 from repro.subdb.refs import ClassRef
 from repro.subdb.subdatabase import Subdatabase
 from repro.subdb.universe import EdgeResolution, Universe
+
+
+def resolve_slot_index(slots: Sequence[ClassRef], owner: ClassRef) -> int:
+    """Resolve a Where-subclause qualifier to a slot index.
+
+    Exact slot names win; otherwise an unqualified class name matches
+    the unique slot of that class (any subdatabase qualifier / alias),
+    mirroring the paper's rule that qualification is only needed when
+    ambiguous.  Shared by :class:`PatternEvaluator` and the incremental
+    maintainer so both raise identical :class:`OQLSemanticError`\\ s for
+    unknown or ambiguous references.
+    """
+    for index, ref in enumerate(slots):
+        if ref.slot == owner.slot:
+            return index
+    matches = [index for index, ref in enumerate(slots)
+               if ref.cls == owner.cls
+               and (owner.subdb is None or ref.subdb == owner.subdb)]
+    if len(matches) == 1:
+        return matches[0]
+    slot_names = [ref.slot for ref in slots]
+    if not matches:
+        raise OQLSemanticError(
+            f"where subclause references {owner}, which is not a "
+            f"context class (context: {slot_names})")
+    raise OQLSemanticError(
+        f"where subclause reference {owner} is ambiguous among "
+        f"context classes {slot_names}")
 
 
 @dataclass
@@ -67,6 +107,10 @@ class EvaluationMetrics:
     patterns_out: int = 0
     #: Loop levels materialized (0 for non-loop evaluations).
     loop_levels: int = 0
+    #: The join plans chosen for each matched range (one per brace
+    #: group, plus the base cycle of a loop), with per-step
+    #: actual-vs-estimated row counts filled in by the executor.
+    plans: List[JoinPlan] = field(default_factory=list)
 
     def snapshot(self) -> dict:
         return {
@@ -77,6 +121,10 @@ class EvaluationMetrics:
             "patterns_out": self.patterns_out,
             "loop_levels": self.loop_levels,
         }
+
+    def describe_plans(self) -> str:
+        """The chosen join plans, estimated vs actual, one block each."""
+        return "\n".join(plan.describe() for plan in self.plans)
 
 
 @dataclass
@@ -124,7 +172,8 @@ class PatternEvaluator:
     """Evaluates context expressions against a :class:`Universe`."""
 
     def __init__(self, universe: Universe, on_cycle: str = "error",
-                 max_depth: int = 1000, optimize: bool = True):
+                 max_depth: int = 1000,
+                 optimize: Union[bool, str] = "cost"):
         if on_cycle not in ("error", "stop"):
             raise ValueError("on_cycle must be 'error' or 'stop'")
         self.universe = universe
@@ -135,11 +184,26 @@ class PatternEvaluator:
         self.on_cycle = on_cycle
         #: Safety bound on unbounded-loop depth.
         self.max_depth = max_depth
-        #: When True, chain matching anchors at the smallest filtered
-        #: extent and expands greedily in both directions (the paper's
-        #: "search engine of the underlying OO DBMS"); when False, the
-        #: naive left-to-right join is used.  Results are identical.
+        #: Join-order strategy (the paper's "search engine of the
+        #: underlying OO DBMS"): ``"cost"`` plans via cardinality
+        #: estimates over extent/fan-out statistics, ``"greedy"``
+        #: anchors at the smallest filtered extent and grows towards
+        #: the smaller neighbor, ``"naive"`` joins left-to-right.
+        #: ``True``/``False`` are accepted as aliases for
+        #: ``"cost"``/``"naive"``.  Results are identical in all modes.
+        if isinstance(optimize, bool):
+            optimize = "cost" if optimize else "naive"
+        if optimize not in OPTIMIZE_MODES:
+            raise ValueError(
+                f"optimize must be a bool or one of {OPTIMIZE_MODES}")
         self.optimize = optimize
+        #: The statistics-backed join planner (cached against the
+        #: universe's data version).
+        self.planner = Planner(universe)
+        # Filtered extents memoized per data version (conditions are
+        # pure, so a term's filtered extent only changes with the data).
+        self._extent_cache: Dict[ClassTerm, Set[OID]] = {}
+        self._extent_cache_version = -1
         #: Instrumentation of the most recent evaluate() call.
         self.last_metrics = EvaluationMetrics()
 
@@ -178,11 +242,22 @@ class PatternEvaluator:
             seen.add(slot)
 
     def _extent(self, term: ClassTerm) -> Set[OID]:
-        """The term's extent, filtered by its intra-class condition."""
-        extent = self.universe.extent(term.ref)
+        """The term's extent, filtered by its intra-class condition
+        (memoized per data version — the returned set is shared and
+        must not be mutated)."""
         if term.condition is None:
+            extent = self.universe.extent(term.ref)
             self.last_metrics.extent_objects += len(extent)
             return extent
+        version = self.universe.data_version
+        if version != self._extent_cache_version:
+            self._extent_cache.clear()
+            self._extent_cache_version = version
+        cached = self._extent_cache.get(term)
+        if cached is not None:
+            self.last_metrics.extent_objects += len(cached)
+            return cached
+        extent = self.universe.extent(term.ref)
 
         def getter_for(oid: OID):
             def getter(attr_ref: AttrRef):
@@ -196,6 +271,7 @@ class PatternEvaluator:
         filtered = {oid for oid in extent
                     if conditions.evaluate(term.condition,
                                            getter_for(oid))}
+        self._extent_cache[term] = filtered
         self.last_metrics.extent_objects += len(filtered)
         return filtered
 
@@ -204,102 +280,67 @@ class PatternEvaluator:
                                            flat.terms[i + 1].ref)
                 for i in range(len(flat.terms) - 1)]
 
-    def _match_range(self, start: int, end: int,
+    def _match_range(self, flat: _Flattened, start: int, end: int,
                      extents: List[Set[OID]],
-                     ops: List[str],
                      resolutions: List[EdgeResolution]
                      ) -> List[Tuple[OID, ...]]:
-        """All fully connected tuples over slots ``start..end``."""
-        if self.optimize and end > start:
-            return self._match_range_greedy(start, end, extents, ops,
-                                            resolutions)
-        return self._match_range_ltr(start, end, extents, ops,
-                                     resolutions)
+        """All fully connected tuples over slots ``start..end``: plan a
+        join order, then run it through the batched executor."""
+        refs = [term.ref for term in flat.terms]
+        sizes = [len(extent) for extent in extents]
+        plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
+                                 start, end, strategy=self.optimize)
+        self.last_metrics.plans.append(plan)
+        return self._execute_plan(plan, extents, resolutions)
 
-    def _match_range_ltr(self, start: int, end: int,
-                         extents: List[Set[OID]],
-                         ops: List[str],
-                         resolutions: List[EdgeResolution]
-                         ) -> List[Tuple[OID, ...]]:
-        """Naive left-to-right chain join (the ablation baseline)."""
-        rows: List[Tuple[OID, ...]] = [(oid,) for oid in extents[start]]
-        for k in range(start, end):
-            if not rows:
-                break
-            resolution = resolutions[k]
-            op = ops[k]
-            next_extent = extents[k + 1]
-            extended: List[Tuple[OID, ...]] = []
-            for row in rows:
-                self.last_metrics.edge_traversals += 1
-                neighbors = self.universe.edge_neighbors(
-                    row[-1], resolution, forward=True)
-                if op == "*":
-                    candidates = neighbors & next_extent
-                else:  # "!": the non-association operator
-                    candidates = next_extent - neighbors
-                for oid in candidates:
-                    extended.append(row + (oid,))
-            rows = extended
-            self.last_metrics.rows_generated += len(rows)
-        return rows
+    def _execute_plan(self, plan: JoinPlan, extents: List[Set[OID]],
+                      resolutions: List[EdgeResolution]
+                      ) -> List[Tuple[OID, ...]]:
+        """Run a join plan with whole-frontier batching.
 
-    def _match_range_greedy(self, start: int, end: int,
-                            extents: List[Set[OID]],
-                            ops: List[str],
-                            resolutions: List[EdgeResolution]
-                            ) -> List[Tuple[OID, ...]]:
-        """Anchor at the smallest filtered extent, then expand the
-        contiguous block towards whichever side has the smaller adjacent
-        extent — a greedy chain-join order.
-
-        A selective intra-class condition anywhere in the chain (e.g.
-        ``Department[name = 'CIS']`` at the left of rule R2, or a filter
-        at the far right of a long chain) then prunes the search from the
-        first hop instead of after a full scan.
+        Each hop performs one bulk neighbor lookup over the *distinct*
+        endpoints of the current row set, and computes each endpoint's
+        candidate set (neighbors ∩ extent for ``*``, extent − neighbors
+        for ``!``) exactly once — rows sharing an endpoint share the
+        work, which is where the fan-in-heavy hops of selective chains
+        spend their time under row-at-a-time execution.
         """
-        anchor = min(range(start, end + 1), key=lambda i: len(extents[i]))
-        # rows hold the contiguous slot block [lo, hi].
-        lo = hi = anchor
-        rows: List[Tuple[OID, ...]] = [(oid,) for oid in extents[anchor]]
-        while rows and (lo > start or hi < end):
-            grow_left = lo > start and (
-                hi == end or len(extents[lo - 1]) <= len(extents[hi + 1]))
+        rows: List[Tuple[OID, ...]] = [(oid,) for oid in
+                                       extents[plan.anchor]]
+        plan.actual_anchor_rows = len(rows)
+        for step in plan.steps:
+            if not rows:
+                step.actual_frontier = 0
+                step.actual_rows = 0
+                continue
+            resolution = resolutions[step.edge]
+            forward = step.direction == "right"
+            target_extent = extents[step.slot]
+            end_index = -1 if forward else 0
+            frontier = {row[end_index] for row in rows}
+            neighbor_map = self.universe.bulk_edge_neighbors(
+                frontier, resolution, forward=forward)
+            self.last_metrics.edge_traversals += len(frontier)
+            if step.op == "*":
+                candidates = {oid: neighbor_map[oid] & target_extent
+                              for oid in frontier}
+            else:  # "!": the non-association operator
+                candidates = {oid: target_extent - neighbor_map[oid]
+                              for oid in frontier}
             extended: List[Tuple[OID, ...]] = []
-            if grow_left:
-                op = ops[lo - 1]
-                resolution = resolutions[lo - 1]
-                prev_extent = extents[lo - 1]
+            append = extended.append
+            if forward:
                 for row in rows:
-                    self.last_metrics.edge_traversals += 1
-                    neighbors = self.universe.edge_neighbors(
-                        row[0], resolution, forward=False)
-                    if op == "*":
-                        candidates = neighbors & prev_extent
-                    else:
-                        candidates = prev_extent - neighbors
-                    for oid in candidates:
-                        extended.append((oid,) + row)
-                lo -= 1
+                    for oid in candidates[row[-1]]:
+                        append(row + (oid,))
             else:
-                op = ops[hi]
-                resolution = resolutions[hi]
-                next_extent = extents[hi + 1]
                 for row in rows:
-                    self.last_metrics.edge_traversals += 1
-                    neighbors = self.universe.edge_neighbors(
-                        row[-1], resolution, forward=True)
-                    if op == "*":
-                        candidates = neighbors & next_extent
-                    else:
-                        candidates = next_extent - neighbors
-                    for oid in candidates:
-                        extended.append(row + (oid,))
-                hi += 1
+                    for oid in candidates[row[0]]:
+                        append((oid,) + row)
             rows = extended
+            step.actual_frontier = len(frontier)
+            step.actual_rows = len(rows)
             self.last_metrics.rows_generated += len(rows)
-        if lo > start or hi < end:
-            return []  # rows emptied before covering the range
         return rows
 
     def _intension(self, flat: _Flattened,
@@ -336,13 +377,18 @@ class PatternEvaluator:
 
         patterns: Set[ExtensionalPattern] = set()
         for start, end in flat.groups:
-            for row in self._match_range(start, end, extents, flat.ops,
+            for row in self._match_range(flat, start, end, extents,
                                          resolutions):
                 values: List[Optional[OID]] = [None] * width
                 values[start:end + 1] = row
                 patterns.add(ExtensionalPattern(values))
 
-        kept = subsume(patterns)
+        if len(flat.groups) == 1:
+            # A single (whole-chain) group produces only full-width
+            # patterns: nothing can subsume anything.
+            kept = patterns
+        else:
+            kept = subsume(patterns)
         self.last_metrics.patterns_subsumed += len(patterns) - len(kept)
         intension = self._intension(flat, resolutions)
         return Subdatabase(name, intension, kept)
@@ -376,32 +422,40 @@ class PatternEvaluator:
         max_level = count if count is not None else self.max_depth
 
         # Level 1: one full traversal of the cycle.
-        frontier = self._match_range(0, n - 1, extents, flat.ops,
-                                     resolutions)
+        frontier = self._match_range(flat, 0, n - 1, extents, resolutions)
         all_rows: List[Tuple[OID, ...]] = list(frontier)
         level = 1
         while frontier and level < max_level:
             level += 1
+            # Traverse the cycle body once more, batched: every
+            # hierarchy ending at the same anchor instance shares one
+            # expansion, and each hop is one bulk neighbor lookup over
+            # the distinct partial endpoints.
+            anchors = {row[-1] for row in frontier}
+            partials: List[Tuple[OID, ...]] = [(a,) for a in anchors]
+            for k in range(n - 1):
+                if not partials:
+                    break
+                ends = {partial[-1] for partial in partials}
+                neighbor_map = self.universe.bulk_edge_neighbors(
+                    ends, resolutions[k], forward=True)
+                self.last_metrics.edge_traversals += len(ends)
+                target_extent = extents[k + 1]
+                candidates = {oid: neighbor_map[oid] & target_extent
+                              for oid in ends}
+                partials = [partial + (oid,) for partial in partials
+                            for oid in candidates[partial[-1]]]
+                self.last_metrics.rows_generated += len(partials)
+            extensions: Dict[OID, List[Tuple[OID, ...]]] = {}
+            for partial in partials:
+                # Drop the shared anchor; key extensions by it.
+                extensions.setdefault(partial[0], []).append(partial[1:])
             extended: List[Tuple[OID, ...]] = []
             for row in frontier:
-                anchor = row[-1]
-                # Traverse the cycle body once more, starting at the
-                # anchor (the deepest hierarchy-root instance so far).
-                partials: List[Tuple[OID, ...]] = [(anchor,)]
-                for k in range(n - 1):
-                    if not partials:
-                        break
-                    next_partials: List[Tuple[OID, ...]] = []
-                    for partial in partials:
-                        neighbors = self.universe.edge_neighbors(
-                            partial[-1], resolutions[k], forward=True)
-                        for oid in neighbors & extents[k + 1]:
-                            next_partials.append(partial + (oid,))
-                    partials = next_partials
-                for partial in partials:
-                    extension = partial[1:]  # drop the shared anchor
+                for extension in extensions.get(row[-1], ()):
                     root_positions = range(0, len(row), body)
-                    if any(row[p] == extension[-1] for p in root_positions):
+                    if any(row[p] == extension[-1]
+                           for p in root_positions):
                         if self.on_cycle == "error":
                             raise CyclicDataError(
                                 f"instance {extension[-1]!r} repeats in a "
@@ -458,23 +512,11 @@ class PatternEvaluator:
         Exact slot names win; otherwise an unqualified class name matches
         the unique slot of that class (any subdatabase qualifier / alias),
         mirroring the paper's rule that qualification is only needed when
-        ambiguous.
+        ambiguous.  The resolution logic lives in
+        :func:`resolve_slot_index` so the incremental maintainer applies
+        the same rules (and raises the same errors).
         """
-        intension = subdb.intension
-        if intension.has_slot(owner.slot):
-            return intension.index_of(owner.slot)
-        matches = [i for i, ref in enumerate(intension.slots)
-                   if ref.cls == owner.cls
-                   and (owner.subdb is None or ref.subdb == owner.subdb)]
-        if len(matches) == 1:
-            return matches[0]
-        if not matches:
-            raise OQLSemanticError(
-                f"where subclause references {owner}, which is not a "
-                f"context class (context: {list(subdb.slot_names)})")
-        raise OQLSemanticError(
-            f"where subclause reference {owner} is ambiguous among "
-            f"context classes {list(subdb.slot_names)}")
+        return resolve_slot_index(subdb.intension.slots, owner)
 
     def _apply_where(self, subdb: Subdatabase,
                      where: Sequence[WhereCond]) -> Subdatabase:

@@ -1,0 +1,336 @@
+"""Cost-based join planning for association-chain matching.
+
+The paper delegates pattern matching to "the search engine of the
+underlying OO DBMS" (Section 3.2); this module is that search engine's
+planner.  A chain ``A * B * C`` admits many *contiguous* join orders
+(pick an anchor slot, then repeatedly extend the matched block one slot
+to the left or right); which one is cheapest depends on extent sizes,
+intra-class-condition selectivities, and per-link fan-out.
+
+:class:`Statistics` collects per-class extent sizes and per-link average
+fan-outs from the :class:`~repro.subdb.universe.Universe`, cached against
+its ``data_version`` (base-data version counter + subdatabase-registry
+epoch) so every update invalidates them without explicit wiring.
+
+:class:`Planner` turns a flattened chain plus the *actual* filtered
+extent sizes into a :class:`JoinPlan` under one of three strategies:
+
+* ``"naive"``  — anchor at the leftmost slot, always extend right (the
+  textbook left-to-right join; the ablation floor);
+* ``"greedy"`` — anchor at the smallest filtered extent, grow towards
+  the smaller adjacent extent (the previous heuristic, kept as an
+  ablation mode);
+* ``"cost"``   — dynamic programming over all contiguous intervals,
+  minimizing the estimated total number of intermediate rows.
+
+The plan records per-step *estimated* rows; the batched executor fills
+in *actuals*, giving an EXPLAIN ANALYZE-style artifact through
+:class:`~repro.oql.evaluator.EvaluationMetrics` and
+:mod:`repro.rules.explain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.subdb.refs import ClassRef
+from repro.subdb.universe import EdgeResolution, Universe
+
+#: The recognized planning strategies, in ablation order.
+OPTIMIZE_MODES = ("naive", "greedy", "cost")
+
+
+class Statistics:
+    """Extent sizes and link fan-outs, cached per data version.
+
+    Every accessor revalidates against ``universe.data_version`` — the
+    cache empties itself after any base-data mutation or subdatabase
+    (re-)materialization, so no explicit invalidation hooks are needed.
+    """
+
+    def __init__(self, universe: Universe):
+        self.universe = universe
+        self._version = -1
+        self._extent_sizes: Dict[ClassRef, int] = {}
+        self._fanouts: Dict[Tuple[ClassRef, EdgeResolution], float] = {}
+
+    def _revalidate(self) -> None:
+        version = self.universe.data_version
+        if version != self._version:
+            self._extent_sizes.clear()
+            self._fanouts.clear()
+            self._version = version
+
+    def extent_size(self, ref: ClassRef) -> int:
+        """The unfiltered extent size of a class reference."""
+        self._revalidate()
+        size = self._extent_sizes.get(ref)
+        if size is None:
+            if ref.subdb is None:
+                size = self.universe.db.extent_size(ref.cls)
+            else:
+                size = len(self.universe.extent(ref))
+            self._extent_sizes[ref] = size
+        return size
+
+    def fanout(self, source: ClassRef, resolution: EdgeResolution) -> float:
+        """Average number of neighbors per object of ``source``'s extent
+        across the resolved edge (the direction is implied by which end
+        ``source`` stands at: total link pairs over source extent)."""
+        self._revalidate()
+        key = (source, resolution)
+        value = self._fanouts.get(key)
+        if value is None:
+            if resolution.kind == "identity":
+                value = 1.0
+            else:
+                if resolution.kind == "base":
+                    pairs = self.universe.db.link_count(
+                        resolution.resolved.link)
+                else:
+                    subdb = self.universe.get_subdb(resolution.subdb)
+                    pairs = len(subdb.pairs(resolution.i, resolution.j))
+                value = pairs / max(1, self.extent_size(source))
+            self._fanouts[key] = value
+        return value
+
+
+@dataclass
+class PlanStep:
+    """One join step: extend the matched block by one slot."""
+
+    #: Index of the slot this step adds.
+    slot: int
+    #: Index into the chain's ops/resolutions arrays.
+    edge: int
+    #: ``"left"`` or ``"right"`` — which side of the block grows.
+    direction: str
+    #: The operator crossed (``*`` or ``!``).
+    op: str
+    #: Estimated rows after this step.
+    est_rows: float
+    #: Rows actually materialized (filled in by the executor).
+    actual_rows: Optional[int] = None
+    #: Distinct frontier endpoints looked up (filled in by the executor).
+    actual_frontier: Optional[int] = None
+
+    def snapshot(self) -> dict:
+        return {
+            "slot": self.slot,
+            "direction": self.direction,
+            "op": self.op,
+            "est_rows": round(self.est_rows, 2),
+            "actual_rows": self.actual_rows,
+            "actual_frontier": self.actual_frontier,
+        }
+
+
+@dataclass
+class JoinPlan:
+    """A full join order over slots ``start..end`` of one chain."""
+
+    strategy: str
+    start: int
+    end: int
+    anchor: int
+    #: Slot names of the *whole* chain (indexable by any slot index).
+    slot_names: Tuple[str, ...]
+    #: The anchor's filtered extent size (exact — the extent is known).
+    est_anchor_rows: int
+    steps: List[PlanStep]
+    #: Estimated total intermediate rows (the DP objective).
+    est_cost: float
+    actual_anchor_rows: Optional[int] = None
+
+    def order(self) -> List[int]:
+        """Slot indices in the order they are joined."""
+        return [self.anchor] + [step.slot for step in self.steps]
+
+    def describe(self) -> str:
+        lines = [f"join plan [{self.strategy}]: anchor "
+                 f"{self.slot_names[self.anchor]} "
+                 f"({self.est_anchor_rows} rows), "
+                 f"est cost {self.est_cost:.1f}"]
+        for step in self.steps:
+            arrow = "<-" if step.direction == "left" else "->"
+            actual = ("" if step.actual_rows is None
+                      else f", actual {step.actual_rows}")
+            lines.append(f"  {arrow} {step.op} "
+                         f"{self.slot_names[step.slot]}: "
+                         f"est {step.est_rows:.1f} rows{actual}")
+        return "\n".join(lines)
+
+    def snapshot(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "anchor": self.slot_names[self.anchor],
+            "order": [self.slot_names[i] for i in self.order()],
+            "est_cost": round(self.est_cost, 2),
+            "anchor_rows": self.est_anchor_rows,
+            "steps": [step.snapshot() for step in self.steps],
+        }
+
+
+class Planner:
+    """Chooses a contiguous join order for a (sub)range of a chain."""
+
+    def __init__(self, universe: Universe):
+        self.universe = universe
+        self.statistics = Statistics(universe)
+        # Chosen orders memoized per (strategy, range, refs, ops,
+        # filtered sizes) — repeated evaluations of the same query skip
+        # the DP; invalidated with the statistics (data_version).
+        self._cache_version = -1
+        self._cache: Dict[tuple, Tuple[int, List[PlanStep], float]] = {}
+
+    # ------------------------------------------------------------------
+    # Cardinality estimation
+    # ------------------------------------------------------------------
+
+    def _step_selectivity(self, refs: Sequence[ClassRef],
+                          ops: Sequence[str],
+                          resolutions: Sequence[EdgeResolution],
+                          sizes: Sequence[int],
+                          edge: int, direction: str) -> float:
+        """Estimated candidate rows per input row when crossing ``edge``
+        towards ``direction``: link fan-out from the source slot, scaled
+        by the target's filter selectivity (filtered / full extent)."""
+        if direction == "right":
+            source, target = edge, edge + 1
+        else:
+            source, target = edge + 1, edge
+        fan = self.statistics.fanout(refs[source], resolutions[edge])
+        full = self.statistics.extent_size(refs[target])
+        ratio = (sizes[target] / full) if full else 0.0
+        if ops[edge] == "*":
+            return fan * ratio
+        # "!" keeps the complement of the neighbor set within the
+        # (filtered) target extent.
+        return max(float(sizes[target]) - fan * ratio, 0.0)
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+
+    def plan(self, refs: Sequence[ClassRef], ops: Sequence[str],
+             resolutions: Sequence[EdgeResolution],
+             sizes: Sequence[int], start: int, end: int,
+             strategy: str = "cost") -> JoinPlan:
+        """Plan the join over slots ``start..end``.
+
+        ``sizes`` are the *filtered* extent sizes per slot of the whole
+        chain (the evaluator has already applied intra-class conditions,
+        so the anchor estimate is exact and filter selectivities are
+        folded into every step estimate).
+        """
+        if strategy not in OPTIMIZE_MODES:
+            raise ValueError(f"unknown planning strategy {strategy!r} "
+                             f"(expected one of {OPTIMIZE_MODES})")
+        slot_names = tuple(ref.slot for ref in refs)
+        version = self.universe.data_version
+        if version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = version
+        key = (strategy, start, end, tuple(refs), tuple(ops),
+               tuple(sizes))
+        cached = self._cache.get(key)
+        if cached is not None:
+            anchor, steps, cost = cached
+        elif strategy == "cost" and end > start:
+            anchor, steps, cost = self._order_cost(
+                refs, ops, resolutions, sizes, start, end)
+        elif strategy == "greedy" and end > start:
+            anchor, steps, cost = self._order_greedy(
+                refs, ops, resolutions, sizes, start, end)
+        else:
+            anchor, steps, cost = self._order_naive(
+                refs, ops, resolutions, sizes, start, end)
+        self._cache[key] = (anchor, steps, cost)
+        # The executor mutates steps with actuals: hand out copies.
+        fresh = [PlanStep(slot=s.slot, edge=s.edge, direction=s.direction,
+                          op=s.op, est_rows=s.est_rows) for s in steps]
+        return JoinPlan(strategy=strategy, start=start, end=end,
+                        anchor=anchor, slot_names=slot_names,
+                        est_anchor_rows=sizes[anchor], steps=fresh,
+                        est_cost=cost)
+
+    def _order_naive(self, refs, ops, resolutions, sizes, start, end):
+        """Left-to-right: anchor at ``start``, extend right each hop."""
+        est = float(sizes[start])
+        cost = est
+        steps: List[PlanStep] = []
+        for edge in range(start, end):
+            est *= self._step_selectivity(refs, ops, resolutions, sizes,
+                                          edge, "right")
+            cost += est
+            steps.append(PlanStep(slot=edge + 1, edge=edge,
+                                  direction="right", op=ops[edge],
+                                  est_rows=est))
+        return start, steps, cost
+
+    def _order_greedy(self, refs, ops, resolutions, sizes, start, end):
+        """The previous heuristic: anchor at the smallest filtered
+        extent, grow towards the smaller adjacent extent."""
+        anchor = min(range(start, end + 1), key=lambda i: sizes[i])
+        lo = hi = anchor
+        est = float(sizes[anchor])
+        cost = est
+        steps: List[PlanStep] = []
+        while lo > start or hi < end:
+            grow_left = lo > start and (
+                hi == end or sizes[lo - 1] <= sizes[hi + 1])
+            if grow_left:
+                est *= self._step_selectivity(refs, ops, resolutions,
+                                              sizes, lo - 1, "left")
+                steps.append(PlanStep(slot=lo - 1, edge=lo - 1,
+                                      direction="left", op=ops[lo - 1],
+                                      est_rows=est))
+                lo -= 1
+            else:
+                est *= self._step_selectivity(refs, ops, resolutions,
+                                              sizes, hi, "right")
+                steps.append(PlanStep(slot=hi + 1, edge=hi,
+                                      direction="right", op=ops[hi],
+                                      est_rows=est))
+                hi += 1
+            cost += est
+        return anchor, steps, cost
+
+    def _order_cost(self, refs, ops, resolutions, sizes, start, end):
+        """Interval dynamic programming over contiguous blocks.
+
+        ``best[(lo, hi)]`` holds the cheapest way to have matched the
+        block ``lo..hi``: (estimated total intermediate rows, estimated
+        rows of the block, anchor, steps).  A block extends from its
+        left or right sub-block, so the optimum over all contiguous
+        join orders is found in O(n²) states.
+        """
+        best: Dict[Tuple[int, int],
+                   Tuple[float, float, int, List[PlanStep]]] = {}
+        for i in range(start, end + 1):
+            size = float(sizes[i])
+            best[(i, i)] = (size, size, i, [])
+        for length in range(1, end - start + 1):
+            for lo in range(start, end - length + 1):
+                hi = lo + length
+                cost_r, rows_r, anchor_r, steps_r = best[(lo + 1, hi)]
+                sel_l = self._step_selectivity(refs, ops, resolutions,
+                                               sizes, lo, "left")
+                grown_l = rows_r * sel_l
+                left = (cost_r + grown_l, grown_l, anchor_r,
+                        steps_r + [PlanStep(slot=lo, edge=lo,
+                                            direction="left", op=ops[lo],
+                                            est_rows=grown_l)])
+                cost_l, rows_l, anchor_l, steps_l = best[(lo, hi - 1)]
+                sel_r = self._step_selectivity(refs, ops, resolutions,
+                                               sizes, hi - 1, "right")
+                grown_r = rows_l * sel_r
+                right = (cost_l + grown_r, grown_r, anchor_l,
+                         steps_l + [PlanStep(slot=hi, edge=hi - 1,
+                                             direction="right",
+                                             op=ops[hi - 1],
+                                             est_rows=grown_r)])
+                best[(lo, hi)] = left if left[0] <= right[0] else right
+        cost, _, anchor, steps = best[(start, end)]
+        return anchor, steps, cost

@@ -157,13 +157,31 @@ class IncrementalResultController(ResultOrientedController):
         affected = engine.affected_by_event(event)
         if not affected:
             return
+        classes = set(event.classes)
+        graph = engine.rule_graph()
+        # Targets whose value actually (or possibly) moved this pass;
+        # downstream targets whose only relevance is via an upstream
+        # source NOT in this set kept their inputs, so their stored
+        # value stays valid and is not touched.
+        changed_targets: Set[str] = set()
         for name in engine.topological_targets():
             if name not in affected:
+                continue
+            direct_hit = any(rule.base_classes() & classes
+                             for rule in engine.rules_for(name))
+            source_hit = any(source in changed_targets
+                             for source in graph.get(name, ()))
+            if not direct_hit and not source_hit:
+                # Affected only through upstream sources that turned out
+                # unchanged: the stored value (if any) is still exact.
+                engine.stats.refreshes_skipped += 1
                 continue
             if self.mode_of(name) is not EvaluationMode.PRE_EVALUATED:
                 engine.universe.unregister(name)
                 self._stale.add(name)
                 engine.stats.stale_markings += 1
+                # Unknown until re-derived; treat as changed downstream.
+                changed_targets.add(name)
                 continue
             maintainers = self._maintainers_for(name)
             if maintainers is None or any(
@@ -172,16 +190,30 @@ class IncrementalResultController(ResultOrientedController):
                 # Ineligible, or reads derived data whose value may have
                 # just changed: full re-derivation.
                 engine.derive(name, force=True)
+                changed_targets.add(name)
+                continue
+            # Apply the delta to every maintainer (no short-circuiting —
+            # each tracks its own match set) and collect real change
+            # flags (satellite: on_event no longer reports True
+            # unconditionally).
+            changed_flags = [maintainer.on_event(event)
+                             for maintainer in maintainers]
+            if not any(changed_flags) and engine.universe.has_subdb(name):
+                # The match sets absorbed the event without moving
+                # (no-op ASSOCIATE, equal re-derivation, ...): keep the
+                # stored result and spare every downstream target.
+                engine.stats.refreshes_skipped += 1
+                self._stale.discard(name)
                 continue
             merged = None
             for maintainer in maintainers:
-                maintainer.on_event(event)
                 contribution = maintainer.target_contribution()
                 merged = contribution if merged is None else \
                     merged.merge(contribution)
             engine.universe.register(merged)
             engine.stats.incremental_refreshes += 1
             self._stale.discard(name)
+            changed_targets.add(name)
 
 
 class RuleOrientedController:

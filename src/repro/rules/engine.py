@@ -44,6 +44,7 @@ class EngineStats:
     update_events: int = 0
     stale_markings: int = 0
     incremental_refreshes: int = 0
+    refreshes_skipped: int = 0
 
     def total_derivations(self) -> int:
         return sum(self.derivations.values())
@@ -55,6 +56,7 @@ class EngineStats:
             "update_events": self.update_events,
             "stale_markings": self.stale_markings,
             "incremental_refreshes": self.incremental_refreshes,
+            "refreshes_skipped": self.refreshes_skipped,
         }
 
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.oql.ast import Chain, Query
 from repro.oql.parser import parse_query
+from repro.oql.planner import JoinPlan
 from repro.rules.chaining import topological_order, upstream_closure
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -65,6 +66,11 @@ class Explanation:
     #: The order derivation would run (sources before dependents),
     #: skipping already-materialized results.
     derivation_order: List[str]
+    #: The join plans the evaluator would choose for the query's own
+    #: context chain (one per brace group), with per-step row estimates.
+    #: Empty when a referenced subdatabase is not materialized yet —
+    #: the statistics needed for planning only exist after derivation.
+    join_plans: List[JoinPlan] = field(default_factory=list)
 
     def render(self) -> str:
         lines = [f"query: {self.query_text}"]
@@ -74,6 +80,8 @@ class Explanation:
         if not self.roots:
             lines.append("no derived subdatabases referenced — "
                          "evaluates directly against the base database")
+            for plan in self.join_plans:
+                lines.extend(plan.describe().splitlines())
             return "\n".join(lines)
         lines.append("derived subdatabases:")
 
@@ -94,6 +102,8 @@ class Explanation:
                          + " -> ".join(self.derivation_order))
         else:
             lines.append("derivation order: (everything warm)")
+        for plan in self.join_plans:
+            lines.extend(plan.describe().splitlines())
         return "\n".join(lines)
 
 
@@ -114,6 +124,33 @@ def _query_refs(query: Query):
 def _mode_name(engine: "RuleEngine", name: str) -> str:
     mode = engine.controller.mode_of(name)
     return getattr(mode, "value", str(mode))
+
+
+def _plan_query(engine: "RuleEngine", query: Query) -> List[JoinPlan]:
+    """The join plans the evaluator would pick for the query's context,
+    estimated from current statistics (unfiltered extent sizes — the
+    intra-class selectivities only become exact during evaluation).
+
+    Planning needs extent sizes and edge resolutions, which for derived
+    references require the subdatabase to exist; when one is cold the
+    plan is omitted rather than derived as a side effect of explain.
+    """
+    from repro.oql.evaluator import _flatten
+    flat = _flatten(query.context.chain)
+    refs = [term.ref for term in flat.terms]
+    if any(ref.subdb is not None
+           and not engine.universe.has_subdb(ref.subdb) for ref in refs):
+        return []
+    evaluator = engine.evaluator
+    resolutions = [engine.universe.resolve_edge(flat.terms[i].ref,
+                                                flat.terms[i + 1].ref)
+                   for i in range(len(flat.terms) - 1)]
+    sizes = [evaluator.planner.statistics.extent_size(ref)
+             for ref in refs]
+    return [evaluator.planner.plan(refs, flat.ops, resolutions, sizes,
+                                   start, end,
+                                   strategy=evaluator.optimize)
+            for start, end in flat.groups]
 
 
 def explain(engine: "RuleEngine", query_text: str) -> Explanation:
@@ -155,4 +192,5 @@ def explain(engine: "RuleEngine", query_text: str) -> Explanation:
              if name in needed and not engine.universe.has_subdb(name)]
     return Explanation(query_text=query_text, referenced=referenced,
                        base_classes=base_classes, roots=roots,
-                       derivation_order=order)
+                       derivation_order=order,
+                       join_plans=_plan_query(engine, query))

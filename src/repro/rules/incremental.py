@@ -31,12 +31,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ReproError
+from repro.errors import OQLSemanticError, ReproError
 from repro.model.database import UpdateEvent, UpdateKind
 from repro.model.oid import OID
 from repro.oql import conditions
 from repro.oql.ast import AggComparison, AttrRef, ClassTerm
-from repro.oql.evaluator import PatternEvaluator, _flatten
+from repro.oql.evaluator import (
+    PatternEvaluator,
+    _flatten,
+    resolve_slot_index,
+)
 from repro.rules.derivation import project_to_target
 from repro.rules.rule import DeductiveRule
 from repro.subdb.intension import IntensionalPattern
@@ -117,15 +121,17 @@ class IncrementalRule:
         if not self.rule.where:
             return True
         slots = [t.ref for t in self.terms]
-        slot_index = {ref.slot: i for i, ref in enumerate(slots)}
 
         def getter(attr_ref: AttrRef):
-            owner = attr_ref.owner
-            index = slot_index.get(owner.slot)
-            if index is None:
-                matches = [i for i, ref in enumerate(slots)
-                           if ref.cls == owner.cls]
-                index = matches[0]
+            if attr_ref.owner is None:
+                raise OQLSemanticError(
+                    "where-subclause attributes must be qualified "
+                    "(Class.attr)")
+            # Shared with PatternEvaluator._slot_for: raises the same
+            # OQLSemanticError for unknown or ambiguous references
+            # instead of crashing (IndexError) or silently picking the
+            # first match.
+            index = resolve_slot_index(slots, attr_ref.owner)
             return self.universe.attr_value(slots[index], row[index],
                                             attr_ref.attr)
 
@@ -138,41 +144,56 @@ class IncrementalRule:
 
     def _expand(self, lo: int, hi: int, seed: Row) -> List[Row]:
         """Grow the pinned contiguous block ``[lo, hi] = seed`` outward
-        to the full chain, honoring ops, extents and conditions."""
+        to the full chain, honoring ops, extents and conditions.
+
+        Uses the same frontier-batching as the evaluator's executor:
+        one bulk neighbor lookup per hop, one candidate list per
+        distinct endpoint (with membership/condition checks memoized),
+        and — for ``!`` edges — the complement extent computed once per
+        hop instead of once per row.
+        """
         n = len(self.terms)
         rows: List[Row] = [seed]
+        passes_cache: Dict[Tuple[int, OID], bool] = {}
+
+        def passes(index: int, oid: OID) -> bool:
+            key = (index, oid)
+            cached = passes_cache.get(key)
+            if cached is None:
+                cached = passes_cache[key] = self._passes(index, oid)
+            return cached
+
         while rows and (lo > 0 or hi < n - 1):
-            extended: List[Row] = []
             if lo > 0:
-                op = self.ops[lo - 1]
-                resolution = self.resolutions[lo - 1]
-                for row in rows:
-                    neighbors = self.universe.edge_neighbors(
-                        row[0], resolution, forward=False)
-                    if op == "*":
-                        candidates = neighbors
-                    else:
-                        candidates = self.universe.extent(
-                            self.terms[lo - 1].ref) - neighbors
-                    for oid in candidates:
-                        if self._passes(lo - 1, oid):
-                            extended.append((oid,) + row)
+                edge, slot, forward = lo - 1, lo - 1, False
                 lo -= 1
             else:
-                op = self.ops[hi]
-                resolution = self.resolutions[hi]
-                for row in rows:
-                    neighbors = self.universe.edge_neighbors(
-                        row[-1], resolution, forward=True)
-                    if op == "*":
-                        candidates = neighbors
-                    else:
-                        candidates = self.universe.extent(
-                            self.terms[hi + 1].ref) - neighbors
-                    for oid in candidates:
-                        if self._passes(hi + 1, oid):
-                            extended.append(row + (oid,))
+                edge, slot, forward = hi, hi + 1, True
                 hi += 1
+            op = self.ops[edge]
+            resolution = self.resolutions[edge]
+            end_index = -1 if forward else 0
+            frontier = {row[end_index] for row in rows}
+            neighbor_map = self.universe.bulk_edge_neighbors(
+                frontier, resolution, forward=forward)
+            if op == "*":
+                candidates = {oid: [o for o in neighbor_map[oid]
+                                    if passes(slot, o)]
+                              for oid in frontier}
+            else:
+                extent = self.universe.extent(self.terms[slot].ref)
+                candidates = {oid: [o for o in extent - neighbor_map[oid]
+                                    if passes(slot, o)]
+                              for oid in frontier}
+            extended: List[Row] = []
+            if forward:
+                for row in rows:
+                    for oid in candidates[row[-1]]:
+                        extended.append(row + (oid,))
+            else:
+                for row in rows:
+                    for oid in candidates[row[0]]:
+                        extended.append((oid,) + row)
             rows = extended
         return [row for row in rows if self._where_keeps(row)]
 
@@ -206,8 +227,22 @@ class IncrementalRule:
             return owner, target
         return target, owner
 
+    def _add_rows(self, new_rows: List[Row]) -> bool:
+        """Union seeded rows in; True when any was actually new."""
+        changed = False
+        for row in new_rows:
+            if row not in self.rows:
+                self.rows.add(row)
+                changed = True
+        return changed
+
     def on_event(self, event: UpdateEvent) -> bool:
-        """Apply one update; returns True when the match set changed."""
+        """Apply one update; returns True only when the match *set*
+        actually changed — a no-op ASSOCIATE (re-linking an existing
+        pair, or a link producing no new matches), a DISSOCIATE that
+        removed nothing, or a SET_ATTRIBUTE that re-derived exactly the
+        removed rows all report False, so the controller can skip
+        re-registration and downstream re-derivation."""
         if not self._initialized:
             self.initialize()
             return True
@@ -217,7 +252,7 @@ class IncrementalRule:
                 changed |= self.on_event(sub)
             return changed
 
-        before = len(self.rows)
+        changed = False
         if event.kind in (UpdateKind.ASSOCIATE, UpdateKind.DISSOCIATE):
             owner, target = event.oids
             for k in self._edges_using(event.link):
@@ -225,34 +260,51 @@ class IncrementalRule:
                 adds_matches = (event.kind is UpdateKind.ASSOCIATE) == \
                     (self.ops[k] == "*")
                 if adds_matches:
-                    self.rows.update(self._seed_at_edge(k, left, right))
+                    changed |= self._add_rows(
+                        self._seed_at_edge(k, left, right))
                 else:
-                    self.rows = {
+                    kept = {
                         row for row in self.rows
                         if not (row[k] == left and row[k + 1] == right)}
+                    changed |= len(kept) != len(self.rows)
+                    self.rows = kept
         elif event.kind is UpdateKind.DELETE:
             # Deletion only removes rows: every vanished link involved
             # the deleted object, so complement pairs between surviving
             # objects are untouched and no new matches can appear.
             (oid,) = event.oids
-            self.rows = {row for row in self.rows if oid not in row}
+            kept = {row for row in self.rows if oid not in row}
+            changed = len(kept) != len(self.rows)
+            self.rows = kept
         elif event.kind is UpdateKind.INSERT:
             (oid,) = event.oids
             if len(self.terms) == 1:
-                self.rows.update(self._seed_at_slot(0, oid))
+                changed = self._add_rows(self._seed_at_slot(0, oid))
             elif "!" in self.ops:
                 # A fresh object with no links instantly matches every
                 # complement edge of its class: seed at each slot.
                 for index, term in enumerate(self.terms):
-                    self.rows.update(self._seed_at_slot(index, oid))
+                    changed |= self._add_rows(
+                        self._seed_at_slot(index, oid))
         elif event.kind is UpdateKind.SET_ATTRIBUTE:
             (oid,) = event.oids
-            self.rows = {row for row in self.rows if oid not in row}
+            # Rows containing the object are re-validated by removal +
+            # re-seeding; the set changed only if the re-derived rows
+            # differ from the removed ones (a same-size swap counts, an
+            # attribute write that leaves membership intact does not).
+            removed = {row for row in self.rows if oid in row}
+            readded: Set[Row] = set()
             for index in range(len(self.terms)):
-                self.rows.update(self._seed_at_slot(index, oid))
-        return len(self.rows) != before or \
-            event.kind in (UpdateKind.SET_ATTRIBUTE, UpdateKind.BATCH,
-                           UpdateKind.ASSOCIATE, UpdateKind.DISSOCIATE)
+                readded.update(self._seed_at_slot(index, oid))
+            changed = removed != readded
+            self.rows = (self.rows - removed) | readded
+        elif event.kind is UpdateKind.SCHEMA:
+            # Rule meanings may have shifted; fall back to a full
+            # re-derivation and report whether the value moved.
+            before_rows = set(self.rows)
+            self.initialize()
+            changed = self.rows != before_rows
+        return changed
 
     # ------------------------------------------------------------------
     # Target construction

@@ -182,6 +182,9 @@ class Shell:
             return True
         for key, value in self._last_metrics.snapshot().items():
             self._print(f"{key}: {value}")
+        described = self._last_metrics.describe_plans()
+        if described:
+            self._print(described)
         return True
 
     def _cmd_why(self, argument: str) -> bool:

@@ -52,10 +52,11 @@ class PatternType:
 class ExtensionalPattern:
     """A tuple of OIDs (with Nulls) aligned to an intension's slot list."""
 
-    __slots__ = ("values",)
+    __slots__ = ("values", "_nn")
 
     def __init__(self, values: Sequence[Optional[OID]]):
         self.values = tuple(values)
+        self._nn: Optional[Tuple[int, ...]] = None
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ExtensionalPattern):
@@ -76,13 +77,18 @@ class ExtensionalPattern:
 
     @property
     def non_null_indices(self) -> Tuple[int, ...]:
-        """Slot indices at which the pattern has an object."""
-        return tuple(i for i, v in enumerate(self.values) if v is not None)
+        """Slot indices at which the pattern has an object (cached —
+        the subsumption index probes this on every comparison)."""
+        nn = self._nn
+        if nn is None:
+            nn = self._nn = tuple(i for i, v in enumerate(self.values)
+                                  if v is not None)
+        return nn
 
     @property
     def arity(self) -> int:
         """Number of non-null components."""
-        return sum(1 for v in self.values if v is not None)
+        return len(self.non_null_indices)
 
     def type_of(self, slot_names: Sequence[str]) -> PatternType:
         """The pattern's type, given the subdatabase's slot names."""
@@ -139,16 +145,29 @@ def subsume(patterns: Iterable[ExtensionalPattern]
     a candidate is dropped iff some larger kept pattern agrees with it on
     all of its non-null slots.
     """
-    ordered = sorted(set(patterns), key=lambda p: -p.arity)
+    unique = set(patterns)
+    if len({p.arity for p in unique}) <= 1:
+        # Uniform arity (e.g. a plain chain without braces): covers()
+        # requires strictly more components, so nothing can subsume.
+        return unique
+    ordered = sorted(unique, key=lambda p: -p.arity)
     kept: List[ExtensionalPattern] = []
-    # Index kept patterns by one (slot, oid) component so candidates only
-    # compare against plausible covers.
+    # Index kept patterns by every (slot, oid) component.  A cover must
+    # agree with the candidate on each of its non-null slots, so it is
+    # present in all of those slots' lists — probing the *shortest* one
+    # keeps the comparison set small even when one component is shared
+    # by every pattern (e.g. a selective filter pinning one slot to a
+    # single object).
     index: dict[Tuple[int, int], List[ExtensionalPattern]] = {}
     for pattern in ordered:
         nn = pattern.non_null_indices
         if nn:
-            probe = (nn[0], pattern.values[nn[0]].value)
-            candidates = index.get(probe, ())
+            lists = [index.get((i, pattern.values[i].value))
+                     for i in nn]
+            if any(entry is None for entry in lists):
+                candidates: Sequence[ExtensionalPattern] = ()
+            else:
+                candidates = min(lists, key=len)
         else:
             candidates = kept
         if any(covers(big, pattern) for big in candidates):

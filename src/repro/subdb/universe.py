@@ -27,7 +27,7 @@ from repro.errors import (
     UnknownAttributeError,
     UnknownSubdatabaseError,
 )
-from repro.model.database import Database
+from repro.model.database import EMPTY_OIDS, Database
 from repro.model.oid import OID
 from repro.model.schema import ResolvedLink, Schema
 from repro.subdb.refs import ClassRef
@@ -74,6 +74,14 @@ class Universe:
         # Per-derived-association pair index cache:
         # (name, i, j) -> (subdatabase object, fwd map, rev map)
         self._pair_cache: Dict[Tuple[str, int, int], tuple] = {}
+        # Bumped whenever the set of materialized subdatabases changes,
+        # so planner statistics over derived extents/associations can be
+        # invalidated together with base-data changes (data_version).
+        self._subdb_epoch = 0
+        # Successful visibility checks memoized per data version: one
+        # schema walk per (ref, attr) instead of one per object access.
+        self._attr_check_cache: Dict[Tuple[ClassRef, str], bool] = {}
+        self._attr_check_version = -1
 
     # ------------------------------------------------------------------
     # Subdatabase registry
@@ -82,15 +90,25 @@ class Universe:
     def register(self, subdb: Subdatabase) -> None:
         """Materialize (or replace) a derived subdatabase."""
         self._subdbs[subdb.name] = subdb
+        self._subdb_epoch += 1
         stale = [key for key in self._pair_cache if key[0] == subdb.name]
         for key in stale:
             del self._pair_cache[key]
 
     def unregister(self, name: str) -> None:
-        self._subdbs.pop(name, None)
+        if self._subdbs.pop(name, None) is not None:
+            self._subdb_epoch += 1
         stale = [key for key in self._pair_cache if key[0] == name]
         for key in stale:
             del self._pair_cache[key]
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter covering base-data mutations *and* changes
+        to the materialized-subdatabase registry — anything cached
+        against this version (planner statistics, join-order choices)
+        is invalidated by either kind of change."""
+        return self.db.version + self._subdb_epoch
 
     def has_subdb(self, name: str) -> bool:
         return name in self._subdbs
@@ -148,6 +166,12 @@ class Universe:
         have restricted the inherited attributes; the base class must
         finally declare (or inherit) the attribute.
         """
+        version = self.data_version
+        if version != self._attr_check_version:
+            self._attr_check_cache.clear()
+            self._attr_check_version = version
+        if (ref, attr) in self._attr_check_cache:
+            return
         current = ref
         guard = 0
         while current.subdb is not None:
@@ -168,6 +192,7 @@ class Universe:
                     f"{current} (visible: {sorted(info.visible_attrs)})")
             current = info.source
         self.schema.attribute(current.cls, attr)
+        self._attr_check_cache[(ref, attr)] = True
 
     def attr_value(self, ref: ClassRef, oid: OID, attr: str) -> Any:
         """Read a descriptive attribute of an object through a (possibly
@@ -252,3 +277,21 @@ class Universe:
         fwd, rev = self._pair_maps(edge.subdb, edge.i, edge.j)
         index = fwd if forward else rev
         return set(index.get(oid, ()))
+
+    def bulk_edge_neighbors(self, oids: Set[OID], edge: EdgeResolution,
+                            forward: bool = True) -> Dict[OID, Set[OID]]:
+        """Neighbor sets for a whole candidate frontier in one lookup.
+
+        The returned sets are shared with the underlying indexes and
+        must not be mutated; objects without neighbors map to a shared
+        empty set.  One call per hop replaces the per-row
+        :meth:`edge_neighbors` loop of the row-at-a-time executor.
+        """
+        if edge.kind == "identity":
+            return {oid: {oid} for oid in oids}
+        if edge.kind == "base":
+            return self.db.bulk_neighbors(oids, edge.resolved,
+                                          forward=forward)
+        fwd, rev = self._pair_maps(edge.subdb, edge.i, edge.j)
+        index = fwd if forward else rev
+        return {oid: index.get(oid, EMPTY_OIDS) for oid in oids}

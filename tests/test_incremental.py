@@ -304,3 +304,194 @@ class TestIncrementalProperty:
                 _, i, value = op
                 db.set_attribute(o[f"b{i}"].oid, "n", value)
             assert inc.rows == fresh_rows(db, text)
+
+
+def flagged_maintainer(db, text):
+    """A maintainer whose listener checks that every on_event change
+    flag exactly matches whether the match set moved."""
+    universe = Universe(db)
+    rule = parse_rule(text)
+    inc = IncrementalRule(rule, universe)
+    inc.initialize()
+    flags = []
+
+    def listener(event):
+        before = set(inc.rows)
+        flag = inc.on_event(event)
+        assert flag == (set(inc.rows) != before), \
+            f"flag {flag} but rows {'moved' if inc.rows != before else 'did not move'}"
+        flags.append(flag)
+
+    db.add_listener(listener)
+    return inc, flags
+
+
+class TestChangeFlags:
+    def test_duplicate_associate_reports_no_change(self):
+        db, o = chain_db()
+        inc, flags = flagged_maintainer(db, RULE_ABC)
+        db.associate(o["a0"], "ab", o["b0"])
+        db.associate(o["b0"], "bc", o["c0"])
+        assert flags[-1] is True
+        db.associate(o["a0"], "ab", o["b0"])   # re-link: same state
+        assert flags[-1] is False
+        assert inc.rows == fresh_rows(db, RULE_ABC)
+
+    def test_irrelevant_link_reports_no_change(self):
+        db, o = chain_db()
+        inc, flags = flagged_maintainer(db, RULE_ABC)
+        db.associate(o["b0"], "bc", o["c0"])   # no A attached: no match
+        assert flags[-1] is False
+        assert inc.rows == set()
+
+    def test_membership_preserving_set_attribute(self):
+        db, o = chain_db()
+        inc, flags = flagged_maintainer(db, RULE_ABC)
+        db.associate(o["a0"], "ab", o["b0"])
+        db.associate(o["b0"], "bc", o["c0"])
+        db.set_attribute(o["b0"].oid, "n", 7)  # no condition involved
+        assert flags[-1] is False
+        assert inc.rows == fresh_rows(db, RULE_ABC)
+
+    def test_equal_size_swap_reports_change(self):
+        """A SET_ATTRIBUTE replacing one match with another leaves the
+        count unchanged; the old len() comparison missed it."""
+        text = "if context A * B where A.n = B.n then X (A, B)"
+        db, o = chain_db()
+        db.associate(o["a1"], "ab", o["b1"])
+        db.associate(o["a1"], "ab", o["b2"])
+        inc, flags = flagged_maintainer(db, text)
+        assert inc.rows == {(o["a1"].oid, o["b1"].oid)}
+        db.set_attribute(o["a1"].oid, "n", 2)
+        assert flags[-1] is True
+        assert inc.rows == {(o["a1"].oid, o["b2"].oid)}
+        assert inc.rows == fresh_rows(db, text)
+
+
+class TestWhereKeepsErrors:
+    TEXT = "if context A * B where C.n > 0 then X (A)"
+
+    def test_unknown_reference_raises_like_evaluator(self):
+        from repro.errors import OQLSemanticError
+        db, o = chain_db()
+        inc = maintainer(db, self.TEXT)     # empty set: no rows checked
+        with pytest.raises(OQLSemanticError) as incremental_error:
+            db.associate(o["a0"], "ab", o["b0"])
+        with pytest.raises(OQLSemanticError) as evaluator_error:
+            fresh_rows(db, self.TEXT)
+        assert str(incremental_error.value) == str(evaluator_error.value)
+        assert "not a context class" in str(incremental_error.value)
+
+    def test_ambiguous_reference_raises(self):
+        from repro.errors import OQLSemanticError
+        from repro.oql.evaluator import resolve_slot_index
+        from repro.subdb.refs import ClassRef
+        slots = [ClassRef("A", alias=1), ClassRef("A", alias=2)]
+        with pytest.raises(OQLSemanticError, match="ambiguous"):
+            resolve_slot_index(slots, ClassRef("A"))
+
+    def test_unqualified_reference_raises(self):
+        # The parser rejects unqualified where attributes; the runtime
+        # guard covers programmatically built conditions.
+        from repro.errors import OQLSemanticError
+        from repro.oql.ast import AttrRef, Comparison, Literal
+        db, o = chain_db()
+        db.associate(o["a0"], "ab", o["b0"])
+        rule = parse_rule("if context A * B then X (A)")
+        object.__setattr__(
+            rule, "where",
+            (Comparison(AttrRef("n"), ">", Literal(0)),))
+        inc = IncrementalRule(rule, Universe(db))
+        inc.rows = {(o["a0"].oid, o["b0"].oid)}
+        inc._initialized = True
+        with pytest.raises(OQLSemanticError, match="must be qualified"):
+            inc._where_keeps((o["a0"].oid, o["b0"].oid))
+
+
+class TestControllerSkipsNoOps:
+    def _engine(self):
+        data = build_paper_database()
+        engine = RuleEngine(data.db, controller="incremental")
+        engine.add_rule("if context Teacher * Section then TS "
+                        "(Teacher, Section)", label="TS")
+        engine.add_rule("if context TS:Teacher then TT (Teacher)",
+                        label="TT")
+        engine.refresh()
+        return data, engine
+
+    def test_noop_event_keeps_stored_results(self):
+        data, engine = self._engine()
+        # Warm up the lazily-created maintainers (the first event after
+        # creation conservatively counts as a change).
+        data.db.associate(data["t1"], "teaches", data["s2"])
+        before_tt = engine.stats.derivations["TT"]
+        before_refreshes = engine.stats.incremental_refreshes
+        # Re-associating an existing link emits ASSOCIATE but changes
+        # nothing: both targets keep their stored values untouched.
+        data.db.associate(data["t1"], "teaches", data["s2"])
+        assert engine.stats.incremental_refreshes == before_refreshes
+        assert engine.stats.derivations["TT"] == before_tt
+        assert engine.stats.refreshes_skipped >= 2
+        assert engine.universe.has_subdb("TS")
+        assert engine.universe.has_subdb("TT")
+        assert not engine.is_stale("TS")
+        assert not engine.is_stale("TT")
+
+    def test_real_change_still_propagates(self):
+        data, engine = self._engine()
+        before_tt = engine.stats.derivations["TT"]
+        data.db.associate(data["t4"], "teaches", data["s5"])
+        assert engine.stats.incremental_refreshes >= 1
+        assert engine.stats.derivations["TT"] > before_tt
+        assert ("t4", "s5") in engine.universe.get_subdb("TS").labels()
+
+
+class TestDifferentialStreams:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("link_ab"), st.integers(0, 3),
+                      st.integers(0, 3)),
+            st.tuples(st.just("link_bc"), st.integers(0, 3),
+                      st.integers(0, 3)),
+            st.tuples(st.just("relink"), st.integers(0, 3),
+                      st.integers(0, 3)),
+            st.tuples(st.just("set_a"), st.integers(0, 3),
+                      st.integers(0, 4)),
+            st.tuples(st.just("set_c"), st.integers(0, 3),
+                      st.integers(0, 4)),
+        ), min_size=0, max_size=25))
+    def test_flags_and_rows_track_fresh_derivation(self, ops):
+        """Random streams including no-op re-associates and
+        equal-size-preserving attribute flips: the maintained set always
+        equals a fresh derivation, and every change flag is exact
+        (asserted inside the flagged listener)."""
+        text = "if context A * B * C where A.n < C.n then X (A, C)"
+        db, o = chain_db()
+        inc, _flags = flagged_maintainer(db, text)
+        linked = {"ab": set(), "bc": set()}
+        for op in ops:
+            kind = op[0]
+            if kind in ("link_ab", "link_bc"):
+                _, i, j = op
+                name = kind.split("_")[1]
+                src = o[f"{name[0]}{i}"]
+                dst = o[f"{name[1]}{j}"]
+                if (i, j) in linked[name]:
+                    db.dissociate(src, name, dst)
+                    linked[name].discard((i, j))
+                else:
+                    db.associate(src, name, dst)
+                    linked[name].add((i, j))
+            elif kind == "relink":
+                _, i, j = op
+                if (i, j) in linked["ab"]:   # duplicate: no-op event
+                    db.associate(o[f"a{i}"], "ab", o[f"b{j}"])
+            elif kind == "set_a":
+                _, i, value = op
+                db.set_attribute(o[f"a{i}"].oid, "n", value)
+            else:
+                _, i, value = op
+                db.set_attribute(o[f"c{i}"].oid, "n", value)
+            assert inc.rows == fresh_rows(db, text)

@@ -114,19 +114,19 @@ class TestEquivalenceProperty:
 class TestPruning:
     def test_selective_filter_prunes_intermediate_rows(self):
         """With a highly selective condition at the chain's *right* end,
-        the greedy order anchors there; verify by counting edge
-        traversals through a probing universe."""
+        the optimized order anchors there; verify by counting the
+        frontier endpoints looked up through a probing universe."""
         data = generate_university(GeneratorConfig(
             students=300, courses=20, seed=41))
         universe = Universe(data.db)
         calls = {"n": 0}
-        original = universe.edge_neighbors
+        original = universe.bulk_edge_neighbors
 
-        def probe(oid, edge, forward=True):
-            calls["n"] += 1
-            return original(oid, edge, forward)
+        def probe(oids, edge, forward=True):
+            calls["n"] += len(oids)
+            return original(oids, edge, forward)
 
-        universe.edge_neighbors = probe
+        universe.bulk_edge_neighbors = probe
         expr = parse_expression(
             "Student * Section * Course [c# = 1000]")
         calls["n"] = 0
