@@ -36,23 +36,32 @@ SCALES = {
 _CACHE = {}
 
 
-def dataset(scale: str):
-    """Session-cached generated database for a scale name."""
-    if scale not in _CACHE:
-        _CACHE[scale] = generate_university(SCALES[scale])
-    return _CACHE[scale]
+def dataset(scale: str, seed=None):
+    """Session-cached generated database for a scale name.
+
+    ``seed`` (threaded from the root ``--seed`` option) overrides the
+    scale's fixed seed; the cache is keyed per (scale, seed) so mixed
+    runs never alias."""
+    key = (scale, seed)
+    if key not in _CACHE:
+        _CACHE[key] = generate_university(SCALES[scale], seed=seed)
+    return _CACHE[key]
+
+
+def _seed_option(request):
+    return request.config.getoption("--seed", default=None)
 
 
 @pytest.fixture(params=["small", "medium", "large"])
 def scaled_data(request):
-    return request.param, dataset(request.param)
+    return request.param, dataset(request.param, _seed_option(request))
 
 
 @pytest.fixture
-def small_data():
-    return dataset("small")
+def small_data(request):
+    return dataset("small", _seed_option(request))
 
 
 @pytest.fixture
-def medium_data():
-    return dataset("medium")
+def medium_data(request):
+    return dataset("medium", _seed_option(request))

@@ -1,0 +1,572 @@
+#!/usr/bin/env python
+"""Run every benchmark family at fixed seeds and emit ``BENCH_PR2.json``.
+
+A standalone (non-pytest) runner over the same workloads as the
+``bench_*.py`` modules: each scenario is built fresh, warmed once, timed
+for a fixed number of rounds, and recorded as
+
+    {"name", "group", "op", "n", "median_ms", "rounds", "metrics"}
+
+where ``metrics`` carries the evaluator's EXPLAIN-ANALYZE counters (or
+the rule engine's stats) from the last round.  The JSON lands at the
+repository root by default so CI can upload it as an artifact.
+
+Usage::
+
+    python benchmarks/run_all.py                  # full sweep
+    python benchmarks/run_all.py --quick          # CI smoke subset
+    python benchmarks/run_all.py --seed 7         # re-seed datasets
+    python benchmarks/run_all.py --baseline benchmarks/baseline_pr2.json \
+        --max-regression 2.0                      # fail on TC regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines.datalog import (  # noqa: E402
+    naive_eval,
+    seminaive_eval,
+    transitive_closure_program,
+)
+from repro.baselines.export import links_as_relation  # noqa: E402
+from repro.oql import QueryProcessor  # noqa: E402
+from repro.oql.evaluator import PatternEvaluator  # noqa: E402
+from repro.oql.parser import parse_expression  # noqa: E402
+from repro.oql.planner import OPTIMIZE_MODES  # noqa: E402
+from repro.rules.control import (  # noqa: E402
+    EvaluationMode,
+    RuleChainingMode,
+)
+from repro.rules.engine import RuleEngine  # noqa: E402
+from repro.subdb import Universe  # noqa: E402
+from repro.university import (  # noqa: E402
+    GeneratorConfig,
+    build_paper_database,
+    generate_university,
+)
+
+
+def _load_conftest():
+    """The shared scale table from ``benchmarks/conftest.py``, loaded by
+    path so this runner works from any working directory."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", BENCH_DIR / "conftest.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+SCALES = _load_conftest().SCALES
+
+
+class Scenario:
+    """One timed workload: ``build()`` returns the callable to time."""
+
+    def __init__(self, name: str, group: str, op: str, n: int,
+                 build: Callable[[], Callable[[], Optional[dict]]],
+                 quick: bool = True):
+        self.name = name
+        self.group = group
+        self.op = op
+        self.n = n
+        self.build = build
+        #: Included in ``--quick`` runs (CI smoke).
+        self.quick = quick
+
+
+SCENARIOS: List[Scenario] = []
+
+
+def scenario(name: str, group: str, op: str, n: int, quick: bool = True):
+    def register(build):
+        SCENARIOS.append(Scenario(name, group, op, n, build, quick))
+        return build
+
+    return register
+
+
+_DATASETS: Dict[tuple, object] = {}
+_SEED: Optional[int] = None
+
+
+def _dataset(config: GeneratorConfig):
+    """Session-cached dataset, keyed per config object and seed."""
+    key = (id(config), _SEED)
+    if key not in _DATASETS:
+        _DATASETS[key] = generate_university(config, seed=_SEED)
+    return _DATASETS[key]
+
+
+def _scaled(scale: str):
+    return _dataset(SCALES[scale])
+
+
+def _query_runner(data, text: str):
+    qp = QueryProcessor(Universe(data.db))
+
+    def run():
+        qp.execute(text)
+        return qp.evaluator.last_metrics.snapshot()
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# B1 pattern matching
+# ---------------------------------------------------------------------------
+
+_CHAINS = {2: "context Teacher * Section",
+           3: "context Teacher * Section * Course",
+           4: "context Teacher * Section * Course * Department"}
+
+for _length, _text in _CHAINS.items():
+    @scenario(f"chain-length-{_length}", "pattern_matching",
+              "chain-match", _length)
+    def _build(text=_text):
+        return _query_runner(_scaled("small"), text)
+
+for _scale in ("small", "medium", "large"):
+    @scenario(f"three-way-chain-{_scale}", "pattern_matching",
+              "chain-match", SCALES[_scale].students,
+              quick=_scale != "large")
+    def _build(scale=_scale):
+        return _query_runner(_scaled(scale),
+                             "context Teacher * Section * Course")
+
+    @scenario(f"wide-fanout-{_scale}", "pattern_matching", "chain-match",
+              SCALES[_scale].students, quick=_scale != "large")
+    def _build(scale=_scale):
+        return _query_runner(
+            _scaled(scale),
+            "context Department * Course * Section * Student")
+
+
+# ---------------------------------------------------------------------------
+# B3 transitive closure (the regression-gated group)
+# ---------------------------------------------------------------------------
+
+# One config object per depth so _dataset's id() cache key is stable.
+_TC_CONFIGS = {
+    depth: GeneratorConfig(
+        departments=2, courses=courses, sections_per_course=1,
+        teachers=4, students=10, enrollments_per_student=1, tas=1,
+        grads=2, faculty=2, prereqs_per_course=2, seed=55)
+    for depth, courses in (("shallow", 15), ("medium", 40),
+                           ("deep", 80))}
+
+for _depth in _TC_CONFIGS:
+    @scenario(f"loop-closure-{_depth}", "transitive_closure",
+              "loop-eval", _TC_CONFIGS[_depth].courses)
+    def _build(depth=_depth):
+        return _query_runner(_dataset(_TC_CONFIGS[depth]),
+                             "context Course * Course_1 ^*")
+
+for _bound in ("^1", "^2", "^4"):
+    @scenario(f"bounded-loop-{_bound.lstrip('^')}", "transitive_closure",
+              "loop-eval", 40, quick=False)
+    def _build(bound=_bound):
+        return _query_runner(_dataset(_TC_CONFIGS["medium"]),
+                             f"context Course * Course_1 {bound}")
+
+
+@scenario("naive-rederive-5x", "transitive_closure", "loop-eval", 40,
+          quick=False)
+def _build():
+    data = _dataset(_TC_CONFIGS["medium"])
+    qp = QueryProcessor(Universe(data.db))
+
+    def run():
+        for _ in range(5):
+            data.db.insert("Student", name="noise")  # unrelated update
+            qp.execute("context Course * Course_1 ^*")
+        return qp.evaluator.last_metrics.snapshot()
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# B6 aggregation
+# ---------------------------------------------------------------------------
+
+for _scale in ("small", "medium"):
+    @scenario(f"count-by-{_scale}", "aggregation", "agg-where",
+              SCALES[_scale].students, quick=_scale == "small")
+    def _build(scale=_scale):
+        return _query_runner(
+            _scaled(scale),
+            "context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 10")
+
+
+@scenario("avg-by-department", "aggregation", "agg-where",
+          SCALES["medium"].courses, quick=False)
+def _build():
+    return _query_runner(
+        _scaled("medium"),
+        "context Department * Course "
+        "where AVG(Course.credit_hours by Department) > 2")
+
+
+# ---------------------------------------------------------------------------
+# B7 braces / outer-join subsumption
+# ---------------------------------------------------------------------------
+
+_BRACES = {
+    "plain": "context Teacher * Section * Course",
+    "one-brace": "context Teacher * {Section * Course}",
+    "nested": "context {{Teacher} * Section} * Course",
+    "all-singletons": "context {Teacher} * {Section} * {Course}",
+}
+
+for _variant, _text in _BRACES.items():
+    @scenario(f"braces-{_variant}", "braces_outerjoin", "chain-match",
+              SCALES["medium"].students,
+              quick=_variant in ("plain", "one-brace"))
+    def _build(text=_text):
+        return _query_runner(_scaled("medium"), text)
+
+
+# ---------------------------------------------------------------------------
+# B9 optimizer ablation
+# ---------------------------------------------------------------------------
+
+_WORKLOADS = {
+    "selective-right": "Student * Section * Course [c# = 1000]",
+    "no-filter": "Teacher * Section * Course",
+}
+
+for _wl, _expr_text in _WORKLOADS.items():
+    for _mode in OPTIMIZE_MODES:
+        @scenario(f"optimizer-{_wl}-{_mode}", "optimizer", "chain-match",
+                  SCALES["medium"].students, quick=_mode == "cost")
+        def _build(expr_text=_expr_text, mode=_mode):
+            data = _scaled("medium")
+            evaluator = PatternEvaluator(Universe(data.db),
+                                         optimize=mode)
+            expr = parse_expression(expr_text)
+
+            def run():
+                evaluator.evaluate(expr)
+                return evaluator.last_metrics.snapshot()
+
+            return run
+
+
+# ---------------------------------------------------------------------------
+# B5 rule chains
+# ---------------------------------------------------------------------------
+
+def _chain_engine(data, depth):
+    engine = RuleEngine(data.db)
+    engine.add_rule("if context Teacher * Section * Course then L1 "
+                    "(Teacher, Course)", label="L1")
+    for level in range(2, depth + 1):
+        engine.add_rule(
+            f"if context L{level - 1}:Teacher * L{level - 1}:Course "
+            f"then L{level} (Teacher, Course)", label=f"L{level}")
+    return engine
+
+
+@scenario("cold-rule-chain-4", "rule_chains", "derive", 4)
+def _build():
+    data = _scaled("small")
+
+    def run():
+        engine = _chain_engine(data, 4)
+        engine.query("context L4:Teacher select name")
+        return engine.stats.snapshot()
+
+    return run
+
+
+@scenario("warm-requery-4", "rule_chains", "query", 4, quick=False)
+def _build():
+    data = _scaled("small")
+    engine = _chain_engine(data, 4)
+    engine.query("context L4:Teacher select name")
+
+    def run():
+        engine.query("context L4:Teacher select name")
+        return engine.stats.snapshot()
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# B2 query:update mixes, B4 control strategies, B10 incremental
+# ---------------------------------------------------------------------------
+
+_MIX_CONFIG = GeneratorConfig(
+    departments=3, courses=12, sections_per_course=2, teachers=8,
+    students=150, enrollments_per_student=3, tas=4, grads=10,
+    faculty=4, seed=77)
+
+for _mode_name, _mode in (("pre", EvaluationMode.PRE_EVALUATED),
+                          ("post", EvaluationMode.POST_EVALUATED)):
+    @scenario(f"mixed-workload-{_mode_name}", "chaining", "query+update",
+              _MIX_CONFIG.students, quick=_mode_name == "pre")
+    def _build(mode=_mode):
+        data = _dataset(_MIX_CONFIG)
+        engine = RuleEngine(data.db, controller="result")
+        engine.add_rule(
+            "if context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 10 then Hot (Course)",
+            label="HOT", mode=mode)
+        engine.refresh()
+        students = data.all_of("Student")
+        sections = data.all_of("Section")
+        link = data.db.schema.resolve_link("Student", "Section").link
+
+        def run():
+            for i in range(3):
+                student = students[(i * 13) % len(students)]
+                section = sections[(i * 7) % len(sections)]
+                if section.oid in data.db.linked(student.oid, link):
+                    data.db.dissociate(student, "enrolled", section)
+                else:
+                    data.db.associate(student, "enrolled", section)
+                engine.query("context Hot:Course select title")
+            return engine.stats.snapshot()
+
+        return run
+
+
+_CHAIN_RULES = [
+    ("Ra", "if context Teacher * Section then REa (Teacher, Section)"),
+    ("Rb", "if context REa:Teacher * REa:Section then REb (Teacher)"),
+    ("Rc", "if context REb:Teacher then REc (Teacher)"),
+    ("Rd", "if context REc:Teacher then REd (Teacher)"),
+]
+_CONTROL_MODES = {
+    "rule": {"Ra": RuleChainingMode.BACKWARD,
+             "Rb": RuleChainingMode.BACKWARD,
+             "Rc": RuleChainingMode.FORWARD,
+             "Rd": RuleChainingMode.FORWARD},
+    "result": {"Ra": EvaluationMode.POST_EVALUATED,
+               "Rb": EvaluationMode.POST_EVALUATED,
+               "Rc": EvaluationMode.POST_EVALUATED,
+               "Rd": EvaluationMode.PRE_EVALUATED},
+}
+
+for _controller in ("rule", "result"):
+    @scenario(f"control-{_controller}-oriented", "control_strategy",
+              "query+update", 8, quick=_controller == "result")
+    def _build(controller=_controller):
+        modes = _CONTROL_MODES[controller]
+
+        def run():
+            data = build_paper_database()
+            engine = RuleEngine(data.db, controller=controller)
+            for label, text in _CHAIN_RULES:
+                engine.add_rule(text, label=label, mode=modes[label])
+            engine.query("context REd:Teacher select name")
+            for i in range(8):
+                with data.db.batch():
+                    teacher = data.db.insert("Teacher", name=f"T{i}",
+                                             **{"SS#": str(i)})
+                    data.db.associate(teacher, "teaches", data["s4"])
+                engine.query("context REd:Teacher select name")
+            return engine.stats.snapshot()
+
+        return run
+
+
+_INC_CONFIG = GeneratorConfig(courses=40, sections_per_course=2,
+                              teachers=25, students=300, seed=62)
+
+for _controller in ("incremental", "result"):
+    @scenario(f"link-stream-{_controller}", "incremental", "maintain",
+              _INC_CONFIG.students, quick=_controller == "incremental")
+    def _build(controller=_controller):
+        data = _dataset(_INC_CONFIG)
+        engine = RuleEngine(data.db, controller=controller)
+        engine.add_rule("if context Teacher * Section * Course "
+                        "then Teacher_course (Teacher, Course)",
+                        label="R1", mode=EvaluationMode.PRE_EVALUATED)
+        engine.refresh()
+        if controller == "incremental":
+            engine.controller._maintainers_for("Teacher_course")
+        teachers = data.all_of("Teacher")
+        sections = data.all_of("Section")
+        link = data.db.schema.resolve_link("Teacher", "Section").link
+
+        def run():
+            for i in range(10):
+                teacher = teachers[i % len(teachers)]
+                section = sections[(i * 3) % len(sections)]
+                if section.oid in data.db.linked(teacher.oid, link):
+                    data.db.dissociate(teacher, "teaches", section)
+                else:
+                    data.db.associate(teacher, "teaches", section)
+            return engine.stats.snapshot()
+
+        return run
+
+
+# ---------------------------------------------------------------------------
+# B8 Datalog baseline
+# ---------------------------------------------------------------------------
+
+_DAG_CONFIG = GeneratorConfig(
+    departments=2, courses=40, sections_per_course=1, teachers=4,
+    students=10, enrollments_per_student=1, tas=1, grads=2, faculty=2,
+    prereqs_per_course=2, seed=88)
+
+
+@scenario("datalog-oo-loop-v40", "datalog_baseline", "loop-eval", 40)
+def _build():
+    return _query_runner(_dataset(_DAG_CONFIG),
+                         "context Course * Course_1 ^*")
+
+
+for _engine_name, _fn in (("seminaive", seminaive_eval),
+                          ("naive", naive_eval)):
+    @scenario(f"datalog-{_engine_name}-v40", "datalog_baseline",
+              "datalog-eval", 40, quick=_engine_name == "seminaive")
+    def _build(fn=_fn):
+        data = _dataset(_DAG_CONFIG)
+        edges = set(links_as_relation(data.db, "Course", "prereq").rows)
+        program = transitive_closure_program(edges)
+
+        def run():
+            fn(program)["tc"]
+            return {"edges": len(edges)}
+
+        return run
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+def run_scenario(spec: Scenario, rounds: int) -> dict:
+    fn = spec.build()
+    fn()  # warmup (populates lazy caches the way pytest rounds do)
+    times = []
+    metrics = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        metrics = fn()
+        times.append((time.perf_counter() - start) * 1000.0)
+    return {
+        "name": spec.name,
+        "group": spec.group,
+        "op": spec.op,
+        "n": spec.n,
+        "median_ms": round(statistics.median(times), 4),
+        "min_ms": round(min(times), 4),
+        "rounds": rounds,
+        "metrics": metrics,
+    }
+
+
+def check_regression(results: List[dict], baseline_path: Path,
+                     max_ratio: float,
+                     min_gate_ms: float = 1.0) -> List[str]:
+    """Compare transitive-closure timings against a baseline file.
+
+    The best-of-rounds time is compared (medians of sub-millisecond
+    scenarios jitter well past 2x on shared CI runners), and baselines
+    faster than ``min_gate_ms`` are skipped outright — too fast to gate.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    reference = {r["name"]: r for r in baseline.get("results", [])
+                 if r.get("group") == "transitive_closure"}
+    failures = []
+    for record in results:
+        if record["group"] != "transitive_closure":
+            continue
+        ref = reference.get(record["name"])
+        if ref is None:
+            continue
+        ref_ms = ref.get("min_ms") or ref.get("median_ms")
+        got_ms = record.get("min_ms") or record["median_ms"]
+        if not ref_ms or ref_ms < min_gate_ms:
+            continue
+        ratio = got_ms / ref_ms
+        if ratio > max_ratio:
+            failures.append(
+                f"{record['name']}: {got_ms:.2f} ms vs "
+                f"baseline {ref_ms:.2f} ms "
+                f"({ratio:.2f}x > {max_ratio:.2f}x)")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke subset with fewer rounds")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override every dataset's RNG seed")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timing rounds per scenario "
+                             "(default 5, quick 3)")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_PR2.json",
+                        help="output JSON path")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline JSON to gate the "
+                             "transitive-closure group against")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="fail when a gated timing exceeds "
+                             "baseline * this ratio")
+    parser.add_argument("--min-gate-ms", type=float, default=1.0,
+                        help="skip gating scenarios whose baseline is "
+                             "faster than this (too noisy to compare)")
+    args = parser.parse_args(argv)
+
+    global _SEED
+    _SEED = args.seed
+    rounds = args.rounds or (3 if args.quick else 5)
+    chosen = [s for s in SCENARIOS if s.quick] if args.quick \
+        else list(SCENARIOS)
+
+    results = []
+    for spec in chosen:
+        record = run_scenario(spec, rounds)
+        results.append(record)
+        print(f"{spec.group:20s} {spec.name:28s} "
+              f"{record['median_ms']:10.3f} ms")
+
+    payload = {
+        "meta": {
+            "quick": args.quick,
+            "seed": args.seed,
+            "rounds": rounds,
+            "python": sys.version.split()[0],
+            "scenarios": len(results),
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out} ({len(results)} scenarios)")
+
+    if args.baseline is not None:
+        failures = check_regression(results, args.baseline,
+                                    args.max_regression,
+                                    args.min_gate_ms)
+        if failures:
+            print(f"\nREGRESSION against {args.baseline}:",
+                  file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no transitive-closure regression vs {args.baseline} "
+              f"(max {args.max_regression:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

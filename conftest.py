@@ -1,0 +1,14 @@
+"""Repository-root pytest configuration.
+
+``pytest_addoption`` must live in a rootdir ``conftest.py`` to be seen
+regardless of which directory is collected, so the ``--seed`` option is
+registered here and consumed by ``benchmarks/conftest.py`` (it re-seeds
+every generated benchmark dataset).  Plain test runs ignore it.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed", action="store", type=int, default=None,
+        help="override the RNG seed of every generated benchmark "
+             "dataset (default: each scale's fixed per-scale seed)")

@@ -434,6 +434,15 @@ class Database:
     # Link traversal (used by the pattern-matching engine)
     # ------------------------------------------------------------------
 
+    def link_index(self, link: Aggregation,
+                   from_owner: bool = True) -> Dict[OID, Set[OID]]:
+        """The internal link index of one association direction, shared
+        by reference — strictly read-only for callers.  The compact
+        execution layer scans it once to build a CSR adjacency index
+        instead of performing per-frontier dict probes."""
+        index = self._fwd if from_owner else self._rev
+        return index.get(link.key, {})
+
     def linked(self, oid: OID, link: Aggregation,
                from_owner: bool = True) -> Set[OID]:
         """The objects linked to ``oid`` through ``link``.

@@ -1,0 +1,124 @@
+"""Per-class OID interning: dense integer ids for compact execution.
+
+The pattern-matching engine's hot paths — frontier joins, subsumption,
+pattern dedup — historically operated on Python sets of :class:`OID`
+objects, paying a Python-level ``__hash__``/``__eq__`` dispatch per
+element.  An :class:`InternTable` maps the extent of one class to dense
+integers ``0..n-1`` (and back), so those same operations run over plain
+ints and small-int tuples at C speed, and adjacency can be stored
+columnar (CSR offsets + neighbor arrays, see
+:mod:`repro.subdb.adjindex`).
+
+Tables are owned by a per-universe store that validates them against the
+database's version counter / update events; this module is deliberately
+ignorant of :class:`~repro.subdb.universe.Universe` (the model layer
+must not depend on the subdatabase layer) — the store supplies extents
+and validity tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.model.oid import OID
+
+
+class InternTable:
+    """A dense ``OID <-> int`` bijection over one class extent.
+
+    ``oids[i]`` decodes dense id ``i``; ``index[oid.value]`` encodes an
+    OID (keyed by the raw integer value so encoding costs one C-level
+    dict probe instead of a Python-level ``OID.__hash__`` call).  The
+    dense order is sorted by OID value, so the same data always interns
+    identically — differential tests rely on this determinism.
+    """
+
+    __slots__ = ("key", "oids", "values", "index", "token", "_full_ids")
+
+    def __init__(self, key: Any, extent: Iterable[OID],
+                 token: Any = None):
+        self.key = key
+        self.oids: Tuple[OID, ...] = tuple(
+            sorted(extent, key=lambda o: o.value))
+        #: ``values[i]`` is ``oids[i].value`` — the raw-int decode column
+        #: used when hashing decoded rows without touching OID objects.
+        self.values: Tuple[int, ...] = tuple(
+            oid.value for oid in self.oids)
+        self.index: Dict[int, int] = {
+            value: i for i, value in enumerate(self.values)}
+        #: Validity token compared by identity by the owning store
+        #: (``None`` for base-class tables, the subdatabase object for
+        #: derived extents).
+        self.token = token
+        self._full_ids: Optional[FrozenSet[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def encode(self, oid: OID) -> Optional[int]:
+        """The dense id of ``oid``, or ``None`` if outside the extent."""
+        return self.index.get(oid.value)
+
+    def encode_set(self, oids: Iterable[OID]) -> FrozenSet[int]:
+        """Dense ids of every member of ``oids`` that is in the extent."""
+        index = self.index
+        return frozenset(index[o.value] for o in oids
+                         if o.value in index)
+
+    def decode(self, i: int) -> OID:
+        return self.oids[i]
+
+    @property
+    def full_id_set(self) -> FrozenSet[int]:
+        """All dense ids as a frozenset (cached — the complement operand
+        of ``!`` joins over an unfiltered extent)."""
+        ids = self._full_ids
+        if ids is None:
+            ids = self._full_ids = frozenset(range(len(self.oids)))
+        return ids
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"InternTable({self.key!r}, {len(self.oids)} oids)"
+
+
+class OIDInterner:
+    """A registry of intern tables keyed by extent identity.
+
+    Keys are opaque to the interner except for the convention that
+    base-class tables use ``("base", cls)`` — that is what
+    :meth:`invalidate_classes` matches when an insert or delete event
+    names the touched classes.  Subdatabase-extent tables are dropped by
+    name via :meth:`invalidate_subdb` (and additionally self-invalidate
+    through their ``token``, compared by the owning store).
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[Any, InternTable] = {}
+
+    def get(self, key: Any) -> Optional[InternTable]:
+        return self._tables.get(key)
+
+    def build(self, key: Any, extent: Iterable[OID],
+              token: Any = None) -> InternTable:
+        table = InternTable(key, extent, token)
+        self._tables[key] = table
+        return table
+
+    def invalidate_classes(self, classes: Iterable[str]) -> None:
+        """Drop the base tables of every named class (their extents
+        changed: an object was inserted or deleted)."""
+        for cls in classes:
+            self._tables.pop(("base", cls), None)
+
+    def invalidate_subdb(self, name: str) -> None:
+        """Drop every table built over an extent of subdatabase ``name``."""
+        stale = [key for key in self._tables
+                 if key[0] != "base" and key[1] == name]
+        for key in stale:
+            del self._tables[key]
+
+    def clear(self) -> None:
+        self._tables.clear()
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -53,9 +53,10 @@ from repro.oql.ast import (
     NotOp,
     WhereCond,
 )
+from repro.model.interning import InternTable
 from repro.oql.planner import OPTIMIZE_MODES, JoinPlan, Planner
 from repro.subdb.intension import Edge, IntensionalPattern
-from repro.subdb.pattern import ExtensionalPattern, subsume
+from repro.subdb.pattern import ExtensionalPattern, subsume, subsume_rows
 from repro.subdb.refs import ClassRef
 from repro.subdb.subdatabase import Subdatabase
 from repro.subdb.universe import EdgeResolution, Universe
@@ -173,10 +174,18 @@ class PatternEvaluator:
 
     def __init__(self, universe: Universe, on_cycle: str = "error",
                  max_depth: int = 1000,
-                 optimize: Union[bool, str] = "cost"):
+                 optimize: Union[bool, str] = "cost",
+                 compact: bool = True):
         if on_cycle not in ("error", "stop"):
             raise ValueError("on_cycle must be 'error' or 'stop'")
         self.universe = universe
+        #: When True (the default), chains and loops execute over
+        #: interned dense ids against CSR adjacency indexes, decoding
+        #: back to OID patterns only at materialization.  ``False``
+        #: selects the original set-of-OIDs executor — results are
+        #: identical (the differential tests assert it); only speed
+        #: differs.
+        self.compact = compact
         #: Behaviour when a loop revisits an instance: ``"error"`` raises
         #: :class:`CyclicDataError` (the paper assumes acyclic data),
         #: ``"stop"`` terminates that hierarchy (computes the closure of a
@@ -219,12 +228,19 @@ class PatternEvaluator:
         flat = _flatten(expr.chain)
         self._check_unique_slots(flat)
         if expr.loop is not None:
-            subdb = self._evaluate_loop(flat, expr.loop.count, name)
+            if self.compact:
+                subdb = self._evaluate_loop_compact(flat, expr.loop.count,
+                                                    name)
+            else:
+                subdb = self._evaluate_loop(flat, expr.loop.count, name)
+        elif self.compact:
+            subdb = self._evaluate_chain_compact(flat, name)
         else:
             subdb = self._evaluate_chain(flat, name)
         if where:
             subdb = self._apply_where(subdb, where)
-        self.last_metrics.patterns_out = len(subdb.patterns)
+        # len(subdb) counts interned rows without forcing a decode.
+        self.last_metrics.patterns_out = len(subdb)
         return subdb
 
     # ------------------------------------------------------------------
@@ -394,11 +410,143 @@ class PatternEvaluator:
         return Subdatabase(name, intension, kept)
 
     # ------------------------------------------------------------------
+    # Compact execution: interned ids over CSR adjacency indexes
+    # ------------------------------------------------------------------
+
+    def _filtered_ids(self, extents: List[Set[OID]],
+                      tables: List[InternTable]
+                      ) -> List[Optional[frozenset]]:
+        """Per slot, the filtered extent as dense ids — or ``None`` when
+        the filter kept the whole extent, so the executor can skip the
+        membership test entirely (adjacency neighbors are already
+        restricted to the table)."""
+        out: List[Optional[frozenset]] = []
+        for extent, table in zip(extents, tables):
+            if len(extent) == len(table.oids):
+                # A filtered extent is a subset of the unfiltered one at
+                # the same data version, so equal size means unfiltered.
+                out.append(None)
+            else:
+                out.append(table.encode_set(extent))
+        return out
+
+    def _match_range_ids(self, flat: _Flattened, start: int, end: int,
+                         extents: List[Set[OID]],
+                         resolutions: List[EdgeResolution],
+                         refs: List[ClassRef],
+                         tables: List[InternTable],
+                         filt: List[Optional[frozenset]]
+                         ) -> List[Tuple[int, ...]]:
+        """Compact twin of :meth:`_match_range`: same planner, same
+        metrics, rows of dense ids."""
+        sizes = [len(extent) for extent in extents]
+        plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
+                                 start, end, strategy=self.optimize)
+        self.last_metrics.plans.append(plan)
+        return self._execute_plan_ids(plan, resolutions, refs, tables, filt)
+
+    def _execute_plan_ids(self, plan: JoinPlan,
+                          resolutions: List[EdgeResolution],
+                          refs: List[ClassRef],
+                          tables: List[InternTable],
+                          filt: List[Optional[frozenset]]
+                          ) -> List[Tuple[int, ...]]:
+        """Run a join plan over interned ids.
+
+        Identical frontier batching to :meth:`_execute_plan`, but a hop
+        is one CSR slice per distinct endpoint plus an int-membership
+        filter (only when the slot carries an intra-class condition),
+        instead of dict probes and OID-set intersections.
+        """
+        universe = self.universe
+        metrics = self.last_metrics
+        anchor_ids = filt[plan.anchor]
+        rows: List[Tuple[int, ...]] = \
+            [(i,) for i in (range(len(tables[plan.anchor].oids))
+                            if anchor_ids is None else anchor_ids)]
+        plan.actual_anchor_rows = len(rows)
+        for step in plan.steps:
+            if not rows:
+                step.actual_frontier = 0
+                step.actual_rows = 0
+                continue
+            resolution = resolutions[step.edge]
+            forward = step.direction == "right"
+            if forward:
+                src, end_index = step.edge, -1
+            else:
+                src, end_index = step.edge + 1, 0
+            tgt = step.slot
+            adj = universe.adjacency(resolution, forward,
+                                     refs[src], refs[tgt])
+            frontier = {row[end_index] for row in rows}
+            metrics.edge_traversals += len(frontier)
+            tgt_ids = filt[tgt]
+            candidates: Dict[int, Sequence[int]] = {}
+            if step.op == "*":
+                if tgt_ids is None:
+                    for f in frontier:
+                        candidates[f] = adj.row(f)
+                else:
+                    for f in frontier:
+                        candidates[f] = [v for v in adj.row(f)
+                                         if v in tgt_ids]
+            else:  # "!": the non-association operator
+                universe_ids = (tgt_ids if tgt_ids is not None
+                                else tables[tgt].full_id_set)
+                for f in frontier:
+                    candidates[f] = universe_ids.difference(adj.row(f))
+            extended: List[Tuple[int, ...]] = []
+            append = extended.append
+            if forward:
+                for row in rows:
+                    for v in candidates[row[-1]]:
+                        append(row + (v,))
+            else:
+                for row in rows:
+                    for v in candidates[row[0]]:
+                        append((v,) + row)
+            rows = extended
+            step.actual_frontier = len(frontier)
+            step.actual_rows = len(rows)
+            metrics.rows_generated += len(rows)
+        return rows
+
+    def _evaluate_chain_compact(self, flat: _Flattened,
+                                name: str) -> Subdatabase:
+        width = len(flat.terms)
+        extents = [self._extent(term) for term in flat.terms]
+        resolutions = self._resolutions(flat)
+        refs = [term.ref for term in flat.terms]
+        tables = [self.universe.intern_table(ref) for ref in refs]
+        filt = self._filtered_ids(extents, tables)
+
+        int_rows: Set[Tuple[Optional[int], ...]] = set()
+        for start, end in flat.groups:
+            head = (None,) * start
+            tail = (None,) * (width - 1 - end)
+            for row in self._match_range_ids(flat, start, end, extents,
+                                             resolutions, refs, tables,
+                                             filt):
+                int_rows.add(head + row + tail)
+
+        if len(flat.groups) == 1:
+            # A single (whole-chain) group produces only full-width
+            # patterns: nothing can subsume anything.
+            kept = int_rows
+        else:
+            kept = subsume_rows(int_rows)
+        self.last_metrics.patterns_subsumed += len(int_rows) - len(kept)
+        intension = self._intension(flat, resolutions)
+        return Subdatabase.from_interned_rows(name, intension, kept, tables)
+
+    # ------------------------------------------------------------------
     # Loops: transitive closure as iteration (Section 5.2)
     # ------------------------------------------------------------------
 
-    def _evaluate_loop(self, flat: _Flattened, count: Optional[int],
-                       name: str) -> Subdatabase:
+    def _loop_guard(self, flat: _Flattened) -> Tuple[List[ClassTerm],
+                                                     int, int]:
+        """Validate a loop expression; returns (terms, n, body width)."""
         if len(flat.groups) > 1:
             raise OQLSemanticError(
                 "brace groups may not be combined with a loop superscript "
@@ -415,10 +563,36 @@ class PatternEvaluator:
         if any(op != "*" for op in flat.ops):
             raise OQLSemanticError(
                 "loop expressions may use the association operator only")
+        return terms, n, n - 1
 
+    def _loop_intension(self, terms: List[ClassTerm],
+                        resolutions: List[EdgeResolution],
+                        levels_reached: int, n: int,
+                        body: int) -> IntensionalPattern:
+        """Slot list and edges for a loop result: the base cycle, then
+        per extra level a copy of the body slots with automatically
+        generated aliases (Section 5.2: "appending an underscore and an
+        integer to the class name")."""
+        slots: List[ClassRef] = [t.ref for t in terms]
+        edge_list: List[Edge] = []
+        for i, resolution in enumerate(resolutions):
+            edge_list.append(self._edge_for(i, i + 1, "*", resolution))
+        for extra in range(2, levels_reached + 1):
+            bump = extra - 1
+            for j in range(1, n):
+                ref = terms[j].ref
+                slots.append(ref.with_alias((ref.alias or 0) + bump))
+            base_index = len(slots) - body - 1
+            for k in range(n - 1):
+                i, j = base_index + k, base_index + k + 1
+                edge_list.append(self._edge_for(i, j, "*", resolutions[k]))
+        return IntensionalPattern(slots, edge_list)
+
+    def _evaluate_loop(self, flat: _Flattened, count: Optional[int],
+                       name: str) -> Subdatabase:
+        terms, n, body = self._loop_guard(flat)
         extents = [self._extent(term) for term in terms]
         resolutions = self._resolutions(flat)
-        body = n - 1  # slots appended per additional traversal
         max_level = count if count is not None else self.max_depth
 
         # Level 1: one full traversal of the cycle.
@@ -445,7 +619,6 @@ class PatternEvaluator:
                               for oid in ends}
                 partials = [partial + (oid,) for partial in partials
                             for oid in candidates[partial[-1]]]
-                self.last_metrics.rows_generated += len(partials)
             extensions: Dict[OID, List[Tuple[OID, ...]]] = {}
             for partial in partials:
                 # Drop the shared anchor; key extensions by it.
@@ -465,6 +638,9 @@ class PatternEvaluator:
                         continue
                     extended.append(row + extension)
             all_rows.extend(extended)
+            # rows_generated counts the *delta* this level contributed,
+            # not the cumulative partials per hop.
+            self.last_metrics.rows_generated += len(extended)
             frontier = extended
         if count is None and frontier and level >= self.max_depth:
             raise CyclicDataError(
@@ -473,25 +649,9 @@ class PatternEvaluator:
 
         levels_reached = max(
             (1 + (len(row) - n) // body for row in all_rows), default=1)
-
-        # Slot list: the base cycle, then per extra level a copy of the
-        # body slots with automatically generated aliases (Section 5.2:
-        # "appending an underscore and an integer to the class name").
-        slots: List[ClassRef] = [t.ref for t in terms]
-        edge_list: List[Edge] = []
-        for i, resolution in enumerate(resolutions):
-            edge_list.append(self._edge_for(i, i + 1, "*", resolution))
-        for extra in range(2, levels_reached + 1):
-            bump = extra - 1
-            for j in range(1, n):
-                ref = terms[j].ref
-                slots.append(ref.with_alias((ref.alias or 0) + bump))
-            base_index = len(slots) - body - 1
-            for k in range(n - 1):
-                i, j = base_index + k, base_index + k + 1
-                edge_list.append(self._edge_for(i, j, "*", resolutions[k]))
-
-        width = len(slots)
+        intension = self._loop_intension(terms, resolutions,
+                                         levels_reached, n, body)
+        width = len(intension.slots)
         patterns = set()
         for row in all_rows:
             padded = row + (None,) * (width - len(row))
@@ -499,8 +659,136 @@ class PatternEvaluator:
         kept = subsume(patterns)
         self.last_metrics.patterns_subsumed += len(patterns) - len(kept)
         self.last_metrics.loop_levels = levels_reached
-        intension = IntensionalPattern(slots, edge_list)
         return Subdatabase(name, intension, kept)
+
+    def _evaluate_loop_compact(self, flat: _Flattened,
+                               count: Optional[int],
+                               name: str) -> Subdatabase:
+        """Semi-naive transitive closure over interned ids.
+
+        Level N+1 extends only the rows *new at level N* (the delta
+        frontier), and each anchor instance's one-cycle body expansion
+        is computed at most once per evaluation and memoized — an
+        anchor reached through many hierarchies, or reached again at a
+        deeper level, reuses the cached expansion instead of
+        re-traversing the body.
+        """
+        terms, n, body = self._loop_guard(flat)
+        extents = [self._extent(term) for term in terms]
+        resolutions = self._resolutions(flat)
+        refs = [term.ref for term in terms]
+        tables = [self.universe.intern_table(ref) for ref in refs]
+        if tables[0] is not tables[-1]:
+            # The cycle's first and last slot intern different extents
+            # (a derived-reference loop whose aliases select distinct
+            # subdatabase slots): ids are not comparable across the
+            # cycle seam, so fall back to the OID executor.
+            return self._evaluate_loop(flat, count, name)
+        filt = self._filtered_ids(extents, tables)
+        max_level = count if count is not None else self.max_depth
+
+        # Level 1: one full traversal of the cycle.
+        frontier = self._match_range_ids(flat, 0, n - 1, extents,
+                                         resolutions, refs, tables, filt)
+        total_rows = len(frontier)
+        # Loop rows grow from slot 0, so one covers another exactly when
+        # the shorter is its prefix — and prefixes only arise by direct
+        # ancestry.  A row is therefore subsumed iff it gets extended at
+        # the next level; tracking kept rows inline replaces the generic
+        # subsumption pass (the dominant cost of deep closures).
+        kept_rows: List[Tuple[int, ...]] = []
+        level = 1
+        #: anchor id -> its one-cycle body expansions (anchor dropped).
+        expansions: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        while frontier and level < max_level:
+            level += 1
+            new_anchors = ({row[-1] for row in frontier}
+                           - expansions.keys())
+            if new_anchors:
+                self._expand_anchors(new_anchors, expansions, resolutions,
+                                     refs, tables, filt, n)
+            extended: List[Tuple[int, ...]] = []
+            for row in frontier:
+                grew = False
+                for extension in expansions[row[-1]]:
+                    last = extension[-1]
+                    # Root positions all intern through the cycle-seam
+                    # table (tables[0] is tables[-1]), so id equality is
+                    # instance equality.
+                    if any(row[p] == last
+                           for p in range(0, len(row), body)):
+                        if self.on_cycle == "error":
+                            raise CyclicDataError(
+                                f"instance {tables[-1].oids[last]!r} "
+                                f"repeats in a loop hierarchy; the paper "
+                                f"assumes the traversed relationship is "
+                                f"acyclic (use on_cycle='stop' to "
+                                f"truncate)")
+                        continue
+                    extended.append(row + extension)
+                    grew = True
+                if not grew:
+                    kept_rows.append(row)
+            total_rows += len(extended)
+            self.last_metrics.rows_generated += len(extended)
+            frontier = extended
+        if count is None and frontier and level >= self.max_depth:
+            raise CyclicDataError(
+                f"unbounded loop did not terminate within "
+                f"{self.max_depth} levels")
+        # The final frontier was never expanded: all of it survives.
+        kept_rows.extend(frontier)
+
+        levels_reached = max(
+            (1 + (len(row) - n) // body for row in kept_rows), default=1)
+        intension = self._loop_intension(terms, resolutions,
+                                         levels_reached, n, body)
+        width = len(intension.slots)
+        kept = {row + (None,) * (width - len(row)) for row in kept_rows}
+        self.last_metrics.patterns_subsumed += total_rows - len(kept)
+        self.last_metrics.loop_levels = levels_reached
+        decode_tables = [tables[t] if t < n
+                         else tables[1 + (t - n) % body]
+                         for t in range(width)]
+        return Subdatabase.from_interned_rows(name, intension, kept,
+                                              decode_tables)
+
+    def _expand_anchors(self, anchors: Set[int],
+                        expansions: Dict[int, Tuple[Tuple[int, ...], ...]],
+                        resolutions: List[EdgeResolution],
+                        refs: List[ClassRef],
+                        tables: List[InternTable],
+                        filt: List[Optional[frozenset]],
+                        n: int) -> None:
+        """Traverse the cycle body once from each anchor id, batched per
+        hop over distinct endpoints, and memoize the expansions."""
+        universe = self.universe
+        metrics = self.last_metrics
+        partials: List[Tuple[int, ...]] = [(a,) for a in anchors]
+        for k in range(n - 1):
+            if not partials:
+                break
+            adj = universe.adjacency(resolutions[k], True,
+                                     refs[k], refs[k + 1])
+            ends = {partial[-1] for partial in partials}
+            metrics.edge_traversals += len(ends)
+            tgt_ids = filt[k + 1]
+            candidates: Dict[int, Sequence[int]] = {}
+            if tgt_ids is None:
+                for f in ends:
+                    candidates[f] = adj.row(f)
+            else:
+                for f in ends:
+                    candidates[f] = [v for v in adj.row(f) if v in tgt_ids]
+            partials = [partial + (v,) for partial in partials
+                        for v in candidates[partial[-1]]]
+        for anchor in anchors:
+            expansions[anchor] = ()
+        grouped: Dict[int, List[Tuple[int, ...]]] = {}
+        for partial in partials:
+            grouped.setdefault(partial[0], []).append(partial[1:])
+        for anchor, exts in grouped.items():
+            expansions[anchor] = tuple(exts)
 
     # ------------------------------------------------------------------
     # The Where subclause

@@ -53,9 +53,11 @@ class QueryProcessor:
     """Parses and executes OQL query blocks against a universe."""
 
     def __init__(self, universe: Universe, on_cycle: str = "error",
-                 operations: Optional[OperationRegistry] = None):
+                 operations: Optional[OperationRegistry] = None,
+                 compact: bool = True):
         self.universe = universe
-        self.evaluator = PatternEvaluator(universe, on_cycle=on_cycle)
+        self.evaluator = PatternEvaluator(universe, on_cycle=on_cycle,
+                                          compact=compact)
         if operations is None:
             from repro.oql.builtins import register_builtin_operations
             operations = register_builtin_operations(OperationRegistry())

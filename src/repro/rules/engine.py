@@ -65,13 +65,16 @@ class RuleEngine:
 
     def __init__(self, db: Database, controller: str = "result",
                  on_cycle: str = "error",
-                 operations: Optional[OperationRegistry] = None):
+                 operations: Optional[OperationRegistry] = None,
+                 compact: bool = True):
         self.db = db
         self.universe = Universe(db)
         self.universe.provider = self._provide
-        self.evaluator = PatternEvaluator(self.universe, on_cycle=on_cycle)
+        self.evaluator = PatternEvaluator(self.universe, on_cycle=on_cycle,
+                                          compact=compact)
         self.processor = QueryProcessor(self.universe, on_cycle=on_cycle,
-                                        operations=operations)
+                                        operations=operations,
+                                        compact=compact)
         self.rules: List[DeductiveRule] = []
         self._by_target: Dict[str, List[DeductiveRule]] = {}
         self.stats = EngineStats()

@@ -109,6 +109,13 @@ class IncrementalRule:
         db = self.universe.db
         if not db.has(oid) or not db.is_instance_of(oid, term.ref.cls):
             return False
+        return self._passes_condition(index, oid)
+
+    def _passes_condition(self, index: int, oid: OID) -> bool:
+        """The intra-class condition alone — sufficient when ``oid`` was
+        decoded from an intern table, whose membership already implies
+        existence and class membership."""
+        term = self.terms[index]
         if term.condition is None:
             return True
 
@@ -151,16 +158,34 @@ class IncrementalRule:
         distinct endpoint (with membership/condition checks memoized),
         and — for ``!`` edges — the complement extent computed once per
         hop instead of once per row.
+
+        Hops whose CSR adjacency index survives in the universe's
+        compact store (:meth:`Universe.adjacency_if_ready` — built by
+        the evaluator at initialization, kept valid by fine-grained
+        event invalidation) are answered by index slices; intern-table
+        membership stands in for the existence + class checks.  A hop
+        whose index was invalidated by the very event being applied
+        falls back to the link-dictionary path, so a delta refresh
+        never pays an extent scan to rebuild.
         """
         n = len(self.terms)
         rows: List[Row] = [seed]
         passes_cache: Dict[Tuple[int, OID], bool] = {}
+        cond_cache: Dict[Tuple[int, OID], bool] = {}
 
         def passes(index: int, oid: OID) -> bool:
             key = (index, oid)
             cached = passes_cache.get(key)
             if cached is None:
                 cached = passes_cache[key] = self._passes(index, oid)
+            return cached
+
+        def cond_ok(index: int, oid: OID) -> bool:
+            key = (index, oid)
+            cached = cond_cache.get(key)
+            if cached is None:
+                cached = cond_cache[key] = \
+                    self._passes_condition(index, oid)
             return cached
 
         while rows and (lo > 0 or hi < n - 1):
@@ -174,17 +199,43 @@ class IncrementalRule:
             resolution = self.resolutions[edge]
             end_index = -1 if forward else 0
             frontier = {row[end_index] for row in rows}
-            neighbor_map = self.universe.bulk_edge_neighbors(
-                frontier, resolution, forward=forward)
-            if op == "*":
-                candidates = {oid: [o for o in neighbor_map[oid]
-                                    if passes(slot, o)]
-                              for oid in frontier}
+            src_slot = edge if forward else edge + 1
+            adj = self.universe.adjacency_if_ready(
+                resolution, forward, self.terms[src_slot].ref,
+                self.terms[slot].ref)
+            if adj is not None:
+                src_index = adj.src.index
+                decode = adj.tgt.oids
+                candidates = {}
+                if op == "*":
+                    for oid in frontier:
+                        i = src_index.get(oid.value)
+                        ids = () if i is None else adj.row(i)
+                        candidates[oid] = [o for o in
+                                           map(decode.__getitem__, ids)
+                                           if cond_ok(slot, o)]
+                else:
+                    full = adj.tgt.full_id_set
+                    for oid in frontier:
+                        i = src_index.get(oid.value)
+                        ids = (full if i is None
+                               else full.difference(adj.row(i)))
+                        candidates[oid] = [o for o in
+                                           map(decode.__getitem__, ids)
+                                           if cond_ok(slot, o)]
             else:
-                extent = self.universe.extent(self.terms[slot].ref)
-                candidates = {oid: [o for o in extent - neighbor_map[oid]
-                                    if passes(slot, o)]
-                              for oid in frontier}
+                neighbor_map = self.universe.bulk_edge_neighbors(
+                    frontier, resolution, forward=forward)
+                if op == "*":
+                    candidates = {oid: [o for o in neighbor_map[oid]
+                                        if passes(slot, o)]
+                                  for oid in frontier}
+                else:
+                    extent = self.universe.extent(self.terms[slot].ref)
+                    candidates = {oid: [o for o in
+                                        extent - neighbor_map[oid]
+                                        if passes(slot, o)]
+                                  for oid in frontier}
             extended: List[Row] = []
             if forward:
                 for row in rows:

@@ -1,0 +1,289 @@
+"""Columnar (CSR) adjacency indexes over interned OIDs.
+
+For one resolved edge crossed in one direction, an
+:class:`AdjacencyIndex` stores, per dense source id, the dense target
+ids reachable across the edge — offsets + neighbors arrays, the classic
+compressed-sparse-row layout.  Neighbor ids are pre-restricted to the
+target class's extent, so a join hop is ``row(i)`` plus (when the slot
+carries an intra-class condition) one membership filter over ints.
+
+:class:`CompactStore` owns a universe's intern tables
+(:mod:`repro.model.interning`) and adjacency indexes, built lazily and
+invalidated *fine-grained* from database update events:
+
+* INSERT / DELETE drop the intern tables of the touched classes (the
+  event's ``classes`` already carries the superclass closure); any
+  adjacency index built over a dropped table dies with it via an
+  identity check — a deleted object's vanished links can only affect
+  rows of tables that contained the object;
+* ASSOCIATE / DISSOCIATE drop only the indexes of that link;
+* SET_ATTRIBUTE touches nothing (tables cover unfiltered extents);
+* subdatabase (re-)registration drops that subdatabase's entries;
+* anything else (schema evolution, unobserved version drift inside an
+  open ``batch`` block) conservatively clears everything.
+
+Fine granularity is what lets the incremental maintainer *consume* the
+same indexes: a single-link update leaves every other link's CSR valid,
+so delta expansion after the event still runs over interned ints
+(:meth:`CompactStore.adjacency_if_ready`).
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.model.database import EMPTY_OIDS, UpdateEvent, UpdateKind
+from repro.model.interning import InternTable, OIDInterner
+
+
+class AdjacencyIndex:
+    """CSR adjacency for one (edge, direction) between two intern tables.
+
+    ``row(i)`` is the neighbor-id slice of source id ``i`` — target ids
+    only ever reference ``tgt`` table members, in ascending order.
+    """
+
+    __slots__ = ("src", "tgt", "offsets", "neighbors", "link_key", "token")
+
+    def __init__(self, src: InternTable, tgt: InternTable,
+                 rows: Sequence[Sequence[int]],
+                 link_key: Optional[Tuple[str, str]] = None,
+                 token: Any = None):
+        self.src = src
+        self.tgt = tgt
+        offsets = array("q", [0])
+        neighbors = array("q")
+        for ids in rows:
+            neighbors.extend(ids)
+            offsets.append(len(neighbors))
+        self.offsets = offsets
+        self.neighbors = neighbors
+        #: The base link key this index reads (``None`` for identity and
+        #: derived-association indexes) — matched against
+        #: ASSOCIATE/DISSOCIATE events.
+        self.link_key = link_key
+        #: Identity-compared validity token (the subdatabase object for
+        #: derived-association indexes).
+        self.token = token
+
+    def row(self, i: int) -> array:
+        """Neighbor ids of source id ``i`` (ascending, may be empty)."""
+        return self.neighbors[self.offsets[i]:self.offsets[i + 1]]
+
+    def pair_count(self) -> int:
+        return len(self.neighbors)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"AdjacencyIndex({self.src.key!r} -> {self.tgt.key!r}, "
+                f"{len(self.neighbors)} pairs)")
+
+
+class CompactStore:
+    """Per-universe registry of intern tables + adjacency indexes."""
+
+    def __init__(self, universe) -> None:
+        self.universe = universe
+        self.db = universe.db
+        self.interner = OIDInterner()
+        self._adj: Dict[Any, AdjacencyIndex] = {}
+        self._seen_version = self.db.version
+        #: Build/invalidation counters surfaced by benchmarks.
+        self.tables_built = 0
+        self.indexes_built = 0
+        # Subscribe through a weakref so a forgotten Universe (tests
+        # create many over one database) is not kept alive by the
+        # listener list; a dead subscription unhooks itself on the next
+        # event.
+        self_ref = weakref.ref(self)
+        db = self.db
+
+        def _listener(event: UpdateEvent, _ref=self_ref, _db=db) -> None:
+            store = _ref()
+            if store is None:
+                _db.remove_listener(_listener)
+                return
+            store._on_event(event)
+
+        self._listener = _listener
+        db.add_listener(_listener)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    @property
+    def in_sync(self) -> bool:
+        """False while mutations exist that no event reported yet (we
+        are inside an open ``batch`` block); lookups then bypass and
+        clear the caches rather than risk serving stale rows."""
+        return self.db.version == self._seen_version
+
+    def _on_event(self, event: UpdateEvent) -> None:
+        self._seen_version = event.version
+        self._apply(event)
+
+    def _apply(self, event: UpdateEvent) -> None:
+        kind = event.kind
+        if kind is UpdateKind.BATCH:
+            for sub in event.sub_events:
+                self._apply(sub)
+        elif kind in (UpdateKind.INSERT, UpdateKind.DELETE):
+            self.interner.invalidate_classes(event.classes)
+        elif kind in (UpdateKind.ASSOCIATE, UpdateKind.DISSOCIATE):
+            link = event.link
+            stale = [key for key, index in self._adj.items()
+                     if index.link_key == link]
+            for key in stale:
+                del self._adj[key]
+        elif kind is UpdateKind.SET_ATTRIBUTE:
+            pass  # extents and links untouched
+        else:  # SCHEMA or future kinds: be conservative
+            self.clear()
+
+    def on_subdb_change(self, name: str) -> None:
+        """A subdatabase was (re-)registered or dropped."""
+        self.interner.invalidate_subdb(name)
+        stale = [key for key, index in self._adj.items()
+                 if index.src.key[0] != "base" and index.src.key[1] == name
+                 or index.tgt.key[0] != "base" and index.tgt.key[1] == name
+                 or key[0] == "subdb" and key[1] == name]
+        for key in stale:
+            del self._adj[key]
+
+    def clear(self) -> None:
+        self.interner.clear()
+        self._adj.clear()
+
+    def _resync(self) -> None:
+        """Catch up after unobserved mutations (inside a batch): nothing
+        tells us *what* changed, so drop everything."""
+        self.clear()
+        self._seen_version = self.db.version
+
+    # ------------------------------------------------------------------
+    # Intern tables
+    # ------------------------------------------------------------------
+
+    def _table_spec(self, ref) -> Tuple[Any, Any]:
+        """(cache key, validity token) for a class reference's extent —
+        mirrors :meth:`Universe.extent`'s dispatch."""
+        if ref.subdb is None:
+            return ("base", ref.cls), None
+        subdb = self.universe.get_subdb(ref.subdb)
+        if ref.alias is not None:
+            slot = type(ref)(ref.cls, None, ref.alias).slot
+            if subdb.intension.has_slot(slot):
+                return ("subdb-slot", ref.subdb, slot), subdb
+        return ("subdb-class", ref.subdb, ref.cls), subdb
+
+    def table(self, ref) -> InternTable:
+        """The intern table over ``ref``'s (unfiltered) extent, built on
+        first use and reused until invalidated."""
+        if not self.in_sync:
+            self._resync()
+        key, token = self._table_spec(ref)
+        cached = self.interner.get(key)
+        if cached is not None and cached.token is token:
+            return cached
+        self.tables_built += 1
+        return self.interner.build(key, self.universe.extent(ref), token)
+
+    def table_if_ready(self, ref) -> Optional[InternTable]:
+        """The cached valid table, or ``None`` — never builds.  The
+        incremental maintainer uses this so a delta refresh stays
+        proportional to the delta instead of paying an extent scan."""
+        if not self.in_sync:
+            return None
+        key, token = self._table_spec(ref)
+        cached = self.interner.get(key)
+        if cached is not None and cached.token is token:
+            return cached
+        return None
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def _adj_spec(self, resolution, forward: bool, src_key, tgt_key):
+        if resolution.kind == "identity":
+            return ("identity", src_key, tgt_key)
+        if resolution.kind == "base":
+            from_owner = (resolution.resolved.a_is_owner if forward
+                          else not resolution.resolved.a_is_owner)
+            return ("base", resolution.resolved.link.key, from_owner,
+                    src_key, tgt_key)
+        return ("subdb", resolution.subdb, resolution.i, resolution.j,
+                forward, src_key, tgt_key)
+
+    def adjacency(self, resolution, forward: bool,
+                  src_ref, tgt_ref) -> AdjacencyIndex:
+        """The CSR index for crossing ``resolution`` from ``src_ref``'s
+        extent to ``tgt_ref``'s (``forward`` moves from the resolution's
+        first reference to its second), building it if needed."""
+        src = self.table(src_ref)
+        tgt = self.table(tgt_ref)
+        key = self._adj_spec(resolution, forward, src.key, tgt.key)
+        cached = self._adj.get(key)
+        if cached is not None and cached.src is src and cached.tgt is tgt:
+            if resolution.kind != "subdb" or \
+                    cached.token is self.universe._subdbs.get(resolution.subdb):
+                return cached
+        index = self._build(resolution, forward, src, tgt)
+        self._adj[key] = index
+        self.indexes_built += 1
+        return index
+
+    def adjacency_if_ready(self, resolution, forward: bool,
+                           src_ref, tgt_ref) -> Optional[AdjacencyIndex]:
+        """The cached valid index, or ``None`` — never builds."""
+        if not self.in_sync:
+            return None
+        src = self.table_if_ready(src_ref)
+        tgt = self.table_if_ready(tgt_ref)
+        if src is None or tgt is None:
+            return None
+        key = self._adj_spec(resolution, forward, src.key, tgt.key)
+        cached = self._adj.get(key)
+        if cached is not None and cached.src is src and cached.tgt is tgt:
+            if resolution.kind != "subdb" or \
+                    cached.token is self.universe._subdbs.get(resolution.subdb):
+                return cached
+        return None
+
+    def _build(self, resolution, forward: bool, src: InternTable,
+               tgt: InternTable) -> AdjacencyIndex:
+        tgt_index = tgt.index
+        rows: List[List[int]] = []
+        if resolution.kind == "identity":
+            for oid in src.oids:
+                i = tgt_index.get(oid.value)
+                rows.append([] if i is None else [i])
+            return AdjacencyIndex(src, tgt, rows)
+        if resolution.kind == "base":
+            from_owner = (resolution.resolved.a_is_owner if forward
+                          else not resolution.resolved.a_is_owner)
+            table = self.db.link_index(resolution.resolved.link, from_owner)
+            for oid in src.oids:
+                linked = table.get(oid, EMPTY_OIDS)
+                if linked:
+                    rows.append(sorted(tgt_index[o.value] for o in linked
+                                       if o.value in tgt_index))
+                else:
+                    rows.append([])
+            return AdjacencyIndex(src, tgt, rows,
+                                  link_key=resolution.resolved.link.key)
+        # Derived direct association inside one subdatabase.
+        subdb = self.universe.get_subdb(resolution.subdb)
+        by_src: Dict[int, List[int]] = {}
+        for left, right in subdb.pairs(resolution.i, resolution.j):
+            if not forward:
+                left, right = right, left
+            s = src.index.get(left.value)
+            t = tgt_index.get(right.value)
+            if s is not None and t is not None:
+                by_src.setdefault(s, []).append(t)
+        for i in range(len(src.oids)):
+            rows.append(sorted(by_src.get(i, ())))
+        return AdjacencyIndex(src, tgt, rows, token=subdb)

@@ -18,7 +18,7 @@ of a larger extensional pattern") is implemented by :func:`covers` and
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.model.oid import OID
 
@@ -52,11 +52,27 @@ class PatternType:
 class ExtensionalPattern:
     """A tuple of OIDs (with Nulls) aligned to an intension's slot list."""
 
-    __slots__ = ("values", "_nn")
+    __slots__ = ("values", "_nn", "_h")
 
     def __init__(self, values: Sequence[Optional[OID]]):
         self.values = tuple(values)
         self._nn: Optional[Tuple[int, ...]] = None
+        self._h: Optional[int] = None
+
+    @classmethod
+    def from_interned(cls, values: Tuple[Optional[OID], ...],
+                      value_key: Tuple[Optional[int], ...]
+                      ) -> "ExtensionalPattern":
+        """Construct from the compact execution layer: ``values`` are
+        the decoded OIDs, ``value_key`` the raw OID values (Null as
+        ``None``) the row was joined with — its hash is cached so set
+        insertion never re-hashes through Python-level ``OID.__hash__``.
+        """
+        pattern = cls.__new__(cls)
+        pattern.values = values
+        pattern._nn = None
+        pattern._h = hash(value_key)
+        return pattern
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, ExtensionalPattern):
@@ -64,7 +80,16 @@ class ExtensionalPattern:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self.values)
+        # Hashing the raw integer values (not the OID objects) keeps the
+        # hash consistent with ``__eq__`` — OIDs compare by value — while
+        # letting compactly-built patterns precompute it without ever
+        # touching an OID; it is cached because pattern sets are unioned,
+        # differenced, and re-subsumed many times per derivation.
+        h = self._h
+        if h is None:
+            h = self._h = hash(tuple(
+                None if v is None else v.value for v in self.values))
+        return h
 
     def __len__(self) -> int:
         return len(self.values)
@@ -121,6 +146,88 @@ class ExtensionalPattern:
     def __repr__(self) -> str:
         parts = ["Null" if v is None else repr(v) for v in self.values]
         return f"({', '.join(parts)})"
+
+
+IntRow = Tuple[Optional[int], ...]
+
+
+def decode_rows(rows: Iterable[IntRow], tables) -> Set[ExtensionalPattern]:
+    """Interned rows back to OID patterns — the single decode point of
+    the compact execution layer.  ``tables[i]`` supplies slot ``i``'s
+    decode columns (an :class:`~repro.model.interning.InternTable`:
+    ``oids`` for the objects, ``values`` for the raw ints the cached
+    hash is computed from, so later set algebra never calls
+    ``OID.__hash__``).
+
+    Decoding runs column-wise (one list comprehension per slot, rows
+    re-assembled by C-level ``zip``) — the row-wise equivalent is the
+    profile's hottest frame on fan-out-heavy chains.
+    """
+    rows = list(rows)
+    if not rows:
+        return set()
+    patterns: Set[ExtensionalPattern] = set()
+    add = patterns.add
+    new = ExtensionalPattern.__new__
+    cls = ExtensionalPattern
+    oid_columns = []
+    value_columns = []
+    for i, column in enumerate(zip(*rows)):
+        oids = tables[i].oids
+        raw = tables[i].values
+        oid_columns.append([None if v is None else oids[v]
+                            for v in column])
+        value_columns.append([None if v is None else raw[v]
+                              for v in column])
+    for values, key in zip(zip(*oid_columns), zip(*value_columns)):
+        pattern = new(cls)
+        pattern.values = values
+        pattern._nn = None
+        pattern._h = hash(key)
+        add(pattern)
+    return patterns
+
+
+def subsume_rows(rows: Iterable[IntRow]) -> Set[IntRow]:
+    """The subsumption rule over interned rows (compact twin of
+    :func:`subsume`).
+
+    Rows are tuples of dense ids with ``None`` for Null slots — all
+    comparisons and hashes are C-level int operations, which is where
+    set-based subsumption of loop hierarchies spends most of its time.
+    The kept set is identical (slot-for-slot) to what :func:`subsume`
+    keeps on the decoded patterns, because within one evaluation the
+    id <-> OID mapping is bijective per slot.
+    """
+    unique = set(rows)
+    arities = {sum(1 for v in row if v is not None) for row in unique}
+    if len(arities) <= 1:
+        return unique
+    nn: Dict[IntRow, Tuple[int, ...]] = {
+        row: tuple(i for i, v in enumerate(row) if v is not None)
+        for row in unique}
+    ordered = sorted(unique, key=lambda row: -len(nn[row]))
+    kept: List[IntRow] = []
+    index: Dict[Tuple[int, int], List[IntRow]] = {}
+    for row in ordered:
+        indices = nn[row]
+        if indices:
+            lists = [index.get((i, row[i])) for i in indices]
+            if any(entry is None for entry in lists):
+                candidates: Sequence[IntRow] = ()
+            else:
+                candidates = min(lists, key=len)
+        else:
+            candidates = kept
+        arity = len(indices)
+        if any(len(nn[big]) > arity
+               and all(big[i] == row[i] for i in indices)
+               for big in candidates):
+            continue
+        kept.append(row)
+        for i in indices:
+            index.setdefault((i, row[i]), []).append(row)
+    return set(kept)
 
 
 def covers(larger: ExtensionalPattern, smaller: ExtensionalPattern) -> bool:

@@ -17,7 +17,12 @@ from repro.errors import OQLSemanticError
 from repro.model.oid import OID
 from repro.subdb.derived import DerivedClassInfo
 from repro.subdb.intension import Edge, IntensionalPattern
-from repro.subdb.pattern import ExtensionalPattern, PatternType, subsume
+from repro.subdb.pattern import (
+    ExtensionalPattern,
+    PatternType,
+    decode_rows,
+    subsume,
+)
 from repro.subdb.refs import ClassRef
 
 
@@ -46,16 +51,53 @@ class Subdatabase:
                  derived_info: Optional[Dict[str, DerivedClassInfo]] = None):
         self.name = name
         self.intension = intension
-        self.patterns: Set[ExtensionalPattern] = set(patterns)
+        self._patterns: Optional[Set[ExtensionalPattern]] = set(patterns)
+        self._interned = None
         #: slot name -> induced-generalization record (empty for pure
         #: query results over base classes).
         self.derived_info: Dict[str, DerivedClassInfo] = dict(
             derived_info or {})
-        for pattern in self.patterns:
-            if len(pattern) != len(intension):
+        width = len(intension)
+        for pattern in self._patterns:
+            if len(pattern.values) != width:
                 raise OQLSemanticError(
-                    f"pattern {pattern!r} has {len(pattern)} slots, "
-                    f"intension has {len(intension)}")
+                    f"pattern {pattern!r} has {len(pattern.values)} "
+                    f"slots, intension has {width}")
+
+    @classmethod
+    def from_interned_rows(cls, name: str, intension: IntensionalPattern,
+                           rows, tables,
+                           derived_info: Optional[
+                               Dict[str, DerivedClassInfo]] = None
+                           ) -> "Subdatabase":
+        """A subdatabase over interned rows, decoded to OID patterns
+        only when :attr:`patterns` is first read.
+
+        ``rows`` are dense-id tuples aligned to ``tables`` (per-slot
+        intern tables, whose decode columns are immutable snapshots —
+        later database mutations cannot skew a deferred decode).  The
+        caller vouches that every row has the intension's width; the
+        compact evaluator builds rows from the intension itself.
+        """
+        subdb = cls.__new__(cls)
+        subdb.name = name
+        subdb.intension = intension
+        subdb._patterns = None
+        subdb._interned = (rows if isinstance(rows, (list, set, frozenset))
+                           else list(rows), list(tables))
+        subdb.derived_info = dict(derived_info or {})
+        return subdb
+
+    @property
+    def patterns(self) -> Set[ExtensionalPattern]:
+        """The extensional pattern set (decoded on first access when the
+        subdatabase was built from interned rows)."""
+        patterns = self._patterns
+        if patterns is None:
+            rows, tables = self._interned
+            patterns = self._patterns = decode_rows(rows, tables)
+            self._interned = None
+        return patterns
 
     # ------------------------------------------------------------------
     # Introspection
@@ -66,7 +108,9 @@ class Subdatabase:
         return self.intension.slot_names
 
     def __len__(self) -> int:
-        return len(self.patterns)
+        if self._patterns is None:
+            return len(self._interned[0])
+        return len(self._patterns)
 
     def __iter__(self):
         return iter(self.patterns)

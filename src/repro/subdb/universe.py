@@ -28,8 +28,10 @@ from repro.errors import (
     UnknownSubdatabaseError,
 )
 from repro.model.database import EMPTY_OIDS, Database
+from repro.model.interning import InternTable
 from repro.model.oid import OID
 from repro.model.schema import ResolvedLink, Schema
+from repro.subdb.adjindex import AdjacencyIndex, CompactStore
 from repro.subdb.refs import ClassRef
 from repro.subdb.subdatabase import Subdatabase
 
@@ -82,6 +84,9 @@ class Universe:
         # schema walk per (ref, attr) instead of one per object access.
         self._attr_check_cache: Dict[Tuple[ClassRef, str], bool] = {}
         self._attr_check_version = -1
+        #: Interned-OID tables + CSR adjacency indexes for the compact
+        #: execution layer, invalidated fine-grained from update events.
+        self.compact = CompactStore(self)
 
     # ------------------------------------------------------------------
     # Subdatabase registry
@@ -94,6 +99,7 @@ class Universe:
         stale = [key for key in self._pair_cache if key[0] == subdb.name]
         for key in stale:
             del self._pair_cache[key]
+        self.compact.on_subdb_change(subdb.name)
 
     def unregister(self, name: str) -> None:
         if self._subdbs.pop(name, None) is not None:
@@ -101,6 +107,7 @@ class Universe:
         stale = [key for key in self._pair_cache if key[0] == name]
         for key in stale:
             del self._pair_cache[key]
+        self.compact.on_subdb_change(name)
 
     @property
     def data_version(self) -> int:
@@ -295,3 +302,34 @@ class Universe:
         fwd, rev = self._pair_maps(edge.subdb, edge.i, edge.j)
         index = fwd if forward else rev
         return {oid: index.get(oid, EMPTY_OIDS) for oid in oids}
+
+    # ------------------------------------------------------------------
+    # Compact (interned) execution layer
+    # ------------------------------------------------------------------
+
+    def intern_table(self, ref: ClassRef) -> InternTable:
+        """The dense ``OID <-> int`` table over ``ref``'s extent (built
+        lazily, invalidated by update events)."""
+        return self.compact.table(ref)
+
+    def intern_table_if_ready(self, ref: ClassRef) -> Optional[InternTable]:
+        """The cached valid intern table, or ``None`` — never builds."""
+        return self.compact.table_if_ready(ref)
+
+    def adjacency(self, edge: EdgeResolution, forward: bool,
+                  src_ref: ClassRef, tgt_ref: ClassRef) -> AdjacencyIndex:
+        """The CSR adjacency index for crossing ``edge`` from
+        ``src_ref``'s extent to ``tgt_ref``'s, over interned ids.  One
+        lazily built index replaces the per-call neighbor-set
+        construction of :meth:`bulk_edge_neighbors` on the compact
+        execution path."""
+        return self.compact.adjacency(edge, forward, src_ref, tgt_ref)
+
+    def adjacency_if_ready(self, edge: EdgeResolution, forward: bool,
+                           src_ref: ClassRef,
+                           tgt_ref: ClassRef) -> Optional[AdjacencyIndex]:
+        """The cached valid adjacency index, or ``None`` — never builds
+        (the incremental maintainer's entry point: a delta refresh must
+        not pay a full index rebuild)."""
+        return self.compact.adjacency_if_ready(edge, forward, src_ref,
+                                               tgt_ref)

@@ -17,8 +17,8 @@ assumption holds); ``prereq_cyclic=True`` adds back-edges for exercising
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 from repro.model.database import Database
 from repro.model.objects import Entity
@@ -55,8 +55,16 @@ class GeneratedData:
         return self.by_class.get(cls, [])
 
 
-def generate_university(config: GeneratorConfig) -> GeneratedData:
-    """Build a deterministic University database of the configured size."""
+def generate_university(config: GeneratorConfig,
+                        seed: Optional[int] = None) -> GeneratedData:
+    """Build a deterministic University database of the configured size.
+
+    ``seed`` overrides ``config.seed`` without mutating the (possibly
+    shared) config — benchmarks thread a ``--seed`` command-line option
+    through here to re-run every scenario on fresh random data.
+    """
+    if seed is not None:
+        config = replace(config, seed=seed)
     rng = random.Random(config.seed)
     schema = build_university_schema()
     db = Database(schema, name=f"University(seed={config.seed})")

@@ -1,0 +1,187 @@
+"""The interned/compact execution engine, tested differentially against
+the original set-of-OIDs executor (``compact=False``).
+
+Both executors must be observationally identical — same subdatabases,
+same intensions, same loop semantics — under every planner strategy;
+only speed differs.  Byte-level identity is asserted through the
+canonical session serializer.
+"""
+
+import json
+
+import pytest
+
+from repro import QueryProcessor, RuleEngine, Universe
+from repro.errors import CyclicDataError
+from repro.model.database import Database
+from repro.oql.planner import OPTIMIZE_MODES
+from repro.storage.serialize import subdatabase_to_dict
+from repro.university import build_paper_database, build_sdb
+from repro.university.schema import build_university_schema
+
+
+def _prereq_chain(n: int, cyclic: bool = False) -> Database:
+    """``n`` courses in a linear prereq chain c{n-1} -> ... -> c0,
+    optionally closed into a cycle."""
+    db = Database(build_university_schema(), name=f"chain{n}")
+    courses = [db.insert("Course", f"c{i}",
+                         **{"c#": 1000 + i, "title": f"C{i}",
+                            "credit_hours": 3})
+               for i in range(n)]
+    for i in range(1, n):
+        db.associate(courses[i], "prereq", courses[i - 1])
+    if cyclic:
+        db.associate(courses[0], "prereq", courses[-1])
+    return db
+
+
+def _dump(subdb) -> bytes:
+    doc = subdatabase_to_dict(subdb)
+    doc["name"] = "_"  # anonymous results carry a per-query counter
+    return json.dumps(doc, sort_keys=True).encode()
+
+
+class TestLoopAliasGeneration:
+    """The run-time determined intension: repeated loop slots get
+    ``_1, _2, ...`` aliases, one per level actually reached."""
+
+    @pytest.mark.parametrize("compact", [True, False],
+                             ids=["compact", "set-based"])
+    def test_aliases_at_four_levels(self, compact):
+        db = _prereq_chain(5)
+        qp = QueryProcessor(Universe(db), compact=compact)
+        subdb = qp.execute("context Course * Course_1 ^*").subdatabase
+        assert subdb.slot_names == (
+            "Course", "Course_1", "Course_2", "Course_3", "Course_4")
+        # The longest hierarchy is the full chain.
+        assert ("c4", "c3", "c2", "c1", "c0") in subdb.labels()
+
+    def test_both_paths_emit_identical_intensions(self):
+        db = _prereq_chain(6)
+        dumps = [
+            _dump(QueryProcessor(Universe(db), compact=compact)
+                  .execute("context Course * Course_1 ^*").subdatabase)
+            for compact in (True, False)]
+        assert dumps[0] == dumps[1]
+
+
+class TestCycleHandling:
+    @pytest.mark.parametrize("compact", [True, False],
+                             ids=["compact", "set-based"])
+    def test_on_cycle_error_raises(self, compact):
+        db = _prereq_chain(3, cyclic=True)
+        qp = QueryProcessor(Universe(db), compact=compact)
+        with pytest.raises(CyclicDataError):
+            qp.execute("context Course * Course_1 ^*")
+
+    @pytest.mark.parametrize("compact", [True, False],
+                             ids=["compact", "set-based"])
+    def test_on_cycle_stop_truncates(self, compact):
+        db = _prereq_chain(3, cyclic=True)
+        qp = QueryProcessor(Universe(db), on_cycle="stop",
+                            compact=compact)
+        subdb = qp.execute("context Course * Course_1 ^*").subdatabase
+        # Every hierarchy stops before revisiting its root: rows are
+        # bounded by the cycle length and never repeat an instance.
+        for row in subdb.labels():
+            present = [x for x in row if x is not None]
+            assert len(present) == len(set(present))
+            assert len(present) <= 3
+
+    def test_stop_results_identical_across_paths(self):
+        db = _prereq_chain(4, cyclic=True)
+        dumps = [
+            _dump(QueryProcessor(Universe(db), on_cycle="stop",
+                                 compact=compact)
+                  .execute("context Course * Course_1 ^*").subdatabase)
+            for compact in (True, False)]
+        assert dumps[0] == dumps[1]
+
+
+class TestBoundedVsUnbounded:
+    """``^N`` with N at or past the data's depth equals ``^*`` — the
+    loop bottoms out on the data, not the bound."""
+
+    @pytest.mark.parametrize("compact", [True, False],
+                             ids=["compact", "set-based"])
+    @pytest.mark.parametrize("bound", ["^4", "^7"])
+    def test_deep_bound_equals_star(self, compact, bound):
+        db = _prereq_chain(5)  # longest hierarchy: 4 hops
+        qp = QueryProcessor(Universe(db), compact=compact)
+        bounded = qp.execute(
+            f"context Course * Course_1 {bound}").subdatabase
+        star = qp.execute("context Course * Course_1 ^*").subdatabase
+        assert _dump(bounded) == _dump(star)
+
+    @pytest.mark.parametrize("compact", [True, False],
+                             ids=["compact", "set-based"])
+    def test_shallow_bound_differs(self, compact):
+        qp = QueryProcessor(Universe(_prereq_chain(5)), compact=compact)
+        one = qp.execute("context Course * Course_1 ^1").subdatabase
+        star = qp.execute("context Course * Course_1 ^*").subdatabase
+        assert len(one.slot_names) < len(star.slot_names)
+
+
+# ---------------------------------------------------------------------------
+# Differential: the paper's rules R1-R7 plus the braces query, compact
+# vs set-based, under every planner strategy.
+# ---------------------------------------------------------------------------
+
+R6_TEXT = ("if context Grad * TA * Teacher * Section * Student * "
+           "Grad_1 ^* then Grad_teaching_grad (Grad, Grad_)")
+R7_TEXT = ("if context Grad * TA * Teacher * Section * Student * "
+           "Grad_1 ^* then First_and_third (Grad, Grad_2)")
+BRACES_QUERY = "context {{Grad} * Advising} * Faculty"
+
+TARGETS = ["Teacher_course", "Suggest_offer", "Deps_need_res",
+           "May_teach", "Grad_teaching_grad", "First_and_third"]
+
+
+def _paper_engine(compact: bool, optimize: str) -> RuleEngine:
+    data = build_paper_database()
+    engine = RuleEngine(data.db, compact=compact)
+    engine.universe.register(build_sdb(data))
+    engine.evaluator.optimize = optimize
+    engine.processor.evaluator.optimize = optimize
+    engine.add_rule("if context Teacher * Section * Course "
+                    "then Teacher_course (Teacher, Course)", label="R1")
+    engine.add_rule(
+        "if context Department[name = 'CIS'] * Course * Section * "
+        "Student where COUNT(Student by Course) > 39 "
+        "then Suggest_offer (Course)", label="R2")
+    engine.add_rule(
+        "if context Department * Suggest_offer:Course "
+        "where COUNT(Suggest_offer:Course by Department) > 20 "
+        "then Deps_need_res (Department)", label="R3")
+    engine.add_rule(
+        "if context TA * Teacher * Section * Suggest_offer:Course "
+        "then May_teach (TA, Course)", label="R4")
+    engine.add_rule(
+        "if context Grad * Transcript[grade >= 3.0] * Course[c# < 5000] "
+        "then May_teach (Grad, Course)", label="R5")
+    engine.add_rule(R6_TEXT, label="R6")
+    engine.add_rule(R7_TEXT, label="R7")
+    return engine
+
+
+class TestDifferentialPaperRules:
+    @pytest.mark.parametrize("optimize", OPTIMIZE_MODES)
+    def test_rules_byte_identical_across_executors(self, optimize):
+        engines = [_paper_engine(compact, optimize)
+                   for compact in (True, False)]
+        for target in TARGETS:
+            dumps = [_dump(engine.derive(target)) for engine in engines]
+            assert dumps[0] == dumps[1], target
+
+    @pytest.mark.parametrize("optimize", OPTIMIZE_MODES)
+    def test_braces_query_byte_identical(self, optimize):
+        dumps = [
+            _dump(_paper_engine(compact, optimize)
+                  .query(BRACES_QUERY).subdatabase)
+            for compact in (True, False)]
+        assert dumps[0] == dumps[1]
+
+    def test_executors_differ_only_in_flag(self):
+        fast = _paper_engine(True, "cost")
+        slow = _paper_engine(False, "cost")
+        assert fast.evaluator.compact and not slow.evaluator.compact
