@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark family at fixed seeds and emit ``BENCH_PR2.json``.
+"""Run every benchmark family at fixed seeds and emit ``BENCH_PR3.json``.
 
 A standalone (non-pytest) runner over the same workloads as the
 ``bench_*.py`` modules: each scenario is built fresh, warmed once, timed
@@ -16,8 +16,14 @@ Usage::
     python benchmarks/run_all.py                  # full sweep
     python benchmarks/run_all.py --quick          # CI smoke subset
     python benchmarks/run_all.py --seed 7         # re-seed datasets
-    python benchmarks/run_all.py --baseline benchmarks/baseline_pr2.json \
+    python benchmarks/run_all.py --baseline benchmarks/baseline_pr3.json \
         --max-regression 2.0                      # fail on TC regression
+    python benchmarks/run_all.py --min-parallel-speedup 2.0  # gate the
+        # parallel group's speedup over its sequential twins (opt-in:
+        # thread speedup needs real cores; on a single-core or
+        # GIL-saturated runner the measurement is meaningless, so the
+        # default run only *records* the ratio and always verifies that
+        # parallel results are byte-identical to sequential ones)
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from __future__ import annotations
 import argparse
 import importlib.util
 import json
+import os
 import statistics
 import sys
 import time
@@ -50,6 +57,7 @@ from repro.rules.control import (  # noqa: E402
     RuleChainingMode,
 )
 from repro.rules.engine import RuleEngine  # noqa: E402
+from repro.storage.serialize import subdatabase_to_dict  # noqa: E402
 from repro.subdb import Universe  # noqa: E402
 from repro.university import (  # noqa: E402
     GeneratorConfig,
@@ -151,6 +159,66 @@ for _scale in ("small", "medium", "large"):
         return _query_runner(
             _scaled(scale),
             "context Department * Course * Section * Student")
+
+    @scenario(f"extent-scan-{_scale}", "pattern_matching", "chain-match",
+              SCALES[_scale].students, quick=_scale != "large")
+    def _build(scale=_scale):
+        return _query_runner(_scaled(scale), "context Student * Section")
+
+
+# ---------------------------------------------------------------------------
+# Partition-parallel execution (K=4 workers over anchor-id ranges)
+# ---------------------------------------------------------------------------
+
+def _canonical(subdb) -> bytes:
+    doc = subdatabase_to_dict(subdb)
+    doc["name"] = "_"
+    return json.dumps(doc, sort_keys=True).encode()
+
+
+def _parallel_runner(data, text: str, workers: int = 4):
+    """Time the partitioned executor; parity against the sequential
+    executor is asserted up front — a parallel speedup that changes the
+    answer is not a speedup."""
+    sequential = QueryProcessor(Universe(data.db))
+    parallel = QueryProcessor(Universe(data.db), workers=workers)
+    parallel.evaluator.min_parallel_rows = 1
+    if _canonical(sequential.execute(text).subdatabase) \
+            != _canonical(parallel.execute(text).subdatabase):
+        raise AssertionError(
+            f"parallel execution not byte-identical for {text!r}")
+
+    def run():
+        parallel.execute(text)
+        return parallel.evaluator.last_metrics.snapshot()
+
+    return run
+
+
+#: parallel scenario -> its sequential twin, for the speedup report.
+PARALLEL_PAIRS: Dict[str, str] = {}
+
+for _scale in ("small", "medium", "large"):
+    @scenario(f"parallel-wide-fanout-{_scale}", "parallel",
+              "chain-match", SCALES[_scale].students,
+              quick=_scale != "large")
+    def _build(scale=_scale):
+        return _parallel_runner(
+            _scaled(scale),
+            "context Department * Course * Section * Student")
+
+    PARALLEL_PAIRS[f"parallel-wide-fanout-{_scale}"] = \
+        f"wide-fanout-{_scale}"
+
+    @scenario(f"parallel-extent-scan-{_scale}", "parallel",
+              "chain-match", SCALES[_scale].students,
+              quick=_scale != "large")
+    def _build(scale=_scale):
+        return _parallel_runner(_scaled(scale),
+                                "context Student * Section")
+
+    PARALLEL_PAIRS[f"parallel-extent-scan-{_scale}"] = \
+        f"extent-scan-{_scale}"
 
 
 # ---------------------------------------------------------------------------
@@ -504,6 +572,28 @@ def check_regression(results: List[dict], baseline_path: Path,
     return failures
 
 
+def parallel_speedups(results: List[dict]) -> List[dict]:
+    """Measured speedup of each parallel scenario over its sequential
+    twin (best-of-rounds), for the report and the opt-in gate."""
+    by_name = {record["name"]: record for record in results}
+    report = []
+    for parallel_name, sequential_name in sorted(PARALLEL_PAIRS.items()):
+        parallel = by_name.get(parallel_name)
+        sequential = by_name.get(sequential_name)
+        if parallel is None or sequential is None:
+            continue
+        seq_ms = sequential.get("min_ms") or sequential["median_ms"]
+        par_ms = parallel.get("min_ms") or parallel["median_ms"]
+        report.append({
+            "parallel": parallel_name,
+            "sequential": sequential_name,
+            "sequential_ms": seq_ms,
+            "parallel_ms": par_ms,
+            "speedup": round(seq_ms / par_ms, 3) if par_ms else None,
+        })
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -514,7 +604,7 @@ def main(argv=None) -> int:
                         help="timing rounds per scenario "
                              "(default 5, quick 3)")
     parser.add_argument("--out", type=Path,
-                        default=REPO_ROOT / "BENCH_PR2.json",
+                        default=REPO_ROOT / "BENCH_PR3.json",
                         help="output JSON path")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline JSON to gate the "
@@ -525,6 +615,13 @@ def main(argv=None) -> int:
     parser.add_argument("--min-gate-ms", type=float, default=1.0,
                         help="skip gating scenarios whose baseline is "
                              "faster than this (too noisy to compare)")
+    parser.add_argument("--min-parallel-speedup", type=float,
+                        default=None,
+                        help="fail when a parallel scenario's speedup "
+                             "over its sequential twin falls below this "
+                             "ratio (opt-in: only meaningful on "
+                             "multi-core runners; parity is always "
+                             "checked regardless)")
     args = parser.parse_args(argv)
 
     global _SEED
@@ -540,18 +637,41 @@ def main(argv=None) -> int:
         print(f"{spec.group:20s} {spec.name:28s} "
               f"{record['median_ms']:10.3f} ms")
 
+    speedups = parallel_speedups(results)
     payload = {
         "meta": {
             "quick": args.quick,
             "seed": args.seed,
             "rounds": rounds,
             "python": sys.version.split()[0],
+            "cpus": os.cpu_count(),
             "scenarios": len(results),
         },
         "results": results,
+        "parallel_speedups": speedups,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out} ({len(results)} scenarios)")
+
+    if speedups:
+        print(f"\nparallel speedup over sequential twins "
+              f"(cpus={os.cpu_count()}):")
+        for entry in speedups:
+            print(f"  {entry['parallel']:32s} {entry['speedup']:.2f}x "
+                  f"({entry['sequential_ms']:.2f} ms -> "
+                  f"{entry['parallel_ms']:.2f} ms)")
+        if args.min_parallel_speedup is not None:
+            slow = [entry for entry in speedups
+                    if entry["speedup"] is not None
+                    and entry["speedup"] < args.min_parallel_speedup]
+            if slow:
+                print(f"\nPARALLEL SPEEDUP below "
+                      f"{args.min_parallel_speedup:.2f}x:",
+                      file=sys.stderr)
+                for entry in slow:
+                    print(f"  {entry['parallel']}: "
+                          f"{entry['speedup']:.2f}x", file=sys.stderr)
+                return 1
 
     if args.baseline is not None:
         failures = check_regression(results, args.baseline,

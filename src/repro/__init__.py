@@ -55,15 +55,19 @@ from repro.model import (
 )
 from repro.subdb import (
     ClassRef,
+    DatabaseSnapshot,
     ExtensionalPattern,
     IntensionalPattern,
     PatternType,
+    SnapshotUniverse,
     Subdatabase,
     Universe,
 )
 from repro.oql import (
+    BudgetExceeded,
     OperationRegistry,
     PatternEvaluator,
+    QueryBudget,
     QueryProcessor,
     QueryResult,
     Table,
@@ -101,10 +105,11 @@ __all__ = [
     "UpdateKind", "check_database",
     # subdatabases
     "ClassRef", "ExtensionalPattern", "PatternType", "IntensionalPattern",
-    "Subdatabase", "Universe",
+    "Subdatabase", "Universe", "DatabaseSnapshot", "SnapshotUniverse",
     # OQL
     "parse_query", "parse_expression", "PatternEvaluator",
     "QueryProcessor", "QueryResult", "Table", "OperationRegistry",
+    "QueryBudget", "BudgetExceeded",
     # rules
     "DeductiveRule", "parse_rule", "RuleEngine", "EvaluationMode",
     "RuleChainingMode", "ResultOrientedController",

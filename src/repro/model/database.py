@@ -16,6 +16,8 @@ derived subdatabase and the original database").
 from __future__ import annotations
 
 import enum
+import threading
+import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
@@ -70,6 +72,85 @@ class UpdateEvent:
 
 Listener = Callable[[UpdateEvent], None]
 
+
+class RWLock:
+    """A write-preferring reader-writer lock, reentrant for the writer.
+
+    Writers (database mutators) exclude each other and all readers for
+    the duration of one mutation — including listener notification, so
+    version bumps, cache invalidation and snapshot copy-on-write are
+    atomic with the data change they belong to.  The writer may re-enter
+    (cascaded deletes, ``batch`` blocks) and may take the read side while
+    holding the write side.  Read acquisition is *not* reentrant:
+    callers hold it only across one short structure access.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: Optional[int] = None
+        self._write_depth = 0
+        self._owner_reads = 0
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._owner_reads += 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me and self._owner_reads:
+                self._owner_reads -= 1
+                return
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
 #: Shared immutable empty neighbor set, returned by the bulk lookups for
 #: objects with no links so callers can intersect/difference without a
 #: per-miss allocation.
@@ -101,6 +182,68 @@ class Database:
         # returned sets are shared — callers must not mutate them.
         self._extent_cache: Dict[str, Set[OID]] = {}
         self._extent_cache_version = -1
+        #: Reader-writer lock: every mutator holds the write side through
+        #: its listener notification; snapshots hold the read side while
+        #: pinning state or falling through to live structures.
+        self._rw = RWLock()
+        # Copy-on-write hooks (weakly held): notified *before* a mutation
+        # touches a structure, so snapshots can pin the pre-image.  The
+        # list itself is guarded by a plain mutex — registration happens
+        # on reader threads, pruning on the writer, and a lost
+        # registration would silently break a snapshot's isolation.
+        self._snapshot_hooks: List[weakref.ref] = []
+        self._hooks_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Reader-writer protocol & snapshot copy-on-write
+    # ------------------------------------------------------------------
+
+    def read_locked(self):
+        """Shared-access context: excludes in-flight mutations (and whole
+        ``batch`` blocks) while live structures are being read."""
+        return self._rw.read_locked()
+
+    def write_locked(self):
+        """Exclusive-access context (reentrant per thread) — what every
+        mutator wraps itself in."""
+        return self._rw.write_locked()
+
+    def register_snapshot_hook(self, hook: Any) -> None:
+        """Register an object whose ``before_write(...)`` is called ahead
+        of every mutation with the pieces about to change (held weakly)."""
+        with self._hooks_lock:
+            self._snapshot_hooks.append(weakref.ref(hook))
+
+    def unregister_snapshot_hook(self, hook: Any) -> None:
+        with self._hooks_lock:
+            self._snapshot_hooks = [ref for ref in self._snapshot_hooks
+                                    if ref() is not None
+                                    and ref() is not hook]
+
+    def _before_write(self, classes: Iterable[str] = (),
+                      links: Iterable[Tuple[str, str]] = (),
+                      attr_oids: Iterable[OID] = (),
+                      entity_oids: Iterable[OID] = ()) -> None:
+        """Give every live snapshot a chance to pin the pre-images of the
+        structures this mutation is about to change (copy-on-write)."""
+        hooks = self._snapshot_hooks
+        if not hooks:
+            return
+        dead = 0
+        for ref in hooks:
+            hook = ref()
+            if hook is None:
+                dead += 1
+            else:
+                hook.before_write(classes=classes, links=links,
+                                  attr_oids=attr_oids,
+                                  entity_oids=entity_oids)
+        if dead:
+            # Prune against the *current* list under the mutex: a reader
+            # may have registered a new hook since we captured ours.
+            with self._hooks_lock:
+                self._snapshot_hooks = [ref for ref in self._snapshot_hooks
+                                        if ref() is not None]
 
     # ------------------------------------------------------------------
     # Versioning & listeners
@@ -143,25 +286,32 @@ class Database:
         whose ``classes`` is the union of every touched class.  Each
         mutation still bumps the version counter individually.
         """
+        # The write lock is held for the whole block: a snapshot (or any
+        # read-locked access) can never observe the intermediate states
+        # between a batch's constituent mutations.
+        self._rw.acquire_write()
         self._batch_depth += 1
         try:
             yield self
         finally:
-            self._batch_depth -= 1
-            if self._batch_depth == 0 and self._batch_count:
-                classes = tuple(sorted(self._batch_classes))
-                count = self._batch_count
-                sub_events = tuple(self._batch_events)
-                self._batch_classes = set()
-                self._batch_count = 0
-                self._batch_events = []
-                event = UpdateEvent(kind=UpdateKind.BATCH,
-                                    classes=classes,
-                                    version=self._version,
-                                    detail=f"batch of {count} updates",
-                                    sub_events=sub_events)
-                for listener in list(self._listeners):
-                    listener(event)
+            try:
+                self._batch_depth -= 1
+                if self._batch_depth == 0 and self._batch_count:
+                    classes = tuple(sorted(self._batch_classes))
+                    count = self._batch_count
+                    sub_events = tuple(self._batch_events)
+                    self._batch_classes = set()
+                    self._batch_count = 0
+                    self._batch_events = []
+                    event = UpdateEvent(kind=UpdateKind.BATCH,
+                                        classes=classes,
+                                        version=self._version,
+                                        detail=f"batch of {count} updates",
+                                        sub_events=sub_events)
+                    for listener in list(self._listeners):
+                        listener(event)
+            finally:
+                self._rw.release_write()
 
     # ------------------------------------------------------------------
     # Instances
@@ -174,21 +324,24 @@ class Database:
         Attribute values are validated against the descriptive attributes
         visible from the class (own + inherited) and their domain classes.
         """
-        extent = self._require_extent(cls)
-        visible = self.schema.descriptive_attributes(cls)
-        for name, value in attrs.items():
-            if name not in visible:
-                raise UnknownAttributeError(
-                    f"class {cls!r} has no descriptive attribute {name!r}")
-            self.schema.dclass(visible[name].target).validate(value)
-        oid = self._allocator.allocate(label)
-        entity = Entity(oid, cls, attrs)
-        extent[oid] = entity
-        self._entities[oid] = entity
-        affected = self.schema.up(cls)
-        self._emit(UpdateKind.INSERT, affected, f"insert {cls} {oid!r}",
-                   oids=(oid,))
-        return entity
+        with self.write_locked():
+            extent = self._require_extent(cls)
+            visible = self.schema.descriptive_attributes(cls)
+            for name, value in attrs.items():
+                if name not in visible:
+                    raise UnknownAttributeError(
+                        f"class {cls!r} has no descriptive attribute "
+                        f"{name!r}")
+                self.schema.dclass(visible[name].target).validate(value)
+            affected = self.schema.up(cls)
+            self._before_write(classes=affected)
+            oid = self._allocator.allocate(label)
+            entity = Entity(oid, cls, attrs)
+            extent[oid] = entity
+            self._entities[oid] = entity
+            self._emit(UpdateKind.INSERT, affected,
+                       f"insert {cls} {oid!r}", oids=(oid,))
+            return entity
 
     def _check_crossproduct(self, link: Aggregation, owner_oid: OID,
                             target_oid: OID) -> None:
@@ -231,29 +384,36 @@ class Database:
 
         Parts held through a composition (C) link are deleted with their
         whole (cascade)."""
-        entity = self.entity(oid)
-        # Cascade composition parts first.
-        for link in self.schema.aggregations():
-            if link.kind is AssociationKind.COMPOSITION and \
-                    self.schema.is_subclass_of(entity.cls, link.owner):
-                for part in list(self._fwd.get(link.key, {})
-                                 .get(oid, ())):
-                    if self.has(part):
-                        self.delete(part)
-        # Drop links first (silently; their removal is part of this event).
-        for key, index in list(self._fwd.items()):
-            if oid in index:
-                for target in list(index[oid]):
-                    self._unlink(key, oid, target)
-        for key, index in list(self._rev.items()):
-            if oid in index:
-                for owner in list(index[oid]):
-                    self._unlink(key, owner, oid)
-        del self._extents[entity.cls][oid]
-        del self._entities[oid]
-        affected = self.schema.up(entity.cls)
-        self._emit(UpdateKind.DELETE, affected,
-                   f"delete {entity.cls} {oid!r}", oids=(oid,))
+        with self.write_locked():
+            entity = self.entity(oid)
+            touched_links = \
+                [key for key, index in self._fwd.items() if oid in index] \
+                + [key for key, index in self._rev.items() if oid in index]
+            affected = self.schema.up(entity.cls)
+            self._before_write(classes=affected, links=touched_links,
+                               entity_oids=(oid,))
+            # Cascade composition parts first.
+            for link in self.schema.aggregations():
+                if link.kind is AssociationKind.COMPOSITION and \
+                        self.schema.is_subclass_of(entity.cls, link.owner):
+                    for part in list(self._fwd.get(link.key, {})
+                                     .get(oid, ())):
+                        if self.has(part):
+                            self.delete(part)
+            # Drop links first (silently; their removal is part of this
+            # event).
+            for key, index in list(self._fwd.items()):
+                if oid in index:
+                    for target in list(index[oid]):
+                        self._unlink(key, oid, target)
+            for key, index in list(self._rev.items()):
+                if oid in index:
+                    for owner in list(index[oid]):
+                        self._unlink(key, owner, oid)
+            del self._extents[entity.cls][oid]
+            del self._entities[oid]
+            self._emit(UpdateKind.DELETE, affected,
+                       f"delete {entity.cls} {oid!r}", oids=(oid,))
 
     def entity(self, oid: OID) -> Entity:
         """The entity carrying ``oid`` (raises if it does not exist)."""
@@ -336,13 +496,15 @@ class Database:
 
     def set_attribute(self, oid: OID, name: str, value: Any) -> None:
         """Update a descriptive attribute (validated, journaled)."""
-        entity = self.entity(oid)
-        link = self.schema.attribute(entity.cls, name)
-        self.schema.dclass(link.target).validate(value)
-        entity._set(name, value)
-        affected = self.schema.up(entity.cls)
-        self._emit(UpdateKind.SET_ATTRIBUTE, affected,
-                   f"set {entity.cls} {oid!r}.{name}", oids=(oid,))
+        with self.write_locked():
+            entity = self.entity(oid)
+            link = self.schema.attribute(entity.cls, name)
+            self.schema.dclass(link.target).validate(value)
+            self._before_write(attr_oids=(oid,))
+            entity._set(name, value)
+            affected = self.schema.up(entity.cls)
+            self._emit(UpdateKind.SET_ATTRIBUTE, affected,
+                       f"set {entity.cls} {oid!r}.{name}", oids=(oid,))
 
     # ------------------------------------------------------------------
     # Links (entity associations)
@@ -374,31 +536,34 @@ class Database:
         """
         owner_oid = owner.oid if isinstance(owner, Entity) else owner
         target_oid = target.oid if isinstance(target, Entity) else target
-        link, _ = self._resolve_assoc(owner_oid, name)
-        if not self.is_instance_of(target_oid, link.target):
-            raise ConstraintViolationError(
-                f"object {target_oid!r} is not an instance of "
-                f"{link.target!r} (association {link.name!r})")
-        fwd = self._fwd.setdefault(link.key, {})
-        existing = fwd.get(owner_oid, set())
-        if not link.many and existing and target_oid not in existing:
-            raise ConstraintViolationError(
-                f"association {link.name!r} of {link.owner!r} is "
-                f"single-valued; {owner_oid!r} is already linked")
-        if link.kind is AssociationKind.COMPOSITION:
-            owners = self._rev.get(link.key, {}).get(target_oid, set())
-            if owners and owner_oid not in owners:
+        with self.write_locked():
+            link, _ = self._resolve_assoc(owner_oid, name)
+            if not self.is_instance_of(target_oid, link.target):
                 raise ConstraintViolationError(
-                    f"composition {link.name!r}: part {target_oid!r} "
-                    f"already belongs to another whole (exclusive "
-                    f"part-of)")
-        self._check_crossproduct(link, owner_oid, target_oid)
-        self._link(link.key, owner_oid, target_oid)
-        affected = (self.schema.up(self.entity(owner_oid).cls)
-                    | self.schema.up(self.entity(target_oid).cls))
-        self._emit(UpdateKind.ASSOCIATE, affected,
-                   f"associate {owner_oid!r} -{link.name}-> {target_oid!r}",
-                   oids=(owner_oid, target_oid), link=link.key)
+                    f"object {target_oid!r} is not an instance of "
+                    f"{link.target!r} (association {link.name!r})")
+            fwd = self._fwd.setdefault(link.key, {})
+            existing = fwd.get(owner_oid, set())
+            if not link.many and existing and target_oid not in existing:
+                raise ConstraintViolationError(
+                    f"association {link.name!r} of {link.owner!r} is "
+                    f"single-valued; {owner_oid!r} is already linked")
+            if link.kind is AssociationKind.COMPOSITION:
+                owners = self._rev.get(link.key, {}).get(target_oid, set())
+                if owners and owner_oid not in owners:
+                    raise ConstraintViolationError(
+                        f"composition {link.name!r}: part {target_oid!r} "
+                        f"already belongs to another whole (exclusive "
+                        f"part-of)")
+            self._check_crossproduct(link, owner_oid, target_oid)
+            self._before_write(links=(link.key,))
+            self._link(link.key, owner_oid, target_oid)
+            affected = (self.schema.up(self.entity(owner_oid).cls)
+                        | self.schema.up(self.entity(target_oid).cls))
+            self._emit(UpdateKind.ASSOCIATE, affected,
+                       f"associate {owner_oid!r} -{link.name}-> "
+                       f"{target_oid!r}",
+                       oids=(owner_oid, target_oid), link=link.key)
 
     def dissociate(self, owner: Entity | OID, name: str,
                    target: Entity | OID) -> None:
@@ -406,17 +571,21 @@ class Database:
         :meth:`associate`."""
         owner_oid = owner.oid if isinstance(owner, Entity) else owner
         target_oid = target.oid if isinstance(target, Entity) else target
-        link, _ = self._resolve_assoc(owner_oid, name)
-        if target_oid not in self._fwd.get(link.key, {}).get(owner_oid, ()):
-            raise ConstraintViolationError(
-                f"objects {owner_oid!r} and {target_oid!r} are not linked "
-                f"by {link.name!r}")
-        self._unlink(link.key, owner_oid, target_oid)
-        affected = (self.schema.up(self.entity(owner_oid).cls)
-                    | self.schema.up(self.entity(target_oid).cls))
-        self._emit(UpdateKind.DISSOCIATE, affected,
-                   f"dissociate {owner_oid!r} -{link.name}-> {target_oid!r}",
-                   oids=(owner_oid, target_oid), link=link.key)
+        with self.write_locked():
+            link, _ = self._resolve_assoc(owner_oid, name)
+            if target_oid not in self._fwd.get(link.key, {}) \
+                    .get(owner_oid, ()):
+                raise ConstraintViolationError(
+                    f"objects {owner_oid!r} and {target_oid!r} are not "
+                    f"linked by {link.name!r}")
+            self._before_write(links=(link.key,))
+            self._unlink(link.key, owner_oid, target_oid)
+            affected = (self.schema.up(self.entity(owner_oid).cls)
+                        | self.schema.up(self.entity(target_oid).cls))
+            self._emit(UpdateKind.DISSOCIATE, affected,
+                       f"dissociate {owner_oid!r} -{link.name}-> "
+                       f"{target_oid!r}",
+                       oids=(owner_oid, target_oid), link=link.key)
 
     def _link(self, key: Tuple[str, str], owner: OID, target: OID) -> None:
         self._fwd.setdefault(key, {}).setdefault(owner, set()).add(target)

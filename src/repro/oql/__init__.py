@@ -25,6 +25,7 @@ from repro.oql.ast import (
     Query,
     SelectItem,
 )
+from repro.oql.budget import BudgetExceeded, QueryBudget
 from repro.oql.lexer import Token, tokenize
 from repro.oql.parser import parse_expression, parse_query
 from repro.oql.evaluator import PatternEvaluator
@@ -49,6 +50,8 @@ __all__ = [
     "parse_expression",
     "parse_query",
     "PatternEvaluator",
+    "QueryBudget",
+    "BudgetExceeded",
     "OperationRegistry",
     "Table",
     "QueryProcessor",

@@ -36,10 +36,13 @@ from the context subdatabase.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import CyclicDataError, OQLSemanticError
+from repro.oql.budget import BudgetExceeded, QueryBudget
 from repro.model.oid import OID
 from repro.oql import conditions
 from repro.oql.ast import (
@@ -108,6 +111,14 @@ class EvaluationMetrics:
     patterns_out: int = 0
     #: Loop levels materialized (0 for non-loop evaluations).
     loop_levels: int = 0
+    #: Worker threads actually used (1 = sequential execution).
+    workers_used: int = 1
+    #: Per-partition records of parallel plan executions: dicts with
+    #: ``partition``, ``anchor_rows``, ``rows_out``, ``ms``.
+    partitions: List[dict] = field(default_factory=list)
+    #: Which budget limit tripped ("none" when the evaluation finished
+    #: inside its budget, or ran without one).
+    budget_verdict: str = "none"
     #: The join plans chosen for each matched range (one per brace
     #: group, plus the base cycle of a loop), with per-step
     #: actual-vs-estimated row counts filled in by the executor.
@@ -121,6 +132,8 @@ class EvaluationMetrics:
             "patterns_subsumed": self.patterns_subsumed,
             "patterns_out": self.patterns_out,
             "loop_levels": self.loop_levels,
+            "workers_used": self.workers_used,
+            "budget_verdict": self.budget_verdict,
         }
 
     def describe_plans(self) -> str:
@@ -175,10 +188,30 @@ class PatternEvaluator:
     def __init__(self, universe: Universe, on_cycle: str = "error",
                  max_depth: int = 1000,
                  optimize: Union[bool, str] = "cost",
-                 compact: bool = True):
+                 compact: bool = True,
+                 workers: int = 1,
+                 min_parallel_rows: int = 256):
         if on_cycle not in ("error", "stop"):
             raise ValueError("on_cycle must be 'error' or 'stop'")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.universe = universe
+        #: Partition-parallel plan execution: when > 1, the anchor
+        #: extent of a compact plan splits into up to ``workers``
+        #: contiguous ranges of interned ids evaluated on a thread
+        #: pool, merged in partition order (results are identical to
+        #: sequential execution, row for row).
+        self.workers = workers
+        #: Anchor extents below this size always run sequentially —
+        #: thread dispatch costs more than the join saves.
+        self.min_parallel_rows = min_parallel_rows
+        #: Ambient budget applied to every evaluation that does not
+        #: pass an explicit one (the rule engine sets it for the
+        #: duration of a budgeted derivation cascade).
+        self.budget: Optional[QueryBudget] = None
+        # The budget active for the evaluation currently on the stack
+        # (save/restored across provider-driven nested evaluations).
+        self._budget: Optional[QueryBudget] = None
         #: When True (the default), chains and loops execute over
         #: interned dense ids against CSR adjacency indexes, decoding
         #: back to OID patterns only at materialization.  ``False``
@@ -222,23 +255,44 @@ class PatternEvaluator:
 
     def evaluate(self, expr: ContextExpr,
                  where: Sequence[WhereCond] = (),
-                 name: str = "result") -> Subdatabase:
-        """Evaluate a context expression (+ optional Where subclause)."""
+                 name: str = "result",
+                 budget: Optional[QueryBudget] = None) -> Subdatabase:
+        """Evaluate a context expression (+ optional Where subclause).
+
+        ``budget`` bounds this evaluation (falling back to the ambient
+        :attr:`budget`); on a trip the raised
+        :class:`~repro.oql.budget.BudgetExceeded` carries the partial
+        metrics, and :attr:`last_metrics` records the verdict.
+        """
         self.last_metrics = EvaluationMetrics()
-        flat = _flatten(expr.chain)
-        self._check_unique_slots(flat)
-        if expr.loop is not None:
-            if self.compact:
-                subdb = self._evaluate_loop_compact(flat, expr.loop.count,
-                                                    name)
+        active = budget if budget is not None else self.budget
+        if active is not None:
+            active.ensure_started()
+        prev = self._budget
+        self._budget = active
+        try:
+            flat = _flatten(expr.chain)
+            self._check_unique_slots(flat)
+            if expr.loop is not None:
+                if self.compact:
+                    subdb = self._evaluate_loop_compact(flat,
+                                                        expr.loop.count,
+                                                        name)
+                else:
+                    subdb = self._evaluate_loop(flat, expr.loop.count, name)
+            elif self.compact:
+                subdb = self._evaluate_chain_compact(flat, name)
             else:
-                subdb = self._evaluate_loop(flat, expr.loop.count, name)
-        elif self.compact:
-            subdb = self._evaluate_chain_compact(flat, name)
-        else:
-            subdb = self._evaluate_chain(flat, name)
-        if where:
-            subdb = self._apply_where(subdb, where)
+                subdb = self._evaluate_chain(flat, name)
+            if where:
+                subdb = self._apply_where(subdb, where)
+        except BudgetExceeded as exc:
+            self.last_metrics.budget_verdict = exc.verdict
+            if exc.metrics is None:
+                exc.metrics = self.last_metrics
+            raise
+        finally:
+            self._budget = prev
         # len(subdb) counts interned rows without forcing a decode.
         self.last_metrics.patterns_out = len(subdb)
         return subdb
@@ -321,6 +375,7 @@ class PatternEvaluator:
         work, which is where the fan-in-heavy hops of selective chains
         spend their time under row-at-a-time execution.
         """
+        budget = self._budget
         rows: List[Tuple[OID, ...]] = [(oid,) for oid in
                                        extents[plan.anchor]]
         plan.actual_anchor_rows = len(rows)
@@ -329,6 +384,8 @@ class PatternEvaluator:
                 step.actual_frontier = 0
                 step.actual_rows = 0
                 continue
+            if budget is not None:
+                budget.check_time()
             resolution = resolutions[step.edge]
             forward = step.direction == "right"
             target_extent = extents[step.slot]
@@ -345,14 +402,30 @@ class PatternEvaluator:
                               for oid in frontier}
             extended: List[Tuple[OID, ...]] = []
             append = extended.append
+            next_check = budget.CHECK_EVERY if budget is not None else None
+            charged = 0
             if forward:
                 for row in rows:
                     for oid in candidates[row[-1]]:
                         append(row + (oid,))
+                    if next_check is not None and \
+                            len(extended) >= next_check:
+                        budget.charge_rows(len(extended) - charged)
+                        charged = len(extended)
+                        budget.check_time()
+                        next_check = charged + budget.CHECK_EVERY
             else:
                 for row in rows:
                     for oid in candidates[row[0]]:
                         append((oid,) + row)
+                    if next_check is not None and \
+                            len(extended) >= next_check:
+                        budget.charge_rows(len(extended) - charged)
+                        charged = len(extended)
+                        budget.check_time()
+                        next_check = charged + budget.CHECK_EVERY
+            if budget is not None:
+                budget.charge_rows(len(extended) - charged)
             rows = extended
             step.actual_frontier = len(frontier)
             step.actual_rows = len(rows)
@@ -457,19 +530,54 @@ class PatternEvaluator:
         is one CSR slice per distinct endpoint plus an int-membership
         filter (only when the slot carries an intra-class condition),
         instead of dict probes and OID-set intersections.
+
+        With :attr:`workers` > 1 and an anchor extent past
+        :attr:`min_parallel_rows`, the anchor rows split into contiguous
+        partitions evaluated on a thread pool; each partition runs the
+        identical step sequence and the outputs concatenate in partition
+        order, so the merged row list is equal — row for row — to the
+        sequential one.
+        """
+        anchor_ids = filt[plan.anchor]
+        anchor_range = (range(len(tables[plan.anchor].oids))
+                        if anchor_ids is None else sorted(anchor_ids))
+        rows: List[Tuple[int, ...]] = [(i,) for i in anchor_range]
+        plan.actual_anchor_rows = len(rows)
+        workers = self.workers
+        if workers > 1 and plan.steps and \
+                len(rows) >= max(self.min_parallel_rows, 2 * workers):
+            return self._execute_partitioned(plan, resolutions, refs,
+                                             tables, filt, rows, workers)
+        rows, stats = self._run_plan_steps(plan.steps, resolutions, refs,
+                                           tables, filt, rows,
+                                           self._budget)
+        self._merge_step_stats(plan, [stats])
+        return rows
+
+    def _run_plan_steps(self, steps, resolutions: List[EdgeResolution],
+                        refs: List[ClassRef],
+                        tables: List[InternTable],
+                        filt: List[Optional[frozenset]],
+                        rows: List[Tuple[int, ...]],
+                        budget: Optional[QueryBudget]
+                        ) -> Tuple[List[Tuple[int, ...]],
+                                   List[Tuple[int, int]]]:
+        """The hop loop of a compact plan over one row partition.
+
+        Returns the extended rows plus per-step ``(distinct frontier,
+        rows after)`` counts; metrics are *not* touched here — the
+        caller merges the stats, so partitions can run this
+        concurrently.  All universe accesses hit caches prewarmed by
+        the dispatching thread (see :meth:`_execute_partitioned`).
         """
         universe = self.universe
-        metrics = self.last_metrics
-        anchor_ids = filt[plan.anchor]
-        rows: List[Tuple[int, ...]] = \
-            [(i,) for i in (range(len(tables[plan.anchor].oids))
-                            if anchor_ids is None else anchor_ids)]
-        plan.actual_anchor_rows = len(rows)
-        for step in plan.steps:
+        stats: List[Tuple[int, int]] = []
+        for step in steps:
             if not rows:
-                step.actual_frontier = 0
-                step.actual_rows = 0
+                stats.append((0, 0))
                 continue
+            if budget is not None:
+                budget.check_time()
             resolution = resolutions[step.edge]
             forward = step.direction == "right"
             if forward:
@@ -480,7 +588,6 @@ class PatternEvaluator:
             adj = universe.adjacency(resolution, forward,
                                      refs[src], refs[tgt])
             frontier = {row[end_index] for row in rows}
-            metrics.edge_traversals += len(frontier)
             tgt_ids = filt[tgt]
             candidates: Dict[int, Sequence[int]] = {}
             if step.op == "*":
@@ -498,19 +605,107 @@ class PatternEvaluator:
                     candidates[f] = universe_ids.difference(adj.row(f))
             extended: List[Tuple[int, ...]] = []
             append = extended.append
+            next_check = budget.CHECK_EVERY if budget is not None else None
+            charged = 0
             if forward:
                 for row in rows:
                     for v in candidates[row[-1]]:
                         append(row + (v,))
+                    if next_check is not None and \
+                            len(extended) >= next_check:
+                        budget.charge_rows(len(extended) - charged)
+                        charged = len(extended)
+                        budget.check_time()
+                        next_check = charged + budget.CHECK_EVERY
             else:
                 for row in rows:
                     for v in candidates[row[0]]:
                         append((v,) + row)
+                    if next_check is not None and \
+                            len(extended) >= next_check:
+                        budget.charge_rows(len(extended) - charged)
+                        charged = len(extended)
+                        budget.check_time()
+                        next_check = charged + budget.CHECK_EVERY
+            if budget is not None:
+                budget.charge_rows(len(extended) - charged)
             rows = extended
-            step.actual_frontier = len(frontier)
-            step.actual_rows = len(rows)
-            metrics.rows_generated += len(rows)
-        return rows
+            stats.append((len(frontier), len(rows)))
+        return rows, stats
+
+    def _merge_step_stats(self, plan: JoinPlan,
+                          stats_list: List[List[Tuple[int, int]]]) -> None:
+        """Fold per-partition step stats into the plan's actuals and the
+        evaluation metrics (partition frontiers sum: overlapping
+        endpoints across partitions each did the lookup work)."""
+        metrics = self.last_metrics
+        for index, step in enumerate(plan.steps):
+            frontier = sum(stats[index][0] for stats in stats_list)
+            produced = sum(stats[index][1] for stats in stats_list)
+            step.actual_frontier = frontier
+            step.actual_rows = produced
+            metrics.edge_traversals += frontier
+            metrics.rows_generated += produced
+
+    def _execute_partitioned(self, plan: JoinPlan,
+                             resolutions: List[EdgeResolution],
+                             refs: List[ClassRef],
+                             tables: List[InternTable],
+                             filt: List[Optional[frozenset]],
+                             rows: List[Tuple[int, ...]],
+                             workers: int) -> List[Tuple[int, ...]]:
+        """Split the anchor rows into contiguous partitions and run the
+        plan's step sequence over each on a thread pool."""
+        budget = self._budget
+        universe = self.universe
+        # Prewarm every shared lazily-built structure on this thread, so
+        # workers only read: adjacency indexes (and the interner entries
+        # underneath), full-id sets for ``!`` hops.  A provider-driven
+        # derivation (backward chaining) triggered by an adjacency build
+        # must also happen here, never on a worker.
+        for step in plan.steps:
+            forward = step.direction == "right"
+            src = step.edge if forward else step.edge + 1
+            universe.adjacency(resolutions[step.edge], forward,
+                               refs[src], refs[step.slot])
+            if step.op == "!" and filt[step.slot] is None:
+                tables[step.slot].full_id_set
+        count = min(workers, len(rows))
+        chunk = (len(rows) + count - 1) // count
+        parts = [rows[i:i + chunk] for i in range(0, len(rows), chunk)]
+        results: List[Optional[List[Tuple[int, ...]]]] = [None] * len(parts)
+        stats_list: List[Optional[List[Tuple[int, int]]]] = \
+            [None] * len(parts)
+        timings: List[dict] = [{} for _ in parts]
+
+        def run(index: int, part: List[Tuple[int, ...]]) -> None:
+            started = time.perf_counter()
+            out, stats = self._run_plan_steps(plan.steps, resolutions,
+                                              refs, tables, filt, part,
+                                              budget)
+            results[index] = out
+            stats_list[index] = stats
+            timings[index].update(
+                partition=index, anchor_rows=len(part), rows_out=len(out),
+                ms=(time.perf_counter() - started) * 1000.0)
+
+        with ThreadPoolExecutor(max_workers=len(parts)) as pool:
+            futures = [pool.submit(run, index, part)
+                       for index, part in enumerate(parts)]
+        # The pool has shut down: every future is done.  Merge what
+        # finished, then surface the first failure (a budget trip in
+        # one partition trips the shared budget in all of them).
+        finished = [stats for stats in stats_list if stats is not None]
+        if finished:
+            self._merge_step_stats(plan, finished)
+        metrics = self.last_metrics
+        metrics.workers_used = max(metrics.workers_used, len(parts))
+        metrics.partitions.extend(t for t in timings if t)
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                raise error
+        return [row for part_rows in results for row in part_rows]
 
     def _evaluate_chain_compact(self, flat: _Flattened,
                                 name: str) -> Subdatabase:
@@ -595,12 +790,16 @@ class PatternEvaluator:
         resolutions = self._resolutions(flat)
         max_level = count if count is not None else self.max_depth
 
+        budget = self._budget
         # Level 1: one full traversal of the cycle.
         frontier = self._match_range(flat, 0, n - 1, extents, resolutions)
         all_rows: List[Tuple[OID, ...]] = list(frontier)
         level = 1
         while frontier and level < max_level:
             level += 1
+            if budget is not None:
+                budget.check_level(level)
+                budget.check_time()
             # Traverse the cycle body once more, batched: every
             # hierarchy ending at the same anchor instance shares one
             # expansion, and each hop is one bulk neighbor lookup over
@@ -624,6 +823,8 @@ class PatternEvaluator:
                 # Drop the shared anchor; key extensions by it.
                 extensions.setdefault(partial[0], []).append(partial[1:])
             extended: List[Tuple[OID, ...]] = []
+            charged = 0
+            processed = 0
             for row in frontier:
                 for extension in extensions.get(row[-1], ()):
                     root_positions = range(0, len(row), body)
@@ -637,10 +838,21 @@ class PatternEvaluator:
                                 f"(use on_cycle='stop' to truncate)")
                         continue
                     extended.append(row + extension)
+                processed += 1
+                # A single level's extension can dwarf the whole budget
+                # on a dense graph — enforce mid-level, not just between
+                # levels.
+                if (budget is not None
+                        and processed % budget.CHECK_EVERY == 0):
+                    budget.charge_rows(len(extended) - charged)
+                    charged = len(extended)
+                    budget.check_time()
             all_rows.extend(extended)
             # rows_generated counts the *delta* this level contributed,
             # not the cumulative partials per hop.
             self.last_metrics.rows_generated += len(extended)
+            if budget is not None:
+                budget.charge_rows(len(extended) - charged)
             frontier = extended
         if count is None and frontier and level >= self.max_depth:
             raise CyclicDataError(
@@ -686,6 +898,7 @@ class PatternEvaluator:
             return self._evaluate_loop(flat, count, name)
         filt = self._filtered_ids(extents, tables)
         max_level = count if count is not None else self.max_depth
+        budget = self._budget
 
         # Level 1: one full traversal of the cycle.
         frontier = self._match_range_ids(flat, 0, n - 1, extents,
@@ -702,12 +915,17 @@ class PatternEvaluator:
         expansions: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
         while frontier and level < max_level:
             level += 1
+            if budget is not None:
+                budget.check_level(level)
+                budget.check_time()
             new_anchors = ({row[-1] for row in frontier}
                            - expansions.keys())
             if new_anchors:
                 self._expand_anchors(new_anchors, expansions, resolutions,
                                      refs, tables, filt, n)
             extended: List[Tuple[int, ...]] = []
+            next_check = budget.CHECK_EVERY if budget is not None else None
+            charged = 0
             for row in frontier:
                 grew = False
                 for extension in expansions[row[-1]]:
@@ -729,6 +947,16 @@ class PatternEvaluator:
                     grew = True
                 if not grew:
                     kept_rows.append(row)
+                if next_check is not None and len(extended) >= next_check:
+                    # Chunked enforcement: overshoot past a deadline is
+                    # bounded by one chunk of tuple appends, not one
+                    # whole level of an exploding closure.
+                    budget.charge_rows(len(extended) - charged)
+                    charged = len(extended)
+                    budget.check_time()
+                    next_check = charged + budget.CHECK_EVERY
+            if budget is not None:
+                budget.charge_rows(len(extended) - charged)
             total_rows += len(extended)
             self.last_metrics.rows_generated += len(extended)
             frontier = extended
@@ -764,10 +992,13 @@ class PatternEvaluator:
         hop over distinct endpoints, and memoize the expansions."""
         universe = self.universe
         metrics = self.last_metrics
+        budget = self._budget
         partials: List[Tuple[int, ...]] = [(a,) for a in anchors]
         for k in range(n - 1):
             if not partials:
                 break
+            if budget is not None:
+                budget.check_time()
             adj = universe.adjacency(resolutions[k], True,
                                      refs[k], refs[k + 1])
             ends = {partial[-1] for partial in partials}
@@ -782,6 +1013,8 @@ class PatternEvaluator:
                     candidates[f] = [v for v in adj.row(f) if v in tgt_ids]
             partials = [partial + (v,) for partial in partials
                         for v in candidates[partial[-1]]]
+            if budget is not None:
+                budget.charge_rows(len(partials))
         for anchor in anchors:
             expansions[anchor] = ()
         grouped: Dict[int, List[Tuple[int, ...]]] = {}

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Union
 
 from repro.oql.ast import Query
+from repro.oql.budget import QueryBudget
 from repro.oql.evaluator import EvaluationMetrics, PatternEvaluator
 from repro.oql.operations import OperationRegistry, Table, build_table
 from repro.oql.parser import parse_query
@@ -54,10 +55,10 @@ class QueryProcessor:
 
     def __init__(self, universe: Universe, on_cycle: str = "error",
                  operations: Optional[OperationRegistry] = None,
-                 compact: bool = True):
+                 compact: bool = True, workers: int = 1):
         self.universe = universe
         self.evaluator = PatternEvaluator(universe, on_cycle=on_cycle,
-                                          compact=compact)
+                                          compact=compact, workers=workers)
         if operations is None:
             from repro.oql.builtins import register_builtin_operations
             operations = register_builtin_operations(OperationRegistry())
@@ -69,12 +70,19 @@ class QueryProcessor:
         return f"query_result_{self._result_counter}"
 
     def execute(self, query: Union[str, Query],
-                name: Optional[str] = None) -> QueryResult:
-        """Run one query block and return its :class:`QueryResult`."""
+                name: Optional[str] = None,
+                budget: Optional[QueryBudget] = None) -> QueryResult:
+        """Run one query block and return its :class:`QueryResult`.
+
+        ``budget`` bounds the context-clause evaluation; a trip raises
+        :class:`~repro.oql.budget.BudgetExceeded` with partial metrics
+        attached.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         subdb = self.evaluator.evaluate(query.context, query.where,
-                                        name or self._next_name())
+                                        name or self._next_name(),
+                                        budget=budget)
         result = QueryResult(query=query, subdatabase=subdb,
                              metrics=self.evaluator.last_metrics)
         needs_table = query.select is not None or \

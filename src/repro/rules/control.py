@@ -195,9 +195,26 @@ class IncrementalResultController(ResultOrientedController):
             # Apply the delta to every maintainer (no short-circuiting —
             # each tracks its own match set) and collect real change
             # flags (satellite: on_event no longer reports True
-            # unconditionally).
-            changed_flags = [maintainer.on_event(event)
-                             for maintainer in maintainers]
+            # unconditionally).  A maintenance budget bounds the whole
+            # per-target refresh; a trip abandons it — match sets may be
+            # mid-delta, so they are invalidated and the target goes
+            # stale rather than serving a half-applied value.
+            from repro.oql.budget import BudgetExceeded
+            budget = engine.maintenance_budget
+            if budget is not None:
+                budget.start()
+            try:
+                changed_flags = [maintainer.on_event(event, budget=budget)
+                                 for maintainer in maintainers]
+            except BudgetExceeded:
+                for maintainer in maintainers:
+                    maintainer.invalidate()
+                engine.universe.unregister(name)
+                self._stale.add(name)
+                engine.stats.stale_markings += 1
+                engine.stats.refreshes_skipped += 1
+                changed_targets.add(name)
+                continue
             if not any(changed_flags) and engine.universe.has_subdb(name):
                 # The match sets absorbed the event without moving
                 # (no-op ASSOCIATE, equal re-derivation, ...): keep the

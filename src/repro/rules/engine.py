@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Set, Union
 
 from repro.errors import CyclicRuleError, UnknownSubdatabaseError
 from repro.model.database import Database, UpdateEvent
+from repro.oql.budget import QueryBudget
 from repro.oql.evaluator import PatternEvaluator
 from repro.oql.operations import OperationRegistry
 from repro.oql.query import QueryProcessor, QueryResult
@@ -66,15 +67,24 @@ class RuleEngine:
     def __init__(self, db: Database, controller: str = "result",
                  on_cycle: str = "error",
                  operations: Optional[OperationRegistry] = None,
-                 compact: bool = True):
+                 compact: bool = True, workers: int = 1,
+                 maintenance_budget: Optional[QueryBudget] = None):
         self.db = db
         self.universe = Universe(db)
         self.universe.provider = self._provide
         self.evaluator = PatternEvaluator(self.universe, on_cycle=on_cycle,
-                                          compact=compact)
+                                          compact=compact, workers=workers)
         self.processor = QueryProcessor(self.universe, on_cycle=on_cycle,
                                         operations=operations,
-                                        compact=compact)
+                                        compact=compact, workers=workers)
+        #: Per-event budget for incremental maintenance: when set, a
+        #: maintainer refresh that trips it is skipped (the target goes
+        #: stale and ``stats.refreshes_skipped`` counts it) instead of
+        #: stalling the writer.
+        self.maintenance_budget = maintenance_budget
+        self._on_cycle = on_cycle
+        self._compact = compact
+        self._operations = operations
         self.rules: List[DeductiveRule] = []
         self._by_target: Dict[str, List[DeductiveRule]] = {}
         self.stats = EngineStats()
@@ -254,16 +264,62 @@ class RuleEngine:
     # Queries and updates
     # ------------------------------------------------------------------
 
-    def query(self, text: str, name: Optional[str] = None) -> QueryResult:
+    def query(self, text: str, name: Optional[str] = None,
+              budget: Optional[QueryBudget] = None) -> QueryResult:
         """Run an OQL query.  Derived classes it references are derived
         on demand (backward chaining); afterwards the controller applies
         its post-query policy (the rule-oriented baseline cascades
-        forward rules and drops unpreserved backward results)."""
+        forward rules and drops unpreserved backward results).
+
+        ``budget`` covers the *whole* derivation cascade: the clock and
+        row counter accumulate across the query and every rule it
+        backward-chains through, so a runaway rule trips the same
+        :class:`~repro.oql.budget.BudgetExceeded` as a runaway query.
+        """
         self.stats.queries += 1
         self._derived_log = []
-        result = self.processor.execute(text, name=name)
+        if budget is not None:
+            budget.start()
+            # The derivation evaluator picks the budget up ambiently —
+            # backward chaining goes through the universe provider, not
+            # through an argument we could thread.
+            self.evaluator.budget = budget
+        try:
+            result = self.processor.execute(text, name=name, budget=budget)
+        finally:
+            if budget is not None:
+                self.evaluator.budget = None
         self.controller.after_query(list(self._derived_log))
         return result
+
+    def snapshot_session(self) -> QueryProcessor:
+        """A :class:`QueryProcessor` over a snapshot of this engine's
+        universe, for concurrent readers: evaluation (including backward
+        chaining through this engine's rules) runs entirely against the
+        pinned version and registers derived subdatabases only in the
+        snapshot's private registry — the live universe and rule base
+        are never written.  Writers proceed concurrently; the reader
+        never observes their effects."""
+        snapshot = self.universe.snapshot()
+        processor = QueryProcessor(snapshot, on_cycle=self._on_cycle,
+                                   operations=self._operations,
+                                   compact=self._compact)
+        deriving: Set[str] = set()
+
+        def provide(name: str) -> Optional[Subdatabase]:
+            if name not in self._by_target or name in deriving:
+                return None
+            deriving.add(name)
+            try:
+                result = derive_target(self._by_target[name],
+                                       processor.evaluator)
+                snapshot.register(result)
+            finally:
+                deriving.discard(name)
+            return result
+
+        snapshot.provider = provide
+        return processor
 
     def is_stale(self, name: str) -> bool:
         """Whether the controller currently considers ``name`` stale."""

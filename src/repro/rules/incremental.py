@@ -35,6 +35,7 @@ from repro.errors import OQLSemanticError, ReproError
 from repro.model.database import UpdateEvent, UpdateKind
 from repro.model.oid import OID
 from repro.oql import conditions
+from repro.oql.budget import QueryBudget
 from repro.oql.ast import AggComparison, AttrRef, ClassTerm
 from repro.oql.evaluator import (
     PatternEvaluator,
@@ -84,6 +85,8 @@ class IncrementalRule:
             for i in range(len(self.terms) - 1)]
         self.rows: Set[Row] = set()
         self._initialized = False
+        # The budget of the on_event call currently being applied.
+        self._budget: Optional[QueryBudget] = None
 
     # ------------------------------------------------------------------
     # Full (re)initialization
@@ -94,9 +97,17 @@ class IncrementalRule:
         ground truth in consistency tests)."""
         source = self.evaluator.evaluate(self.rule.context,
                                          self.rule.where,
-                                         name="_incremental_init")
+                                         name="_incremental_init",
+                                         budget=self._budget)
         self.rows = {tuple(p.values) for p in source.patterns}
         self._initialized = True
+
+    def invalidate(self) -> None:
+        """Discard the maintained match set (it may be mid-delta after
+        an interrupted refresh); the next use re-initializes from
+        scratch."""
+        self.rows = set()
+        self._initialized = False
 
     # ------------------------------------------------------------------
     # Membership and row checks
@@ -169,6 +180,7 @@ class IncrementalRule:
         never pays an extent scan to rebuild.
         """
         n = len(self.terms)
+        budget = self._budget
         rows: List[Row] = [seed]
         passes_cache: Dict[Tuple[int, OID], bool] = {}
         cond_cache: Dict[Tuple[int, OID], bool] = {}
@@ -189,6 +201,8 @@ class IncrementalRule:
             return cached
 
         while rows and (lo > 0 or hi < n - 1):
+            if budget is not None:
+                budget.check_time()
             if lo > 0:
                 edge, slot, forward = lo - 1, lo - 1, False
                 lo -= 1
@@ -246,6 +260,8 @@ class IncrementalRule:
                     for oid in candidates[row[0]]:
                         extended.append((oid,) + row)
             rows = extended
+            if budget is not None:
+                budget.charge_rows(len(rows))
         return [row for row in rows if self._where_keeps(row)]
 
     def _seed_at_slot(self, index: int, oid: OID) -> List[Row]:
@@ -287,20 +303,40 @@ class IncrementalRule:
                 changed = True
         return changed
 
-    def on_event(self, event: UpdateEvent) -> bool:
+    def on_event(self, event: UpdateEvent,
+                 budget: Optional[QueryBudget] = None) -> bool:
         """Apply one update; returns True only when the match *set*
         actually changed — a no-op ASSOCIATE (re-linking an existing
         pair, or a link producing no new matches), a DISSOCIATE that
         removed nothing, or a SET_ATTRIBUTE that re-derived exactly the
         removed rows all report False, so the controller can skip
-        re-registration and downstream re-derivation."""
+        re-registration and downstream re-derivation.
+
+        ``budget`` bounds the whole delta application (seeded expansion
+        included).  A trip raises
+        :class:`~repro.oql.budget.BudgetExceeded` and may leave the
+        match set mid-delta: the caller must :meth:`invalidate` before
+        the next use (the incremental controller does, and counts the
+        skip).
+        """
+        if budget is not None:
+            budget.ensure_started()
+            prev = self._budget
+            self._budget = budget
+            try:
+                return self._apply_budgeted(event)
+            finally:
+                self._budget = prev
+        return self._apply_budgeted(event)
+
+    def _apply_budgeted(self, event: UpdateEvent) -> bool:
         if not self._initialized:
             self.initialize()
             return True
         if event.kind is UpdateKind.BATCH:
             changed = False
             for sub in event.sub_events:
-                changed |= self.on_event(sub)
+                changed |= self._apply_budgeted(sub)
             return changed
 
         changed = False

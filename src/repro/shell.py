@@ -18,6 +18,9 @@ with a backslash::
     \\rules                the rule base
     \\explain QUERY        the backward-chaining plan for a query
     \\metrics              instrumentation of the last query
+    \\budget [SPEC]        show or set the query budget; SPEC is
+                          space-separated limits (deadline_ms=100
+                          max_rows=10000 max_loop_levels=8), or "off"
     \\why TARGET l1 l2 ..  justify a derived pattern (OID labels)
     \\stats                engine statistics
     \\save PATH            persist the session as JSON
@@ -47,6 +50,7 @@ class Shell:
         self.out = out or sys.stdout
         self._buffer: List[str] = []
         self._last_metrics = None
+        self._budget = None
         self._commands = {
             "help": self._cmd_help,
             "schema": self._cmd_schema,
@@ -56,6 +60,7 @@ class Shell:
             "rules": self._cmd_rules,
             "explain": self._cmd_explain,
             "metrics": self._cmd_metrics,
+            "budget": self._cmd_budget,
             "why": self._cmd_why,
             "stats": self._cmd_stats,
             "save": self._cmd_save,
@@ -88,7 +93,15 @@ class Shell:
                 rule = self.engine.add_rule(stripped)
                 self._print(f"rule added: derives {rule.target!r}")
             elif lowered.startswith("context"):
-                result = self.engine.query(stripped)
+                from repro.oql.budget import BudgetExceeded
+                try:
+                    result = self.engine.query(stripped,
+                                               budget=self._budget)
+                except BudgetExceeded as exc:
+                    # Keep the partial metrics inspectable (\metrics
+                    # shows the verdict and how far the query got).
+                    self._last_metrics = exc.metrics
+                    raise
                 self._last_metrics = result.metrics
                 self._print(result.render())
             else:
@@ -182,9 +195,41 @@ class Shell:
             return True
         for key, value in self._last_metrics.snapshot().items():
             self._print(f"{key}: {value}")
+        for part in self._last_metrics.partitions:
+            self._print(f"partition {part['partition']}: "
+                        f"{part['anchor_rows']} anchor rows -> "
+                        f"{part['rows_out']} rows in {part['ms']:.2f} ms")
         described = self._last_metrics.describe_plans()
         if described:
             self._print(described)
+        return True
+
+    def _cmd_budget(self, spec: str) -> bool:
+        from repro.oql.budget import QueryBudget
+        if not spec:
+            self._print(repr(self._budget) if self._budget is not None
+                        else "(no budget set)")
+            return True
+        if spec.lower() in ("off", "none"):
+            self._budget = None
+            self._print("budget cleared")
+            return True
+        limits = {}
+        for part in spec.split():
+            key, eq, value = part.partition("=")
+            if not eq or key not in ("deadline_ms", "max_rows",
+                                     "max_loop_levels"):
+                self._print("usage: \\budget [deadline_ms=N] [max_rows=N] "
+                            "[max_loop_levels=N] | off")
+                return True
+            try:
+                limits[key] = float(value) if key == "deadline_ms" \
+                    else int(value)
+            except ValueError:
+                self._print(f"invalid number in {part!r}")
+                return True
+        self._budget = QueryBudget(**limits)
+        self._print(f"budget set: {self._budget!r}")
         return True
 
     def _cmd_why(self, argument: str) -> bool:

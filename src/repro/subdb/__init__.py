@@ -18,6 +18,11 @@ from repro.subdb.intension import Edge, IntensionalPattern
 from repro.subdb.subdatabase import Subdatabase
 from repro.subdb.derived import DerivedClassInfo
 from repro.subdb.universe import EdgeResolution, Universe
+from repro.subdb.snapshot import (
+    DatabaseSnapshot,
+    SnapshotExpiredError,
+    SnapshotUniverse,
+)
 from repro.subdb import algebra
 
 __all__ = [
@@ -32,4 +37,7 @@ __all__ = [
     "DerivedClassInfo",
     "EdgeResolution",
     "Universe",
+    "DatabaseSnapshot",
+    "SnapshotUniverse",
+    "SnapshotExpiredError",
 ]

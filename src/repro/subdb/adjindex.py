@@ -131,6 +131,20 @@ class CompactStore:
                 self._apply(sub)
         elif kind in (UpdateKind.INSERT, UpdateKind.DELETE):
             self.interner.invalidate_classes(event.classes)
+            # Purge adjacency entries built over the dropped tables in
+            # the same event dispatch.  The identity check in
+            # adjacency() already refuses them, but keeping dead entries
+            # around both leaks memory under churn and leaves a window
+            # where a snapshot of this store taken between the interner
+            # drop and the next rebuild could pair a stale CSR with a
+            # fresh extent; mutators hold the database write lock
+            # through listener notification, so this purge is atomic
+            # with the data-version bump.
+            dropped = {("base", cls) for cls in event.classes}
+            stale = [key for key, index in self._adj.items()
+                     if index.src.key in dropped or index.tgt.key in dropped]
+            for key in stale:
+                del self._adj[key]
         elif kind in (UpdateKind.ASSOCIATE, UpdateKind.DISSOCIATE):
             link = event.link
             stale = [key for key, index in self._adj.items()

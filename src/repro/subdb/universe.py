@@ -117,6 +117,16 @@ class Universe:
         is invalidated by either kind of change."""
         return self.db.version + self._subdb_epoch
 
+    def snapshot(self) -> "Universe":
+        """A snapshot-isolated universe pinned at the current data
+        version: copy-on-write over the base database, with the current
+        materialized-subdatabase registry captured atomically.  Readers
+        evaluate against it without ever blocking writers for longer
+        than one mutation, and without observing in-flight state (see
+        :mod:`repro.subdb.snapshot`)."""
+        from repro.subdb.snapshot import snapshot_universe
+        return snapshot_universe(self)
+
     def has_subdb(self, name: str) -> bool:
         return name in self._subdbs
 

@@ -1,0 +1,311 @@
+"""Differential stress harness: seeded random queries and rules over a
+generated University database, executed by three independent engines —
+the compact interned executor, the original set-of-OIDs executor, and
+the partition-parallel executor (4 workers) — which must agree byte for
+byte on every case (through the canonical session serializer).
+
+The case count is tunable: ``DIFFERENTIAL_CASES`` in the environment
+(default 100; CI runs the quick tier on push and 1000 nightly).  Every
+case is derived from one integer seed, so a failure report is fully
+reproducible; on mismatch the harness *shrinks* the failing query —
+dropping the where clause, the loop, the conditions, the braces, then
+trailing chain links — and reports the simplest spec that still
+disagrees, alongside its seed.
+"""
+
+import json
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro import QueryProcessor, RuleEngine, Universe
+from repro.errors import ReproError
+from repro.storage.serialize import subdatabase_to_dict
+from repro.university.generator import GeneratorConfig, generate_university
+
+CASES = int(os.environ.get("DIFFERENTIAL_CASES", "100"))
+DB_SEED = 7
+
+
+def _dump(subdb) -> bytes:
+    doc = subdatabase_to_dict(subdb)
+    doc["name"] = "_"
+    return json.dumps(doc, sort_keys=True).encode()
+
+
+# Class adjacency of the University schema as the evaluator resolves it
+# (directly, by inheritance, or by generalization).  TA--Section is
+# deliberately absent: a TA is both a Teacher (teaches) and a Grad
+# (enrolled), so that edge is ambiguous and correctly rejected.
+ADJACENT: Dict[str, Tuple[str, ...]] = {
+    "Teacher": ("Section", "TA", "Faculty"),
+    "Faculty": ("Section", "Teacher", "Advising"),
+    "TA": ("Teacher", "Grad"),
+    "Student": ("Section", "Department", "Transcript", "Grad"),
+    "Grad": ("Section", "Department", "Student", "TA", "Advising",
+             "Transcript"),
+    "Undergrad": ("Section",),
+    "Section": ("Course", "Student", "Teacher"),
+    "Course": ("Section", "Department", "Transcript"),
+    "Department": ("Course", "Student"),
+    "Transcript": ("Student", "Grad", "Course"),
+    "Advising": ("Faculty", "Grad"),
+}
+
+# Intra-class condition templates (all attributes populated by the
+# generator, values chosen so predicates are selective but non-empty).
+CONDITIONS: Dict[str, Tuple[str, ...]] = {
+    "Course": ("c# < 5000", "credit_hours >= 3", "c# >= 2000"),
+    "Section": ("section# = 1", "textbook = 'Book3'"),
+    "Transcript": ("grade >= 3.0", "letter = 'A'"),
+    "Department": ("college = 'College1'",),
+    "Teacher": ("degree = 'PhD'",),
+    "Faculty": ("rank = 'Full'",),
+    "Student": ("GPA >= 2.5",),
+    "Grad": ("GPA >= 3.0",),
+}
+
+
+@dataclass
+class QuerySpec:
+    """One generated case, kept structured so it can be shrunk."""
+
+    chain: List[str]
+    ops: List[str] = field(default_factory=list)  # len == len(chain)-1
+    conds: Dict[int, str] = field(default_factory=dict)
+    braces: bool = False
+    loop: Optional[str] = None  # loop count spec over a Course tail
+    where: Optional[str] = None
+
+    def text(self) -> str:
+        terms = []
+        for index, cls in enumerate(self.chain):
+            cond = self.conds.get(index)
+            terms.append(f"{cls}[{cond}]" if cond else cls)
+        if self.braces and len(terms) >= 3:
+            body = (f"{{{terms[0]} {self.ops[0]} {terms[1]}}} "
+                    + " ".join(f"{op} {term}" for op, term
+                               in zip(self.ops[1:], terms[2:])))
+        else:
+            body = terms[0] + "".join(
+                f" {op} {term}" for op, term in zip(self.ops, terms[1:]))
+        if self.loop is not None:
+            body += f" * {self.chain[-1]}_1 ^{self.loop}"
+        text = f"context {body}"
+        if self.where:
+            text += f" where {self.where}"
+        return text
+
+    def shrink_variants(self) -> List["QuerySpec"]:
+        """Strictly simpler specs, most aggressive simplification last."""
+        out = []
+        if self.where:
+            out.append(replace(self, where=None))
+        if self.loop is not None:
+            out.append(replace(self, loop=None))
+        for index in self.conds:
+            conds = dict(self.conds)
+            del conds[index]
+            out.append(replace(self, conds=conds))
+        if self.braces:
+            out.append(replace(self, braces=False))
+        if len(self.chain) > 1:
+            out.append(QuerySpec(chain=self.chain[:-1],
+                                 ops=self.ops[:-1],
+                                 conds={i: c for i, c in self.conds.items()
+                                        if i < len(self.chain) - 1},
+                                 braces=self.braces
+                                 and len(self.chain) - 1 >= 3,
+                                 loop=None, where=None))
+        return out
+
+
+def _random_spec(rng: random.Random) -> QuerySpec:
+    length = rng.randint(1, 4)
+    chain = [rng.choice(sorted(ADJACENT))]
+    for _ in range(length - 1):
+        options = [cls for cls in ADJACENT[chain[-1]]
+                   if cls not in chain]  # distinct slots keep it simple
+        if not options:
+            break
+        chain.append(rng.choice(options))
+    spec = QuerySpec(chain=chain)
+    spec.ops = ["!" if rng.random() < 0.20 else "*"
+                for _ in range(len(chain) - 1)]
+    for index, cls in enumerate(chain):
+        if cls in CONDITIONS and rng.random() < 0.25:
+            spec.conds[index] = rng.choice(CONDITIONS[cls])
+    if len(chain) >= 3 and rng.random() < 0.15:
+        spec.braces = True
+    if chain[-1] == "Course" and rng.random() < 0.5 \
+            and spec.ops and set(spec.ops) == {"*"}:
+        spec.loop = rng.choice(["*", "2", "3"])
+    elif len(chain) == 1 and chain[0] == "Course":
+        if rng.random() < 0.4:
+            spec.loop = rng.choice(["*", "2"])
+    if (spec.loop is None and len(chain) >= 2 and not spec.braces
+            and "!" not in spec.ops and rng.random() < 0.15):
+        spec.where = (f"COUNT({chain[-1]} by {chain[0]}) > "
+                      f"{rng.randint(0, 3)}")
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Executors.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def university_db():
+    return generate_university(GeneratorConfig(), seed=DB_SEED).db
+
+
+@pytest.fixture(scope="module")
+def executors(university_db):
+    """(label, QueryProcessor) triples sharing one base database."""
+    compact = QueryProcessor(Universe(university_db), compact=True)
+    setbased = QueryProcessor(Universe(university_db), compact=False)
+    parallel = QueryProcessor(Universe(university_db), compact=True,
+                              workers=4)
+    parallel.evaluator.min_parallel_rows = 1
+    return [("compact", compact), ("set-based", setbased),
+            ("parallel-4", parallel)]
+
+
+def _outcome(processor: QueryProcessor, text: str):
+    """(kind, payload): a dump on success, the error type on rejection.
+
+    All executors must agree on *both* — a query one engine answers and
+    another rejects is as much a bug as differing rows."""
+    try:
+        return ("ok", _dump(processor.execute(text).subdatabase))
+    except ReproError as exc:
+        return ("error", type(exc).__name__)
+
+
+def _check(executors, spec: QuerySpec):
+    """None if all executors agree, else a description of the split."""
+    text = spec.text()
+    outcomes = [(label, _outcome(processor, text))
+                for label, processor in executors]
+    reference = outcomes[0][1]
+    if all(outcome == reference for _, outcome in outcomes[1:]):
+        return None
+    return " / ".join(f"{label}: {kind}"
+                      + (f"[{payload}]" if kind == "error" else
+                         f"[{len(payload)}B]")
+                      for label, (kind, payload) in outcomes)
+
+
+def _shrink(executors, spec: QuerySpec) -> QuerySpec:
+    """Greedily simplify while the disagreement persists."""
+    current = spec
+    progress = True
+    while progress:
+        progress = False
+        for variant in current.shrink_variants():
+            if _check(executors, variant) is not None:
+                current = variant
+                progress = True
+                break
+    return current
+
+
+class TestDifferentialQueries:
+    def test_seeded_random_queries_agree(self, executors):
+        failures = []
+        for case in range(CASES):
+            seed = DB_SEED * 100_000 + case
+            spec = _random_spec(random.Random(seed))
+            split = _check(executors, spec)
+            if split is None:
+                continue
+            minimal = _shrink(executors, spec)
+            failures.append(
+                f"seed={seed}\n  query:   {spec.text()}\n"
+                f"  minimal: {minimal.text()}\n"
+                f"  split:   {_check(executors, minimal) or split}")
+            if len(failures) >= 5:
+                break
+        assert not failures, (
+            f"{len(failures)} differential mismatch(es) over {CASES} "
+            "cases:\n" + "\n".join(failures))
+
+    def test_known_hard_shapes_agree(self, executors):
+        """Deterministic regression shapes: every feature class the
+        random generator draws from, pinned."""
+        shapes = [
+            "context Student * Section * Course",
+            "context Student ! Section",
+            "context Grad[GPA >= 3.0] * Transcript[grade >= 3.0] "
+            "* Course[c# < 5000]",
+            "context {Student * Section} * Course",
+            "context {{Grad} * Advising} * Faculty",
+            "context Course * Course_1 ^*",
+            "context Course * Course_1 ^2",
+            "context Section * Course * Course_1 ^*",
+            "context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 25",
+            "context Transcript[letter = 'A'] ! Course",
+        ]
+        for text in shapes:
+            outcomes = [(label, _outcome(processor, text))
+                        for label, processor in executors]
+            reference = outcomes[0][1]
+            for label, outcome in outcomes[1:]:
+                assert outcome == reference, (text, label)
+
+    def test_parallel_executor_actually_parallelizes(self, executors):
+        """The harness must not silently compare three sequential runs:
+        at least one generated case has to take the partitioned path."""
+        parallel = executors[2][1]
+        parallel.execute("context Student * Section * Course")
+        assert parallel.evaluator.last_metrics.workers_used > 1
+
+
+class TestDifferentialRules:
+    """Rule-shaped subset: the same chains packaged as deductive rules,
+    derived through three RuleEngine configurations."""
+
+    def _engines(self, db) -> List[Tuple[str, RuleEngine]]:
+        compact = RuleEngine(db, compact=True)
+        setbased = RuleEngine(db, compact=False)
+        parallel = RuleEngine(db, compact=True, workers=4)
+        parallel.evaluator.min_parallel_rows = 1
+        parallel.processor.evaluator.min_parallel_rows = 1
+        return [("compact", compact), ("set-based", setbased),
+                ("parallel-4", parallel)]
+
+    def test_seeded_random_rules_agree(self, university_db):
+        cases = max(CASES // 10, 5)
+        engines = self._engines(university_db)
+        mismatches = []
+        added = 0
+        for case in range(cases):
+            seed = DB_SEED * 200_000 + case
+            rng = random.Random(seed)
+            spec = _random_spec(rng)
+            if len(spec.chain) < 2 or spec.where or spec.loop:
+                continue  # rule targets want two plain slots
+            target = f"T{case}"
+            rule_text = (f"if context {spec.text()[len('context '):]} "
+                         f"then {target} "
+                         f"({spec.chain[0]}, {spec.chain[-1]})")
+            try:
+                for _, engine in engines:
+                    engine.add_rule(rule_text)
+            except ReproError:
+                continue  # all engines share one parser: skip uniformly
+            added += 1
+            dumps = {label: _dump(engine.derive(target))
+                     for label, engine in engines}
+            reference = dumps["compact"]
+            for label, dump in dumps.items():
+                if dump != reference:
+                    mismatches.append(
+                        f"seed={seed} rule={rule_text!r} {label} differs")
+        assert added >= 3, "generator produced too few rule-shaped cases"
+        assert not mismatches, "\n".join(mismatches)
