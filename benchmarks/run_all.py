@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark family at fixed seeds and emit ``BENCH_PR3.json``.
+"""Run every benchmark family at fixed seeds and emit ``BENCH_PR4.json``.
 
 A standalone (non-pytest) runner over the same workloads as the
 ``bench_*.py`` modules: each scenario is built fresh, warmed once, timed
@@ -24,6 +24,10 @@ Usage::
         # GIL-saturated runner the measurement is meaningless, so the
         # default run only *records* the ratio and always verifies that
         # parallel results are byte-identical to sequential ones)
+    python benchmarks/run_all.py --max-null-overhead-pct 3.0  # fail when
+        # the estimated cost of tracing-off instrumentation guards
+        # exceeds this percentage of the untraced median (the
+        # zero-overhead-off contract; 3.0 is also the default gate)
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.baselines.datalog import (  # noqa: E402
     naive_eval,
     seminaive_eval,
@@ -484,6 +489,109 @@ for _controller in ("incremental", "result"):
 
 
 # ---------------------------------------------------------------------------
+# Tracing overhead: traced vs untraced medians, plus an estimate of the
+# *null-tracer* cost — what every query pays while tracing stays off.
+# ---------------------------------------------------------------------------
+
+#: traced scenario -> its untraced twin, for the overhead report.
+TRACING_PAIRS: Dict[str, str] = {}
+
+
+def _tracing_workload(kind: str):
+    if kind == "chain":
+        return (_scaled("small"),
+                "context Department * Course * Section * Student")
+    return (_dataset(_TC_CONFIGS["medium"]),
+            "context Course * Course_1 ^*")
+
+
+def _traced_runner(data, text: str):
+    qp = QueryProcessor(Universe(data.db))
+
+    def run():
+        obs.install(obs.Tracer())
+        try:
+            qp.execute(text)
+            return qp.evaluator.last_metrics.snapshot()
+        finally:
+            obs.uninstall()
+
+    return run
+
+
+for _kind, _op in (("chain", "chain-match"), ("loop", "loop-eval")):
+    @scenario(f"tracing-{_kind}-off", "tracing", _op,
+              SCALES["small"].students)
+    def _build(kind=_kind):
+        return _query_runner(*_tracing_workload(kind))
+
+    @scenario(f"tracing-{_kind}-on", "tracing", _op,
+              SCALES["small"].students)
+    def _build(kind=_kind):
+        return _traced_runner(*_tracing_workload(kind))
+
+    TRACING_PAIRS[f"tracing-{_kind}-on"] = f"tracing-{_kind}-off"
+
+
+def _instrumentation_hits(kind: str) -> int:
+    """How many spans one run of the workload would open, counted with
+    the inert :class:`CountingTracer` (results unaffected)."""
+    data, text = _tracing_workload(kind)
+    qp = QueryProcessor(Universe(data.db))
+    counter = obs.CountingTracer()
+    obs.install(counter)
+    try:
+        qp.execute(text)
+    finally:
+        obs.uninstall()
+    return counter.starts
+
+
+def _guard_check_ns(iterations: int = 500_000) -> float:
+    """Cost of one tracing-off guard (``tracer = obs.TRACER`` plus the
+    ``is not None`` test), measured with the real module attribute."""
+    assert obs.TRACER is None
+    start = time.perf_counter()
+    for _ in range(iterations):
+        tracer = obs.TRACER
+        if tracer is not None:  # pragma: no cover - tracing is off
+            raise AssertionError
+    return (time.perf_counter() - start) / iterations * 1e9
+
+
+def tracing_overhead(results: List[dict]) -> List[dict]:
+    """Traced-vs-untraced medians per workload, plus the estimated
+    tracing-*off* overhead: every span site costs ~3 guard checks per
+    hit (the start guard, the finish guard, and counter updates), so
+    ``hits * 3 * guard_ns`` against the untraced median bounds what the
+    instrumentation costs when no tracer is installed."""
+    by_name = {record["name"]: record for record in results}
+    guard_ns = _guard_check_ns()
+    report = []
+    for on_name, off_name in sorted(TRACING_PAIRS.items()):
+        on = by_name.get(on_name)
+        off = by_name.get(off_name)
+        if on is None or off is None:
+            continue
+        kind = on_name[len("tracing-"):-len("-on")]
+        hits = _instrumentation_hits(kind)
+        off_ms = off["median_ms"]
+        null_pct = (hits * 3 * guard_ns) / (off_ms * 1e6) * 100.0 \
+            if off_ms else 0.0
+        report.append({
+            "workload": kind,
+            "untraced_ms": off_ms,
+            "traced_ms": on["median_ms"],
+            "traced_ratio": round(on["median_ms"] / off_ms, 3)
+            if off_ms else None,
+            "span_starts": hits,
+            "guard_ns": round(guard_ns, 2),
+            "null_overhead_pct": round(null_pct, 4),
+        })
+    return report
+
+
+# ---------------------------------------------------------------------------
 # B8 Datalog baseline
 # ---------------------------------------------------------------------------
 
@@ -604,7 +712,7 @@ def main(argv=None) -> int:
                         help="timing rounds per scenario "
                              "(default 5, quick 3)")
     parser.add_argument("--out", type=Path,
-                        default=REPO_ROOT / "BENCH_PR3.json",
+                        default=REPO_ROOT / "BENCH_PR4.json",
                         help="output JSON path")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline JSON to gate the "
@@ -622,6 +730,11 @@ def main(argv=None) -> int:
                              "ratio (opt-in: only meaningful on "
                              "multi-core runners; parity is always "
                              "checked regardless)")
+    parser.add_argument("--max-null-overhead-pct", type=float,
+                        default=3.0,
+                        help="fail when the estimated tracing-off guard "
+                             "cost exceeds this percentage of a "
+                             "workload's untraced median")
     args = parser.parse_args(argv)
 
     global _SEED
@@ -638,6 +751,7 @@ def main(argv=None) -> int:
               f"{record['median_ms']:10.3f} ms")
 
     speedups = parallel_speedups(results)
+    overhead = tracing_overhead(results)
     payload = {
         "meta": {
             "quick": args.quick,
@@ -649,6 +763,7 @@ def main(argv=None) -> int:
         },
         "results": results,
         "parallel_speedups": speedups,
+        "tracing_overhead": overhead,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out} ({len(results)} scenarios)")
@@ -672,6 +787,27 @@ def main(argv=None) -> int:
                     print(f"  {entry['parallel']}: "
                           f"{entry['speedup']:.2f}x", file=sys.stderr)
                 return 1
+
+    if overhead:
+        print("\ntracing overhead (traced ratio; estimated "
+              "tracing-off guard cost):")
+        for entry in overhead:
+            print(f"  {entry['workload']:8s} "
+                  f"{entry['traced_ratio']:.2f}x traced, "
+                  f"{entry['span_starts']} span starts, "
+                  f"null {entry['null_overhead_pct']:.4f}% "
+                  f"(gate {args.max_null_overhead_pct:.1f}%)")
+        hot = [entry for entry in overhead
+               if entry["null_overhead_pct"]
+               > args.max_null_overhead_pct]
+        if hot:
+            print(f"\nNULL-TRACER OVERHEAD above "
+                  f"{args.max_null_overhead_pct:.1f}%:", file=sys.stderr)
+            for entry in hot:
+                print(f"  {entry['workload']}: "
+                      f"{entry['null_overhead_pct']:.4f}%",
+                      file=sys.stderr)
+            return 1
 
     if args.baseline is not None:
         failures = check_regression(results, args.baseline,

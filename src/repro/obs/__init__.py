@@ -1,0 +1,56 @@
+"""Observability: query/rule tracing with zero overhead when off.
+
+``obs.TRACER`` is the single module-level hook every instrumentation
+point in the planner, evaluator, rule engine, and incremental
+maintainer consults::
+
+    from repro import obs
+    ...
+    tracer = obs.TRACER          # one attribute load
+    if tracer is not None:       # one pointer test — the whole off-cost
+        span = tracer.start("query", result=name)
+
+Call :func:`install` to start recording, :func:`uninstall` to stop.
+Instrumentation sites must read ``obs.TRACER`` through the module
+attribute at each use (never ``from repro.obs import TRACER``), so
+installation is visible immediately everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.export import (chrome_trace, render_tree, save_chrome_trace,
+                              to_chrome_events)
+from repro.obs.recorder import TraceRecorder
+from repro.obs.tracer import CountingTracer, Span, Tracer
+
+__all__ = ["TRACER", "install", "uninstall", "last_trace",
+           "Tracer", "CountingTracer", "Span", "TraceRecorder",
+           "chrome_trace", "to_chrome_events", "save_chrome_trace",
+           "render_tree"]
+
+#: The globally installed tracer, or ``None`` (tracing off — default).
+TRACER: Optional[Tracer] = None
+
+
+def install(tracer: Optional[Tracer] = None, *,
+            max_traces: int = 64) -> Tracer:
+    """Install ``tracer`` (or a fresh :class:`Tracer`) globally."""
+    global TRACER
+    if tracer is None:
+        tracer = Tracer(max_traces=max_traces)
+    TRACER = tracer
+    return tracer
+
+
+def uninstall() -> Optional[Tracer]:
+    """Remove the global tracer; returns it (recorder intact)."""
+    global TRACER
+    tracer, TRACER = TRACER, None
+    return tracer
+
+
+def last_trace():
+    """The most recent completed trace of the installed tracer."""
+    return TRACER.recorder.last() if TRACER is not None else None

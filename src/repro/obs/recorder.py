@@ -1,0 +1,57 @@
+"""Bounded ring buffer of completed traces.
+
+A *trace* is the root :class:`~repro.obs.tracer.Span` of a finished
+span tree.  The recorder keeps the most recent ``max_traces`` of them;
+older traces fall off the back, so a long-lived shell session with
+tracing left on cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import List, Optional
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    def __init__(self, max_traces: int = 64) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._traces: deque = deque(maxlen=max_traces)
+
+    def record(self, root) -> None:
+        """File a completed root span (called by the tracer)."""
+        with self._lock:
+            self._traces.append(root)
+
+    def last(self):
+        """The most recently completed trace, or ``None``."""
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def get(self, trace_id: Optional[int]):
+        """Look up a trace by id; ``None`` if evicted or unknown."""
+        if trace_id is None:
+            return None
+        with self._lock:
+            for root in reversed(self._traces):
+                if root.trace_id == trace_id:
+                    return root
+        return None
+
+    def traces(self) -> List:
+        """Snapshot of all retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

@@ -46,6 +46,11 @@ class BudgetExceeded(ReproError):
         self.rows = rows
         self.limit = limit
         self.metrics = None
+        #: Id of the (partial) trace recorded for the interrupted
+        #: evaluation when a tracer was installed — look it up with
+        #: ``obs.TRACER.recorder.get(trace_id)`` to see where the spend
+        #: went before the trip.
+        self.trace_id: Optional[int] = None
 
 
 class QueryBudget:
@@ -73,6 +78,10 @@ class QueryBudget:
         self._lock = threading.Lock()
         self._started_at: Optional[float] = None
         self._rows = 0
+        #: Enforcement calls served since the last (re)start — an
+        #: unlocked, approximate tally (concurrent partitions may lose
+        #: increments) surfaced as a span counter by the tracer.
+        self.checks = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -81,6 +90,7 @@ class QueryBudget:
         with self._lock:
             self._started_at = time.perf_counter()
             self._rows = 0
+            self.checks = 0
         return self
 
     def ensure_started(self) -> None:
@@ -111,6 +121,7 @@ class QueryBudget:
 
     def check_time(self) -> None:
         """Raise when the wall-clock deadline has passed."""
+        self.checks += 1
         if self.deadline_ms is not None and \
                 self.elapsed_ms > self.deadline_ms:
             raise self._trip("deadline", f"{self.deadline_ms} ms")
@@ -120,6 +131,7 @@ class QueryBudget:
         ``max_rows``.  Thread-safe (parallel partitions share one
         budget)."""
         if n:
+            self.checks += 1
             with self._lock:
                 self._rows += n
             if self.max_rows is not None and self._rows > self.max_rows:
@@ -128,6 +140,7 @@ class QueryBudget:
     def check_level(self, level: int) -> None:
         """Raise when a loop is about to expand past ``max_loop_levels``
         (``level`` counts loop hops already materialized)."""
+        self.checks += 1
         if self.max_loop_levels is not None and \
                 level > self.max_loop_levels:
             raise self._trip("max_loop_levels", self.max_loop_levels)

@@ -41,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs
 from repro.errors import CyclicDataError, OQLSemanticError
 from repro.oql.budget import BudgetExceeded, QueryBudget
 from repro.model.oid import OID
@@ -123,9 +124,14 @@ class EvaluationMetrics:
     #: group, plus the base cycle of a loop), with per-step
     #: actual-vs-estimated row counts filled in by the executor.
     plans: List[JoinPlan] = field(default_factory=list)
+    #: Id of the trace recorded for this evaluation (``None`` when no
+    #: tracer was installed); resolve it via
+    #: ``obs.TRACER.recorder.get(trace_id)``.
+    trace_id: Optional[int] = None
 
     def snapshot(self) -> dict:
         return {
+            "trace_id": self.trace_id,
             "extent_objects": self.extent_objects,
             "edge_traversals": self.edge_traversals,
             "rows_generated": self.rows_generated,
@@ -246,8 +252,13 @@ class PatternEvaluator:
         # pure, so a term's filtered extent only changes with the data).
         self._extent_cache: Dict[ClassTerm, Set[OID]] = {}
         self._extent_cache_version = -1
-        #: Instrumentation of the most recent evaluate() call.
+        #: Instrumentation of the most recent *completed* evaluate()
+        #: call (assigned when the call returns or raises).
         self.last_metrics = EvaluationMetrics()
+        # The record of the evaluation currently on the stack; nested
+        # (provider-driven) evaluations save/restore it, so helpers
+        # always append to their own call's metrics.
+        self._metrics = self.last_metrics
 
     # ------------------------------------------------------------------
     # Entry point
@@ -264,7 +275,20 @@ class PatternEvaluator:
         :class:`~repro.oql.budget.BudgetExceeded` carries the partial
         metrics, and :attr:`last_metrics` records the verdict.
         """
-        self.last_metrics = EvaluationMetrics()
+        metrics = EvaluationMetrics()
+        # Nested evaluations (a derivation cascade re-entering through
+        # the universe's provider) save and restore the active record,
+        # so an outer evaluation never appends into an inner one's
+        # metrics — and last_metrics always describes a *completed*
+        # call.
+        prev_metrics = self._metrics
+        self._metrics = metrics
+        tracer = obs.TRACER
+        span = tracer.start("query", result=name, compact=self.compact,
+                            workers=self.workers) \
+            if tracer is not None else None
+        if span is not None:
+            metrics.trace_id = span.trace_id
         active = budget if budget is not None else self.budget
         if active is not None:
             active.ensure_started()
@@ -286,16 +310,27 @@ class PatternEvaluator:
                 subdb = self._evaluate_chain(flat, name)
             if where:
                 subdb = self._apply_where(subdb, where)
+            # len(subdb) counts interned rows without forcing a decode.
+            metrics.patterns_out = len(subdb)
+            return subdb
         except BudgetExceeded as exc:
-            self.last_metrics.budget_verdict = exc.verdict
+            metrics.budget_verdict = exc.verdict
             if exc.metrics is None:
-                exc.metrics = self.last_metrics
+                exc.metrics = metrics
+            if span is not None and exc.trace_id is None:
+                exc.trace_id = span.trace_id
             raise
         finally:
             self._budget = prev
-        # len(subdb) counts interned rows without forcing a decode.
-        self.last_metrics.patterns_out = len(subdb)
-        return subdb
+            self._metrics = prev_metrics
+            self.last_metrics = metrics
+            if span is not None:
+                span.add("rows_out", metrics.patterns_out)
+                span.add("rows_generated", metrics.rows_generated)
+                if active is not None:
+                    span.set("budget_checks", active.checks)
+                    span.set("budget_verdict", metrics.budget_verdict)
+                tracer.finish(span)
 
     # ------------------------------------------------------------------
     # Shared machinery
@@ -317,7 +352,7 @@ class PatternEvaluator:
         must not be mutated)."""
         if term.condition is None:
             extent = self.universe.extent(term.ref)
-            self.last_metrics.extent_objects += len(extent)
+            self._metrics.extent_objects += len(extent)
             return extent
         version = self.universe.data_version
         if version != self._extent_cache_version:
@@ -325,7 +360,7 @@ class PatternEvaluator:
             self._extent_cache_version = version
         cached = self._extent_cache.get(term)
         if cached is not None:
-            self.last_metrics.extent_objects += len(cached)
+            self._metrics.extent_objects += len(cached)
             return cached
         extent = self.universe.extent(term.ref)
 
@@ -342,7 +377,7 @@ class PatternEvaluator:
                     if conditions.evaluate(term.condition,
                                            getter_for(oid))}
         self._extent_cache[term] = filtered
-        self.last_metrics.extent_objects += len(filtered)
+        self._metrics.extent_objects += len(filtered)
         return filtered
 
     def _resolutions(self, flat: _Flattened) -> List[EdgeResolution]:
@@ -358,10 +393,20 @@ class PatternEvaluator:
         join order, then run it through the batched executor."""
         refs = [term.ref for term in flat.terms]
         sizes = [len(extent) for extent in extents]
-        plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
-                                 start, end, strategy=self.optimize)
-        self.last_metrics.plans.append(plan)
-        return self._execute_plan(plan, extents, resolutions)
+        tracer = obs.TRACER
+        span = tracer.start("match-range", start=start, end=end) \
+            if tracer is not None else None
+        try:
+            plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
+                                     start, end, strategy=self.optimize)
+            self._metrics.plans.append(plan)
+            rows = self._execute_plan(plan, extents, resolutions)
+            if span is not None:
+                span.add("rows_out", len(rows))
+            return rows
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     def _execute_plan(self, plan: JoinPlan, extents: List[Set[OID]],
                       resolutions: List[EdgeResolution]
@@ -376,61 +421,83 @@ class PatternEvaluator:
         spend their time under row-at-a-time execution.
         """
         budget = self._budget
+        tracer = obs.TRACER
         rows: List[Tuple[OID, ...]] = [(oid,) for oid in
                                        extents[plan.anchor]]
         plan.actual_anchor_rows = len(rows)
         for step in plan.steps:
-            if not rows:
-                step.actual_frontier = 0
-                step.actual_rows = 0
-                continue
-            if budget is not None:
-                budget.check_time()
-            resolution = resolutions[step.edge]
-            forward = step.direction == "right"
-            target_extent = extents[step.slot]
-            end_index = -1 if forward else 0
-            frontier = {row[end_index] for row in rows}
-            neighbor_map = self.universe.bulk_edge_neighbors(
-                frontier, resolution, forward=forward)
-            self.last_metrics.edge_traversals += len(frontier)
-            if step.op == "*":
-                candidates = {oid: neighbor_map[oid] & target_extent
-                              for oid in frontier}
-            else:  # "!": the non-association operator
-                candidates = {oid: target_extent - neighbor_map[oid]
-                              for oid in frontier}
-            extended: List[Tuple[OID, ...]] = []
-            append = extended.append
-            next_check = budget.CHECK_EVERY if budget is not None else None
-            charged = 0
-            if forward:
-                for row in rows:
-                    for oid in candidates[row[-1]]:
-                        append(row + (oid,))
-                    if next_check is not None and \
-                            len(extended) >= next_check:
-                        budget.charge_rows(len(extended) - charged)
-                        charged = len(extended)
-                        budget.check_time()
-                        next_check = charged + budget.CHECK_EVERY
-            else:
-                for row in rows:
-                    for oid in candidates[row[0]]:
-                        append((oid,) + row)
-                    if next_check is not None and \
-                            len(extended) >= next_check:
-                        budget.charge_rows(len(extended) - charged)
-                        charged = len(extended)
-                        budget.check_time()
-                        next_check = charged + budget.CHECK_EVERY
-            if budget is not None:
-                budget.charge_rows(len(extended) - charged)
-            rows = extended
-            step.actual_frontier = len(frontier)
-            step.actual_rows = len(rows)
-            self.last_metrics.rows_generated += len(rows)
+            sspan = tracer.start("join-step",
+                                 slot=plan.slot_names[step.slot],
+                                 op=step.op, direction=step.direction) \
+                if tracer is not None else None
+            try:
+                rows = self._execute_plan_step(step, rows, extents,
+                                               resolutions, budget)
+                if sspan is not None:
+                    sspan.add("frontier", step.actual_frontier or 0)
+                    sspan.add("rows_out", len(rows))
+            finally:
+                if sspan is not None:
+                    tracer.finish(sspan)
         return rows
+
+    def _execute_plan_step(self, step, rows: List[Tuple[OID, ...]],
+                           extents: List[Set[OID]],
+                           resolutions: List[EdgeResolution],
+                           budget: Optional[QueryBudget]
+                           ) -> List[Tuple[OID, ...]]:
+        """One hop of the set-based executor (split out so the per-step
+        span around it closes on any exit path)."""
+        if not rows:
+            step.actual_frontier = 0
+            step.actual_rows = 0
+            return rows
+        if budget is not None:
+            budget.check_time()
+        resolution = resolutions[step.edge]
+        forward = step.direction == "right"
+        target_extent = extents[step.slot]
+        end_index = -1 if forward else 0
+        frontier = {row[end_index] for row in rows}
+        neighbor_map = self.universe.bulk_edge_neighbors(
+            frontier, resolution, forward=forward)
+        self._metrics.edge_traversals += len(frontier)
+        if step.op == "*":
+            candidates = {oid: neighbor_map[oid] & target_extent
+                          for oid in frontier}
+        else:  # "!": the non-association operator
+            candidates = {oid: target_extent - neighbor_map[oid]
+                          for oid in frontier}
+        extended: List[Tuple[OID, ...]] = []
+        append = extended.append
+        next_check = budget.CHECK_EVERY if budget is not None else None
+        charged = 0
+        if forward:
+            for row in rows:
+                for oid in candidates[row[-1]]:
+                    append(row + (oid,))
+                if next_check is not None and \
+                        len(extended) >= next_check:
+                    budget.charge_rows(len(extended) - charged)
+                    charged = len(extended)
+                    budget.check_time()
+                    next_check = charged + budget.CHECK_EVERY
+        else:
+            for row in rows:
+                for oid in candidates[row[0]]:
+                    append((oid,) + row)
+                if next_check is not None and \
+                        len(extended) >= next_check:
+                    budget.charge_rows(len(extended) - charged)
+                    charged = len(extended)
+                    budget.check_time()
+                    next_check = charged + budget.CHECK_EVERY
+        if budget is not None:
+            budget.charge_rows(len(extended) - charged)
+        step.actual_frontier = len(frontier)
+        step.actual_rows = len(extended)
+        self._metrics.rows_generated += len(extended)
+        return extended
 
     def _intension(self, flat: _Flattened,
                    resolutions: List[EdgeResolution]) -> IntensionalPattern:
@@ -478,7 +545,7 @@ class PatternEvaluator:
             kept = patterns
         else:
             kept = subsume(patterns)
-        self.last_metrics.patterns_subsumed += len(patterns) - len(kept)
+        self._metrics.patterns_subsumed += len(patterns) - len(kept)
         intension = self._intension(flat, resolutions)
         return Subdatabase(name, intension, kept)
 
@@ -513,10 +580,21 @@ class PatternEvaluator:
         """Compact twin of :meth:`_match_range`: same planner, same
         metrics, rows of dense ids."""
         sizes = [len(extent) for extent in extents]
-        plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
-                                 start, end, strategy=self.optimize)
-        self.last_metrics.plans.append(plan)
-        return self._execute_plan_ids(plan, resolutions, refs, tables, filt)
+        tracer = obs.TRACER
+        span = tracer.start("match-range", start=start, end=end) \
+            if tracer is not None else None
+        try:
+            plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
+                                     start, end, strategy=self.optimize)
+            self._metrics.plans.append(plan)
+            rows = self._execute_plan_ids(plan, resolutions, refs, tables,
+                                          filt)
+            if span is not None:
+                span.add("rows_out", len(rows))
+            return rows
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     def _execute_plan_ids(self, plan: JoinPlan,
                           resolutions: List[EdgeResolution],
@@ -570,75 +648,100 @@ class PatternEvaluator:
         concurrently.  All universe accesses hit caches prewarmed by
         the dispatching thread (see :meth:`_execute_partitioned`).
         """
-        universe = self.universe
+        tracer = obs.TRACER
         stats: List[Tuple[int, int]] = []
         for step in steps:
-            if not rows:
-                stats.append((0, 0))
-                continue
-            if budget is not None:
-                budget.check_time()
-            resolution = resolutions[step.edge]
-            forward = step.direction == "right"
-            if forward:
-                src, end_index = step.edge, -1
-            else:
-                src, end_index = step.edge + 1, 0
-            tgt = step.slot
-            adj = universe.adjacency(resolution, forward,
-                                     refs[src], refs[tgt])
-            frontier = {row[end_index] for row in rows}
-            tgt_ids = filt[tgt]
-            candidates: Dict[int, Sequence[int]] = {}
-            if step.op == "*":
-                if tgt_ids is None:
-                    for f in frontier:
-                        candidates[f] = adj.row(f)
-                else:
-                    for f in frontier:
-                        candidates[f] = [v for v in adj.row(f)
-                                         if v in tgt_ids]
-            else:  # "!": the non-association operator
-                universe_ids = (tgt_ids if tgt_ids is not None
-                                else tables[tgt].full_id_set)
-                for f in frontier:
-                    candidates[f] = universe_ids.difference(adj.row(f))
-            extended: List[Tuple[int, ...]] = []
-            append = extended.append
-            next_check = budget.CHECK_EVERY if budget is not None else None
-            charged = 0
-            if forward:
-                for row in rows:
-                    for v in candidates[row[-1]]:
-                        append(row + (v,))
-                    if next_check is not None and \
-                            len(extended) >= next_check:
-                        budget.charge_rows(len(extended) - charged)
-                        charged = len(extended)
-                        budget.check_time()
-                        next_check = charged + budget.CHECK_EVERY
-            else:
-                for row in rows:
-                    for v in candidates[row[0]]:
-                        append((v,) + row)
-                    if next_check is not None and \
-                            len(extended) >= next_check:
-                        budget.charge_rows(len(extended) - charged)
-                        charged = len(extended)
-                        budget.check_time()
-                        next_check = charged + budget.CHECK_EVERY
-            if budget is not None:
-                budget.charge_rows(len(extended) - charged)
-            rows = extended
-            stats.append((len(frontier), len(rows)))
+            sspan = tracer.start("join-step", slot=refs[step.slot].slot,
+                                 op=step.op, direction=step.direction) \
+                if tracer is not None else None
+            try:
+                if not rows:
+                    stats.append((0, 0))
+                    if sspan is not None:
+                        sspan.add("frontier", 0)
+                        sspan.add("rows_out", 0)
+                    continue
+                rows, frontier_size = self._run_one_step(
+                    step, resolutions, refs, tables, filt, rows, budget)
+                stats.append((frontier_size, len(rows)))
+                if sspan is not None:
+                    sspan.add("frontier", frontier_size)
+                    sspan.add("rows_out", len(rows))
+            finally:
+                if sspan is not None:
+                    tracer.finish(sspan)
         return rows, stats
+
+    def _run_one_step(self, step, resolutions: List[EdgeResolution],
+                      refs: List[ClassRef], tables: List[InternTable],
+                      filt: List[Optional[frozenset]],
+                      rows: List[Tuple[int, ...]],
+                      budget: Optional[QueryBudget]
+                      ) -> Tuple[List[Tuple[int, ...]], int]:
+        """One hop of the compact executor over one row partition;
+        returns (extended rows, distinct-frontier size)."""
+        universe = self.universe
+        if budget is not None:
+            budget.check_time()
+        resolution = resolutions[step.edge]
+        forward = step.direction == "right"
+        if forward:
+            src, end_index = step.edge, -1
+        else:
+            src, end_index = step.edge + 1, 0
+        tgt = step.slot
+        adj = universe.adjacency(resolution, forward,
+                                 refs[src], refs[tgt])
+        frontier = {row[end_index] for row in rows}
+        tgt_ids = filt[tgt]
+        candidates: Dict[int, Sequence[int]] = {}
+        if step.op == "*":
+            if tgt_ids is None:
+                for f in frontier:
+                    candidates[f] = adj.row(f)
+            else:
+                for f in frontier:
+                    candidates[f] = [v for v in adj.row(f)
+                                     if v in tgt_ids]
+        else:  # "!": the non-association operator
+            universe_ids = (tgt_ids if tgt_ids is not None
+                            else tables[tgt].full_id_set)
+            for f in frontier:
+                candidates[f] = universe_ids.difference(adj.row(f))
+        extended: List[Tuple[int, ...]] = []
+        append = extended.append
+        next_check = budget.CHECK_EVERY if budget is not None else None
+        charged = 0
+        if forward:
+            for row in rows:
+                for v in candidates[row[-1]]:
+                    append(row + (v,))
+                if next_check is not None and \
+                        len(extended) >= next_check:
+                    budget.charge_rows(len(extended) - charged)
+                    charged = len(extended)
+                    budget.check_time()
+                    next_check = charged + budget.CHECK_EVERY
+        else:
+            for row in rows:
+                for v in candidates[row[0]]:
+                    append((v,) + row)
+                if next_check is not None and \
+                        len(extended) >= next_check:
+                    budget.charge_rows(len(extended) - charged)
+                    charged = len(extended)
+                    budget.check_time()
+                    next_check = charged + budget.CHECK_EVERY
+        if budget is not None:
+            budget.charge_rows(len(extended) - charged)
+        return extended, len(frontier)
 
     def _merge_step_stats(self, plan: JoinPlan,
                           stats_list: List[List[Tuple[int, int]]]) -> None:
         """Fold per-partition step stats into the plan's actuals and the
         evaluation metrics (partition frontiers sum: overlapping
         endpoints across partitions each did the lookup work)."""
-        metrics = self.last_metrics
+        metrics = self._metrics
         for index, step in enumerate(plan.steps):
             frontier = sum(stats[index][0] for stats in stats_list)
             produced = sum(stats[index][1] for stats in stats_list)
@@ -678,16 +781,33 @@ class PatternEvaluator:
             [None] * len(parts)
         timings: List[dict] = [{} for _ in parts]
 
+        tracer = obs.TRACER
+        # Captured on the dispatching thread: workers open their span
+        # with this explicit parent, stitching the partition subtrees
+        # under the query span across threads.
+        parent_span = tracer.current_span() if tracer is not None else None
+
         def run(index: int, part: List[Tuple[int, ...]]) -> None:
+            pspan = tracer.start("partition", parent=parent_span,
+                                 partition=index) \
+                if tracer is not None else None
             started = time.perf_counter()
-            out, stats = self._run_plan_steps(plan.steps, resolutions,
-                                              refs, tables, filt, part,
-                                              budget)
-            results[index] = out
-            stats_list[index] = stats
-            timings[index].update(
-                partition=index, anchor_rows=len(part), rows_out=len(out),
-                ms=(time.perf_counter() - started) * 1000.0)
+            try:
+                out, stats = self._run_plan_steps(plan.steps, resolutions,
+                                                  refs, tables, filt, part,
+                                                  budget)
+                results[index] = out
+                stats_list[index] = stats
+                timings[index].update(
+                    partition=index, anchor_rows=len(part),
+                    rows_out=len(out),
+                    ms=(time.perf_counter() - started) * 1000.0)
+                if pspan is not None:
+                    pspan.add("rows_out", len(out))
+            finally:
+                if pspan is not None:
+                    pspan.add("anchor_rows", len(part))
+                    tracer.finish(pspan)
 
         with ThreadPoolExecutor(max_workers=len(parts)) as pool:
             futures = [pool.submit(run, index, part)
@@ -698,7 +818,7 @@ class PatternEvaluator:
         finished = [stats for stats in stats_list if stats is not None]
         if finished:
             self._merge_step_stats(plan, finished)
-        metrics = self.last_metrics
+        metrics = self._metrics
         metrics.workers_used = max(metrics.workers_used, len(parts))
         metrics.partitions.extend(t for t in timings if t)
         for future in futures:
@@ -731,7 +851,7 @@ class PatternEvaluator:
             kept = int_rows
         else:
             kept = subsume_rows(int_rows)
-        self.last_metrics.patterns_subsumed += len(int_rows) - len(kept)
+        self._metrics.patterns_subsumed += len(int_rows) - len(kept)
         intension = self._intension(flat, resolutions)
         return Subdatabase.from_interned_rows(name, intension, kept, tables)
 
@@ -791,69 +911,83 @@ class PatternEvaluator:
         max_level = count if count is not None else self.max_depth
 
         budget = self._budget
+        tracer = obs.TRACER
         # Level 1: one full traversal of the cycle.
         frontier = self._match_range(flat, 0, n - 1, extents, resolutions)
         all_rows: List[Tuple[OID, ...]] = list(frontier)
         level = 1
         while frontier and level < max_level:
             level += 1
-            if budget is not None:
-                budget.check_level(level)
-                budget.check_time()
-            # Traverse the cycle body once more, batched: every
-            # hierarchy ending at the same anchor instance shares one
-            # expansion, and each hop is one bulk neighbor lookup over
-            # the distinct partial endpoints.
-            anchors = {row[-1] for row in frontier}
-            partials: List[Tuple[OID, ...]] = [(a,) for a in anchors]
-            for k in range(n - 1):
-                if not partials:
-                    break
-                ends = {partial[-1] for partial in partials}
-                neighbor_map = self.universe.bulk_edge_neighbors(
-                    ends, resolutions[k], forward=True)
-                self.last_metrics.edge_traversals += len(ends)
-                target_extent = extents[k + 1]
-                candidates = {oid: neighbor_map[oid] & target_extent
-                              for oid in ends}
-                partials = [partial + (oid,) for partial in partials
-                            for oid in candidates[partial[-1]]]
-            extensions: Dict[OID, List[Tuple[OID, ...]]] = {}
-            for partial in partials:
-                # Drop the shared anchor; key extensions by it.
-                extensions.setdefault(partial[0], []).append(partial[1:])
-            extended: List[Tuple[OID, ...]] = []
-            charged = 0
-            processed = 0
-            for row in frontier:
-                for extension in extensions.get(row[-1], ()):
-                    root_positions = range(0, len(row), body)
-                    if any(row[p] == extension[-1]
-                           for p in root_positions):
-                        if self.on_cycle == "error":
-                            raise CyclicDataError(
-                                f"instance {extension[-1]!r} repeats in a "
-                                f"loop hierarchy; the paper assumes the "
-                                f"traversed relationship is acyclic "
-                                f"(use on_cycle='stop' to truncate)")
-                        continue
-                    extended.append(row + extension)
-                processed += 1
-                # A single level's extension can dwarf the whole budget
-                # on a dense graph — enforce mid-level, not just between
-                # levels.
-                if (budget is not None
-                        and processed % budget.CHECK_EVERY == 0):
-                    budget.charge_rows(len(extended) - charged)
-                    charged = len(extended)
+            lspan = tracer.start("loop-level", level=level) \
+                if tracer is not None else None
+            if lspan is not None:
+                lspan.add("frontier", len(frontier))
+            produced = 0
+            try:
+                if budget is not None:
+                    budget.check_level(level)
                     budget.check_time()
-            all_rows.extend(extended)
-            # rows_generated counts the *delta* this level contributed,
-            # not the cumulative partials per hop.
-            self.last_metrics.rows_generated += len(extended)
-            if budget is not None:
-                budget.charge_rows(len(extended) - charged)
-            frontier = extended
+                # Traverse the cycle body once more, batched: every
+                # hierarchy ending at the same anchor instance shares one
+                # expansion, and each hop is one bulk neighbor lookup
+                # over the distinct partial endpoints.
+                anchors = {row[-1] for row in frontier}
+                partials: List[Tuple[OID, ...]] = [(a,) for a in anchors]
+                for k in range(n - 1):
+                    if not partials:
+                        break
+                    ends = {partial[-1] for partial in partials}
+                    neighbor_map = self.universe.bulk_edge_neighbors(
+                        ends, resolutions[k], forward=True)
+                    self._metrics.edge_traversals += len(ends)
+                    target_extent = extents[k + 1]
+                    candidates = {oid: neighbor_map[oid] & target_extent
+                                  for oid in ends}
+                    partials = [partial + (oid,) for partial in partials
+                                for oid in candidates[partial[-1]]]
+                extensions: Dict[OID, List[Tuple[OID, ...]]] = {}
+                for partial in partials:
+                    # Drop the shared anchor; key extensions by it.
+                    extensions.setdefault(partial[0],
+                                          []).append(partial[1:])
+                extended: List[Tuple[OID, ...]] = []
+                charged = 0
+                processed = 0
+                for row in frontier:
+                    for extension in extensions.get(row[-1], ()):
+                        root_positions = range(0, len(row), body)
+                        if any(row[p] == extension[-1]
+                               for p in root_positions):
+                            if self.on_cycle == "error":
+                                raise CyclicDataError(
+                                    f"instance {extension[-1]!r} repeats "
+                                    f"in a loop hierarchy; the paper "
+                                    f"assumes the traversed relationship "
+                                    f"is acyclic (use on_cycle='stop' to "
+                                    f"truncate)")
+                            continue
+                        extended.append(row + extension)
+                    processed += 1
+                    # A single level's extension can dwarf the whole
+                    # budget on a dense graph — enforce mid-level, not
+                    # just between levels.
+                    if (budget is not None
+                            and processed % budget.CHECK_EVERY == 0):
+                        budget.charge_rows(len(extended) - charged)
+                        charged = len(extended)
+                        budget.check_time()
+                all_rows.extend(extended)
+                # rows_generated counts the *delta* this level
+                # contributed, not the cumulative partials per hop.
+                self._metrics.rows_generated += len(extended)
+                if budget is not None:
+                    budget.charge_rows(len(extended) - charged)
+                produced = len(extended)
+                frontier = extended
+            finally:
+                if lspan is not None:
+                    lspan.add("rows_out", produced)
+                    tracer.finish(lspan)
         if count is None and frontier and level >= self.max_depth:
             raise CyclicDataError(
                 f"unbounded loop did not terminate within "
@@ -869,8 +1003,8 @@ class PatternEvaluator:
             padded = row + (None,) * (width - len(row))
             patterns.add(ExtensionalPattern(padded))
         kept = subsume(patterns)
-        self.last_metrics.patterns_subsumed += len(patterns) - len(kept)
-        self.last_metrics.loop_levels = levels_reached
+        self._metrics.patterns_subsumed += len(patterns) - len(kept)
+        self._metrics.loop_levels = levels_reached
         return Subdatabase(name, intension, kept)
 
     def _evaluate_loop_compact(self, flat: _Flattened,
@@ -913,53 +1047,70 @@ class PatternEvaluator:
         level = 1
         #: anchor id -> its one-cycle body expansions (anchor dropped).
         expansions: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        tracer = obs.TRACER
         while frontier and level < max_level:
             level += 1
-            if budget is not None:
-                budget.check_level(level)
-                budget.check_time()
-            new_anchors = ({row[-1] for row in frontier}
-                           - expansions.keys())
-            if new_anchors:
-                self._expand_anchors(new_anchors, expansions, resolutions,
-                                     refs, tables, filt, n)
-            extended: List[Tuple[int, ...]] = []
-            next_check = budget.CHECK_EVERY if budget is not None else None
-            charged = 0
-            for row in frontier:
-                grew = False
-                for extension in expansions[row[-1]]:
-                    last = extension[-1]
-                    # Root positions all intern through the cycle-seam
-                    # table (tables[0] is tables[-1]), so id equality is
-                    # instance equality.
-                    if any(row[p] == last
-                           for p in range(0, len(row), body)):
-                        if self.on_cycle == "error":
-                            raise CyclicDataError(
-                                f"instance {tables[-1].oids[last]!r} "
-                                f"repeats in a loop hierarchy; the paper "
-                                f"assumes the traversed relationship is "
-                                f"acyclic (use on_cycle='stop' to "
-                                f"truncate)")
-                        continue
-                    extended.append(row + extension)
-                    grew = True
-                if not grew:
-                    kept_rows.append(row)
-                if next_check is not None and len(extended) >= next_check:
-                    # Chunked enforcement: overshoot past a deadline is
-                    # bounded by one chunk of tuple appends, not one
-                    # whole level of an exploding closure.
-                    budget.charge_rows(len(extended) - charged)
-                    charged = len(extended)
+            lspan = tracer.start("loop-level", level=level) \
+                if tracer is not None else None
+            if lspan is not None:
+                lspan.add("frontier", len(frontier))
+            produced = 0
+            try:
+                if budget is not None:
+                    budget.check_level(level)
                     budget.check_time()
-                    next_check = charged + budget.CHECK_EVERY
-            if budget is not None:
-                budget.charge_rows(len(extended) - charged)
-            total_rows += len(extended)
-            self.last_metrics.rows_generated += len(extended)
-            frontier = extended
+                new_anchors = ({row[-1] for row in frontier}
+                               - expansions.keys())
+                if new_anchors:
+                    self._expand_anchors(new_anchors, expansions,
+                                         resolutions, refs, tables, filt,
+                                         n)
+                if lspan is not None:
+                    lspan.add("new_anchors", len(new_anchors))
+                extended: List[Tuple[int, ...]] = []
+                next_check = (budget.CHECK_EVERY if budget is not None
+                              else None)
+                charged = 0
+                for row in frontier:
+                    grew = False
+                    for extension in expansions[row[-1]]:
+                        last = extension[-1]
+                        # Root positions all intern through the
+                        # cycle-seam table (tables[0] is tables[-1]), so
+                        # id equality is instance equality.
+                        if any(row[p] == last
+                               for p in range(0, len(row), body)):
+                            if self.on_cycle == "error":
+                                raise CyclicDataError(
+                                    f"instance {tables[-1].oids[last]!r} "
+                                    f"repeats in a loop hierarchy; the "
+                                    f"paper assumes the traversed "
+                                    f"relationship is acyclic (use "
+                                    f"on_cycle='stop' to truncate)")
+                            continue
+                        extended.append(row + extension)
+                        grew = True
+                    if not grew:
+                        kept_rows.append(row)
+                    if next_check is not None and \
+                            len(extended) >= next_check:
+                        # Chunked enforcement: overshoot past a deadline
+                        # is bounded by one chunk of tuple appends, not
+                        # one whole level of an exploding closure.
+                        budget.charge_rows(len(extended) - charged)
+                        charged = len(extended)
+                        budget.check_time()
+                        next_check = charged + budget.CHECK_EVERY
+                if budget is not None:
+                    budget.charge_rows(len(extended) - charged)
+                total_rows += len(extended)
+                self._metrics.rows_generated += len(extended)
+                produced = len(extended)
+                frontier = extended
+            finally:
+                if lspan is not None:
+                    lspan.add("rows_out", produced)
+                    tracer.finish(lspan)
         if count is None and frontier and level >= self.max_depth:
             raise CyclicDataError(
                 f"unbounded loop did not terminate within "
@@ -973,8 +1124,8 @@ class PatternEvaluator:
                                          levels_reached, n, body)
         width = len(intension.slots)
         kept = {row + (None,) * (width - len(row)) for row in kept_rows}
-        self.last_metrics.patterns_subsumed += total_rows - len(kept)
-        self.last_metrics.loop_levels = levels_reached
+        self._metrics.patterns_subsumed += total_rows - len(kept)
+        self._metrics.loop_levels = levels_reached
         decode_tables = [tables[t] if t < n
                          else tables[1 + (t - n) % body]
                          for t in range(width)]
@@ -991,7 +1142,7 @@ class PatternEvaluator:
         """Traverse the cycle body once from each anchor id, batched per
         hop over distinct endpoints, and memoize the expansions."""
         universe = self.universe
-        metrics = self.last_metrics
+        metrics = self._metrics
         budget = self._budget
         partials: List[Tuple[int, ...]] = [(a,) for a in anchors]
         for k in range(n - 1):

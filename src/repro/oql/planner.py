@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.subdb.refs import ClassRef
 from repro.subdb.universe import EdgeResolution, Universe
 
@@ -227,26 +228,44 @@ class Planner:
         if strategy not in OPTIMIZE_MODES:
             raise ValueError(f"unknown planning strategy {strategy!r} "
                              f"(expected one of {OPTIMIZE_MODES})")
-        slot_names = tuple(ref.slot for ref in refs)
-        version = self.universe.data_version
-        if version != self._cache_version:
-            self._cache.clear()
-            self._cache_version = version
-        key = (strategy, start, end, tuple(refs), tuple(ops),
-               tuple(sizes))
-        cached = self._cache.get(key)
-        if cached is not None:
-            anchor, steps, cost = cached
-        elif strategy == "cost" and end > start:
-            anchor, steps, cost = self._order_cost(
-                refs, ops, resolutions, sizes, start, end)
-        elif strategy == "greedy" and end > start:
-            anchor, steps, cost = self._order_greedy(
-                refs, ops, resolutions, sizes, start, end)
-        else:
-            anchor, steps, cost = self._order_naive(
-                refs, ops, resolutions, sizes, start, end)
-        self._cache[key] = (anchor, steps, cost)
+        tracer = obs.TRACER
+        span = tracer.start("plan", strategy=strategy, start=start,
+                            end=end) if tracer is not None else None
+        try:
+            slot_names = tuple(ref.slot for ref in refs)
+            version = self.universe.data_version
+            if version != self._cache_version:
+                self._cache.clear()
+                self._cache_version = version
+            key = (strategy, start, end, tuple(refs), tuple(ops),
+                   tuple(sizes))
+            cached = self._cache.get(key)
+            if cached is not None:
+                anchor, steps, cost = cached
+            elif strategy == "cost" and end > start:
+                anchor, steps, cost = self._order_cost(
+                    refs, ops, resolutions, sizes, start, end)
+            elif strategy == "greedy" and end > start:
+                anchor, steps, cost = self._order_greedy(
+                    refs, ops, resolutions, sizes, start, end)
+            else:
+                anchor, steps, cost = self._order_naive(
+                    refs, ops, resolutions, sizes, start, end)
+            self._cache[key] = (anchor, steps, cost)
+            if span is not None:
+                span.set("cached", cached is not None)
+                span.set("anchor", slot_names[anchor])
+                span.set("est_cost", round(cost, 2))
+                if strategy == "cost" and end > start:
+                    # Size of the contiguous-range DP the cost strategy
+                    # explores (each state costs one candidate plan).
+                    width = end - start + 1
+                    span.add("candidates", width * (width + 1) // 2)
+                else:
+                    span.add("candidates", 1)
+        finally:
+            if span is not None:
+                tracer.finish(span)
         # The executor mutates steps with actuals: hand out copies.
         fresh = [PlanStep(slot=s.slot, edge=s.edge, direction=s.direction,
                           op=s.op, est_rows=s.est_rows) for s in steps]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
+from repro import obs
 from repro.errors import UnknownSubdatabaseError
 from repro.model.database import UpdateEvent
 from repro.rules.chaining import topological_order
@@ -83,14 +84,22 @@ class ResultOrientedController:
         affected = engine.affected_by_event(event)
         if not affected:
             return
-        for name in affected:
-            engine.universe.unregister(name)
-            self._stale.add(name)
-            engine.stats.stale_markings += 1
-        for name in engine.topological_targets():
-            if name in affected and \
-                    self.mode_of(name) is EvaluationMode.PRE_EVALUATED:
-                engine.derive(name, force=True)
+        tracer = obs.TRACER
+        span = tracer.start("forward-pass", kind=event.kind.name,
+                            affected=len(affected)) \
+            if tracer is not None else None
+        try:
+            for name in affected:
+                engine.universe.unregister(name)
+                self._stale.add(name)
+                engine.stats.stale_markings += 1
+            for name in engine.topological_targets():
+                if name in affected and \
+                        self.mode_of(name) is EvaluationMode.PRE_EVALUATED:
+                    engine.derive(name, force=True)
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     def on_derived(self, name: str) -> None:
         self._stale.discard(name)
@@ -157,80 +166,108 @@ class IncrementalResultController(ResultOrientedController):
         affected = engine.affected_by_event(event)
         if not affected:
             return
-        classes = set(event.classes)
-        graph = engine.rule_graph()
-        # Targets whose value actually (or possibly) moved this pass;
-        # downstream targets whose only relevance is via an upstream
-        # source NOT in this set kept their inputs, so their stored
-        # value stays valid and is not touched.
-        changed_targets: Set[str] = set()
-        for name in engine.topological_targets():
-            if name not in affected:
-                continue
-            direct_hit = any(rule.base_classes() & classes
-                             for rule in engine.rules_for(name))
-            source_hit = any(source in changed_targets
-                             for source in graph.get(name, ()))
-            if not direct_hit and not source_hit:
-                # Affected only through upstream sources that turned out
-                # unchanged: the stored value (if any) is still exact.
-                engine.stats.refreshes_skipped += 1
-                continue
-            if self.mode_of(name) is not EvaluationMode.PRE_EVALUATED:
-                engine.universe.unregister(name)
-                self._stale.add(name)
-                engine.stats.stale_markings += 1
-                # Unknown until re-derived; treat as changed downstream.
-                changed_targets.add(name)
-                continue
-            maintainers = self._maintainers_for(name)
-            if maintainers is None or any(
-                    rule.source_subdatabases()
-                    for rule in engine.rules_for(name)):
-                # Ineligible, or reads derived data whose value may have
-                # just changed: full re-derivation.
-                engine.derive(name, force=True)
-                changed_targets.add(name)
-                continue
-            # Apply the delta to every maintainer (no short-circuiting —
-            # each tracks its own match set) and collect real change
-            # flags (satellite: on_event no longer reports True
-            # unconditionally).  A maintenance budget bounds the whole
-            # per-target refresh; a trip abandons it — match sets may be
-            # mid-delta, so they are invalidated and the target goes
-            # stale rather than serving a half-applied value.
-            from repro.oql.budget import BudgetExceeded
-            budget = engine.maintenance_budget
-            if budget is not None:
-                budget.start()
-            try:
-                changed_flags = [maintainer.on_event(event, budget=budget)
-                                 for maintainer in maintainers]
-            except BudgetExceeded:
-                for maintainer in maintainers:
-                    maintainer.invalidate()
-                engine.universe.unregister(name)
-                self._stale.add(name)
-                engine.stats.stale_markings += 1
-                engine.stats.refreshes_skipped += 1
-                changed_targets.add(name)
-                continue
-            if not any(changed_flags) and engine.universe.has_subdb(name):
-                # The match sets absorbed the event without moving
-                # (no-op ASSOCIATE, equal re-derivation, ...): keep the
-                # stored result and spare every downstream target.
-                engine.stats.refreshes_skipped += 1
-                self._stale.discard(name)
-                continue
-            merged = None
-            for maintainer in maintainers:
-                contribution = maintainer.target_contribution()
-                merged = contribution if merged is None else \
-                    merged.merge(contribution)
-            engine.universe.register(merged)
-            engine.stats.incremental_refreshes += 1
-            self._stale.discard(name)
+        tracer = obs.TRACER
+        fspan = tracer.start("forward-pass", incremental=True,
+                             kind=event.kind.name,
+                             affected=len(affected)) \
+            if tracer is not None else None
+        try:
+            classes = set(event.classes)
+            graph = engine.rule_graph()
+            # Targets whose value actually (or possibly) moved this
+            # pass; downstream targets whose only relevance is via an
+            # upstream source NOT in this set kept their inputs, so
+            # their stored value stays valid and is not touched.
+            changed_targets: Set[str] = set()
+            for name in engine.topological_targets():
+                if name not in affected:
+                    continue
+                rspan = tracer.start("refresh", target=name) \
+                    if tracer is not None else None
+                try:
+                    outcome = self._refresh_target(name, event, classes,
+                                                   graph, changed_targets)
+                    if rspan is not None:
+                        rspan.set("outcome", outcome)
+                finally:
+                    if rspan is not None:
+                        tracer.finish(rspan)
+        finally:
+            if fspan is not None:
+                tracer.finish(fspan)
+
+    def _refresh_target(self, name: str, event: UpdateEvent,
+                        classes: Set[str], graph: Dict[str, Set[str]],
+                        changed_targets: Set[str]) -> str:
+        """Refresh one affected target; returns the outcome for the
+        refresh span: ``skip-unchanged``, ``stale``, ``full``,
+        ``budget-tripped``, ``skip-noop`` or ``incremental``."""
+        engine = self.engine
+        direct_hit = any(rule.base_classes() & classes
+                         for rule in engine.rules_for(name))
+        source_hit = any(source in changed_targets
+                         for source in graph.get(name, ()))
+        if not direct_hit and not source_hit:
+            # Affected only through upstream sources that turned out
+            # unchanged: the stored value (if any) is still exact.
+            engine.stats.refreshes_skipped += 1
+            return "skip-unchanged"
+        if self.mode_of(name) is not EvaluationMode.PRE_EVALUATED:
+            engine.universe.unregister(name)
+            self._stale.add(name)
+            engine.stats.stale_markings += 1
+            # Unknown until re-derived; treat as changed downstream.
             changed_targets.add(name)
+            return "stale"
+        maintainers = self._maintainers_for(name)
+        if maintainers is None or any(
+                rule.source_subdatabases()
+                for rule in engine.rules_for(name)):
+            # Ineligible, or reads derived data whose value may have
+            # just changed: full re-derivation.
+            engine.derive(name, force=True)
+            changed_targets.add(name)
+            return "full"
+        # Apply the delta to every maintainer (no short-circuiting —
+        # each tracks its own match set) and collect real change
+        # flags (satellite: on_event no longer reports True
+        # unconditionally).  A maintenance budget bounds the whole
+        # per-target refresh; a trip abandons it — match sets may be
+        # mid-delta, so they are invalidated and the target goes
+        # stale rather than serving a half-applied value.
+        from repro.oql.budget import BudgetExceeded
+        budget = engine.maintenance_budget
+        if budget is not None:
+            budget.start()
+        try:
+            changed_flags = [maintainer.on_event(event, budget=budget)
+                             for maintainer in maintainers]
+        except BudgetExceeded:
+            for maintainer in maintainers:
+                maintainer.invalidate()
+            engine.universe.unregister(name)
+            self._stale.add(name)
+            engine.stats.stale_markings += 1
+            engine.stats.refreshes_skipped += 1
+            changed_targets.add(name)
+            return "budget-tripped"
+        if not any(changed_flags) and engine.universe.has_subdb(name):
+            # The match sets absorbed the event without moving
+            # (no-op ASSOCIATE, equal re-derivation, ...): keep the
+            # stored result and spare every downstream target.
+            engine.stats.refreshes_skipped += 1
+            self._stale.discard(name)
+            return "skip-noop"
+        merged = None
+        for maintainer in maintainers:
+            contribution = maintainer.target_contribution()
+            merged = contribution if merged is None else \
+                merged.merge(contribution)
+        engine.universe.register(merged)
+        engine.stats.incremental_refreshes += 1
+        self._stale.discard(name)
+        changed_targets.add(name)
+        return "incremental"
 
 
 class RuleOrientedController:
@@ -281,35 +318,45 @@ class RuleOrientedController:
         affected = engine.affected_by_event(event)
         if not affected:
             return
-        graph = engine.rule_graph()
-        engine._derived_log = []
-        recomputed: Set[str] = set()
-        for name in engine.topological_targets():
-            if name not in affected:
-                continue
-            direct_hit = any(rule.base_classes() & classes
-                             for rule in engine.rules_for(name))
-            source_hit = any(source in recomputed
-                             for source in graph.get(name, ()))
-            if self.mode_of(name) is RuleChainingMode.FORWARD and \
-                    (direct_hit or source_hit):
-                engine.derive(name, force=True)
-                recomputed.add(name)
-            else:
-                self._stale.add(name)
-                engine.stats.stale_markings += 1
-                if self.mode_of(name) is RuleChainingMode.BACKWARD:
-                    # Backward results are not preserved anyway.
+        tracer = obs.TRACER
+        span = tracer.start("forward-pass", strategy="rule",
+                            kind=event.kind.name,
+                            affected=len(affected)) \
+            if tracer is not None else None
+        try:
+            graph = engine.rule_graph()
+            engine._derived_log = []
+            recomputed: Set[str] = set()
+            for name in engine.topological_targets():
+                if name not in affected:
+                    continue
+                direct_hit = any(rule.base_classes() & classes
+                                 for rule in engine.rules_for(name))
+                source_hit = any(source in recomputed
+                                 for source in graph.get(name, ()))
+                if self.mode_of(name) is RuleChainingMode.FORWARD and \
+                        (direct_hit or source_hit):
+                    engine.derive(name, force=True)
+                    recomputed.add(name)
+                else:
+                    self._stale.add(name)
+                    engine.stats.stale_markings += 1
+                    if self.mode_of(name) is RuleChainingMode.BACKWARD:
+                        # Backward results are not preserved anyway.
+                        engine.universe.unregister(name)
+                    # Forward results KEEP their stored — now
+                    # inconsistent — copy: that is the observable flaw.
+            # Backward results freshly derived as intermediates of the
+            # forward pass are not preserved (POSTGRES: a backward
+            # rule's output lives only for the duration of a query
+            # session).
+            for name in engine._derived_log:
+                if name in graph and \
+                        self.mode_of(name) is RuleChainingMode.BACKWARD:
                     engine.universe.unregister(name)
-                # Forward results KEEP their stored — now inconsistent —
-                # copy: that is the observable flaw.
-        # Backward results freshly derived as intermediates of the
-        # forward pass are not preserved (POSTGRES: a backward rule's
-        # output lives only for the duration of a query session).
-        for name in engine._derived_log:
-            if name in graph and \
-                    self.mode_of(name) is RuleChainingMode.BACKWARD:
-                engine.universe.unregister(name)
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     def on_derived(self, name: str) -> None:
         self._stale.discard(name)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import RuleSemanticError
 from repro.oql.evaluator import PatternEvaluator
 from repro.subdb.derived import DerivedClassInfo
@@ -76,9 +77,21 @@ def _resolve_target_indices(rule: DeductiveRule, source: Subdatabase,
 def apply_rule(rule: DeductiveRule,
                evaluator: PatternEvaluator) -> Subdatabase:
     """Evaluate one rule and return its contribution to the target."""
-    source = evaluator.evaluate(rule.context, rule.where,
-                                name=f"_source_of_{rule.target}")
-    return project_to_target(rule, source)
+    tracer = obs.TRACER
+    span = tracer.start("rule-apply", rule=rule.label or rule.target,
+                        target=rule.target) \
+        if tracer is not None else None
+    try:
+        source = evaluator.evaluate(rule.context, rule.where,
+                                    name=f"_source_of_{rule.target}")
+        contribution = project_to_target(rule, source)
+        if span is not None:
+            span.add("source_rows", len(source))
+            span.add("rows_out", len(contribution))
+        return contribution
+    finally:
+        if span is not None:
+            tracer.finish(span)
 
 
 def project_to_target(rule: DeductiveRule,

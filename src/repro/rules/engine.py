@@ -15,6 +15,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
+from repro import obs
 from repro.errors import CyclicRuleError, UnknownSubdatabaseError
 from repro.model.database import Database, UpdateEvent
 from repro.oql.budget import QueryBudget
@@ -237,6 +238,10 @@ class RuleEngine:
             raise CyclicRuleError(
                 f"cyclic derivation detected while deriving {name!r}")
         self._deriving.add(name)
+        tracer = obs.TRACER
+        span = tracer.start("derive", target=name,
+                            rules=len(self._by_target[name]),
+                            forced=force) if tracer is not None else None
         try:
             if force:
                 # Source values may themselves be stale re-registrations;
@@ -250,8 +255,12 @@ class RuleEngine:
             self.stats.derivations[name] += 1
             self.controller.on_derived(name)
             self._derived_log.append(name)
+            if span is not None:
+                span.add("patterns_out", len(result))
         finally:
             self._deriving.discard(name)
+            if span is not None:
+                tracer.finish(span)
         return result
 
     def refresh(self) -> None:
@@ -278,19 +287,29 @@ class RuleEngine:
         """
         self.stats.queries += 1
         self._derived_log = []
-        if budget is not None:
-            budget.start()
-            # The derivation evaluator picks the budget up ambiently —
-            # backward chaining goes through the universe provider, not
-            # through an argument we could thread.
-            self.evaluator.budget = budget
+        tracer = obs.TRACER
+        span = tracer.start("engine-query", text=text) \
+            if tracer is not None else None
         try:
-            result = self.processor.execute(text, name=name, budget=budget)
-        finally:
             if budget is not None:
-                self.evaluator.budget = None
-        self.controller.after_query(list(self._derived_log))
-        return result
+                budget.start()
+                # The derivation evaluator picks the budget up ambiently
+                # — backward chaining goes through the universe
+                # provider, not through an argument we could thread.
+                self.evaluator.budget = budget
+            try:
+                result = self.processor.execute(text, name=name,
+                                                budget=budget)
+            finally:
+                if budget is not None:
+                    self.evaluator.budget = None
+            self.controller.after_query(list(self._derived_log))
+            if span is not None:
+                span.add("derivations", len(self._derived_log))
+            return result
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     def snapshot_session(self) -> QueryProcessor:
         """A :class:`QueryProcessor` over a snapshot of this engine's
@@ -300,7 +319,17 @@ class RuleEngine:
         snapshot's private registry — the live universe and rule base
         are never written.  Writers proceed concurrently; the reader
         never observes their effects."""
-        snapshot = self.universe.snapshot()
+        tracer = obs.TRACER
+        sspan = tracer.start("snapshot-session") \
+            if tracer is not None else None
+        try:
+            snapshot = self.universe.snapshot()
+            if sspan is not None:
+                sspan.set("pinned_version",
+                          getattr(snapshot, "pinned_version", None))
+        finally:
+            if sspan is not None:
+                tracer.finish(sspan)
         processor = QueryProcessor(snapshot, on_cycle=self._on_cycle,
                                    operations=self._operations,
                                    compact=self._compact)
@@ -309,13 +338,21 @@ class RuleEngine:
         def provide(name: str) -> Optional[Subdatabase]:
             if name not in self._by_target or name in deriving:
                 return None
+            tracer = obs.TRACER
+            span = tracer.start("derive", target=name, snapshot=True,
+                                rules=len(self._by_target[name])) \
+                if tracer is not None else None
             deriving.add(name)
             try:
                 result = derive_target(self._by_target[name],
                                        processor.evaluator)
                 snapshot.register(result)
+                if span is not None:
+                    span.add("patterns_out", len(result))
             finally:
                 deriving.discard(name)
+                if span is not None:
+                    tracer.finish(span)
             return result
 
         snapshot.provider = provide

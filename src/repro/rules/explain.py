@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
+from repro import obs
 from repro.oql.ast import Chain, Query
 from repro.oql.parser import parse_query
 from repro.oql.planner import JoinPlan
@@ -71,6 +72,9 @@ class Explanation:
     #: Empty when a referenced subdatabase is not materialized yet —
     #: the statistics needed for planning only exist after derivation.
     join_plans: List[JoinPlan] = field(default_factory=list)
+    #: Id of the trace recorded while building this explanation
+    #: (``None`` when no tracer was installed).
+    trace_id: Optional[int] = None
 
     def render(self) -> str:
         lines = [f"query: {self.query_text}"]
@@ -155,6 +159,20 @@ def _plan_query(engine: "RuleEngine", query: Query) -> List[JoinPlan]:
 
 def explain(engine: "RuleEngine", query_text: str) -> Explanation:
     """Build the backward-chaining plan for ``query_text``."""
+    tracer = obs.TRACER
+    span = tracer.start("explain", text=query_text) \
+        if tracer is not None else None
+    try:
+        explanation = _explain(engine, query_text)
+        if span is not None:
+            explanation.trace_id = span.trace_id
+        return explanation
+    finally:
+        if span is not None:
+            tracer.finish(span)
+
+
+def _explain(engine: "RuleEngine", query_text: str) -> Explanation:
     query = parse_query(query_text)
     refs = _query_refs(query)
     referenced = sorted({ref.subdb for ref in refs

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.errors import OQLSemanticError, ReproError
 from repro.model.database import UpdateEvent, UpdateKind
 from repro.model.oid import OID
@@ -319,15 +320,27 @@ class IncrementalRule:
         the next use (the incremental controller does, and counts the
         skip).
         """
-        if budget is not None:
-            budget.ensure_started()
-            prev = self._budget
-            self._budget = budget
-            try:
-                return self._apply_budgeted(event)
-            finally:
-                self._budget = prev
-        return self._apply_budgeted(event)
+        tracer = obs.TRACER
+        span = tracer.start("maintain-event", target=self.rule.target,
+                            kind=event.kind.name) \
+            if tracer is not None else None
+        try:
+            if budget is not None:
+                budget.ensure_started()
+                prev = self._budget
+                self._budget = budget
+                try:
+                    changed = self._apply_budgeted(event)
+                finally:
+                    self._budget = prev
+            else:
+                changed = self._apply_budgeted(event)
+            if span is not None:
+                span.set("changed", changed)
+            return changed
+        finally:
+            if span is not None:
+                tracer.finish(span)
 
     def _apply_budgeted(self, event: UpdateEvent) -> bool:
         if not self._initialized:

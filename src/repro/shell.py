@@ -21,6 +21,10 @@ with a backslash::
     \\budget [SPEC]        show or set the query budget; SPEC is
                           space-separated limits (deadline_ms=100
                           max_rows=10000 max_loop_levels=8), or "off"
+    \\trace [ARG]          query tracing; ARG is "on", "off", "show"
+                          (pretty tree of the last trace), or
+                          "save PATH" (Chrome trace JSON); bare
+                          \\trace reports the current state
     \\why TARGET l1 l2 ..  justify a derived pattern (OID labels)
     \\stats                engine statistics
     \\save PATH            persist the session as JSON
@@ -34,6 +38,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, List, Optional, TextIO
 
+from repro import obs
 from repro.errors import ReproError
 from repro.model.dictionary import Dictionary
 from repro.rules.engine import RuleEngine
@@ -61,6 +66,7 @@ class Shell:
             "explain": self._cmd_explain,
             "metrics": self._cmd_metrics,
             "budget": self._cmd_budget,
+            "trace": self._cmd_trace,
             "why": self._cmd_why,
             "stats": self._cmd_stats,
             "save": self._cmd_save,
@@ -101,6 +107,9 @@ class Shell:
                     # Keep the partial metrics inspectable (\metrics
                     # shows the verdict and how far the query got).
                     self._last_metrics = exc.metrics
+                    if exc.trace_id is not None:
+                        self._print(f"partial trace {exc.trace_id} "
+                                    f"recorded — \\trace show")
                     raise
                 self._last_metrics = result.metrics
                 self._print(result.render())
@@ -230,6 +239,54 @@ class Shell:
                 return True
         self._budget = QueryBudget(**limits)
         self._print(f"budget set: {self._budget!r}")
+        return True
+
+    def _cmd_trace(self, argument: str) -> bool:
+        word, _, rest = argument.partition(" ")
+        word = word.lower()
+        if not word:
+            if obs.TRACER is None:
+                self._print("tracing is off")
+            else:
+                count = len(obs.TRACER.recorder)
+                self._print(f"tracing is on — {count} trace(s) recorded")
+            return True
+        if word == "on":
+            if obs.TRACER is None:
+                obs.install()
+                self._print("tracing on")
+            else:
+                self._print("tracing already on")
+            return True
+        if word == "off":
+            if obs.TRACER is None:
+                self._print("tracing already off")
+            else:
+                obs.uninstall()
+                self._print("tracing off")
+            return True
+        if word == "show":
+            root = obs.last_trace()
+            if root is None:
+                self._print("(no trace recorded — \\trace on, then "
+                            "run a query)")
+            else:
+                self._print(obs.render_tree(root))
+            return True
+        if word == "save":
+            path = rest.strip()
+            if not path:
+                self._print("usage: \\trace save PATH")
+                return True
+            if obs.TRACER is None or not len(obs.TRACER.recorder):
+                self._print("(no traces to save)")
+                return True
+            saved = obs.save_chrome_trace(path, obs.TRACER.recorder
+                                          .traces())
+            self._print(f"chrome trace saved to {saved} "
+                        f"(open via chrome://tracing)")
+            return True
+        self._print("usage: \\trace [on|off|show|save PATH]")
         return True
 
     def _cmd_why(self, argument: str) -> bool:

@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from repro import QueryProcessor, RuleEngine, Universe
+from repro import QueryProcessor, RuleEngine, Universe, obs
 from repro.model.database import Database
 from repro.model.evolution import drop_association
 from repro.oql.budget import BudgetExceeded, QueryBudget
@@ -356,3 +356,140 @@ class TestBudgetCancellation:
         result = engine.query("context Student * Section * Course")
         assert len(result.subdatabase) > 1
         assert engine.evaluator.budget is None
+
+
+# ---------------------------------------------------------------------------
+# Tracing under concurrency.
+# ---------------------------------------------------------------------------
+
+
+def _parallel_processor(workers: int = 4) -> QueryProcessor:
+    """A processor over a database big enough to take the partitioned
+    path (the paper DB's extents are below the parallel threshold)."""
+    from repro.university.generator import (GeneratorConfig,
+                                            generate_university)
+    db = generate_university(GeneratorConfig(), seed=13).db
+    processor = QueryProcessor(Universe(db), compact=True,
+                               workers=workers)
+    processor.evaluator.min_parallel_rows = 1
+    return processor
+
+
+class TestTracingConcurrency:
+    @pytest.fixture(autouse=True)
+    def _no_tracer_leak(self):
+        yield
+        obs.uninstall()
+
+    def test_one_partition_span_per_partition(self):
+        from tests.test_tracing import all_spans, assert_well_formed
+        processor = _parallel_processor(workers=4)
+        tracer = obs.install()
+        processor.execute("context Student * Section * Course")
+        metrics = processor.evaluator.last_metrics
+        assert metrics.workers_used > 1
+        assert metrics.partitions
+        root = tracer.recorder.get(metrics.trace_id)
+        assert root is not None
+        assert_well_formed(root)
+        partitions = [span for span in all_spans(root)
+                      if span.name == "partition"]
+        # One span per partition record, indexes 0..K-1 exactly once,
+        # every one a descendant of the query root (reachable via
+        # root.walk() — cross-thread stitching worked).
+        assert len(partitions) == len(metrics.partitions)
+        assert sorted(span.attrs["partition"] for span in partitions) \
+            == list(range(len(partitions)))
+        by_index = {span.attrs["partition"]: span for span in partitions}
+        for record in metrics.partitions:
+            span = by_index[record["partition"]]
+            assert span.counters["anchor_rows"] == record["anchor_rows"]
+            assert span.counters.get("rows_out", 0) == record["rows_out"]
+
+    def test_traces_well_formed_under_reader_writer_stress(self):
+        from tests.test_tracing import assert_well_formed
+        engine = _paper_engine()
+        db = engine.db
+        course = next(iter(db.extent("Course")))
+        tracer = obs.install()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                for k in range(100):
+                    db.set_attribute(course, "title", f"T{k}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(("writer", exc))
+            finally:
+                stop.set()
+
+        def reader(index):
+            try:
+                iteration = 0
+                while not stop.is_set() or iteration < 2:
+                    qp = engine.snapshot_session()
+                    try:
+                        query = READER_QUERIES[
+                            (index + iteration) % len(READER_QUERIES)]
+                        qp.execute(query)
+                    finally:
+                        qp.universe.close()
+                    iteration += 1
+                    if iteration >= 4 and stop.is_set():
+                        break
+            except Exception as exc:
+                errors.append((f"reader{index}", exc))
+                stop.set()
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(3)]
+        writer_thread = threading.Thread(target=writer)
+        for thread in threads:
+            thread.start()
+        writer_thread.start()
+        writer_thread.join(timeout=60)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        roots = tracer.recorder.traces()
+        assert roots, "no traces recorded under stress"
+        for root in roots:
+            assert_well_formed(root)
+
+
+class TestPartitionMetrics:
+    """Regression: ``EvaluationMetrics`` used to be reused across nested
+    and successive evaluations, so a provider-driven cascade (or simply
+    re-running a query on a reused evaluator) appended partition and
+    plan records onto the previous query's metrics."""
+
+    def test_partitions_not_accumulated_across_queries(self):
+        processor = _parallel_processor(workers=4)
+        processor.execute("context Student * Section * Course")
+        first = processor.evaluator.last_metrics
+        assert first.partitions
+        processor.execute("context Student * Section * Course")
+        second = processor.evaluator.last_metrics
+        assert second is not first
+        assert len(second.partitions) == len(first.partitions)
+        assert sorted(p["partition"] for p in second.partitions) \
+            == list(range(len(second.partitions)))
+
+    def test_cascade_derivation_metrics_are_per_query(self):
+        from repro.university.generator import (GeneratorConfig,
+                                                generate_university)
+        db = generate_university(GeneratorConfig(), seed=13).db
+        engine = RuleEngine(db, compact=True, workers=4)
+        engine.evaluator.min_parallel_rows = 1
+        engine.add_rule("if context Student * Section "
+                        "then Enrolled (Student, Section)")
+        engine.add_rule("if context Enrolled:Section * Course "
+                        "then Offered (Section, Course)")
+        result = engine.query("context Offered:Section * Course")
+        metrics = result.metrics
+        # The outer query's record only: each partition index at most
+        # once, not the concatenation of every nested evaluation.
+        assert sorted(p["partition"] for p in metrics.partitions) \
+            == list(range(len(metrics.partitions)))
+        assert len(metrics.plans) <= 2

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import pytest
 
-from repro import QueryProcessor, RuleEngine, Universe
+from repro import QueryProcessor, RuleEngine, Universe, obs
 from repro.errors import ReproError
 from repro.storage.serialize import subdatabase_to_dict
 from repro.university.generator import GeneratorConfig, generate_university
@@ -309,3 +309,78 @@ class TestDifferentialRules:
                         f"seed={seed} rule={rule_text!r} {label} differs")
         assert added >= 3, "generator produced too few rule-shaped cases"
         assert not mismatches, "\n".join(mismatches)
+
+
+class TestTracingParity:
+    """Tracing must be observationally free: rerunning every case with a
+    tracer installed yields byte-identical results and identical row
+    counters.  Anything else means instrumentation leaked into
+    evaluation."""
+
+    COUNTERS = ("extent_objects", "edge_traversals", "rows_generated",
+                "patterns_subsumed", "patterns_out", "loop_levels")
+
+    def _counters(self, processor: QueryProcessor) -> dict:
+        metrics = processor.evaluator.last_metrics
+        return {name: getattr(metrics, name) for name in self.COUNTERS}
+
+    def test_traced_runs_match_untraced(self, executors):
+        mismatches = []
+        for case in range(CASES):
+            seed = DB_SEED * 100_000 + case
+            spec = _random_spec(random.Random(seed))
+            text = spec.text()
+            for label, processor in executors:
+                plain = _outcome(processor, text)
+                counters = self._counters(processor)
+                obs.install(obs.Tracer())
+                try:
+                    traced = _outcome(processor, text)
+                    traced_counters = self._counters(processor)
+                    trace_id = processor.evaluator.last_metrics.trace_id
+                finally:
+                    obs.uninstall()
+                if traced != plain:
+                    mismatches.append(
+                        f"seed={seed} {label}: outcome differs under "
+                        f"tracing ({plain[0]} vs {traced[0]})")
+                elif traced_counters != counters:
+                    mismatches.append(
+                        f"seed={seed} {label}: counters differ under "
+                        f"tracing ({counters} vs {traced_counters})")
+                elif plain[0] == "ok" and trace_id is None:
+                    mismatches.append(
+                        f"seed={seed} {label}: no trace_id recorded")
+                if len(mismatches) >= 5:
+                    break
+            if len(mismatches) >= 5:
+                break
+        assert not mismatches, (
+            f"{len(mismatches)} tracing-parity mismatch(es) over "
+            f"{CASES} cases:\n" + "\n".join(mismatches))
+
+    def test_trace_artifact_export(self, executors, tmp_path):
+        """Trace a representative sample and save a Chrome trace; when
+        ``DIFFERENTIAL_TRACE_OUT`` is set (nightly CI), write it there
+        so the run uploads it as a workflow artifact."""
+        samples = [
+            "context Student * Section * Course",
+            "context Course * Course_1 ^*",
+            "context Department * Course * Section * Student "
+            "where COUNT(Student by Course) > 25",
+        ]
+        tracer = obs.Tracer()
+        obs.install(tracer)
+        try:
+            for _, processor in executors:
+                for text in samples:
+                    processor.execute(text)
+        finally:
+            obs.uninstall()
+        roots = tracer.recorder.traces()
+        assert len(roots) == len(samples) * len(executors)
+        out = os.environ.get("DIFFERENTIAL_TRACE_OUT")
+        path = out if out else str(tmp_path / "differential_trace.json")
+        saved = obs.save_chrome_trace(path, roots)
+        doc = json.loads(saved.read_text())
+        assert doc["traceEvents"], "empty chrome trace"

@@ -159,3 +159,66 @@ class TestMetricsCommand:
         text = output(out)
         assert "edge_traversals:" in text
         assert "patterns_out: 3" in text
+
+
+class TestTraceCommand:
+    @pytest.fixture(autouse=True)
+    def _no_tracer_leak(self):
+        from repro import obs
+        yield
+        obs.uninstall()
+
+    def test_trace_reports_off_by_default(self, shell):
+        sh, out = shell
+        sh.handle("\\trace")
+        assert "tracing is off" in output(out)
+
+    def test_trace_on_show_save_off(self, shell, tmp_path):
+        import json
+        sh, out = shell
+        sh.handle("\\trace show")
+        assert "no trace recorded" in output(out)
+        sh.handle("\\trace on")
+        assert "tracing on" in output(out)
+        sh.handle("context Teacher * Section * Course")
+        sh.handle("\\trace")
+        assert "tracing is on — 1 trace(s) recorded" in output(out)
+        sh.handle("\\trace show")
+        text = output(out)
+        assert "engine-query" in text
+        assert "join-step" in text
+        path = tmp_path / "trace.json"
+        sh.handle(f"\\trace save {path}")
+        assert "chrome trace saved" in output(out)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        sh.handle("\\trace off")
+        sh.handle("\\trace")
+        assert "tracing is off" in output(out)
+
+    def test_trace_save_without_traces(self, shell):
+        sh, out = shell
+        sh.handle("\\trace on")
+        sh.handle("\\trace save /tmp/never.json")
+        assert "no traces to save" in output(out)
+
+    def test_trace_usage_hint(self, shell):
+        sh, out = shell
+        sh.handle("\\trace frobnicate")
+        assert "usage: \\trace" in output(out)
+
+    def test_budget_trip_prints_trace_hint(self, shell):
+        sh, out = shell
+        sh.handle("\\trace on")
+        sh.handle("\\budget max_rows=1")
+        sh.handle("context Teacher * Section * Course")
+        text = output(out)
+        assert "partial trace" in text
+        assert "\\trace show" in text
+
+    def test_metrics_show_trace_id(self, shell):
+        sh, out = shell
+        sh.handle("\\trace on")
+        sh.handle("context Teacher * Section")
+        sh.handle("\\metrics")
+        assert "trace_id: 1" in output(out)
