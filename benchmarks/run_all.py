@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark family at fixed seeds and emit ``BENCH_PR4.json``.
+"""Run every benchmark family at fixed seeds and emit ``BENCH_PR5.json``.
 
 A standalone (non-pytest) runner over the same workloads as the
 ``bench_*.py`` modules: each scenario is built fresh, warmed once, timed
@@ -28,6 +28,13 @@ Usage::
         # the estimated cost of tracing-off instrumentation guards
         # exceeds this percentage of the untraced median (the
         # zero-overhead-off contract; 3.0 is also the default gate)
+    python benchmarks/run_all.py --min-warm-speedup 5.0  # fail when a
+        # warm (cache-hit) hot-query run is not at least this much
+        # faster than its cold twin (opt-in: absolute timings on shared
+        # runners jitter, but the warm/cold *ratio* is stable)
+    python benchmarks/run_all.py --min-churn-hit-rate 0.9  # fail when
+        # the write-churn scenario's cache hit rate under
+        # unrelated-class writes falls below this fraction
 """
 
 from __future__ import annotations
@@ -224,6 +231,119 @@ for _scale in ("small", "medium", "large"):
 
     PARALLEL_PAIRS[f"parallel-extent-scan-{_scale}"] = \
         f"extent-scan-{_scale}"
+
+
+# ---------------------------------------------------------------------------
+# Cross-query result cache: hot-query (warm vs cold twins) and
+# write-churn (hit rate under a stream of unrelated-class writes).
+# Every other scenario keeps the default cache-off processors, so the
+# rest of the suite still measures cold evaluation.
+# ---------------------------------------------------------------------------
+
+#: warm scenario -> its cold twin, for the speedup report.
+CACHE_PAIRS: Dict[str, str] = {}
+
+#: Hot workloads expensive enough that a cache hit (a clone of the
+#: memoized result) is a large multiple cheaper than re-evaluation.
+_HOT_QUERIES = {
+    "hot-agg-small": (
+        "small", "context Department * Course * Section * Student "
+                 "where COUNT(Student by Course) > 10"),
+    "hot-agg-medium": (
+        "medium", "context Department * Course * Section * Student "
+                  "where COUNT(Student by Course) > 10"),
+}
+
+
+def _warm_cache_runner(data, text: str):
+    """Time repeated execution with the result cache enabled; the build
+    populates the entry, so every timed round is a cache hit (the
+    version vector never moves — nothing writes to this dataset)."""
+    qp = QueryProcessor(Universe(data.db), cache_bytes=64 << 20)
+    qp.execute(text)
+
+    def run():
+        qp.execute(text)
+        return qp.evaluator.last_metrics.snapshot()
+
+    return run
+
+
+for _hot_name, (_scale, _text) in _HOT_QUERIES.items():
+    @scenario(f"{_hot_name}-warm", "cache", "chain-match",
+              SCALES[_scale].students)
+    def _build(scale=_scale, text=_text):
+        return _warm_cache_runner(_scaled(scale), text)
+
+    @scenario(f"{_hot_name}-cold", "cache", "chain-match",
+              SCALES[_scale].students)
+    def _build(scale=_scale, text=_text):
+        return _query_runner(_scaled(scale), text)
+
+    CACHE_PAIRS[f"{_hot_name}-warm"] = f"{_hot_name}-cold"
+
+
+#: Dedicated dataset: the churn stream inserts objects, and the shared
+#: scaled datasets must stay read-only for every other scenario.
+_CHURN_CONFIG = GeneratorConfig(seed=91)
+
+
+@scenario("write-churn-unrelated", "cache", "query+update",
+          _CHURN_CONFIG.students)
+def _build():
+    data = _dataset(_CHURN_CONFIG)
+    qp = QueryProcessor(Universe(data.db), cache_bytes=64 << 20)
+    text = "context Teacher * Section * Course"
+    qp.execute(text)
+    tick = [0]
+
+    def run():
+        cache = qp.evaluator.result_cache
+        hits0, lookups0 = cache.hits, cache.hits + cache.misses
+        for _ in range(20):
+            tick[0] += 1
+            # Department is outside the query's dependency classes
+            # (Teacher, Section, Course), so the entry must survive.
+            data.db.insert("Department", f"churn{tick[0]}",
+                           name=f"D{tick[0]}")
+            qp.execute(text)
+        snap = qp.evaluator.last_metrics.snapshot()
+        hits = cache.hits - hits0
+        lookups = (cache.hits + cache.misses) - lookups0
+        snap["churn_hit_rate"] = round(hits / lookups, 4) \
+            if lookups else None
+        return snap
+
+    return run
+
+
+def cache_speedups(results: List[dict]) -> List[dict]:
+    """Warm-over-cold median speedup per hot-query pair, plus every
+    churn scenario's hit rate, for the report and the opt-in gates."""
+    by_name = {record["name"]: record for record in results}
+    report = []
+    for warm_name, cold_name in sorted(CACHE_PAIRS.items()):
+        warm = by_name.get(warm_name)
+        cold = by_name.get(cold_name)
+        if warm is None or cold is None:
+            continue
+        report.append({
+            "warm": warm_name,
+            "cold": cold_name,
+            "cold_ms": cold["median_ms"],
+            "warm_ms": warm["median_ms"],
+            "speedup": round(cold["median_ms"] / warm["median_ms"], 3)
+            if warm["median_ms"] else None,
+        })
+    return report
+
+
+def cache_churn(results: List[dict]) -> List[dict]:
+    return [{"scenario": record["name"],
+             "hit_rate": record["metrics"]["churn_hit_rate"]}
+            for record in results
+            if record["group"] == "cache" and record["metrics"]
+            and "churn_hit_rate" in record["metrics"]]
 
 
 # ---------------------------------------------------------------------------
@@ -712,7 +832,7 @@ def main(argv=None) -> int:
                         help="timing rounds per scenario "
                              "(default 5, quick 3)")
     parser.add_argument("--out", type=Path,
-                        default=REPO_ROOT / "BENCH_PR4.json",
+                        default=REPO_ROOT / "BENCH_PR5.json",
                         help="output JSON path")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline JSON to gate the "
@@ -735,6 +855,13 @@ def main(argv=None) -> int:
                         help="fail when the estimated tracing-off guard "
                              "cost exceeds this percentage of a "
                              "workload's untraced median")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        help="fail when a warm hot-query run is not at "
+                             "least this many times faster than its "
+                             "cold twin (opt-in)")
+    parser.add_argument("--min-churn-hit-rate", type=float, default=None,
+                        help="fail when the write-churn cache hit rate "
+                             "falls below this fraction (opt-in)")
     args = parser.parse_args(argv)
 
     global _SEED
@@ -752,6 +879,8 @@ def main(argv=None) -> int:
 
     speedups = parallel_speedups(results)
     overhead = tracing_overhead(results)
+    warm = cache_speedups(results)
+    churn = cache_churn(results)
     payload = {
         "meta": {
             "quick": args.quick,
@@ -764,6 +893,8 @@ def main(argv=None) -> int:
         "results": results,
         "parallel_speedups": speedups,
         "tracing_overhead": overhead,
+        "cache_speedups": warm,
+        "cache_churn": churn,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out} ({len(results)} scenarios)")
@@ -808,6 +939,42 @@ def main(argv=None) -> int:
                       f"{entry['null_overhead_pct']:.4f}%",
                       file=sys.stderr)
             return 1
+
+    if warm:
+        print("\ncache speedup (warm hit over cold evaluation):")
+        for entry in warm:
+            print(f"  {entry['warm']:32s} {entry['speedup']:.2f}x "
+                  f"({entry['cold_ms']:.2f} ms -> "
+                  f"{entry['warm_ms']:.3f} ms)")
+        if args.min_warm_speedup is not None:
+            slow = [entry for entry in warm
+                    if entry["speedup"] is not None
+                    and entry["speedup"] < args.min_warm_speedup]
+            if slow:
+                print(f"\nCACHE SPEEDUP below "
+                      f"{args.min_warm_speedup:.2f}x:", file=sys.stderr)
+                for entry in slow:
+                    print(f"  {entry['warm']}: "
+                          f"{entry['speedup']:.2f}x", file=sys.stderr)
+                return 1
+
+    if churn:
+        print("\ncache hit rate under unrelated-class write churn:")
+        for entry in churn:
+            print(f"  {entry['scenario']:32s} "
+                  f"{entry['hit_rate']:.1%}")
+        if args.min_churn_hit_rate is not None:
+            cold_churn = [entry for entry in churn
+                          if entry["hit_rate"] is not None
+                          and entry["hit_rate"]
+                          < args.min_churn_hit_rate]
+            if cold_churn:
+                print(f"\nCHURN HIT RATE below "
+                      f"{args.min_churn_hit_rate:.0%}:", file=sys.stderr)
+                for entry in cold_churn:
+                    print(f"  {entry['scenario']}: "
+                          f"{entry['hit_rate']:.1%}", file=sys.stderr)
+                return 1
 
     if args.baseline is not None:
         failures = check_regression(results, args.baseline,

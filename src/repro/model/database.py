@@ -173,15 +173,27 @@ class Database:
         self._rev: Dict[Tuple[str, str], Dict[OID, Set[OID]]] = {}
         self._entities: Dict[OID, Entity] = {}
         self._version = 0
+        #: Per-class version vector: class name -> version of the last
+        #: mutation that touched its extension.  ``_emit`` stamps every
+        #: class in the event's superclass closure, so a cache entry that
+        #: records the versions of the classes it read stays valid across
+        #: writes to unrelated classes.  Classes never written sit at 0.
+        self._class_versions: Dict[str, int] = {}
+        #: Bumped by SCHEMA events (class/attribute/association changes);
+        #: folded into every vector so schema evolution invalidates
+        #: everything, as before.
+        self._schema_version = 0
         self._listeners: List[Listener] = []
         self._batch_depth = 0
         self._batch_classes: Set[str] = set()
         self._batch_count = 0
         self._batch_events: List[UpdateEvent] = []
-        # Full (subclass-inclusive) extents memoized per version; the
-        # returned sets are shared — callers must not mutate them.
-        self._extent_cache: Dict[str, Set[OID]] = {}
-        self._extent_cache_version = -1
+        # Full (subclass-inclusive) extents memoized per class version
+        # (an insert into a subclass stamps the superclass closure, so a
+        # class's own version covers its whole subtree); the returned
+        # sets are shared — callers must not mutate them.  Values are
+        # ``((schema_version, class_version), set)``.
+        self._extent_cache: Dict[str, Tuple[Tuple[int, int], Set[OID]]] = {}
         #: Reader-writer lock: every mutator holds the write side through
         #: its listener notification; snapshots hold the read side while
         #: pinning state or falling through to live structures.
@@ -254,6 +266,27 @@ class Database:
         """Monotonically increasing counter, bumped by every mutation."""
         return self._version
 
+    @property
+    def schema_version(self) -> int:
+        """Counter bumped by every SCHEMA event (schema evolution)."""
+        return self._schema_version
+
+    def class_version(self, cls: str) -> int:
+        """The version of the last mutation that touched the extension
+        of ``cls`` (its instances or links at either end), or 0 if the
+        class has never been written.  Because :meth:`_emit` stamps the
+        whole superclass closure of the touched class, a query over the
+        extent of ``cls`` only ever sees results that changed after this
+        number moved."""
+        return self._class_versions.get(cls, 0)
+
+    def version_vector(self, classes: Iterable[str]) -> Tuple[int, ...]:
+        """The per-class versions of ``classes`` (iterated in the given
+        order), prefixed with the schema version — the invalidation key
+        for anything computed from those classes' extensions."""
+        get = self._class_versions.get
+        return (self._schema_version,) + tuple(get(c, 0) for c in classes)
+
     def add_listener(self, listener: Listener) -> None:
         """Register a callback invoked after every mutation."""
         self._listeners.append(listener)
@@ -265,7 +298,12 @@ class Database:
               detail: str = "", oids: Tuple[OID, ...] = (),
               link: Optional[Tuple[str, str]] = None) -> None:
         self._version += 1
-        event = UpdateEvent(kind=kind, classes=tuple(classes),
+        classes = tuple(classes)
+        for cls in classes:
+            self._class_versions[cls] = self._version
+        if kind is UpdateKind.SCHEMA:
+            self._schema_version += 1
+        event = UpdateEvent(kind=kind, classes=classes,
                             version=self._version, detail=detail,
                             oids=oids, link=link)
         if self._batch_depth > 0:
@@ -441,19 +479,19 @@ class Database:
         identity semantics of generalization) the instances of all its
         subclasses.
 
-        The returned set is a per-version memo shared between callers
-        and must not be mutated (copy it first).
+        The returned set is a memo shared between callers and must not
+        be mutated (copy it first).  Entries are validated against the
+        per-class version vector, so writes to unrelated classes keep
+        the memo warm.
         """
-        if self._version != self._extent_cache_version:
-            self._extent_cache.clear()
-            self._extent_cache_version = self._version
+        token = (self._schema_version, self._class_versions.get(cls, 0))
         cached = self._extent_cache.get(cls)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == token:
+            return cached[1]
         out: Set[OID] = set(self._require_extent(cls))
         for sub in self.schema.subclasses(cls):
             out.update(self._extents.get(sub, ()))
-        self._extent_cache[cls] = out
+        self._extent_cache[cls] = (token, out)
         return out
 
     def direct_extent(self, cls: str) -> Set[OID]:

@@ -38,12 +38,10 @@ class InternTable:
     def __init__(self, key: Any, extent: Iterable[OID],
                  token: Any = None):
         self.key = key
-        self.oids: Tuple[OID, ...] = tuple(
-            sorted(extent, key=lambda o: o.value))
+        self.oids: list = sorted(extent, key=lambda o: o.value)
         #: ``values[i]`` is ``oids[i].value`` — the raw-int decode column
         #: used when hashing decoded rows without touching OID objects.
-        self.values: Tuple[int, ...] = tuple(
-            oid.value for oid in self.oids)
+        self.values: list = [oid.value for oid in self.oids]
         self.index: Dict[int, int] = {
             value: i for i, value in enumerate(self.values)}
         #: Validity token compared by identity by the owning store
@@ -51,6 +49,39 @@ class InternTable:
         #: derived extents).
         self.token = token
         self._full_ids: Optional[FrozenSet[int]] = None
+
+    def append(self, oid: OID) -> int:
+        """Extend the bijection with a freshly inserted object.
+
+        Only legal when ``oid`` sorts after every existing member (the
+        OID allocator is monotonic, so inserts always do) — existing
+        dense ids keep their meaning, which is what lets the store apply
+        an INSERT as a delta instead of rebuilding, and what keeps rows
+        already interned against this table decodable.  Returns the new
+        dense id.
+        """
+        if self.values and oid.value <= self.values[-1]:
+            raise ValueError(
+                f"append out of order: {oid.value} <= {self.values[-1]}")
+        i = len(self.oids)
+        self.oids.append(oid)
+        self.values.append(oid.value)
+        self.index[oid.value] = i
+        self._full_ids = None
+        return i
+
+    def without(self, oid: OID) -> "InternTable":
+        """A NEW table over the extent minus ``oid``.
+
+        Deletion shifts dense ids, so it must not mutate in place: rows
+        interned against *this* table (deferred subdatabase decodes)
+        keep their snapshot while new work re-interns against the
+        replacement.
+        """
+        return InternTable(self.key,
+                           (o for o in self.oids if o is not oid
+                            and o.value != oid.value),
+                           self.token)
 
     def __len__(self) -> int:
         return len(self.oids)
@@ -103,6 +134,14 @@ class OIDInterner:
         table = InternTable(key, extent, token)
         self._tables[key] = table
         return table
+
+    def replace(self, key: Any, table: InternTable) -> None:
+        """Swap in a rebuilt table (delta deletion): holders of the old
+        object keep a consistent snapshot; new work sees the new one."""
+        self._tables[key] = table
+
+    def drop(self, key: Any) -> None:
+        self._tables.pop(key, None)
 
     def invalidate_classes(self, classes: Iterable[str]) -> None:
         """Drop the base tables of every named class (their extents

@@ -58,6 +58,8 @@ from repro.oql.ast import (
     WhereCond,
 )
 from repro.model.interning import InternTable
+from repro.oql.cache import (DEFAULT_CACHE_BYTES, ResultCache, clone_result,
+                             dependency_classes, fingerprint, result_nbytes)
 from repro.oql.planner import OPTIMIZE_MODES, JoinPlan, Planner
 from repro.subdb.intension import Edge, IntensionalPattern
 from repro.subdb.pattern import ExtensionalPattern, subsume, subsume_rows
@@ -128,6 +130,13 @@ class EvaluationMetrics:
     #: tracer was installed); resolve it via
     #: ``obs.TRACER.recorder.get(trace_id)``.
     trace_id: Optional[int] = None
+    #: Cross-query result-cache traffic of this evaluation: a hit means
+    #: the whole result was served without joining; a memo hit means a
+    #: loop seeded its anchor-expansion table from a previous query.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_memo_hits: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -140,6 +149,10 @@ class EvaluationMetrics:
             "loop_levels": self.loop_levels,
             "workers_used": self.workers_used,
             "budget_verdict": self.budget_verdict,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_memo_hits": self.cache_memo_hits,
         }
 
     def describe_plans(self) -> str:
@@ -196,7 +209,8 @@ class PatternEvaluator:
                  optimize: Union[bool, str] = "cost",
                  compact: bool = True,
                  workers: int = 1,
-                 min_parallel_rows: int = 256):
+                 min_parallel_rows: int = 256,
+                 cache_bytes: int = 0):
         if on_cycle not in ("error", "stop"):
             raise ValueError("on_cycle must be 'error' or 'stop'")
         if workers < 1:
@@ -248,10 +262,23 @@ class PatternEvaluator:
         #: The statistics-backed join planner (cached against the
         #: universe's data version).
         self.planner = Planner(universe)
-        # Filtered extents memoized per data version (conditions are
-        # pure, so a term's filtered extent only changes with the data).
-        self._extent_cache: Dict[ClassTerm, Set[OID]] = {}
-        self._extent_cache_version = -1
+        #: The cross-query result cache (LRU, byte-bounded, keyed by
+        #: query fingerprint + per-class version vector).  Pass
+        #: ``cache_bytes > 0`` to enable it; it can also be toggled
+        #: at runtime via ``result_cache.enabled`` (the shell's
+        #: ``\cache on|off``) at the default capacity.
+        self.result_cache = ResultCache(
+            cache_bytes if cache_bytes > 0 else DEFAULT_CACHE_BYTES,
+            enabled=cache_bytes > 0)
+        # Filtered extents memoized per ref token (conditions are pure,
+        # so a term's filtered extent only changes when the classes it
+        # reads change) — a write to an unrelated class keeps every
+        # other term's extent warm.  Values are ``(token, set)``.
+        self._extent_cache: Dict[ClassTerm, Tuple[Tuple[int, ...],
+                                                  Set[OID]]] = {}
+        #: Filtered-extent computations that missed the memo (the
+        #: regression observable for per-class extent-cache scoping).
+        self.extent_filter_evals = 0
         #: Instrumentation of the most recent *completed* evaluate()
         #: call (assigned when the call returns or raises).
         self.last_metrics = EvaluationMetrics()
@@ -297,6 +324,16 @@ class PatternEvaluator:
         try:
             flat = _flatten(expr.chain)
             self._check_unique_slots(flat)
+            cache_key = cache_vector = None
+            cache = self.result_cache
+            if cache.enabled:
+                hit = self._cache_probe(cache, flat, expr, where)
+                if hit is not None:
+                    if hit[0] is not None:
+                        subdb = clone_result(hit[0], name)
+                        metrics.patterns_out = len(subdb)
+                        return subdb
+                    cache_key, cache_vector = hit[1], hit[2]
             if expr.loop is not None:
                 if self.compact:
                     subdb = self._evaluate_loop_compact(flat,
@@ -312,6 +349,14 @@ class PatternEvaluator:
                 subdb = self._apply_where(subdb, where)
             # len(subdb) counts interned rows without forcing a decode.
             metrics.patterns_out = len(subdb)
+            if cache_key is not None:
+                # Only a *completed* evaluation populates the cache: a
+                # BudgetExceeded trip unwinds past this line, so partial
+                # results can never be served later.
+                before = cache.evictions
+                cache.store(cache_key, cache_vector, subdb,
+                            result_nbytes(subdb))
+                metrics.cache_evictions += cache.evictions - before
             return subdb
         except BudgetExceeded as exc:
             metrics.budget_verdict = exc.verdict
@@ -336,6 +381,44 @@ class PatternEvaluator:
     # Shared machinery
     # ------------------------------------------------------------------
 
+    def _cache_probe(self, cache: ResultCache, flat: _Flattened,
+                     expr: ContextExpr, where: Sequence[WhereCond]
+                     ) -> Optional[Tuple[Optional[Subdatabase],
+                                         Tuple, Tuple[int, ...]]]:
+        """Look the query up in the cross-query result cache.
+
+        Returns ``None`` when the query is ineligible (some reference
+        reads a derived subdatabase — no per-class version covers it),
+        ``(template, key, vector)`` on a hit, and
+        ``(None, key, vector)`` on a miss, in which case the caller
+        stores its result under that same (key, vector) — captured
+        *before* evaluation, so a concurrent write to a dependency
+        class during the join leaves a vector no future lookup can
+        match.
+        """
+        dep = dependency_classes(flat.terms)
+        if dep is None:
+            return None
+        tracer = obs.TRACER
+        cspan = tracer.start("cache-lookup") if tracer is not None else None
+        try:
+            key = ("query", fingerprint(expr, where))
+            vector = self.universe.class_vector(dep)
+            template = cache.lookup(key, vector)
+            if template is not None:
+                self._metrics.cache_hits += 1
+                if cspan is not None:
+                    cspan.set("outcome", "hit")
+                    cspan.add("rows", len(template))
+                return (template, key, vector)
+            self._metrics.cache_misses += 1
+            if cspan is not None:
+                cspan.set("outcome", "miss")
+            return (None, key, vector)
+        finally:
+            if cspan is not None:
+                tracer.finish(cspan)
+
     def _check_unique_slots(self, flat: _Flattened) -> None:
         seen: Set[str] = set()
         for term in flat.terms:
@@ -348,20 +431,22 @@ class PatternEvaluator:
 
     def _extent(self, term: ClassTerm) -> Set[OID]:
         """The term's extent, filtered by its intra-class condition
-        (memoized per data version — the returned set is shared and
-        must not be mutated)."""
+        (memoized per ref token — the returned set is shared and must
+        not be mutated).  Entries are validated against the per-class
+        version vector, so a write to an unrelated class no longer
+        recomputes every filtered extent."""
         if term.condition is None:
             extent = self.universe.extent(term.ref)
             self._metrics.extent_objects += len(extent)
             return extent
-        version = self.universe.data_version
-        if version != self._extent_cache_version:
-            self._extent_cache.clear()
-            self._extent_cache_version = version
+        token = self.universe.ref_token(term.ref)
         cached = self._extent_cache.get(term)
-        if cached is not None:
-            self._metrics.extent_objects += len(cached)
-            return cached
+        if cached is not None and cached[0] == token:
+            self._metrics.extent_objects += len(cached[1])
+            return cached[1]
+        self.extent_filter_evals += 1
+        if len(self._extent_cache) > 1024:
+            self._extent_cache.clear()
         extent = self.universe.extent(term.ref)
 
         def getter_for(oid: OID):
@@ -376,7 +461,7 @@ class PatternEvaluator:
         filtered = {oid for oid in extent
                     if conditions.evaluate(term.condition,
                                            getter_for(oid))}
-        self._extent_cache[term] = filtered
+        self._extent_cache[term] = (token, filtered)
         self._metrics.extent_objects += len(filtered)
         return filtered
 
@@ -700,9 +785,24 @@ class PatternEvaluator:
                 for f in frontier:
                     candidates[f] = adj.row(f)
             else:
-                for f in frontier:
-                    candidates[f] = [v for v in adj.row(f)
-                                     if v in tgt_ids]
+                # Semi-join prefilter: neighbors are probed against the
+                # filtered target-id set *before* any join row is
+                # materialized.  When the set is a dense fraction of the
+                # target table, a bytearray mask replaces the frozenset
+                # probe — one C-level index per neighbor instead of a
+                # hash lookup.
+                table_size = len(tables[tgt])
+                if (len(frontier) >= 8 and table_size >= 64
+                        and 4 * len(tgt_ids) >= table_size):
+                    mask = bytearray(table_size)
+                    for v in tgt_ids:
+                        mask[v] = 1
+                    for f in frontier:
+                        candidates[f] = [v for v in adj.row(f) if mask[v]]
+                else:
+                    for f in frontier:
+                        candidates[f] = [v for v in adj.row(f)
+                                         if v in tgt_ids]
         else:  # "!": the non-association operator
             universe_ids = (tgt_ids if tgt_ids is not None
                             else tables[tgt].full_id_set)
@@ -1034,6 +1134,22 @@ class PatternEvaluator:
         max_level = count if count is not None else self.max_depth
         budget = self._budget
 
+        # Cross-query anchor-expansion memo: the one-cycle body
+        # expansion of an anchor id depends only on the term extents and
+        # links — exactly what the dependency classes' version vector
+        # pins.  Dense ids are positional over the sorted extent, so an
+        # unchanged vector means the same id bijection even if the
+        # tables were rebuilt in between.
+        memo_key = memo_vector = None
+        cache = self.result_cache
+        if cache.enabled:
+            dep = dependency_classes(terms)
+            if dep is not None:
+                memo_key = ("loop-body",
+                            repr((tuple(terms), tuple(flat.ops), count,
+                                  self.on_cycle)))
+                memo_vector = self.universe.class_vector(dep)
+
         # Level 1: one full traversal of the cycle.
         frontier = self._match_range_ids(flat, 0, n - 1, extents,
                                          resolutions, refs, tables, filt)
@@ -1047,6 +1163,11 @@ class PatternEvaluator:
         level = 1
         #: anchor id -> its one-cycle body expansions (anchor dropped).
         expansions: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+        if memo_key is not None:
+            seeded = cache.lookup(memo_key, memo_vector)
+            if seeded is not None:
+                expansions = dict(seeded)
+                self._metrics.cache_memo_hits += 1
         tracer = obs.TRACER
         while frontier and level < max_level:
             level += 1
@@ -1115,6 +1236,13 @@ class PatternEvaluator:
             raise CyclicDataError(
                 f"unbounded loop did not terminate within "
                 f"{self.max_depth} levels")
+        if memo_key is not None and expansions:
+            # Populated only on a completed closure (a budget trip or
+            # cycle error unwinds past this line).
+            tuples = sum(len(exts) for exts in expansions.values())
+            nbytes = (256 + len(expansions) * 80
+                      + tuples * (48 + 16 * body))
+            cache.store(memo_key, memo_vector, dict(expansions), nbytes)
         # The final frontier was never expanded: all of it survives.
         kept_rows.extend(frontier)
 

@@ -8,9 +8,13 @@ to the left or right); which one is cheapest depends on extent sizes,
 intra-class-condition selectivities, and per-link fan-out.
 
 :class:`Statistics` collects per-class extent sizes and per-link average
-fan-outs from the :class:`~repro.subdb.universe.Universe`, cached against
-its ``data_version`` (base-data version counter + subdatabase-registry
-epoch) so every update invalidates them without explicit wiring.
+fan-outs from the :class:`~repro.subdb.universe.Universe`.  Each entry
+is validated against the class-granular version vector of the classes
+it actually reads (the ref's class for an extent size; the source class
+plus the link's endpoint classes for a fan-out), so a write to one
+class leaves every other class's statistics warm.  Derived-subdatabase
+entries fall back to the coarse ``data_version`` token — their contents
+carry no per-class versions.
 
 :class:`Planner` turns a flattened chain plus the *actual* filtered
 extent sizes into a :class:`JoinPlan` under one of three strategies:
@@ -32,7 +36,7 @@ in *actuals*, giving an EXPLAIN ANALYZE-style artifact through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.subdb.refs import ClassRef
@@ -42,58 +46,79 @@ from repro.subdb.universe import EdgeResolution, Universe
 OPTIMIZE_MODES = ("naive", "greedy", "cost")
 
 
-class Statistics:
-    """Extent sizes and link fan-outs, cached per data version.
+#: Entry cap for per-entry-validated memo dicts: stale entries are only
+#: reaped on probe, so a hard cap bounds the worst-case footprint.
+_MEMO_CAP = 4096
 
-    Every accessor revalidates against ``universe.data_version`` — the
-    cache empties itself after any base-data mutation or subdatabase
-    (re-)materialization, so no explicit invalidation hooks are needed.
+
+class Statistics:
+    """Extent sizes and link fan-outs, validated entry by entry.
+
+    Each cached number carries the version-vector token of the classes
+    it was computed from; an accessor recomputes only when *those*
+    classes changed.  Writes to unrelated classes leave the entry warm
+    — the previous design cleared everything on any ``data_version``
+    bump, so one insert anywhere cooled the whole planner.
     """
 
     def __init__(self, universe: Universe):
         self.universe = universe
-        self._version = -1
-        self._extent_sizes: Dict[ClassRef, int] = {}
-        self._fanouts: Dict[Tuple[ClassRef, EdgeResolution], float] = {}
+        self._extent_sizes: Dict[ClassRef, Tuple[Any, int]] = {}
+        self._fanouts: Dict[Tuple[ClassRef, EdgeResolution],
+                            Tuple[Any, float]] = {}
 
-    def _revalidate(self) -> None:
-        version = self.universe.data_version
-        if version != self._version:
-            self._extent_sizes.clear()
-            self._fanouts.clear()
-            self._version = version
+    def _fanout_token(self, source: ClassRef,
+                      resolution: EdgeResolution) -> Any:
+        """The validity token of one fan-out figure: the version vector
+        of every class whose mutation can move it — the source class
+        (extent size, the denominator) and the link's endpoint classes
+        (every ASSOCIATE/DISSOCIATE on the link stamps both endpoints'
+        superclass closures, which contain them)."""
+        if resolution.kind == "identity":
+            return ()
+        if resolution.kind == "base" and source.subdb is None:
+            link = resolution.resolved.link
+            return self.universe.db.version_vector(
+                sorted({source.cls, link.owner, link.target}))
+        return (-1, self.universe.data_version)
 
     def extent_size(self, ref: ClassRef) -> int:
         """The unfiltered extent size of a class reference."""
-        self._revalidate()
-        size = self._extent_sizes.get(ref)
-        if size is None:
-            if ref.subdb is None:
-                size = self.universe.db.extent_size(ref.cls)
-            else:
-                size = len(self.universe.extent(ref))
-            self._extent_sizes[ref] = size
+        token = self.universe.ref_token(ref)
+        cached = self._extent_sizes.get(ref)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        if ref.subdb is None:
+            size = self.universe.db.extent_size(ref.cls)
+        else:
+            size = len(self.universe.extent(ref))
+        if len(self._extent_sizes) >= _MEMO_CAP:
+            self._extent_sizes.clear()
+        self._extent_sizes[ref] = (token, size)
         return size
 
     def fanout(self, source: ClassRef, resolution: EdgeResolution) -> float:
         """Average number of neighbors per object of ``source``'s extent
         across the resolved edge (the direction is implied by which end
         ``source`` stands at: total link pairs over source extent)."""
-        self._revalidate()
+        token = self._fanout_token(source, resolution)
         key = (source, resolution)
-        value = self._fanouts.get(key)
-        if value is None:
-            if resolution.kind == "identity":
-                value = 1.0
+        cached = self._fanouts.get(key)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        if resolution.kind == "identity":
+            value = 1.0
+        else:
+            if resolution.kind == "base":
+                pairs = self.universe.db.link_count(
+                    resolution.resolved.link)
             else:
-                if resolution.kind == "base":
-                    pairs = self.universe.db.link_count(
-                        resolution.resolved.link)
-                else:
-                    subdb = self.universe.get_subdb(resolution.subdb)
-                    pairs = len(subdb.pairs(resolution.i, resolution.j))
-                value = pairs / max(1, self.extent_size(source))
-            self._fanouts[key] = value
+                subdb = self.universe.get_subdb(resolution.subdb)
+                pairs = len(subdb.pairs(resolution.i, resolution.j))
+            value = pairs / max(1, self.extent_size(source))
+        if len(self._fanouts) >= _MEMO_CAP:
+            self._fanouts.clear()
+        self._fanouts[key] = (token, value)
         return value
 
 
@@ -180,10 +205,36 @@ class Planner:
         self.universe = universe
         self.statistics = Statistics(universe)
         # Chosen orders memoized per (strategy, range, refs, ops,
-        # filtered sizes) — repeated evaluations of the same query skip
-        # the DP; invalidated with the statistics (data_version).
-        self._cache_version = -1
-        self._cache: Dict[tuple, Tuple[int, List[PlanStep], float]] = {}
+        # filtered sizes), each entry validated against the version
+        # vector of the classes its fan-out estimates read — repeated
+        # evaluations of the same query skip the DP, and writes to
+        # unrelated classes leave the memo warm.
+        self._cache: Dict[tuple,
+                          Tuple[Any, int, List[PlanStep], float]] = {}
+
+    def _plan_token(self, refs: Sequence[ClassRef],
+                    resolutions: Sequence[EdgeResolution],
+                    start: int, end: int) -> Any:
+        """Validity token of a memoized order: the filtered sizes are
+        part of the key, so what remains version-sensitive is the
+        fan-out estimates — the slot classes plus every crossed link's
+        endpoint classes.  Any derived slot or edge falls back to the
+        coarse ``data_version`` token."""
+        classes = set()
+        for i in range(start, end + 1):
+            ref = refs[i]
+            if ref.subdb is not None:
+                return (-1, self.universe.data_version)
+            classes.add(ref.cls)
+        for edge in range(start, end):
+            resolution = resolutions[edge]
+            if resolution.kind == "base":
+                link = resolution.resolved.link
+                classes.add(link.owner)
+                classes.add(link.target)
+            elif resolution.kind == "subdb":
+                return (-1, self.universe.data_version)
+        return self.universe.db.version_vector(sorted(classes))
 
     # ------------------------------------------------------------------
     # Cardinality estimation
@@ -233,15 +284,14 @@ class Planner:
                             end=end) if tracer is not None else None
         try:
             slot_names = tuple(ref.slot for ref in refs)
-            version = self.universe.data_version
-            if version != self._cache_version:
-                self._cache.clear()
-                self._cache_version = version
+            token = self._plan_token(refs, resolutions, start, end)
             key = (strategy, start, end, tuple(refs), tuple(ops),
                    tuple(sizes))
             cached = self._cache.get(key)
+            if cached is not None and cached[0] != token:
+                cached = None
             if cached is not None:
-                anchor, steps, cost = cached
+                _, anchor, steps, cost = cached
             elif strategy == "cost" and end > start:
                 anchor, steps, cost = self._order_cost(
                     refs, ops, resolutions, sizes, start, end)
@@ -251,7 +301,9 @@ class Planner:
             else:
                 anchor, steps, cost = self._order_naive(
                     refs, ops, resolutions, sizes, start, end)
-            self._cache[key] = (anchor, steps, cost)
+            if len(self._cache) >= _MEMO_CAP:
+                self._cache.clear()
+            self._cache[key] = (token, anchor, steps, cost)
             if span is not None:
                 span.set("cached", cached is not None)
                 span.set("anchor", slot_names[anchor])

@@ -55,10 +55,12 @@ class QueryProcessor:
 
     def __init__(self, universe: Universe, on_cycle: str = "error",
                  operations: Optional[OperationRegistry] = None,
-                 compact: bool = True, workers: int = 1):
+                 compact: bool = True, workers: int = 1,
+                 cache_bytes: int = 0):
         self.universe = universe
         self.evaluator = PatternEvaluator(universe, on_cycle=on_cycle,
-                                          compact=compact, workers=workers)
+                                          compact=compact, workers=workers,
+                                          cache_bytes=cache_bytes)
         if operations is None:
             from repro.oql.builtins import register_builtin_operations
             operations = register_builtin_operations(OperationRegistry())

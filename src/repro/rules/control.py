@@ -240,8 +240,19 @@ class IncrementalResultController(ResultOrientedController):
         if budget is not None:
             budget.start()
         try:
-            changed_flags = [maintainer.on_event(event, budget=budget)
-                             for maintainer in maintainers]
+            # A maintainer whose source-class version vector has not
+            # moved since its last apply provably absorbs the event as
+            # a no-op: skip the dispatch outright (finer than the
+            # per-target direct_hit test — a multi-rule target
+            # dispatches only the rules that read the touched classes).
+            changed_flags = []
+            for maintainer in maintainers:
+                if maintainer.is_current():
+                    engine.stats.refreshes_skipped_versioned += 1
+                    changed_flags.append(False)
+                else:
+                    changed_flags.append(
+                        maintainer.on_event(event, budget=budget))
         except BudgetExceeded:
             for maintainer in maintainers:
                 maintainer.invalidate()

@@ -19,6 +19,7 @@ from repro import obs
 from repro.errors import CyclicRuleError, UnknownSubdatabaseError
 from repro.model.database import Database, UpdateEvent
 from repro.oql.budget import QueryBudget
+from repro.oql.cache import result_nbytes
 from repro.oql.evaluator import PatternEvaluator
 from repro.oql.operations import OperationRegistry
 from repro.oql.query import QueryProcessor, QueryResult
@@ -47,6 +48,13 @@ class EngineStats:
     stale_markings: int = 0
     incremental_refreshes: int = 0
     refreshes_skipped: int = 0
+    #: Maintainer refreshes skipped because the version vector of the
+    #: maintainer's source classes had not moved since its last apply.
+    refreshes_skipped_versioned: int = 0
+    #: Derivations served from the cross-query result cache (the
+    #: target's transitive base classes were unchanged since the
+    #: memoized derivation).
+    derivation_memo_hits: int = 0
 
     def total_derivations(self) -> int:
         return sum(self.derivations.values())
@@ -59,6 +67,8 @@ class EngineStats:
             "stale_markings": self.stale_markings,
             "incremental_refreshes": self.incremental_refreshes,
             "refreshes_skipped": self.refreshes_skipped,
+            "refreshes_skipped_versioned": self.refreshes_skipped_versioned,
+            "derivation_memo_hits": self.derivation_memo_hits,
         }
 
 
@@ -69,15 +79,18 @@ class RuleEngine:
                  on_cycle: str = "error",
                  operations: Optional[OperationRegistry] = None,
                  compact: bool = True, workers: int = 1,
-                 maintenance_budget: Optional[QueryBudget] = None):
+                 maintenance_budget: Optional[QueryBudget] = None,
+                 cache_bytes: int = 0):
         self.db = db
         self.universe = Universe(db)
         self.universe.provider = self._provide
         self.evaluator = PatternEvaluator(self.universe, on_cycle=on_cycle,
-                                          compact=compact, workers=workers)
+                                          compact=compact, workers=workers,
+                                          cache_bytes=cache_bytes)
         self.processor = QueryProcessor(self.universe, on_cycle=on_cycle,
                                         operations=operations,
-                                        compact=compact, workers=workers)
+                                        compact=compact, workers=workers,
+                                        cache_bytes=cache_bytes)
         #: Per-event budget for incremental maintenance: when set, a
         #: maintainer refresh that trips it is skipped (the target goes
         #: stale and ``stats.refreshes_skipped`` counts it) instead of
@@ -86,6 +99,7 @@ class RuleEngine:
         self._on_cycle = on_cycle
         self._compact = compact
         self._operations = operations
+        self._cache_bytes = cache_bytes
         self.rules: List[DeductiveRule] = []
         self._by_target: Dict[str, List[DeductiveRule]] = {}
         self.stats = EngineStats()
@@ -138,6 +152,12 @@ class RuleEngine:
         # A previously materialized value of this target no longer
         # reflects the full rule set.
         self.universe.unregister(rule.target)
+        # Neither do memoized derivations of it or of anything
+        # downstream — a definition change moves no version vector, so
+        # the memos must be dropped explicitly.
+        self._drop_derivation_memos(
+            downstream_closure(self.rule_graph(),
+                               [rule.target]) | {rule.target})
         return rule
 
     def remove_rule(self, rule: Union[str, DeductiveRule]
@@ -170,6 +190,7 @@ class RuleEngine:
             del self._by_target[rule.target]
         for name in affected:
             self.universe.unregister(name)
+        self._drop_derivation_memos(affected)
         return rule
 
     def rules_for(self, name: str) -> List[DeductiveRule]:
@@ -222,12 +243,53 @@ class RuleEngine:
             return self.derive(name)
         return None
 
+    def _target_base_classes(self, name: str) -> Optional[Set[str]]:
+        """The base classes feeding ``name`` transitively through the
+        rule graph — or ``None`` when any transitive source is not
+        itself rule-derived (an externally registered subdatabase has
+        no per-class versions, so the target's value is not a function
+        of the base vector alone)."""
+        classes: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [name]
+        while stack:
+            target = stack.pop()
+            if target in seen:
+                continue
+            seen.add(target)
+            rules = self._by_target.get(target)
+            if rules is None:
+                return None
+            for rule in rules:
+                classes.update(rule.base_classes())
+                stack.extend(rule.source_subdatabases())
+        return classes
+
+    def _derivation_vector(self, name: str):
+        """The version vector a memoized derivation of ``name`` is valid
+        at, or ``None`` when ineligible."""
+        classes = self._target_base_classes(name)
+        if classes is None:
+            return None
+        return self.db.version_vector(sorted(classes))
+
+    def _drop_derivation_memos(self, names) -> None:
+        cache = self.evaluator.result_cache
+        for name in names:
+            cache.drop(("derive", name))
+
     def derive(self, name: str, force: bool = False) -> Subdatabase:
         """Materialize one derived subdatabase.
 
         Evaluating the rules' context expressions resolves any source
         subdatabases through the universe, which recursively derives them
         — the backward-chaining cascade of Section 4.3.
+
+        When the cross-query result cache is enabled, a target whose
+        transitive base classes are unversioned since a previous
+        derivation is served from the cache instead of re-deriving
+        (``stats.derivation_memo_hits``); the memo key is validated
+        against the version vector of exactly those classes.
         """
         if not force and self.universe.has_subdb(name):
             return self.universe.get_subdb(name)
@@ -237,6 +299,17 @@ class RuleEngine:
         if name in self._deriving:
             raise CyclicRuleError(
                 f"cyclic derivation detected while deriving {name!r}")
+        cache = self.evaluator.result_cache
+        memo_vector = self._derivation_vector(name) if cache.enabled \
+            else None
+        if memo_vector is not None and not force:
+            memoized = cache.lookup(("derive", name), memo_vector)
+            if memoized is not None:
+                self.stats.derivation_memo_hits += 1
+                self.universe.register(memoized)
+                self.controller.on_derived(name)
+                self._derived_log.append(name)
+                return memoized
         self._deriving.add(name)
         tracer = obs.TRACER
         span = tracer.start("derive", target=name,
@@ -252,6 +325,13 @@ class RuleEngine:
                     rule.label or rule.target] += 1
             result = derive_target(self._by_target[name], self.evaluator)
             self.universe.register(result)
+            if memo_vector is not None:
+                # Stored under the vector captured *before* evaluation:
+                # if a source class moved mid-derivation, the entry sits
+                # under a vector no future lookup of that class can
+                # present again (versions are monotonic) — never stale.
+                cache.store(("derive", name), memo_vector, result,
+                            result_nbytes(result))
             self.stats.derivations[name] += 1
             self.controller.on_derived(name)
             self._derived_log.append(name)
@@ -332,7 +412,8 @@ class RuleEngine:
                 tracer.finish(sspan)
         processor = QueryProcessor(snapshot, on_cycle=self._on_cycle,
                                    operations=self._operations,
-                                   compact=self._compact)
+                                   compact=self._compact,
+                                   cache_bytes=self._cache_bytes)
         deriving: Set[str] = set()
 
         def provide(name: str) -> Optional[Subdatabase]:

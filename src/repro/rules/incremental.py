@@ -88,6 +88,13 @@ class IncrementalRule:
         self._initialized = False
         # The budget of the on_event call currently being applied.
         self._budget: Optional[QueryBudget] = None
+        #: The base classes this maintainer reads — the match set is a
+        #: pure function of their extensions, so the version vector over
+        #: them decides whether the set can have moved at all.
+        self.source_classes: Tuple[str, ...] = tuple(
+            sorted({t.ref.cls for t in self.terms}))
+        # Vector the match set is known current at (None = unknown).
+        self._vector: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------------
     # Full (re)initialization
@@ -102,6 +109,8 @@ class IncrementalRule:
                                          budget=self._budget)
         self.rows = {tuple(p.values) for p in source.patterns}
         self._initialized = True
+        self._vector = self.universe.db.version_vector(
+            self.source_classes)
 
     def invalidate(self) -> None:
         """Discard the maintained match set (it may be mid-delta after
@@ -109,6 +118,17 @@ class IncrementalRule:
         scratch."""
         self.rows = set()
         self._initialized = False
+        self._vector = None
+
+    def is_current(self) -> bool:
+        """Whether the match set is provably current: the version
+        vector over the maintainer's source classes has not moved since
+        the last (re)initialization or applied delta — in which case an
+        event dispatch would be a no-op and can be skipped entirely."""
+        if not self._initialized or self._vector is None:
+            return False
+        return self.universe.db.version_vector(
+            self.source_classes) == self._vector
 
     # ------------------------------------------------------------------
     # Membership and row checks
@@ -335,6 +355,8 @@ class IncrementalRule:
                     self._budget = prev
             else:
                 changed = self._apply_budgeted(event)
+            self._vector = self.universe.db.version_vector(
+                self.source_classes)
             if span is not None:
                 span.set("changed", changed)
             return changed

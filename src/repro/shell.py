@@ -25,6 +25,10 @@ with a backslash::
                           (pretty tree of the last trace), or
                           "save PATH" (Chrome trace JSON); bare
                           \\trace reports the current state
+    \\cache [ARG]          cross-query result cache; ARG is "on",
+                          "off", "stats" (entries, bytes, hit/miss
+                          counters), or "clear"; bare \\cache reports
+                          the current state
     \\why TARGET l1 l2 ..  justify a derived pattern (OID labels)
     \\stats                engine statistics
     \\save PATH            persist the session as JSON
@@ -67,6 +71,7 @@ class Shell:
             "metrics": self._cmd_metrics,
             "budget": self._cmd_budget,
             "trace": self._cmd_trace,
+            "cache": self._cmd_cache,
             "why": self._cmd_why,
             "stats": self._cmd_stats,
             "save": self._cmd_save,
@@ -287,6 +292,61 @@ class Shell:
                         f"(open via chrome://tracing)")
             return True
         self._print("usage: \\trace [on|off|show|save PATH]")
+        return True
+
+    def _caches(self):
+        """The engine's result caches: the query processor's, plus the
+        derivation evaluator's when distinct (they are toggled
+        together so queries and backward chaining agree)."""
+        caches = [self.engine.processor.evaluator.result_cache]
+        derivation = self.engine.evaluator.result_cache
+        if derivation is not caches[0]:
+            caches.append(derivation)
+        return caches
+
+    def _cmd_cache(self, argument: str) -> bool:
+        word = argument.strip().lower()
+        caches = self._caches()
+        query_cache = caches[0]
+        if not word:
+            if query_cache.enabled:
+                self._print(f"cache is on — {len(query_cache)} "
+                            f"entries, {query_cache.bytes_used} bytes "
+                            f"of {query_cache.max_bytes}")
+            else:
+                self._print("cache is off")
+            return True
+        if word == "on":
+            if query_cache.enabled:
+                self._print("cache already on")
+            else:
+                for cache in caches:
+                    cache.enabled = True
+                self._print(f"cache on ({query_cache.max_bytes} bytes)")
+            return True
+        if word == "off":
+            if not query_cache.enabled:
+                self._print("cache already off")
+            else:
+                for cache in caches:
+                    cache.enabled = False
+                    cache.clear()
+                self._print("cache off")
+            return True
+        if word == "stats":
+            for key, value in query_cache.stats().items():
+                self._print(f"{key}: {value}")
+            if len(caches) > 1:
+                self._print("derivation cache:")
+                for key, value in caches[1].stats().items():
+                    self._print(f"  {key}: {value}")
+            return True
+        if word == "clear":
+            for cache in caches:
+                cache.clear()
+            self._print("cache cleared")
+            return True
+        self._print("usage: \\cache [on|off|stats|clear]")
         return True
 
     def _cmd_why(self, argument: str) -> bool:

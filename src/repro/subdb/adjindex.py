@@ -11,11 +11,16 @@ carries an intra-class condition) one membership filter over ints.
 (:mod:`repro.model.interning`) and adjacency indexes, built lazily and
 invalidated *fine-grained* from database update events:
 
-* INSERT / DELETE drop the intern tables of the touched classes (the
-  event's ``classes`` already carries the superclass closure); any
-  adjacency index built over a dropped table dies with it via an
-  identity check — a deleted object's vanished links can only affect
-  rows of tables that contained the object;
+* INSERT *appends*: the OID allocator is monotonic, so a new object
+  sorts after every interned id and each cached table of a touched
+  class extends in place; adjacency indexes over an extended source
+  table gain one (empty, or identity-singleton) CSR row — nothing is
+  rebuilt;
+* DELETE *remaps*: each touched table is replaced by a new one minus
+  the object (never mutated — rows interned against the old table keep
+  decoding), and every adjacency index over a replaced table is rebuilt
+  from its own arrays by dropping the dead row / renumbering neighbor
+  ids — no link-index rescan;
 * ASSOCIATE / DISSOCIATE drop only the indexes of that link;
 * SET_ATTRIBUTE touches nothing (tables cover unfiltered extents);
 * subdatabase (re-)registration drops that subdatabase's entries;
@@ -92,6 +97,12 @@ class CompactStore:
         #: Build/invalidation counters surfaced by benchmarks.
         self.tables_built = 0
         self.indexes_built = 0
+        #: Delta-application counters: in-place INSERT appends and
+        #: DELETE remaps that avoided a full rebuild.
+        self.tables_appended = 0
+        self.indexes_appended = 0
+        self.tables_remapped = 0
+        self.indexes_remapped = 0
         # Subscribe through a weakref so a forgotten Universe (tests
         # create many over one database) is not kept alive by the
         # listener list; a dead subscription unhooks itself on the next
@@ -129,22 +140,13 @@ class CompactStore:
         if kind is UpdateKind.BATCH:
             for sub in event.sub_events:
                 self._apply(sub)
+        elif kind is UpdateKind.INSERT and len(event.oids) == 1:
+            self._apply_insert(event)
+        elif kind is UpdateKind.DELETE and len(event.oids) == 1:
+            self._apply_delete(event)
         elif kind in (UpdateKind.INSERT, UpdateKind.DELETE):
-            self.interner.invalidate_classes(event.classes)
-            # Purge adjacency entries built over the dropped tables in
-            # the same event dispatch.  The identity check in
-            # adjacency() already refuses them, but keeping dead entries
-            # around both leaks memory under churn and leaves a window
-            # where a snapshot of this store taken between the interner
-            # drop and the next rebuild could pair a stale CSR with a
-            # fresh extent; mutators hold the database write lock
-            # through listener notification, so this purge is atomic
-            # with the data-version bump.
-            dropped = {("base", cls) for cls in event.classes}
-            stale = [key for key, index in self._adj.items()
-                     if index.src.key in dropped or index.tgt.key in dropped]
-            for key in stale:
-                del self._adj[key]
+            # Unexpected shape (no single OID): fall back to purging.
+            self._purge_classes(event.classes)
         elif kind in (UpdateKind.ASSOCIATE, UpdateKind.DISSOCIATE):
             link = event.link
             stale = [key for key, index in self._adj.items()
@@ -155,6 +157,105 @@ class CompactStore:
             pass  # extents and links untouched
         else:  # SCHEMA or future kinds: be conservative
             self.clear()
+
+    def _purge_classes(self, classes) -> None:
+        """The coarse pre-delta behavior: drop the base tables of the
+        touched classes and every adjacency index built over them.
+        Mutators hold the database write lock through listener
+        notification, so the purge is atomic with the version bump."""
+        self.interner.invalidate_classes(classes)
+        dropped = {("base", cls) for cls in classes}
+        stale = [key for key, index in self._adj.items()
+                 if index.src.key in dropped or index.tgt.key in dropped]
+        for key in stale:
+            del self._adj[key]
+
+    def _apply_insert(self, event: UpdateEvent) -> None:
+        """Extend cached structures with the new object in place.
+
+        The OID allocator is monotonic, so the object sorts last in
+        every touched extent: appending it keeps existing dense ids
+        stable, and any adjacency index whose *source* table grew needs
+        exactly one new CSR row — empty for a link edge (a fresh object
+        has no links yet), the identity image for an identity edge.  A
+        grown *target* table alone needs nothing: no existing row can
+        reference the new, unlinked id.
+        """
+        oid = event.oids[0]
+        appended: Dict[int, InternTable] = {}
+        for cls in event.classes:
+            table = self.interner.get(("base", cls))
+            if table is None:
+                continue
+            try:
+                table.append(oid)
+            except ValueError:  # pragma: no cover - defensive
+                self._purge_classes((cls,))
+                continue
+            appended[id(table)] = table
+            self.tables_appended += 1
+        if not appended:
+            return
+        for index in self._adj.values():
+            if id(index.src) not in appended:
+                continue
+            is_identity = index.link_key is None and index.token is None
+            if is_identity and id(index.tgt) in appended:
+                index.neighbors.append(index.tgt.index[oid.value])
+            index.offsets.append(len(index.neighbors))
+            self.indexes_appended += 1
+
+    def _apply_delete(self, event: UpdateEvent) -> None:
+        """Replace cached structures by copies without the dead object.
+
+        Deletion shifts dense ids after the dead one, so tables are
+        swapped for new objects (holders of the old table keep a
+        consistent snapshot — deferred pattern decodes still work) and
+        each adjacency index over a replaced table is rebuilt from its
+        own arrays: drop the dead source row, filter the dead target id,
+        renumber ids above it.  The deleted object's silently-removed
+        links only appear in rows of tables that contained it, and every
+        such table is in the event's superclass closure.
+        """
+        oid = event.oids[0]
+        #: id(old table) -> (replacement, dead dense id)
+        replaced: Dict[int, Tuple[InternTable, int]] = {}
+        for cls in event.classes:
+            key = ("base", cls)
+            table = self.interner.get(key)
+            if table is None:
+                continue
+            dead = table.index.get(oid.value)
+            if dead is None:  # pragma: no cover - defensive
+                self._purge_classes((cls,))
+                continue
+            new_table = table.without(oid)
+            self.interner.replace(key, new_table)
+            replaced[id(table)] = (new_table, dead)
+            self.tables_remapped += 1
+        if not replaced:
+            return
+        for key, index in list(self._adj.items()):
+            src_swap = replaced.get(id(index.src))
+            tgt_swap = replaced.get(id(index.tgt))
+            if src_swap is None and tgt_swap is None:
+                continue
+            new_src, src_dead = src_swap if src_swap is not None \
+                else (index.src, -1)
+            new_tgt, tgt_dead = tgt_swap if tgt_swap is not None \
+                else (index.tgt, -1)
+            rows: List[List[int]] = []
+            for i in range(len(index.src)):
+                if i == src_dead:
+                    continue
+                row = index.row(i)
+                if tgt_dead >= 0:
+                    row = [t - (t > tgt_dead) for t in row if t != tgt_dead]
+                rows.append(row)
+            self._adj[key] = AdjacencyIndex(new_src, new_tgt, rows,
+                                            link_key=index.link_key,
+                                            token=index.token)
+            self.indexes_remapped += 1
 
     def on_subdb_change(self, name: str) -> None:
         """A subdatabase was (re-)registered or dropped."""

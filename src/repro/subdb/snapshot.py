@@ -84,6 +84,11 @@ class DatabaseSnapshot:
 
     def _pin(self, db: Database) -> None:
         self.version = db.version
+        # Pin the per-class version vector too: cache keys built over a
+        # snapshot are constant for its whole life, so cross-query cache
+        # hits against a snapshot are consistent by construction.
+        self._class_versions: Dict[str, int] = dict(db._class_versions)
+        self._schema_version = db.schema_version
         db.register_snapshot_hook(self)
         # SCHEMA events poison the snapshot; data events are handled by
         # the write hook.  Registered as a plain listener (the database
@@ -163,6 +168,20 @@ class DatabaseSnapshot:
     @version.setter
     def version(self, value: int) -> None:
         self._version = value
+
+    @property
+    def schema_version(self) -> int:
+        return self._schema_version
+
+    def class_version(self, cls: str) -> int:
+        """The pinned per-class version (see
+        :meth:`Database.class_version`) — constant for the snapshot's
+        life, so cache entries keyed on it never go stale mid-read."""
+        return self._class_versions.get(cls, 0)
+
+    def version_vector(self, classes: Iterable[str]) -> Tuple[int, ...]:
+        get = self._class_versions.get
+        return (self._schema_version,) + tuple(get(c, 0) for c in classes)
 
     def add_listener(self, listener) -> None:
         """No-op: a snapshot never changes, so there is nothing to hear."""

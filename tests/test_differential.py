@@ -311,6 +311,102 @@ class TestDifferentialRules:
         assert not mismatches, "\n".join(mismatches)
 
 
+class TestDifferentialCache:
+    """Cache tier: the seeded cases replayed with the cross-query result
+    cache enabled, with random writes interleaved between repetitions,
+    must stay byte-identical to a cache-off executor over the same
+    database — and a write touching a query's dependency classes must
+    never be answered from the cache (zero stale hits)."""
+
+    WRITE_CLASSES = ("Department", "Course", "TA", "Teacher", "Undergrad")
+
+    def _fresh_pair(self):
+        """Function-scoped database: this tier mutates it freely."""
+        db = generate_university(GeneratorConfig(), seed=DB_SEED).db
+        cached = QueryProcessor(Universe(db), compact=True,
+                                cache_bytes=16 << 20)
+        plain = QueryProcessor(Universe(db), compact=True)
+        return db, cached, plain
+
+    def _write(self, db, rng: random.Random, tick: int) -> str:
+        cls = rng.choice(self.WRITE_CLASSES)
+        name = f"w{tick}"
+        if cls == "Department":
+            db.insert(cls, name, name=f"Dept{tick}")
+        elif cls == "Course":
+            db.insert(cls, name, **{"c#": 9000 + tick, "title": f"T{tick}",
+                                    "credit_hours": 3})
+        elif cls == "Teacher":
+            db.insert(cls, name, **{"SS#": f"999-{tick:05d}", "name": name})
+        else:
+            db.insert(cls, name)
+        return cls
+
+    def test_cached_matches_uncached_under_interleaved_writes(self):
+        db, cached, plain = self._fresh_pair()
+        cases = max(CASES // 2, 25)
+        rng = random.Random(DB_SEED * 300_000)
+        mismatches = []
+        tick = 0
+        for round_no in range(3):
+            for case in range(cases):
+                seed = DB_SEED * 100_000 + case
+                text = _random_spec(random.Random(seed)).text()
+                if rng.random() < 0.30:
+                    tick += 1
+                    self._write(db, rng, tick)
+                warm = _outcome(cached, text)
+                cold = _outcome(plain, text)
+                if warm != cold:
+                    mismatches.append(
+                        f"round={round_no} seed={seed} query={text!r}: "
+                        f"cached {warm[0]} vs uncached {cold[0]}")
+                if len(mismatches) >= 5:
+                    break
+            if len(mismatches) >= 5:
+                break
+        stats = cached.evaluator.result_cache.stats()
+        assert stats["hits"] > 0, "cache never hit: the tier is vacuous"
+        assert not mismatches, (
+            f"{len(mismatches)} cache-parity mismatch(es):\n"
+            + "\n".join(mismatches))
+
+    def test_no_stale_hits_after_dependency_writes(self):
+        """After any write that moves a query's version vector, the next
+        run of that query must be a miss; after a write that does not,
+        the entry must still be served."""
+        db, cached, plain = self._fresh_pair()
+        rng = random.Random(DB_SEED * 400_000)
+        invalidated = served = 0
+        tick = 0
+        for case in range(max(CASES // 2, 25)):
+            seed = DB_SEED * 100_000 + case
+            spec = _random_spec(random.Random(seed))
+            text = spec.text()
+            deps = sorted(set(spec.chain))
+            if _outcome(cached, text)[0] != "ok":
+                continue
+            _outcome(cached, text)
+            assert cached.evaluator.last_metrics.cache_hits == 1, text
+            before = db.version_vector(deps)
+            tick += 1
+            self._write(db, rng, tick)
+            rerun = _outcome(cached, text)
+            hits = cached.evaluator.last_metrics.cache_hits
+            if db.version_vector(deps) != before:
+                assert hits == 0, (
+                    f"stale hit: {text!r} served from cache after a write "
+                    f"touching its dependency classes {deps}")
+                assert rerun == _outcome(plain, text), text
+                invalidated += 1
+            else:
+                assert hits == 1, (
+                    f"unrelated write needlessly evicted {text!r}")
+                served += 1
+        assert invalidated >= 3, "no case exercised invalidation"
+        assert served >= 3, "no case exercised survival"
+
+
 class TestTracingParity:
     """Tracing must be observationally free: rerunning every case with a
     tracer installed yields byte-identical results and identical row

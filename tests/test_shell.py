@@ -161,6 +161,69 @@ class TestMetricsCommand:
         assert "patterns_out: 3" in text
 
 
+class TestCacheCommand:
+    def test_cache_reports_off_by_default(self, shell):
+        sh, out = shell
+        sh.handle("\\cache")
+        assert "cache is off" in output(out)
+
+    def test_cache_on_hit_stats_clear_off(self, shell):
+        sh, out = shell
+        sh.handle("\\cache on")
+        assert "cache on" in output(out)
+        sh.handle("context Teacher * Section * Course")
+        sh.handle("context Teacher * Section * Course")
+        sh.handle("\\cache")
+        assert "cache is on — " in output(out)
+        sh.handle("\\metrics")
+        assert "cache_hits: 1" in output(out)
+        sh.handle("\\cache stats")
+        text = output(out)
+        assert "hits: 1" in text
+        assert "misses: 1" in text
+        sh.handle("\\cache clear")
+        assert "cache cleared" in output(out)
+        sh.handle("\\cache off")
+        sh.handle("\\cache")
+        assert "cache is off" in output(out)
+
+    def test_cache_off_discards_entries(self, shell):
+        sh, out = shell
+        sh.handle("\\cache on")
+        sh.handle("context Teacher * Section")
+        sh.handle("\\cache off")
+        sh.handle("\\cache stats")
+        assert "entries: 0" in output(out)
+
+    def test_cache_invalidated_by_write_stays_correct(self, shell):
+        sh, out = shell
+        sh.handle("\\cache on")
+        sh.handle("context Teacher * Section select name display")
+        sh.engine.db.insert("Teacher", "t_shell",
+                            **{"SS#": "999-11-2222", "name": "Newman"})
+        sh.handle("context Teacher * Section select name display")
+        sh.handle("\\metrics")
+        assert "cache_hits: 0" in output(out)
+
+    def test_cache_already_toggled(self, shell):
+        sh, out = shell
+        sh.handle("\\cache off")
+        assert "cache already off" in output(out)
+        sh.handle("\\cache on")
+        sh.handle("\\cache on")
+        assert "cache already on" in output(out)
+
+    def test_cache_usage_hint(self, shell):
+        sh, out = shell
+        sh.handle("\\cache frobnicate")
+        assert "usage: \\cache" in output(out)
+
+    def test_help_lists_cache(self, shell):
+        sh, out = shell
+        sh.handle("\\help")
+        assert "\\cache" in output(out)
+
+
 class TestTraceCommand:
     @pytest.fixture(autouse=True)
     def _no_tracer_leak(self):
