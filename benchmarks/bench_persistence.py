@@ -1,0 +1,146 @@
+"""B11 — durability costs: WAL append throughput (group commit via
+``sync_every``), checkpoint write time, and crash recovery time
+(checkpoint load + WAL tail replay) for the JSON and sqlite backends.
+
+Expected shape: append throughput is fsync-bound, so batching fsyncs
+(``sync_every`` > 1) should dominate; sqlite checkpoints pay row
+normalization but recover comparably; recovery scales with checkpoint
+size plus the replayed tail length, not with total history.
+
+Not wired into run_all.py's regression gates — durability timings are
+storage-hardware-bound and too noisy for a CI threshold.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.rules.engine import RuleEngine
+from repro.storage import open_backend
+from repro.storage.backends.wal import WriteAheadLog
+from repro.university import GeneratorConfig, generate_university
+
+SIZES = {
+    "small": GeneratorConfig(courses=10, sections_per_course=2,
+                             teachers=8, students=50, seed=71),
+    "medium": GeneratorConfig(courses=40, sections_per_course=2,
+                              teachers=25, students=300, seed=72),
+}
+
+RULE = ("if context Teacher * Section * Course "
+        "then Teacher_course (Teacher, Course)")
+
+
+def _engine(size: str) -> RuleEngine:
+    engine = RuleEngine(generate_university(SIZES[size]).db)
+    engine.add_rule(RULE, label="R1")
+    return engine
+
+
+def _mutation_stream(engine: RuleEngine, updates: int) -> None:
+    db = engine.db
+    section = next(iter(db.extent("Section")))
+    for i in range(updates):
+        teacher = db.insert("Teacher", name=f"W{i}", degree="PhD",
+                            **{"SS#": f"w-{i}"})
+        db.set_attribute(teacher.oid, "name", f"W{i}b")
+        db.associate(teacher.oid, "teaches", section)
+
+
+@pytest.mark.benchmark(group="B11-wal-append")
+@pytest.mark.parametrize("sync_every", [1, 32],
+                         ids=["fsync-each", "fsync-batch32"])
+def test_wal_append_throughput(benchmark, sync_every):
+    """Raw journal appends, the floor under every journaled mutator."""
+    record = {"kind": "set_attribute", "v": 1, "oid": 17,
+              "name": "salary", "value": 50000}
+
+    def setup():
+        root = Path(tempfile.mkdtemp(prefix="bench-wal-"))
+        wal = WriteAheadLog(root / "wal.jsonl", sync_every=sync_every)
+        wal.open()
+        return (root, wal), {}
+
+    def run(root, wal):
+        for _ in range(500):
+            wal.append(record)
+        wal.sync()
+        wal.close()
+        shutil.rmtree(root)
+        return 500
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="B11-journaled-updates")
+@pytest.mark.parametrize("attached", [False, True],
+                         ids=["bare", "journaled"])
+def test_journaling_overhead(benchmark, attached):
+    """The same mutation stream with and without an attached backend —
+    the delta is the full journaling cost on the mutator path."""
+    def setup():
+        engine = _engine("small")
+        root = Path(tempfile.mkdtemp(prefix="bench-journal-"))
+        if attached:
+            backend = open_backend(root, "json", sync_every=32)
+            backend.attach(engine)
+        else:
+            backend = None
+        return (engine, backend, root), {}
+
+    def run(engine, backend, root):
+        _mutation_stream(engine, 100)
+        if backend is not None:
+            backend.close()
+        shutil.rmtree(root)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="B11-checkpoint")
+@pytest.mark.parametrize("size", sorted(SIZES))
+@pytest.mark.parametrize("kind", ["json", "sqlite"])
+def test_checkpoint_write(benchmark, kind, size):
+    def setup():
+        engine = _engine(size)
+        root = Path(tempfile.mkdtemp(prefix="bench-ckpt-"))
+        backend = open_backend(root, kind, sync_every=32)
+        backend.attach(engine)
+        _mutation_stream(engine, 50)
+        return (backend, root), {}
+
+    def run(backend, root):
+        seq = backend.checkpoint()
+        backend.close()
+        shutil.rmtree(root)
+        return seq
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="B11-recovery")
+@pytest.mark.parametrize("size", sorted(SIZES))
+@pytest.mark.parametrize("kind", ["json", "sqlite"])
+def test_crash_recovery(benchmark, kind, size):
+    """Recovery = newest checkpoint + a 50-event WAL tail replay."""
+    def setup():
+        engine = _engine(size)
+        root = Path(tempfile.mkdtemp(prefix="bench-recover-"))
+        backend = open_backend(root, kind, sync_every=32)
+        backend.attach(engine)
+        backend.checkpoint()
+        _mutation_stream(engine, 50)  # the un-checkpointed tail
+        backend.close()               # "crash": tail lives only in WAL
+        return (root,), {}
+
+    def run(root):
+        backend = open_backend(root, kind)
+        restored = backend.recover()
+        objects = restored.db.stats()["objects"]
+        backend.close()
+        shutil.rmtree(root)
+        return objects
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

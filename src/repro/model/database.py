@@ -59,6 +59,13 @@ class UpdateEvent:
     ``link`` the association key for ASSOCIATE/DISSOCIATE (in
     (owner, target) order) — the incremental maintainer consumes both.
     A BATCH event carries its constituent events in ``sub_events``.
+
+    ``payload`` is a self-contained, JSON-ready description of the
+    mutation (class, OID values, attribute values, association name) —
+    everything a write-ahead log needs to *replay* the event against a
+    restored database.  It is ``None`` for SCHEMA and BATCH events
+    (schema evolution is checkpointed, not replayed; a batch's payloads
+    live on its ``sub_events``).
     """
 
     kind: UpdateKind
@@ -68,6 +75,7 @@ class UpdateEvent:
     oids: Tuple["OID", ...] = ()
     link: Optional[Tuple[str, str]] = None
     sub_events: Tuple["UpdateEvent", ...] = ()
+    payload: Optional[Dict[str, Any]] = None
 
 
 Listener = Callable[[UpdateEvent], None]
@@ -287,6 +295,38 @@ class Database:
         get = self._class_versions.get
         return (self._schema_version,) + tuple(get(c, 0) for c in classes)
 
+    def version_state(self) -> Dict[str, Any]:
+        """The complete version bookkeeping as a JSON-ready dict: the
+        global counter, the schema counter, and the per-class vector.
+        Persisted with every save/checkpoint so a restored database
+        resumes its invalidation history instead of restarting every
+        watermark at zero."""
+        return {
+            "version": self._version,
+            "schema_version": self._schema_version,
+            "class_versions": dict(sorted(self._class_versions.items())),
+        }
+
+    def restore_version_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite the version bookkeeping with a persisted snapshot
+        (inverse of :meth:`version_state`).
+
+        Used by the persistence layer after re-inserting stored
+        entities: the load-time churn inflated every counter, and this
+        resets them to the values the saved session actually had —
+        which is also what makes a WAL checkpoint watermark exact.
+        """
+        with self.write_locked():
+            self._version = int(state.get("version", self._version))
+            self._schema_version = int(
+                state.get("schema_version", self._schema_version))
+            self._class_versions = {
+                cls: int(v)
+                for cls, v in state.get("class_versions", {}).items()}
+            # Cached extents are keyed by the old counters; drop them
+            # rather than leaving entries that can never match again.
+            self._extent_cache.clear()
+
     def add_listener(self, listener: Listener) -> None:
         """Register a callback invoked after every mutation."""
         self._listeners.append(listener)
@@ -296,7 +336,8 @@ class Database:
 
     def _emit(self, kind: UpdateKind, classes: Iterable[str],
               detail: str = "", oids: Tuple[OID, ...] = (),
-              link: Optional[Tuple[str, str]] = None) -> None:
+              link: Optional[Tuple[str, str]] = None,
+              payload: Optional[Dict[str, Any]] = None) -> None:
         self._version += 1
         classes = tuple(classes)
         for cls in classes:
@@ -305,7 +346,7 @@ class Database:
             self._schema_version += 1
         event = UpdateEvent(kind=kind, classes=classes,
                             version=self._version, detail=detail,
-                            oids=oids, link=link)
+                            oids=oids, link=link, payload=payload)
         if self._batch_depth > 0:
             self._batch_classes.update(classes)
             self._batch_count += 1
@@ -378,7 +419,9 @@ class Database:
             extent[oid] = entity
             self._entities[oid] = entity
             self._emit(UpdateKind.INSERT, affected,
-                       f"insert {cls} {oid!r}", oids=(oid,))
+                       f"insert {cls} {oid!r}", oids=(oid,),
+                       payload={"cls": cls, "oid": oid.value,
+                                "label": label, "attrs": dict(attrs)})
             return entity
 
     def _check_crossproduct(self, link: Aggregation, owner_oid: OID,
@@ -451,7 +494,8 @@ class Database:
             del self._extents[entity.cls][oid]
             del self._entities[oid]
             self._emit(UpdateKind.DELETE, affected,
-                       f"delete {entity.cls} {oid!r}", oids=(oid,))
+                       f"delete {entity.cls} {oid!r}", oids=(oid,),
+                       payload={"oid": oid.value})
 
     def entity(self, oid: OID) -> Entity:
         """The entity carrying ``oid`` (raises if it does not exist)."""
@@ -542,7 +586,9 @@ class Database:
             entity._set(name, value)
             affected = self.schema.up(entity.cls)
             self._emit(UpdateKind.SET_ATTRIBUTE, affected,
-                       f"set {entity.cls} {oid!r}.{name}", oids=(oid,))
+                       f"set {entity.cls} {oid!r}.{name}", oids=(oid,),
+                       payload={"oid": oid.value, "name": name,
+                                "value": value})
 
     # ------------------------------------------------------------------
     # Links (entity associations)
@@ -601,7 +647,10 @@ class Database:
             self._emit(UpdateKind.ASSOCIATE, affected,
                        f"associate {owner_oid!r} -{link.name}-> "
                        f"{target_oid!r}",
-                       oids=(owner_oid, target_oid), link=link.key)
+                       oids=(owner_oid, target_oid), link=link.key,
+                       payload={"owner": owner_oid.value,
+                                "name": link.name,
+                                "target": target_oid.value})
 
     def dissociate(self, owner: Entity | OID, name: str,
                    target: Entity | OID) -> None:
@@ -623,7 +672,10 @@ class Database:
             self._emit(UpdateKind.DISSOCIATE, affected,
                        f"dissociate {owner_oid!r} -{link.name}-> "
                        f"{target_oid!r}",
-                       oids=(owner_oid, target_oid), link=link.key)
+                       oids=(owner_oid, target_oid), link=link.key,
+                       payload={"owner": owner_oid.value,
+                                "name": link.name,
+                                "target": target_oid.value})
 
     def _link(self, key: Tuple[str, str], owner: OID, target: OID) -> None:
         self._fwd.setdefault(key, {}).setdefault(owner, set()).add(target)

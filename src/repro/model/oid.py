@@ -77,6 +77,22 @@ class OIDAllocator:
         self._next += 1
         return oid
 
+    def seed(self, value: int) -> None:
+        """Move the allocator so the *next* OID carries exactly ``value``.
+
+        The persistence layer uses this to re-insert stored entities
+        through the ordinary :meth:`~repro.model.database.Database.insert`
+        path while preserving their original identifiers — the entity is
+        *born* with its final OID, so insert events and listener-built
+        structures never see a provisional identifier.  Allocation is
+        monotonic, so the seed may only move forward.
+        """
+        if value < self._next:
+            raise ValueError(
+                f"cannot seed OID allocator backwards (next is "
+                f"{self._next}, requested {value})")
+        self._next = value
+
     @property
     def next_value(self) -> int:
         """The integer the next allocated OID will carry (for diagnostics)."""

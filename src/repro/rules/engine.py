@@ -114,6 +114,10 @@ class RuleEngine:
                 "controller must be 'result', 'rule' or 'incremental'")
         self._deriving: Set[str] = set()
         self._derived_log: List[str] = []
+        #: Rule-base listeners: callables ``(action, rule, mode)`` with
+        #: action ``"added"`` or ``"removed"`` — how a storage backend
+        #: journals rule registrations alongside data updates.
+        self._rule_listeners: List = []
         db.add_listener(self._on_update)
 
     # ------------------------------------------------------------------
@@ -158,7 +162,18 @@ class RuleEngine:
         self._drop_derivation_memos(
             downstream_closure(self.rule_graph(),
                                [rule.target]) | {rule.target})
+        for listener in list(self._rule_listeners):
+            listener("added", rule, mode)
         return rule
+
+    def add_rule_listener(self, listener) -> None:
+        """Register a callback ``(action, rule, mode)`` fired after every
+        rule registration (``action="added"``) or removal
+        (``action="removed"``, mode ``None``)."""
+        self._rule_listeners.append(listener)
+
+    def remove_rule_listener(self, listener) -> None:
+        self._rule_listeners.remove(listener)
 
     def remove_rule(self, rule: Union[str, DeductiveRule]
                     ) -> DeductiveRule:
@@ -191,6 +206,8 @@ class RuleEngine:
         for name in affected:
             self.universe.unregister(name)
         self._drop_derivation_memos(affected)
+        for listener in list(self._rule_listeners):
+            listener("removed", rule, None)
         return rule
 
     def rules_for(self, name: str) -> List[DeductiveRule]:

@@ -32,6 +32,17 @@ with a backslash::
     \\why TARGET l1 l2 ..  justify a derived pattern (OID labels)
     \\stats                engine statistics
     \\save PATH            persist the session as JSON
+    \\wal [ARG]            durable WAL-backed storage; ARG is
+                          "open PATH [json|sqlite]" (attach a backend
+                          and journal every update from now on),
+                          "sync" (force the fsync barrier),
+                          "compact" (drop history before the newest
+                          checkpoint), or bare \\wal for status
+    \\checkpoint           snapshot the session into the backend
+                          (watermarks the WAL replay prefix)
+    \\restore SEQ          rewind the session to WAL offset SEQ
+                          (point-in-time restore; bare \\restore
+                          recovers the newest durable state)
     \\quit                 leave
 
 A trailing backslash continues the statement on the next line.
@@ -75,6 +86,9 @@ class Shell:
             "why": self._cmd_why,
             "stats": self._cmd_stats,
             "save": self._cmd_save,
+            "wal": self._cmd_wal,
+            "checkpoint": self._cmd_checkpoint,
+            "restore": self._cmd_restore,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
         }
@@ -377,25 +391,152 @@ class Shell:
         self._print(f"session saved to {saved}")
         return True
 
+    # ------------------------------------------------------------------
+    # Durable storage (WAL-backed backends)
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self):
+        """The attached storage backend, if any."""
+        return getattr(self.engine, "storage_backend", None)
+
+    def _cmd_wal(self, argument: str) -> bool:
+        word, _, rest = argument.partition(" ")
+        word = word.lower()
+        if not word:
+            if self.backend is None:
+                self._print("no storage backend attached — "
+                            "\\wal open PATH [json|sqlite]")
+                return True
+            for key, value in self.backend.status().items():
+                self._print(f"{key}: {value}")
+            return True
+        if word == "open":
+            parts = rest.split()
+            if not parts or len(parts) > 2:
+                self._print("usage: \\wal open PATH [json|sqlite]")
+                return True
+            if self.backend is not None:
+                self._print("a backend is already attached "
+                            f"({self.backend.root})")
+                return True
+            from repro.storage import open_backend
+            backend = open_backend(parts[0],
+                                   parts[1] if len(parts) > 1 else "json")
+            if backend.has_state():
+                backend.close()
+                self._print(f"storage at {parts[0]} already holds a "
+                            f"session — reopen the shell with "
+                            f"--backend {parts[0]} to recover it")
+                return True
+            report = backend.wal.report
+            backend.attach(self.engine)
+            self._print(f"{backend.kind} backend attached at "
+                        f"{backend.root} (wal seq "
+                        f"{backend.wal.last_seq}); every update is now "
+                        f"journaled")
+            if report.truncated_bytes:
+                self._print(f"note: {report.truncated_bytes} torn "
+                            f"trailing bytes were discarded on open")
+            return True
+        if word == "sync":
+            if self.backend is None:
+                self._print("no storage backend attached")
+                return True
+            self.backend.wal.sync()
+            self._print(f"wal synced at seq {self.backend.wal.last_seq}")
+            return True
+        if word == "compact":
+            if self.backend is None:
+                self._print("no storage backend attached")
+                return True
+            info = self.backend.compact()
+            self._print(f"compacted to checkpoint {info['checkpoint']}: "
+                        f"{info['dropped_checkpoints']} old "
+                        f"checkpoint(s) dropped, {info['wal_records']} "
+                        f"wal record(s) kept")
+            return True
+        self._print("usage: \\wal [open PATH [json|sqlite] | sync | "
+                    "compact]")
+        return True
+
+    def _cmd_checkpoint(self, _: str) -> bool:
+        if self.backend is None:
+            self._print("no storage backend attached — "
+                        "\\wal open PATH [json|sqlite]")
+            return True
+        seq = self.backend.checkpoint()
+        self._print(f"checkpoint written at wal seq {seq}")
+        return True
+
+    def _cmd_restore(self, argument: str) -> bool:
+        if self.backend is None:
+            self._print("no storage backend attached — "
+                        "\\wal open PATH [json|sqlite]")
+            return True
+        seq = None
+        if argument:
+            try:
+                seq = int(argument)
+            except ValueError:
+                self._print("usage: \\restore [SEQ]")
+                return True
+        backend = self.backend
+        restored = backend.restore_to(seq)
+        backend.detach()
+        backend.attach(restored)
+        backend.checkpoint()  # the restored state becomes durable head
+        self.engine = restored
+        self._last_metrics = None
+        stats = restored.db.stats()
+        self._print(f"session restored to wal seq "
+                    f"{seq if seq is not None else backend.wal.last_seq}"
+                    f" — {stats['objects']} objects, "
+                    f"{stats['links']} links, "
+                    f"{len(restored.rules)} rule(s)")
+        return True
+
     def _cmd_quit(self, _: str) -> bool:
+        if self.backend is not None:
+            self.backend.close()
         self._print("bye")
         return False
 
 
 def build_engine(args: List[str]) -> RuleEngine:
-    """Interpret the command-line arguments into an engine."""
+    """Interpret the command-line arguments into an engine.
+
+    ``--backend PATH [--backend-kind json|sqlite]`` opens a durable
+    WAL-backed store at PATH: an existing store is *recovered* (latest
+    checkpoint + WAL replay); a fresh one is seeded with the session
+    the other flags select, and every subsequent update is journaled.
+    """
+    backend = None
+    if "--backend" in args:
+        from repro.storage import open_backend
+        kind = "json"
+        if "--backend-kind" in args:
+            kind = args[args.index("--backend-kind") + 1]
+        backend = open_backend(args[args.index("--backend") + 1], kind)
+        if backend.has_state():
+            engine = backend.recover()
+            backend.attach(engine)
+            return engine
     if "--session" in args:
         from repro.storage import load_session
         path = args[args.index("--session") + 1]
-        return load_session(path)
-    if "--empty" in args:
+        engine = load_session(path)
+    elif "--empty" in args:
         from repro.model.database import Database
         from repro.model.schema import Schema
-        return RuleEngine(Database(Schema("session")))
-    from repro.university import build_paper_database, build_sdb
-    data = build_paper_database()
-    engine = RuleEngine(data.db)
-    engine.universe.register(build_sdb(data))
+        engine = RuleEngine(Database(Schema("session")))
+    else:
+        from repro.university import build_paper_database, build_sdb
+        data = build_paper_database()
+        engine = RuleEngine(data.db)
+        engine.universe.register(build_sdb(data))
+    if backend is not None:
+        backend.attach(engine)
     return engine
 
 

@@ -18,12 +18,31 @@ deductive database:
 
 The format is a single versioned JSON document; see ``FORMAT_VERSION``.
 Custom D-class ``check`` predicates are *not* serializable (they are
-arbitrary Python callables) — domains round-trip as their base type and
-a loud warning is recorded in the document.
+arbitrary Python callables) — domains round-trip as their base type, a
+loud warning is recorded in the document, and the warning is re-raised
+(:class:`StoredSchemaWarning`) when the document is loaded.
+
+Durable, incremental persistence lives in :mod:`repro.storage.backends`:
+a :class:`StorageBackend` abstraction pairing an append-only, CRC'd
+write-ahead log of update events with checkpointed session snapshots —
+crash recovery by checkpoint-load + WAL-replay, point-in-time restore to
+any event offset, and two implementations (``json`` whole-session
+snapshots and a ``sqlite`` column store with lazy per-class extents).
 """
 
+from repro.storage.atomic import atomic_write_text
+from repro.storage.backends import (
+    BACKENDS,
+    JsonBackend,
+    SqliteBackend,
+    StorageBackend,
+    WriteAheadLog,
+    open_backend,
+    register_backend,
+)
 from repro.storage.serialize import (
     FORMAT_VERSION,
+    StoredSchemaWarning,
     database_from_dict,
     database_to_dict,
     schema_from_dict,
@@ -34,11 +53,20 @@ from repro.storage.serialize import (
 from repro.storage.session import load_session, save_session
 
 __all__ = [
+    "BACKENDS",
     "FORMAT_VERSION",
+    "JsonBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "StoredSchemaWarning",
+    "WriteAheadLog",
+    "atomic_write_text",
     "schema_to_dict",
     "schema_from_dict",
     "database_to_dict",
     "database_from_dict",
+    "open_backend",
+    "register_backend",
     "subdatabase_to_dict",
     "subdatabase_from_dict",
     "save_session",

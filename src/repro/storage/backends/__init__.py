@@ -1,0 +1,89 @@
+"""Durable, pluggable storage backends.
+
+Two implementations ship behind :class:`StorageBackend`:
+
+* ``json`` — :class:`JsonBackend`: whole-session JSON snapshots (the
+  original format, made atomic) plus the write-ahead log;
+* ``sqlite`` — :class:`SqliteBackend`: checkpoints normalized into
+  columnar sqlite tables so extents load lazily per class, plus the
+  same write-ahead log.
+
+Typical lifecycle::
+
+    backend = open_backend("state/", "sqlite")
+    engine = backend.recover() if backend.has_state() \\
+        else RuleEngine(Database(schema))
+    backend.attach(engine)        # journals every mutation from now on
+    ...
+    backend.checkpoint()          # compact the replay prefix
+    backend.close()
+
+Crash at any point: reopen and ``recover()`` — the torn WAL tail (if
+any) is CRC-detected and truncated, the newest complete checkpoint is
+loaded, and the WAL tail beyond its watermark is replayed.
+``restore_to(seq)`` rewinds to any event offset instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Type, Union
+
+from repro.errors import DataError
+from repro.storage.backends.base import StorageBackend
+from repro.storage.backends.events import (
+    apply_record,
+    record_for_event,
+    record_for_rule,
+)
+from repro.storage.backends.json_backend import JsonBackend
+from repro.storage.backends.sqlite_backend import SqliteBackend
+from repro.storage.backends.wal import (
+    WalOpenReport,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+)
+
+#: Registry of backend kinds, in the style of roundup's backend table.
+BACKENDS: dict = {
+    JsonBackend.kind: JsonBackend,
+    SqliteBackend.kind: SqliteBackend,
+}
+
+
+def register_backend(cls: Type[StorageBackend]) -> Type[StorageBackend]:
+    """Register a third-party backend class (usable as a decorator)."""
+    BACKENDS[cls.kind] = cls
+    return cls
+
+
+def open_backend(root: Union[str, Path], kind: str = "json",
+                 **options) -> StorageBackend:
+    """Instantiate and open the backend ``kind`` rooted at ``root``."""
+    try:
+        backend_cls = BACKENDS[kind]
+    except KeyError:
+        raise DataError(
+            f"unknown storage backend {kind!r} "
+            f"(available: {', '.join(sorted(BACKENDS))})") from None
+    backend = backend_cls(root, **options)
+    backend.open()
+    return backend
+
+
+__all__ = [
+    "BACKENDS",
+    "JsonBackend",
+    "SqliteBackend",
+    "StorageBackend",
+    "WalOpenReport",
+    "WriteAheadLog",
+    "apply_record",
+    "decode_record",
+    "encode_record",
+    "open_backend",
+    "record_for_event",
+    "record_for_rule",
+    "register_backend",
+]

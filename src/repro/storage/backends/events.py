@@ -1,0 +1,114 @@
+"""Converting :class:`~repro.model.database.UpdateEvent`s to WAL record
+bodies and replaying record bodies against a restored engine.
+
+Replay is exact by construction: inserts go through the same allocator
+pre-seeding path the session loader uses (the entity is re-born with its
+original OID), every other mutation addresses objects by OID value, and
+the records of a ``batch`` block replay inside a ``batch`` block so
+listeners observe the same grouping they did live.  The one
+idempotence concession is DELETE: a composition cascade emits one
+record per cascaded part *and* the parent's delete re-runs the cascade
+on replay, so a delete whose object is already gone is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import DataError
+from repro.model.database import UpdateEvent, UpdateKind
+from repro.model.oid import OID
+
+#: Record kinds that replay as plain database mutations.
+_DATA_KINDS = {
+    UpdateKind.INSERT, UpdateKind.DELETE, UpdateKind.ASSOCIATE,
+    UpdateKind.DISSOCIATE, UpdateKind.SET_ATTRIBUTE,
+}
+
+
+def record_for_event(event: UpdateEvent) -> Optional[Dict[str, Any]]:
+    """The WAL body for one update event (without its ``seq`` stamp).
+
+    BATCH events nest their constituent payloads; SCHEMA events return a
+    non-replayable marker (the backend checkpoints instead — schema
+    evolution mutates arbitrary Python structure and is persisted as a
+    full snapshot, never as a delta).  Returns ``None`` for events that
+    carry no replay payload (nothing to log).
+    """
+    if event.kind is UpdateKind.BATCH:
+        events = [record_for_event(sub) for sub in event.sub_events]
+        return {"kind": "batch", "v": event.version,
+                "events": [r for r in events if r is not None]}
+    if event.kind is UpdateKind.SCHEMA:
+        return {"kind": "schema", "v": event.version,
+                "detail": event.detail}
+    if event.kind not in _DATA_KINDS or event.payload is None:
+        return None
+    body: Dict[str, Any] = {"kind": event.kind.value, "v": event.version}
+    body.update(event.payload)
+    return body
+
+
+def record_for_rule(action: str, rule, mode_value: Optional[str]
+                    ) -> Dict[str, Any]:
+    """The WAL body for a rule registration or removal."""
+    return {"kind": f"rule_{action}",
+            "text": rule.text or str(rule),
+            "label": rule.label,
+            "mode": mode_value}
+
+
+def apply_record(engine, body: Dict[str, Any]) -> None:
+    """Replay one WAL record body against ``engine``."""
+    kind = body["kind"]
+    db = engine.db
+    if kind == "insert":
+        db._allocator.seed(int(body["oid"]))
+        entity = db.insert(body["cls"], body.get("label"),
+                           **body.get("attrs", {}))
+        if entity.oid.value != int(body["oid"]):  # pragma: no cover
+            raise DataError(
+                f"WAL replay allocated OID {entity.oid.value}, "
+                f"record says {body['oid']}")
+    elif kind == "delete":
+        oid = OID(int(body["oid"]))
+        if db.has(oid):  # cascaded parts may already be gone
+            db.delete(oid)
+    elif kind == "associate":
+        db.associate(OID(int(body["owner"])), body["name"],
+                     OID(int(body["target"])))
+    elif kind == "dissociate":
+        db.dissociate(OID(int(body["owner"])), body["name"],
+                      OID(int(body["target"])))
+    elif kind == "set_attribute":
+        db.set_attribute(OID(int(body["oid"])), body["name"],
+                         body["value"])
+    elif kind == "batch":
+        with db.batch():
+            for sub in body["events"]:
+                apply_record(engine, sub)
+    elif kind == "rule_added":
+        from repro.rules.control import EvaluationMode, \
+            RuleChainingMode, RuleOrientedController
+        mode = None
+        if body.get("mode"):
+            mode_enum = RuleChainingMode if isinstance(
+                engine.controller, RuleOrientedController) \
+                else EvaluationMode
+            mode = mode_enum(body["mode"])
+        engine.add_rule(body["text"], label=body.get("label"), mode=mode)
+    elif kind == "rule_removed":
+        match = next(
+            (r for r in engine.rules
+             if r.label == body.get("label")
+             and (r.text or str(r)) == body["text"]), None)
+        if match is not None:
+            engine.remove_rule(match)
+    elif kind == "schema":
+        raise DataError(
+            "WAL contains a schema-evolution record beyond the last "
+            "checkpoint; schema changes are not replayable — the state "
+            "recovered so far is the pre-evolution state "
+            f"({body.get('detail', '')!r})")
+    else:
+        raise DataError(f"unknown WAL record kind {kind!r}")

@@ -7,6 +7,7 @@ choose their own encoding; :mod:`repro.storage.session` wraps this with
 
 from __future__ import annotations
 
+import warnings as _warnings
 from typing import Any, Dict, List, Optional
 
 from repro.errors import DataError, SchemaError
@@ -22,6 +23,12 @@ from repro.subdb.subdatabase import Subdatabase
 
 #: Bumped on any incompatible change to the document layout.
 FORMAT_VERSION = 1
+
+
+class StoredSchemaWarning(UserWarning):
+    """A warning that was recorded into a schema document at save time
+    (e.g. a dropped ``check`` predicate) and resurfaced on load, so a
+    round-tripped schema never *silently* loses validation."""
 
 _BUILTIN_DOMAINS = {
     "integer": INTEGER,
@@ -92,7 +99,14 @@ def schema_to_dict(schema: Schema) -> Dict[str, Any]:
 
 
 def schema_from_dict(doc: Dict[str, Any]) -> Schema:
-    """Rebuild an S-diagram (inverse of :func:`schema_to_dict`)."""
+    """Rebuild an S-diagram (inverse of :func:`schema_to_dict`).
+
+    Warnings recorded at save time (dropped check predicates) are
+    re-raised as :class:`StoredSchemaWarning` so callers learn that the
+    restored schema validates less than the original did.
+    """
+    for message in doc.get("warnings", ()):
+        _warnings.warn(message, StoredSchemaWarning, stacklevel=2)
     schema = Schema(doc.get("name", "schema"))
     for entry in doc.get("dclasses", ()):
         name = entry["name"]
@@ -157,36 +171,33 @@ def database_to_dict(db: Database) -> Dict[str, Any]:
         if pairs:
             links.append({"owner": link.owner, "name": link.name,
                           "pairs": pairs})
-    return {"name": db.name, "entities": entities, "links": links}
+    return {"name": db.name, "entities": entities, "links": links,
+            "version_state": db.version_state()}
 
 
 def database_from_dict(doc: Dict[str, Any], schema: Schema) -> Database:
     """Rebuild a database over ``schema`` with the original OID values.
 
-    Attribute values and link memberships are re-validated on the way in
-    — a tampered document fails loudly rather than loading silently
-    inconsistent data.
+    Entities are loaded in ascending OID order through an allocator
+    pre-seeding path: before each insert the allocator is advanced to
+    the stored value, so every entity is *born* with its final OID and
+    the insert events listeners observe during the load carry the same
+    identifiers the restored database ends up with.  Attribute values
+    and link memberships are re-validated on the way in — a tampered
+    document fails loudly rather than loading silently inconsistent
+    data.  The persisted version vector (when present) is restored
+    last, erasing the load-time churn from every watermark.
     """
     db = Database(schema, name=doc.get("name", "db"))
     by_value: Dict[int, OID] = {}
-    max_value = 0
-    for entry in doc["entities"]:
+    for entry in sorted(doc["entities"], key=lambda e: int(e["oid"])):
+        wanted = int(entry["oid"])
+        if wanted < db._allocator.next_value:
+            raise DataError(f"duplicate OID value {wanted} in document")
+        db._allocator.seed(wanted)
         entity = db.insert(entry["cls"], entry.get("label"),
                            **entry.get("attrs", {}))
-        # insert() allocated a fresh OID; rewrite it to the stored value.
-        allocated = entity.oid
-        wanted = int(entry["oid"])
-        if wanted in by_value:
-            raise DataError(f"duplicate OID value {wanted} in document")
-        db._extents[entity.cls].pop(allocated)
-        db._entities.pop(allocated)
-        entity.oid.value = wanted
-        entity.oid.label = entry.get("label")
-        db._extents[entity.cls][entity.oid] = entity
-        db._entities[entity.oid] = entity
         by_value[wanted] = entity.oid
-        max_value = max(max_value, wanted)
-    db._allocator._next = max_value + 1
     for entry in doc.get("links", ()):
         for a, b in entry["pairs"]:
             try:
@@ -196,6 +207,9 @@ def database_from_dict(doc: Dict[str, Any], schema: Schema) -> Database:
                     f"link {entry['owner']}.{entry['name']} references "
                     f"unknown OID {exc.args[0]}") from None
             db.associate(owner, entry["name"], target)
+    state = doc.get("version_state")
+    if state is not None:
+        db.restore_version_state(state)
     return db
 
 

@@ -14,6 +14,8 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from repro.storage.atomic import atomic_write_text
+
 from repro.errors import DataError
 from repro.rules.control import (
     EvaluationMode,
@@ -39,13 +41,18 @@ def _controller_kind(engine: RuleEngine) -> str:
     return "result"
 
 
-def _rule_mode(engine: RuleEngine, rule) -> Optional[str]:
+def rule_mode(engine: RuleEngine, rule) -> Optional[str]:
+    """The serialized control-mode value of ``rule`` under the engine's
+    active controller (also used by the WAL backends' rule records)."""
     controller = engine.controller
     if isinstance(controller, RuleOrientedController):
         mode = controller._rule_modes.get(rule)
         return mode.value if mode else None
     mode = controller._modes.get(rule.target)
     return mode.value if mode else None
+
+
+_rule_mode = rule_mode
 
 
 def session_to_dict(engine: RuleEngine,
@@ -92,10 +99,15 @@ def session_from_dict(doc: Dict[str, Any]) -> RuleEngine:
 
 def save_session(engine: RuleEngine, path: Union[str, Path],
                  include_materialized: bool = True) -> Path:
-    """Write the session document to ``path`` (JSON)."""
+    """Write the session document to ``path`` (JSON), atomically.
+
+    The document is written to a temporary file in the same directory,
+    fsync'd, and renamed over the destination — a crash mid-write can
+    never destroy the previous copy.
+    """
     path = Path(path)
     doc = session_to_dict(engine, include_materialized)
-    path.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    atomic_write_text(path, json.dumps(doc, indent=1, sort_keys=True))
     return path
 
 

@@ -2,6 +2,7 @@
 and whole-session save/load."""
 
 import json
+import os
 
 import pytest
 
@@ -47,6 +48,24 @@ class TestSchemaRoundtrip:
         doc = schema_to_dict(schema)
         assert any("letter" in w for w in doc["warnings"])
 
+    def test_dropped_check_warning_resurfaces_on_load(self):
+        from repro.storage import StoredSchemaWarning
+        schema = Schema()
+        schema.add_eclass("A")
+        schema.add_attribute("A", "grade",
+                             DClass("letter", str,
+                                    check=lambda v: v in "ABC"))
+        doc = schema_to_dict(schema)
+        with pytest.warns(StoredSchemaWarning, match="letter"):
+            schema_from_dict(doc)
+
+    def test_clean_schema_loads_without_warnings(self):
+        import warnings
+        doc = schema_to_dict(build_university_schema())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            schema_from_dict(doc)
+
     def test_restored_schema_resolves_links(self):
         restored = schema_from_dict(
             schema_to_dict(build_university_schema()))
@@ -86,6 +105,59 @@ class TestDatabaseRoundtrip:
         fresh = restored.insert("Teacher", name="New")
         assert fresh.oid.value > max(
             e.oid.value for e in data.db.iter_entities())
+
+    def test_entities_born_with_final_oids(self):
+        """Load goes through the allocator pre-seeding path: the insert
+        events listeners observe during a load already carry the stored
+        (final) OID values and labels — no post-hoc rewriting that
+        would strand listener-built structures on provisional keys."""
+        from repro.model.database import Database, UpdateKind
+        data = build_paper_database()
+        doc = database_to_dict(data.db)
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        seen = {}
+        original_insert = Database.insert
+
+        def tracking_insert(self, cls, label=None, **attrs):
+            if not self._listeners:
+                self.add_listener(
+                    lambda e: seen.update(
+                        {o.value: o.label for o in e.oids})
+                    if e.kind is UpdateKind.INSERT else None)
+            return original_insert(self, cls, label, **attrs)
+
+        Database.insert = tracking_insert
+        try:
+            database_from_dict(doc, schema)
+        finally:
+            Database.insert = original_insert
+        expected = {e["oid"]: e.get("label") for e in doc["entities"]}
+        assert seen == expected
+
+    def test_version_vector_persisted_and_restored(self):
+        data = build_paper_database()
+        db = data.db
+        # Touch one class so its watermark is distinctive.
+        t1 = data.oid("t1")
+        db.set_attribute(t1, "name", "Smith'")
+        doc = database_to_dict(db)
+        assert doc["version_state"]["class_versions"]["Teacher"] == \
+            db.class_version("Teacher")
+        schema = schema_from_dict(schema_to_dict(db.schema))
+        restored = database_from_dict(doc, schema)
+        assert restored.version == db.version
+        assert restored.schema_version == db.schema_version
+        assert restored.version_state() == db.version_state()
+        assert restored.version_vector(["Teacher", "Course"]) == \
+            db.version_vector(["Teacher", "Course"])
+
+    def test_legacy_document_without_version_state_loads(self):
+        data = build_paper_database()
+        doc = database_to_dict(data.db)
+        del doc["version_state"]
+        schema = schema_from_dict(schema_to_dict(data.db.schema))
+        restored = database_from_dict(doc, schema)
+        assert restored.stats()["objects"] == data.db.stats()["objects"]
 
     def test_duplicate_oid_rejected(self):
         data = build_paper_database()
@@ -203,6 +275,38 @@ class TestSessionRoundtrip:
         restored.query("context Suggest_offer:Course select title")
         assert restored.stats.derivations["Suggest_offer"] == 1
 
+    def test_save_is_atomic_on_crash(self, tmp_path, monkeypatch):
+        """A crash mid-save must never destroy the previous copy: the
+        document goes to a temp sibling and is renamed into place."""
+        data, engine = self._engine()
+        path = tmp_path / "session.json"
+        save_session(engine, path)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        engine.db.insert("Teacher", name="Doomed", **{"SS#": "x"})
+        with pytest.raises(OSError):
+            save_session(engine, path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before  # old copy fully intact
+        assert not list(tmp_path.glob("*.tmp"))  # no litter either
+
+    def test_save_load_save_byte_identity(self, tmp_path):
+        data, engine = self._engine()
+        first = save_session(engine, tmp_path / "a.json").read_bytes()
+        second = save_session(load_session(tmp_path / "a.json"),
+                              tmp_path / "b.json").read_bytes()
+        assert first == second
+
+    def test_version_vector_survives_session_roundtrip(self, tmp_path):
+        data, engine = self._engine()
+        restored = load_session(save_session(engine,
+                                             tmp_path / "s.json"))
+        assert restored.db.version_state() == engine.db.version_state()
+
     def test_version_check(self):
         data, engine = self._engine()
         doc = session_to_dict(engine)
@@ -304,3 +408,30 @@ class TestRoundtripProperties:
         doc2 = database_to_dict(restored)
         assert doc1["entities"] == doc2["entities"]
         assert doc1["links"] == doc2["links"]
+
+    def test_generated_save_load_save_byte_identity(self, tmp_path):
+        """Save→load→save is byte-identical over the differential
+        generator — the whole document including the version vector."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.university import GeneratorConfig, generate_university
+
+        @settings(max_examples=6, deadline=None)
+        @given(seed=st.integers(0, 10_000))
+        def run(seed):
+            data = generate_university(GeneratorConfig(
+                departments=2, courses=5, sections_per_course=1,
+                teachers=4, students=12, grads=3, tas=1, faculty=2,
+                seed=seed))
+            engine = RuleEngine(data.db)
+            engine.add_rule(
+                "if context Teacher * Section * Course "
+                "then TC (Teacher, Course)", label="TC")
+            path_a = tmp_path / f"a{seed}.json"
+            path_b = tmp_path / f"b{seed}.json"
+            first = save_session(engine, path_a).read_bytes()
+            second = save_session(load_session(path_a),
+                                  path_b).read_bytes()
+            assert first == second
+
+        run()
