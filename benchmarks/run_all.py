@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark family at fixed seeds and emit ``BENCH_PR5.json``.
+"""Run every benchmark family at fixed seeds and emit ``BENCH_PR7.json``.
 
 A standalone (non-pytest) runner over the same workloads as the
 ``bench_*.py`` modules: each scenario is built fresh, warmed once, timed
@@ -24,6 +24,10 @@ Usage::
         # GIL-saturated runner the measurement is meaningless, so the
         # default run only *records* the ratio and always verifies that
         # parallel results are byte-identical to sequential ones)
+    python benchmarks/run_all.py --min-process-speedup 2.0  # same gate
+        # for the process-mode scenarios (shared-memory planes +
+        # worker processes); also opt-in for the same reason — CI's
+        # multicore job enables it, a 1-CPU container cannot
     python benchmarks/run_all.py --max-null-overhead-pct 3.0  # fail when
         # the estimated cost of tracing-off instrumentation guards
         # exceeds this percentage of the untraced median (the
@@ -188,17 +192,19 @@ def _canonical(subdb) -> bytes:
     return json.dumps(doc, sort_keys=True).encode()
 
 
-def _parallel_runner(data, text: str, workers: int = 4):
-    """Time the partitioned executor; parity against the sequential
-    executor is asserted up front — a parallel speedup that changes the
-    answer is not a speedup."""
+def _parallel_runner(data, text: str, workers: int = 4,
+                     worker_mode: str = "thread"):
+    """Time the partitioned executor (thread or process mode); parity
+    against the sequential executor is asserted up front — a parallel
+    speedup that changes the answer is not a speedup."""
     sequential = QueryProcessor(Universe(data.db))
-    parallel = QueryProcessor(Universe(data.db), workers=workers)
+    parallel = QueryProcessor(Universe(data.db), workers=workers,
+                              worker_mode=worker_mode)
     parallel.evaluator.min_parallel_rows = 1
     if _canonical(sequential.execute(text).subdatabase) \
             != _canonical(parallel.execute(text).subdatabase):
         raise AssertionError(
-            f"parallel execution not byte-identical for {text!r}")
+            f"{worker_mode} execution not byte-identical for {text!r}")
 
     def run():
         parallel.execute(text)
@@ -209,6 +215,10 @@ def _parallel_runner(data, text: str, workers: int = 4):
 
 #: parallel scenario -> its sequential twin, for the speedup report.
 PARALLEL_PAIRS: Dict[str, str] = {}
+
+#: process scenario -> its sequential twin (gated by
+#: ``--min-process-speedup`` on multi-core runners).
+PROCESS_PAIRS: Dict[str, str] = {}
 
 for _scale in ("small", "medium", "large"):
     @scenario(f"parallel-wide-fanout-{_scale}", "parallel",
@@ -230,6 +240,29 @@ for _scale in ("small", "medium", "large"):
                                 "context Student * Section")
 
     PARALLEL_PAIRS[f"parallel-extent-scan-{_scale}"] = \
+        f"extent-scan-{_scale}"
+
+    @scenario(f"process-wide-fanout-{_scale}", "parallel",
+              "chain-match", SCALES[_scale].students,
+              quick=_scale != "large")
+    def _build(scale=_scale):
+        return _parallel_runner(
+            _scaled(scale),
+            "context Department * Course * Section * Student",
+            worker_mode="process")
+
+    PROCESS_PAIRS[f"process-wide-fanout-{_scale}"] = \
+        f"wide-fanout-{_scale}"
+
+    @scenario(f"process-extent-scan-{_scale}", "parallel",
+              "chain-match", SCALES[_scale].students,
+              quick=_scale != "large")
+    def _build(scale=_scale):
+        return _parallel_runner(_scaled(scale),
+                                "context Student * Section",
+                                worker_mode="process")
+
+    PROCESS_PAIRS[f"process-extent-scan-{_scale}"] = \
         f"extent-scan-{_scale}"
 
 
@@ -365,6 +398,24 @@ for _depth in _TC_CONFIGS:
     def _build(depth=_depth):
         return _query_runner(_dataset(_TC_CONFIGS[depth]),
                              "context Course * Course_1 ^*")
+
+for _mode in ("thread", "process"):
+    _prefix = "parallel" if _mode == "thread" else "process"
+
+    @scenario(f"{_prefix}-loop-closure-deep", "parallel", "loop-eval",
+              _TC_CONFIGS["deep"].courses)
+    def _build(mode=_mode):
+        return _parallel_runner(_dataset(_TC_CONFIGS["deep"]),
+                                "context Course * Course_1 ^*",
+                                worker_mode=mode)
+
+    if _mode == "thread":
+        PARALLEL_PAIRS["parallel-loop-closure-deep"] = \
+            "loop-closure-deep"
+    else:
+        PROCESS_PAIRS["process-loop-closure-deep"] = \
+            "loop-closure-deep"
+
 
 for _bound in ("^1", "^2", "^4"):
     @scenario(f"bounded-loop-{_bound.lstrip('^')}", "transitive_closure",
@@ -756,7 +807,7 @@ def run_scenario(spec: Scenario, rounds: int) -> dict:
         start = time.perf_counter()
         metrics = fn()
         times.append((time.perf_counter() - start) * 1000.0)
-    return {
+    record = {
         "name": spec.name,
         "group": spec.group,
         "op": spec.op,
@@ -766,6 +817,12 @@ def run_scenario(spec: Scenario, rounds: int) -> dict:
         "rounds": rounds,
         "metrics": metrics,
     }
+    if isinstance(metrics, dict) and "worker_mode" in metrics:
+        # Surface how the scenario actually executed (the evaluator
+        # falls back to serial when the anchor is too small).
+        record["worker_mode"] = metrics["worker_mode"]
+        record["workers"] = metrics.get("workers_used")
+    return record
 
 
 def check_regression(results: List[dict], baseline_path: Path,
@@ -800,12 +857,14 @@ def check_regression(results: List[dict], baseline_path: Path,
     return failures
 
 
-def parallel_speedups(results: List[dict]) -> List[dict]:
-    """Measured speedup of each parallel scenario over its sequential
-    twin (best-of-rounds), for the report and the opt-in gate."""
+def _pair_speedups(results: List[dict],
+                   pairs: Dict[str, str]) -> List[dict]:
+    """Measured speedup of each partitioned scenario over its
+    sequential twin (best-of-rounds), for the report and the opt-in
+    gates."""
     by_name = {record["name"]: record for record in results}
     report = []
-    for parallel_name, sequential_name in sorted(PARALLEL_PAIRS.items()):
+    for parallel_name, sequential_name in sorted(pairs.items()):
         parallel = by_name.get(parallel_name)
         sequential = by_name.get(sequential_name)
         if parallel is None or sequential is None:
@@ -822,6 +881,14 @@ def parallel_speedups(results: List[dict]) -> List[dict]:
     return report
 
 
+def parallel_speedups(results: List[dict]) -> List[dict]:
+    return _pair_speedups(results, PARALLEL_PAIRS)
+
+
+def process_speedups(results: List[dict]) -> List[dict]:
+    return _pair_speedups(results, PROCESS_PAIRS)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -832,7 +899,7 @@ def main(argv=None) -> int:
                         help="timing rounds per scenario "
                              "(default 5, quick 3)")
     parser.add_argument("--out", type=Path,
-                        default=REPO_ROOT / "BENCH_PR5.json",
+                        default=REPO_ROOT / "BENCH_PR7.json",
                         help="output JSON path")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline JSON to gate the "
@@ -849,6 +916,14 @@ def main(argv=None) -> int:
                              "over its sequential twin falls below this "
                              "ratio (opt-in: only meaningful on "
                              "multi-core runners; parity is always "
+                             "checked regardless)")
+    parser.add_argument("--min-process-speedup", type=float,
+                        default=None,
+                        help="fail when a process-mode scenario's "
+                             "speedup over its sequential twin falls "
+                             "below this ratio (opt-in: needs real "
+                             "cores — a single-CPU container cannot "
+                             "speed anything up; parity is always "
                              "checked regardless)")
     parser.add_argument("--max-null-overhead-pct", type=float,
                         default=3.0,
@@ -877,10 +952,17 @@ def main(argv=None) -> int:
         print(f"{spec.group:20s} {spec.name:28s} "
               f"{record['median_ms']:10.3f} ms")
 
+    from repro.oql import kernels, parallel as mp_parallel
+
     speedups = parallel_speedups(results)
+    proc_speedups = process_speedups(results)
     overhead = tracing_overhead(results)
     warm = cache_speedups(results)
     churn = cache_churn(results)
+    try:
+        cpus_available = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus_available = os.cpu_count()
     payload = {
         "meta": {
             "quick": args.quick,
@@ -888,10 +970,14 @@ def main(argv=None) -> int:
             "rounds": rounds,
             "python": sys.version.split()[0],
             "cpus": os.cpu_count(),
+            "cpus_available": cpus_available,
+            "mp_start_method": mp_parallel.start_method(),
+            "numpy_kernels": kernels.numpy_active(),
             "scenarios": len(results),
         },
         "results": results,
         "parallel_speedups": speedups,
+        "process_speedups": proc_speedups,
         "tracing_overhead": overhead,
         "cache_speedups": warm,
         "cache_churn": churn,
@@ -900,8 +986,9 @@ def main(argv=None) -> int:
     print(f"\nwrote {args.out} ({len(results)} scenarios)")
 
     if speedups:
-        print(f"\nparallel speedup over sequential twins "
-              f"(cpus={os.cpu_count()}):")
+        print(f"\nthread-parallel speedup over sequential twins "
+              f"(cpus={os.cpu_count()}, "
+              f"available={cpus_available}):")
         for entry in speedups:
             print(f"  {entry['parallel']:32s} {entry['speedup']:.2f}x "
                   f"({entry['sequential_ms']:.2f} ms -> "
@@ -913,6 +1000,26 @@ def main(argv=None) -> int:
             if slow:
                 print(f"\nPARALLEL SPEEDUP below "
                       f"{args.min_parallel_speedup:.2f}x:",
+                      file=sys.stderr)
+                for entry in slow:
+                    print(f"  {entry['parallel']}: "
+                          f"{entry['speedup']:.2f}x", file=sys.stderr)
+                return 1
+
+    if proc_speedups:
+        print(f"\nprocess-parallel speedup over sequential twins "
+              f"(start method {mp_parallel.start_method()}):")
+        for entry in proc_speedups:
+            print(f"  {entry['parallel']:32s} {entry['speedup']:.2f}x "
+                  f"({entry['sequential_ms']:.2f} ms -> "
+                  f"{entry['parallel_ms']:.2f} ms)")
+        if args.min_process_speedup is not None:
+            slow = [entry for entry in proc_speedups
+                    if entry["speedup"] is not None
+                    and entry["speedup"] < args.min_process_speedup]
+            if slow:
+                print(f"\nPROCESS SPEEDUP below "
+                      f"{args.min_process_speedup:.2f}x:",
                       file=sys.stderr)
                 for entry in slow:
                     print(f"  {entry['parallel']}: "

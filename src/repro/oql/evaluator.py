@@ -37,7 +37,9 @@ from the context subdatabase.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+import weakref
+from array import array
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -58,9 +60,12 @@ from repro.oql.ast import (
     WhereCond,
 )
 from repro.model.interning import InternTable
+from repro.oql import kernels
+from repro.oql import parallel
 from repro.oql.cache import (DEFAULT_CACHE_BYTES, ResultCache, clone_result,
                              dependency_classes, fingerprint, result_nbytes)
 from repro.oql.planner import OPTIMIZE_MODES, JoinPlan, Planner
+from repro.subdb import planes
 from repro.subdb.intension import Edge, IntensionalPattern
 from repro.subdb.pattern import ExtensionalPattern, subsume, subsume_rows
 from repro.subdb.refs import ClassRef
@@ -114,10 +119,14 @@ class EvaluationMetrics:
     patterns_out: int = 0
     #: Loop levels materialized (0 for non-loop evaluations).
     loop_levels: int = 0
-    #: Worker threads actually used (1 = sequential execution).
+    #: Workers actually used (1 = sequential execution).
     workers_used: int = 1
+    #: How partitioned work ran: ``"serial"`` when nothing was
+    #: partitioned, else ``"thread"`` or ``"process"``.
+    worker_mode: str = "serial"
     #: Per-partition records of parallel plan executions: dicts with
-    #: ``partition``, ``anchor_rows``, ``rows_out``, ``ms``.
+    #: ``partition``, ``anchor_rows``, ``rows_out``, ``ms``, ``mode``
+    #: (and ``cpu_ms``/``pid`` for process partitions).
     partitions: List[dict] = field(default_factory=list)
     #: Which budget limit tripped ("none" when the evaluation finished
     #: inside its budget, or ran without one).
@@ -148,6 +157,7 @@ class EvaluationMetrics:
             "patterns_out": self.patterns_out,
             "loop_levels": self.loop_levels,
             "workers_used": self.workers_used,
+            "worker_mode": self.worker_mode,
             "budget_verdict": self.budget_verdict,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -209,19 +219,35 @@ class PatternEvaluator:
                  optimize: Union[bool, str] = "cost",
                  compact: bool = True,
                  workers: int = 1,
+                 worker_mode: str = "thread",
                  min_parallel_rows: int = 256,
                  cache_bytes: int = 0):
         if on_cycle not in ("error", "stop"):
             raise ValueError("on_cycle must be 'error' or 'stop'")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if worker_mode not in ("thread", "process"):
+            raise ValueError("worker_mode must be 'thread' or 'process'")
         self.universe = universe
         #: Partition-parallel plan execution: when > 1, the anchor
         #: extent of a compact plan splits into up to ``workers``
-        #: contiguous ranges of interned ids evaluated on a thread
+        #: contiguous ranges of interned ids evaluated on a worker
         #: pool, merged in partition order (results are identical to
         #: sequential execution, row for row).
         self.workers = workers
+        #: ``"thread"`` partitions run on a shared thread pool over the
+        #: live in-process arrays (zero setup cost, but compute-bound
+        #: hops serialize on the GIL); ``"process"`` ships partitions to
+        #: a persistent process pool over shared-memory planes — true
+        #: multicore, at the price of plane export and result pickling.
+        self.worker_mode = worker_mode
+        # The process-partition coordinator, created on first process
+        # dispatch; its PlaneManager caches adjacency exports across
+        # queries.  The finalizer unlinks every plane if the evaluator
+        # is dropped without close().
+        self._process_exec: Optional[parallel.ProcessPartitionExecutor] = \
+            None
+        self._process_finalizer = None
         #: Anchor extents below this size always run sequentially —
         #: thread dispatch costs more than the join saves.
         self.min_parallel_rows = min_parallel_rows
@@ -287,6 +313,21 @@ class PatternEvaluator:
         # always append to their own call's metrics.
         self._metrics = self.last_metrics
 
+    @property
+    def _process_executor(self) -> parallel.ProcessPartitionExecutor:
+        exec_ = self._process_exec
+        if exec_ is None:
+            exec_ = self._process_exec = parallel.ProcessPartitionExecutor()
+            self._process_finalizer = weakref.finalize(self, exec_.close)
+        return exec_
+
+    def close(self) -> None:
+        """Unlink every shared-memory plane this evaluator exported.
+        Idempotent; the worker pools are process-global and survive
+        (they are torn down once at interpreter exit)."""
+        if self._process_exec is not None:
+            self._process_exec.close()
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -312,7 +353,8 @@ class PatternEvaluator:
         self._metrics = metrics
         tracer = obs.TRACER
         span = tracer.start("query", result=name, compact=self.compact,
-                            workers=self.workers) \
+                            workers=self.workers,
+                            worker_mode=self.worker_mode) \
             if tracer is not None else None
         if span is not None:
             metrics.trace_id = span.trace_id
@@ -689,152 +731,129 @@ class PatternEvaluator:
                           ) -> List[Tuple[int, ...]]:
         """Run a join plan over interned ids.
 
-        Identical frontier batching to :meth:`_execute_plan`, but a hop
-        is one CSR slice per distinct endpoint plus an int-membership
-        filter (only when the slot carries an intra-class condition),
-        instead of dict probes and OID-set intersections.
+        Each hop runs as a vectorized columnar kernel
+        (:mod:`repro.oql.kernels`): one CSR gather per step over the
+        whole partition, an int-membership semi-join filter only when
+        the slot carries an intra-class condition — never a Python-level
+        append per output row.
 
         With :attr:`workers` > 1 and an anchor extent past
-        :attr:`min_parallel_rows`, the anchor rows split into contiguous
-        partitions evaluated on a thread pool; each partition runs the
-        identical step sequence and the outputs concatenate in partition
-        order, so the merged row list is equal — row for row — to the
-        sequential one.
+        :attr:`min_parallel_rows`, the anchor ids split into contiguous
+        partitions evaluated on the shared thread pool
+        (:attr:`worker_mode` ``"thread"``) or shipped to the persistent
+        process pool over shared-memory planes (``"process"``); every
+        partition runs the identical kernel sequence and the outputs
+        concatenate in partition order, so the merged row list is equal
+        — row for row — to the sequential one.
         """
         anchor_ids = filt[plan.anchor]
-        anchor_range = (range(len(tables[plan.anchor].oids))
-                        if anchor_ids is None else sorted(anchor_ids))
-        rows: List[Tuple[int, ...]] = [(i,) for i in anchor_range]
-        plan.actual_anchor_rows = len(rows)
+        anchor = (range(len(tables[plan.anchor].oids))
+                  if anchor_ids is None else sorted(anchor_ids))
+        plan.actual_anchor_rows = len(anchor)
         workers = self.workers
         if workers > 1 and plan.steps and \
-                len(rows) >= max(self.min_parallel_rows, 2 * workers):
+                len(anchor) >= max(self.min_parallel_rows, 2 * workers):
             return self._execute_partitioned(plan, resolutions, refs,
-                                             tables, filt, rows, workers)
-        rows, stats = self._run_plan_steps(plan.steps, resolutions, refs,
-                                           tables, filt, rows,
-                                           self._budget)
+                                             tables, filt, anchor, workers)
+        specs = self._build_step_specs(plan.steps, resolutions, refs,
+                                       tables, filt)
+        rows, stats = self._run_plan_steps(plan.steps, specs, refs,
+                                           anchor, self._budget)
         self._merge_step_stats(plan, [stats])
         return rows
 
-    def _run_plan_steps(self, steps, resolutions: List[EdgeResolution],
-                        refs: List[ClassRef],
-                        tables: List[InternTable],
-                        filt: List[Optional[frozenset]],
-                        rows: List[Tuple[int, ...]],
+    def _build_step_specs(self, steps,
+                          resolutions: List[EdgeResolution],
+                          refs: List[ClassRef],
+                          tables: List[InternTable],
+                          filt: List[Optional[frozenset]]
+                          ) -> List[kernels.StepSpec]:
+        """Reduce a plan's hops to kernel step specs over the live CSR
+        arrays.  Building them also forces every lazily-built shared
+        structure (adjacency indexes, and the interner entries
+        underneath) on the calling thread — including any
+        provider-driven derivation (backward chaining) an adjacency
+        build may trigger — so partition workers only ever read."""
+        universe = self.universe
+        specs = []
+        for step in steps:
+            forward = step.direction == "right"
+            src = step.edge if forward else step.edge + 1
+            tgt = step.slot
+            adj = universe.adjacency(resolutions[step.edge], forward,
+                                     refs[src], refs[tgt])
+            ids = filt[tgt]
+            tgt_filter = None if ids is None else array("q", sorted(ids))
+            specs.append(kernels.StepSpec(step.op, forward, adj.offsets,
+                                          adj.neighbors,
+                                          len(tables[tgt]), tgt_filter))
+        return specs
+
+    def _step_meta(self, steps, resolutions: List[EdgeResolution],
+                   refs: List[ClassRef], tables: List[InternTable],
+                   filt: List[Optional[frozenset]]) -> List[dict]:
+        """The process-dispatch twin of :meth:`_build_step_specs`:
+        per hop, the adjacency index plus the stable cache key and
+        version token the plane manager validates exports against."""
+        universe = self.universe
+        meta = []
+        for step in steps:
+            forward = step.direction == "right"
+            src = step.edge if forward else step.edge + 1
+            tgt = step.slot
+            resolution = resolutions[step.edge]
+            adj = universe.adjacency(resolution, forward,
+                                     refs[src], refs[tgt])
+            key = universe.compact._adj_spec(resolution, forward,
+                                             adj.src.key, adj.tgt.key)
+            token = planes.vector_token(
+                (key, universe.ref_token(refs[src]),
+                 universe.ref_token(refs[tgt])))
+            ids = filt[tgt]
+            meta.append({"op": step.op, "forward": forward,
+                         "index": adj, "key": key, "token": token,
+                         "tgt_size": len(tables[tgt]),
+                         "tgt_filter": (None if ids is None
+                                        else array("q", sorted(ids)))})
+        return meta
+
+    def _run_plan_steps(self, steps, specs: List[kernels.StepSpec],
+                        refs: List[ClassRef], anchor_ids,
                         budget: Optional[QueryBudget]
                         ) -> Tuple[List[Tuple[int, ...]],
                                    List[Tuple[int, int]]]:
-        """The hop loop of a compact plan over one row partition.
+        """The hop loop of a compact plan over one anchor partition.
 
-        Returns the extended rows plus per-step ``(distinct frontier,
-        rows after)`` counts; metrics are *not* touched here — the
-        caller merges the stats, so partitions can run this
-        concurrently.  All universe accesses hit caches prewarmed by
-        the dispatching thread (see :meth:`_execute_partitioned`).
+        Rows stay columnar between hops and materialize as tuples once
+        at the end.  Returns the rows plus per-step ``(distinct
+        frontier, rows after)`` counts; metrics are *not* touched here —
+        the caller merges the stats, so partitions can run this
+        concurrently.
         """
         tracer = obs.TRACER
         stats: List[Tuple[int, int]] = []
-        for step in steps:
+        cols = [kernels.anchor_column(anchor_ids)]
+        for step, spec in zip(steps, specs):
             sspan = tracer.start("join-step", slot=refs[step.slot].slot,
                                  op=step.op, direction=step.direction) \
                 if tracer is not None else None
             try:
-                if not rows:
+                if not len(cols[0]):
                     stats.append((0, 0))
                     if sspan is not None:
                         sspan.add("frontier", 0)
                         sspan.add("rows_out", 0)
                     continue
-                rows, frontier_size = self._run_one_step(
-                    step, resolutions, refs, tables, filt, rows, budget)
-                stats.append((frontier_size, len(rows)))
+                cols, frontier_size = kernels.execute_step(cols, spec,
+                                                           budget)
+                stats.append((frontier_size, len(cols[0])))
                 if sspan is not None:
                     sspan.add("frontier", frontier_size)
-                    sspan.add("rows_out", len(rows))
+                    sspan.add("rows_out", len(cols[0]))
             finally:
                 if sspan is not None:
                     tracer.finish(sspan)
-        return rows, stats
-
-    def _run_one_step(self, step, resolutions: List[EdgeResolution],
-                      refs: List[ClassRef], tables: List[InternTable],
-                      filt: List[Optional[frozenset]],
-                      rows: List[Tuple[int, ...]],
-                      budget: Optional[QueryBudget]
-                      ) -> Tuple[List[Tuple[int, ...]], int]:
-        """One hop of the compact executor over one row partition;
-        returns (extended rows, distinct-frontier size)."""
-        universe = self.universe
-        if budget is not None:
-            budget.check_time()
-        resolution = resolutions[step.edge]
-        forward = step.direction == "right"
-        if forward:
-            src, end_index = step.edge, -1
-        else:
-            src, end_index = step.edge + 1, 0
-        tgt = step.slot
-        adj = universe.adjacency(resolution, forward,
-                                 refs[src], refs[tgt])
-        frontier = {row[end_index] for row in rows}
-        tgt_ids = filt[tgt]
-        candidates: Dict[int, Sequence[int]] = {}
-        if step.op == "*":
-            if tgt_ids is None:
-                for f in frontier:
-                    candidates[f] = adj.row(f)
-            else:
-                # Semi-join prefilter: neighbors are probed against the
-                # filtered target-id set *before* any join row is
-                # materialized.  When the set is a dense fraction of the
-                # target table, a bytearray mask replaces the frozenset
-                # probe — one C-level index per neighbor instead of a
-                # hash lookup.
-                table_size = len(tables[tgt])
-                if (len(frontier) >= 8 and table_size >= 64
-                        and 4 * len(tgt_ids) >= table_size):
-                    mask = bytearray(table_size)
-                    for v in tgt_ids:
-                        mask[v] = 1
-                    for f in frontier:
-                        candidates[f] = [v for v in adj.row(f) if mask[v]]
-                else:
-                    for f in frontier:
-                        candidates[f] = [v for v in adj.row(f)
-                                         if v in tgt_ids]
-        else:  # "!": the non-association operator
-            universe_ids = (tgt_ids if tgt_ids is not None
-                            else tables[tgt].full_id_set)
-            for f in frontier:
-                candidates[f] = universe_ids.difference(adj.row(f))
-        extended: List[Tuple[int, ...]] = []
-        append = extended.append
-        next_check = budget.CHECK_EVERY if budget is not None else None
-        charged = 0
-        if forward:
-            for row in rows:
-                for v in candidates[row[-1]]:
-                    append(row + (v,))
-                if next_check is not None and \
-                        len(extended) >= next_check:
-                    budget.charge_rows(len(extended) - charged)
-                    charged = len(extended)
-                    budget.check_time()
-                    next_check = charged + budget.CHECK_EVERY
-        else:
-            for row in rows:
-                for v in candidates[row[0]]:
-                    append((v,) + row)
-                if next_check is not None and \
-                        len(extended) >= next_check:
-                    budget.charge_rows(len(extended) - charged)
-                    charged = len(extended)
-                    budget.check_time()
-                    next_check = charged + budget.CHECK_EVERY
-        if budget is not None:
-            budget.charge_rows(len(extended) - charged)
-        return extended, len(frontier)
+        return kernels.columns_to_rows(cols), stats
 
     def _merge_step_stats(self, plan: JoinPlan,
                           stats_list: List[List[Tuple[int, int]]]) -> None:
@@ -855,31 +874,29 @@ class PatternEvaluator:
                              refs: List[ClassRef],
                              tables: List[InternTable],
                              filt: List[Optional[frozenset]],
-                             rows: List[Tuple[int, ...]],
-                             workers: int) -> List[Tuple[int, ...]]:
-        """Split the anchor rows into contiguous partitions and run the
-        plan's step sequence over each on a thread pool."""
+                             anchor, workers: int
+                             ) -> List[Tuple[int, ...]]:
+        """Split the anchor ids into contiguous partitions and run the
+        plan's kernel sequence over each — on the shared thread pool,
+        or on the persistent process pool over shared-memory planes."""
+        if self.worker_mode == "process":
+            return self._execute_partitioned_process(
+                plan, resolutions, refs, tables, filt, anchor, workers)
         budget = self._budget
-        universe = self.universe
-        # Prewarm every shared lazily-built structure on this thread, so
-        # workers only read: adjacency indexes (and the interner entries
-        # underneath), full-id sets for ``!`` hops.  A provider-driven
-        # derivation (backward chaining) triggered by an adjacency build
-        # must also happen here, never on a worker.
-        for step in plan.steps:
-            forward = step.direction == "right"
-            src = step.edge if forward else step.edge + 1
-            universe.adjacency(resolutions[step.edge], forward,
-                               refs[src], refs[step.slot])
-            if step.op == "!" and filt[step.slot] is None:
-                tables[step.slot].full_id_set
-        count = min(workers, len(rows))
-        chunk = (len(rows) + count - 1) // count
-        parts = [rows[i:i + chunk] for i in range(0, len(rows), chunk)]
-        results: List[Optional[List[Tuple[int, ...]]]] = [None] * len(parts)
+        specs = self._build_step_specs(plan.steps, resolutions, refs,
+                                       tables, filt)
+        # Probe structures are built once here rather than lazily on
+        # the workers (the lazy build is a benign but wasteful race).
+        for spec in specs:
+            spec.probe()
+            if kernels.numpy_active():
+                spec.np_mask()
+        bounds = parallel.partition_bounds(len(anchor), workers)
+        results: List[Optional[List[Tuple[int, ...]]]] = \
+            [None] * len(bounds)
         stats_list: List[Optional[List[Tuple[int, int]]]] = \
-            [None] * len(parts)
-        timings: List[dict] = [{} for _ in parts]
+            [None] * len(bounds)
+        timings: List[dict] = [{} for _ in bounds]
 
         tracer = obs.TRACER
         # Captured on the dispatching thread: workers open their span
@@ -887,45 +904,83 @@ class PatternEvaluator:
         # under the query span across threads.
         parent_span = tracer.current_span() if tracer is not None else None
 
-        def run(index: int, part: List[Tuple[int, ...]]) -> None:
+        def run(index: int, lo: int, hi: int) -> None:
             pspan = tracer.start("partition", parent=parent_span,
-                                 partition=index) \
+                                 partition=index, mode="thread") \
                 if tracer is not None else None
             started = time.perf_counter()
             try:
-                out, stats = self._run_plan_steps(plan.steps, resolutions,
-                                                  refs, tables, filt, part,
-                                                  budget)
+                out, stats = self._run_plan_steps(plan.steps, specs, refs,
+                                                  anchor[lo:hi], budget)
                 results[index] = out
                 stats_list[index] = stats
                 timings[index].update(
-                    partition=index, anchor_rows=len(part),
-                    rows_out=len(out),
+                    partition=index, anchor_rows=hi - lo,
+                    rows_out=len(out), mode="thread",
                     ms=(time.perf_counter() - started) * 1000.0)
                 if pspan is not None:
                     pspan.add("rows_out", len(out))
             finally:
                 if pspan is not None:
-                    pspan.add("anchor_rows", len(part))
+                    pspan.add("anchor_rows", hi - lo)
                     tracer.finish(pspan)
 
-        with ThreadPoolExecutor(max_workers=len(parts)) as pool:
-            futures = [pool.submit(run, index, part)
-                       for index, part in enumerate(parts)]
-        # The pool has shut down: every future is done.  Merge what
-        # finished, then surface the first failure (a budget trip in
-        # one partition trips the shared budget in all of them).
+        pool = parallel.thread_pool(workers)
+        futures = [pool.submit(run, index, lo, hi)
+                   for index, (lo, hi) in enumerate(bounds)]
+        futures_wait(futures)
+        # Every future is done.  Merge what finished, then surface the
+        # first failure (a budget trip in one partition trips the
+        # shared budget in all of them).
         finished = [stats for stats in stats_list if stats is not None]
         if finished:
             self._merge_step_stats(plan, finished)
         metrics = self._metrics
-        metrics.workers_used = max(metrics.workers_used, len(parts))
+        metrics.workers_used = max(metrics.workers_used, len(bounds))
+        metrics.worker_mode = "thread"
         metrics.partitions.extend(t for t in timings if t)
         for future in futures:
             error = future.exception()
             if error is not None:
                 raise error
         return [row for part_rows in results for row in part_rows]
+
+    def _execute_partitioned_process(self, plan: JoinPlan,
+                                     resolutions: List[EdgeResolution],
+                                     refs: List[ClassRef],
+                                     tables: List[InternTable],
+                                     filt: List[Optional[frozenset]],
+                                     anchor, workers: int
+                                     ) -> List[Tuple[int, ...]]:
+        """Ship the plan's hops to the persistent process pool: only
+        segment names, partition bounds and budget limits cross the
+        pipe; workers attach the planes read-only and return packed
+        int64 columns, merged here in partition order."""
+        meta = self._step_meta(plan.steps, resolutions, refs, tables,
+                               filt)
+        tracer = obs.TRACER
+        parent_span = tracer.current_span() if tracer is not None else None
+        rows, stats_list, infos = self._process_executor.run_chain(
+            meta, anchor, workers, self._budget)
+        self._merge_step_stats(plan, stats_list)
+        metrics = self._metrics
+        metrics.workers_used = max(metrics.workers_used, len(infos))
+        metrics.worker_mode = "process"
+        for info in infos:
+            record = dict(info, mode="process")
+            metrics.partitions.append(record)
+            if tracer is not None:
+                # Stitched post hoc (the worker ran in another process):
+                # wall/CPU spend rides as span attributes.
+                pspan = tracer.start("partition", parent=parent_span,
+                                     partition=record["partition"],
+                                     mode="process", pid=record["pid"])
+                pspan.add("anchor_rows", record["anchor_rows"])
+                pspan.add("rows_out", record["rows_out"])
+                pspan.set("wall_ms", round(record["ms"], 3))
+                pspan.set("cpu_ms", round(record["cpu_ms"], 3))
+                tracer.finish(pspan)
+        return rows
 
     def _evaluate_chain_compact(self, flat: _Flattened,
                                 name: str) -> Subdatabase:
@@ -1154,6 +1209,20 @@ class PatternEvaluator:
         frontier = self._match_range_ids(flat, 0, n - 1, extents,
                                          resolutions, refs, tables, filt)
         total_rows = len(frontier)
+        workers = self.workers
+        if workers > 1 and \
+                len(frontier) >= max(self.min_parallel_rows, 2 * workers):
+            # Hierarchies rooted at distinct level-1 rows are
+            # independent, so the closure partitions shared-nothing
+            # over the frontier.  The cross-query loop-body memo is
+            # skipped here: per-partition expansion tables only cover
+            # the anchors their slice reached.
+            kept_rows, extended = self._closure_partitioned(
+                frontier, resolutions, refs, tables, filt, n, body,
+                max_level, count is None, workers)
+            return self._loop_materialize(name, terms, resolutions,
+                                          tables, kept_rows,
+                                          total_rows + extended, n, body)
         # Loop rows grow from slot 0, so one covers another exactly when
         # the shorter is its prefix — and prefixes only arise by direct
         # ancestry.  A row is therefore subsumed iff it gets extended at
@@ -1245,7 +1314,17 @@ class PatternEvaluator:
             cache.store(memo_key, memo_vector, dict(expansions), nbytes)
         # The final frontier was never expanded: all of it survives.
         kept_rows.extend(frontier)
+        return self._loop_materialize(name, terms, resolutions, tables,
+                                      kept_rows, total_rows, n, body)
 
+    def _loop_materialize(self, name: str, terms: List[ClassTerm],
+                          resolutions: List[EdgeResolution],
+                          tables: List[InternTable],
+                          kept_rows: List[Tuple[int, ...]],
+                          total_rows: int, n: int,
+                          body: int) -> Subdatabase:
+        """Pad the surviving closure rows to the deepest level reached
+        and decode them — shared by the serial and partitioned loops."""
         levels_reached = max(
             (1 + (len(row) - n) // body for row in kept_rows), default=1)
         intension = self._loop_intension(terms, resolutions,
@@ -1259,6 +1338,154 @@ class PatternEvaluator:
                          for t in range(width)]
         return Subdatabase.from_interned_rows(name, intension, kept,
                                               decode_tables)
+
+    def _body_specs(self, resolutions: List[EdgeResolution],
+                    refs: List[ClassRef], tables: List[InternTable],
+                    filt: List[Optional[frozenset]],
+                    n: int) -> List[kernels.StepSpec]:
+        """Kernel specs for one forward traversal of a loop's cycle
+        body (hops ``k -> k+1``; loops admit only ``*`` hops)."""
+        universe = self.universe
+        specs = []
+        for k in range(n - 1):
+            adj = universe.adjacency(resolutions[k], True,
+                                     refs[k], refs[k + 1])
+            ids = filt[k + 1]
+            tgt_filter = None if ids is None else array("q", sorted(ids))
+            specs.append(kernels.StepSpec("*", True, adj.offsets,
+                                          adj.neighbors,
+                                          len(tables[k + 1]), tgt_filter))
+        return specs
+
+    def _body_meta(self, resolutions: List[EdgeResolution],
+                   refs: List[ClassRef], tables: List[InternTable],
+                   filt: List[Optional[frozenset]], n: int) -> List[dict]:
+        """Process-dispatch metadata for a loop's cycle-body hops."""
+        universe = self.universe
+        meta = []
+        for k in range(n - 1):
+            resolution = resolutions[k]
+            adj = universe.adjacency(resolution, True,
+                                     refs[k], refs[k + 1])
+            key = universe.compact._adj_spec(resolution, True,
+                                             adj.src.key, adj.tgt.key)
+            token = planes.vector_token(
+                (key, universe.ref_token(refs[k]),
+                 universe.ref_token(refs[k + 1])))
+            ids = filt[k + 1]
+            meta.append({"op": "*", "forward": True, "index": adj,
+                         "key": key, "token": token,
+                         "tgt_size": len(tables[k + 1]),
+                         "tgt_filter": (None if ids is None
+                                        else array("q", sorted(ids)))})
+        return meta
+
+    def _closure_partitioned(self, frontier: List[Tuple[int, ...]],
+                             resolutions: List[EdgeResolution],
+                             refs: List[ClassRef],
+                             tables: List[InternTable],
+                             filt: List[Optional[frozenset]],
+                             n: int, body: int, max_level: int,
+                             unbounded: bool, workers: int
+                             ) -> Tuple[List[Tuple[int, ...]], int]:
+        """Run the semi-naive closure with the level-1 frontier split
+        across workers (threads over the live arrays, or processes over
+        shared-memory planes); returns ``(kept rows, extended-row
+        total)``.  Worker-side cycle/non-termination markers translate
+        here into the same :class:`CyclicDataError`\\ s the serial loop
+        raises — the coordinator owns the intern tables that name the
+        offending instance."""
+        budget = self._budget
+        metrics = self._metrics
+        tracer = obs.TRACER
+        parent_span = tracer.current_span() if tracer is not None else None
+        try:
+            if self.worker_mode == "process":
+                meta = self._body_meta(resolutions, refs, tables, filt, n)
+                kept, stats_list, infos = \
+                    self._process_executor.run_closure(
+                        meta, frontier, body, max_level, self.on_cycle,
+                        unbounded, workers, budget)
+                for info, stats in zip(infos, stats_list):
+                    record = dict(info, mode="process",
+                                  level=stats["level"])
+                    metrics.partitions.append(record)
+                    if tracer is not None:
+                        pspan = tracer.start("partition",
+                                             parent=parent_span,
+                                             partition=record["partition"],
+                                             mode="process",
+                                             pid=record["pid"])
+                        pspan.add("anchor_rows", record["anchor_rows"])
+                        pspan.add("rows_out", record["rows_out"])
+                        pspan.add("level", stats["level"])
+                        pspan.set("wall_ms", round(record["ms"], 3))
+                        pspan.set("cpu_ms", round(record["cpu_ms"], 3))
+                        tracer.finish(pspan)
+            else:
+                specs = self._body_specs(resolutions, refs, tables,
+                                         filt, n)
+                for spec in specs:
+                    spec.probe()
+                    if kernels.numpy_active():
+                        spec.np_mask()
+                bounds = parallel.partition_bounds(len(frontier), workers)
+                results: List[Optional[List[Tuple[int, ...]]]] = \
+                    [None] * len(bounds)
+                stats_list = [None] * len(bounds)
+
+                def run(index: int, lo: int, hi: int) -> None:
+                    pspan = tracer.start("partition", parent=parent_span,
+                                         partition=index, mode="thread") \
+                        if tracer is not None else None
+                    started = time.perf_counter()
+                    try:
+                        out, stats = kernels.closure_partition(
+                            frontier[lo:hi], specs, body, max_level,
+                            self.on_cycle, budget, unbounded)
+                        results[index] = out
+                        stats_list[index] = stats
+                        metrics.partitions.append({
+                            "partition": index, "anchor_rows": hi - lo,
+                            "rows_out": len(out), "mode": "thread",
+                            "level": stats["level"],
+                            "ms": (time.perf_counter() - started)
+                                  * 1000.0})
+                        if pspan is not None:
+                            pspan.add("rows_out", len(out))
+                            pspan.add("level", stats["level"])
+                    finally:
+                        if pspan is not None:
+                            pspan.add("anchor_rows", hi - lo)
+                            tracer.finish(pspan)
+
+                pool = parallel.thread_pool(workers)
+                futures = [pool.submit(run, index, lo, hi)
+                           for index, (lo, hi) in enumerate(bounds)]
+                futures_wait(futures)
+                stats_list = [s for s in stats_list if s is not None]
+                for future in futures:
+                    error = future.exception()
+                    if error is not None:
+                        raise error
+                kept = [row for part in results for row in part]
+        except kernels.CycleHit as hit:
+            raise CyclicDataError(
+                f"instance {tables[-1].oids[hit.dense_id]!r} repeats in "
+                f"a loop hierarchy; the paper assumes the traversed "
+                f"relationship is acyclic (use on_cycle='stop' to "
+                f"truncate)")
+        except kernels.NonTerminating:
+            raise CyclicDataError(
+                f"unbounded loop did not terminate within "
+                f"{self.max_depth} levels")
+        extended = sum(s["extended"] for s in stats_list)
+        metrics.rows_generated += extended
+        metrics.edge_traversals += sum(s["edge_traversals"]
+                                       for s in stats_list)
+        metrics.workers_used = max(metrics.workers_used, len(stats_list))
+        metrics.worker_mode = self.worker_mode
+        return kept, extended
 
     def _expand_anchors(self, anchors: Set[int],
                         expansions: Dict[int, Tuple[Tuple[int, ...], ...]],

@@ -1,0 +1,438 @@
+"""Vectorized columnar join kernels over flat int64 buffers.
+
+The compact executor's inner loops used to materialize every joined row
+as a Python tuple — one interpreter-level append *per output row*.
+These kernels keep a partition's rows **columnar** (one int64 vector
+per slot) while the plan runs, so a join hop becomes a handful of bulk
+operations: per input row, one C-level slice copy of its CSR neighbor
+run plus one replication of the existing columns by the neighbor
+counts.  Rows only become tuples once, after the last hop.
+
+Two interchangeable implementations sit behind a feature probe:
+
+* a **numpy** path (when importable and not disabled via
+  ``REPRO_NO_NUMPY=1``): the whole hop is fancy-indexed — offsets
+  gather, prefix-sum index expansion, boolean-mask semi-join filter,
+  ``np.repeat`` column replication — with zero per-row Python;
+* a **pure-``array``/``memoryview``** fallback with one Python-level
+  iteration per *input* row (not per output row) and C-level
+  ``frombytes`` neighbor copies.
+
+Both read the same :class:`StepSpec` buffers, which may be live
+``array("q")`` objects (in-process execution) or ``memoryview``\\ s
+over attached shared-memory planes (worker processes,
+:mod:`repro.subdb.planes`) — the kernels are the single join
+implementation shared by the serial path, the thread partitions, and
+the process workers, which is what keeps all three byte-identical.
+
+Budget enforcement is duck-typed: anything with ``CHECK_EVERY``,
+``check_time()``, ``charge_rows(n)`` and ``check_level(level)`` works —
+a :class:`~repro.oql.budget.QueryBudget` in-process, a
+:class:`~repro.oql.parallel.WorkerBudget` (shared cancellation flag +
+local deadline) inside a worker.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+try:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("numpy disabled by REPRO_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
+
+def numpy_active() -> bool:
+    """Whether the numpy fast path is in use (tests monkeypatch
+    ``kernels._np = None`` to pin the fallback)."""
+    return _np is not None
+
+
+class CycleHit(Exception):
+    """A loop hierarchy revisited an instance under ``on_cycle="error"``
+    — carries the dense id so the coordinator (which owns the intern
+    tables) can name the instance in the user-facing error."""
+
+    def __init__(self, dense_id: int):
+        super().__init__(dense_id)
+        self.dense_id = dense_id
+
+
+class NonTerminating(Exception):
+    """An unbounded loop still had a live frontier at the depth bound."""
+
+
+class StepSpec:
+    """One join hop reduced to flat buffers.
+
+    ``offsets``/``neighbors`` are the CSR arrays (any int64 buffer);
+    ``tgt_filter`` is the slot's filtered extent as a *sorted*
+    ``array("q")`` — ``None`` when the filter kept the whole extent.
+    Derived probe structures (masks, numpy views) are built lazily and
+    cached; specs are built once per query on the dispatching thread,
+    then read concurrently.
+    """
+
+    __slots__ = ("op", "forward", "offsets", "neighbors", "tgt_size",
+                 "tgt_filter", "_probe", "_np_mask", "_nbr_bytes")
+
+    def __init__(self, op: str, forward: bool, offsets, neighbors,
+                 tgt_size: int, tgt_filter: Optional[array] = None):
+        self.op = op
+        self.forward = forward
+        self.offsets = offsets
+        self.neighbors = neighbors
+        self.tgt_size = tgt_size
+        self.tgt_filter = tgt_filter
+        self._probe = None
+        self._np_mask = None
+        self._nbr_bytes = None
+
+    # -- lazy probe structures -----------------------------------------
+
+    def nbr_bytes(self) -> memoryview:
+        view = self._nbr_bytes
+        if view is None:
+            view = self._nbr_bytes = memoryview(self.neighbors).cast("B")
+        return view
+
+    def probe(self):
+        """Fallback membership probe for the semi-join filter: a
+        bytearray mask when the filter is a dense fraction of the
+        target table (one C-level index per neighbor), else a
+        frozenset."""
+        probe = self._probe
+        if probe is None:
+            ids = self.tgt_filter
+            if ids is None:
+                return None
+            if self.tgt_size >= 64 and 4 * len(ids) >= self.tgt_size:
+                mask = bytearray(self.tgt_size)
+                for v in ids:
+                    mask[v] = 1
+                probe = ("mask", mask)
+            else:
+                probe = ("set", frozenset(ids))
+            self._probe = probe
+        return probe
+
+    def np_mask(self):
+        mask = self._np_mask
+        if mask is None and self.tgt_filter is not None:
+            mask = _np.zeros(self.tgt_size, dtype=bool)
+            if len(self.tgt_filter):
+                mask[_np.frombuffer(self.tgt_filter, dtype=_np.int64)] = \
+                    True
+            self._np_mask = mask
+        return mask
+
+
+# ----------------------------------------------------------------------
+# Column representation
+# ----------------------------------------------------------------------
+
+def anchor_column(ids):
+    """The partition's anchor ids as one column (a range, a sorted
+    list, or an ``array("q")`` slice)."""
+    if _np is not None:
+        if isinstance(ids, range):
+            return _np.arange(ids.start, ids.stop, dtype=_np.int64)
+        return _np.fromiter(ids, dtype=_np.int64, count=len(ids))
+    return ids if isinstance(ids, array) else array("q", ids)
+
+
+def columns_to_rows(cols) -> List[Tuple[int, ...]]:
+    """Materialize columns as the row tuples the rest of the engine
+    consumes (plain Python ints, identical across representations)."""
+    if not cols or not len(cols[0]):
+        return []
+    return list(zip(*[col.tolist() for col in cols]))
+
+
+def columns_to_bytes(cols) -> List[bytes]:
+    """Pack columns for a cross-process return (one int64 blob each)."""
+    return [col.tobytes() for col in cols]
+
+
+def rows_from_column_bytes(blobs: Sequence[bytes]) -> List[Tuple[int, ...]]:
+    """Rebuild row tuples from a worker's packed columns."""
+    cols = []
+    for blob in blobs:
+        col = array("q")
+        col.frombytes(blob)
+        cols.append(col)
+    return columns_to_rows(cols)
+
+
+# ----------------------------------------------------------------------
+# One join hop
+# ----------------------------------------------------------------------
+
+def execute_step(cols, spec: StepSpec, budget=None):
+    """Extend a columnar partition across one hop.
+
+    Returns ``(new_cols, distinct_frontier)``; the new target column is
+    appended (``forward``) or prepended.  Neighbor order within a row
+    follows the CSR arrays (ascending), so output order is identical
+    across the numpy path, the fallback path, and the historical
+    tuple-at-a-time executor.
+    """
+    if budget is not None:
+        budget.check_time()
+    if spec.op == "*":
+        if _np is not None:
+            return _step_star_numpy(cols, spec, budget)
+        return _step_star_arrays(cols, spec, budget)
+    return _step_bang(cols, spec, budget)
+
+
+def _step_star_numpy(cols, spec, budget):
+    off = _np.frombuffer(spec.offsets, dtype=_np.int64)
+    nbr = _np.frombuffer(spec.neighbors, dtype=_np.int64)
+    ends = cols[-1] if spec.forward else cols[0]
+    starts = off[ends]
+    cnt = off[ends + 1] - starts
+    frontier = int(_np.unique(ends).size)
+    total = int(cnt.sum())
+    if total == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        out = [empty for _ in range(len(cols) + 1)]
+        return out, frontier
+    # Expand the per-row CSR runs into one flat gather index:
+    # idx[k] = starts[row of k] + (k - exclusive_prefix_sum[row of k]).
+    csum = _np.cumsum(cnt)
+    row_ids = _np.repeat(_np.arange(len(ends), dtype=_np.int64), cnt)
+    idx = (_np.arange(total, dtype=_np.int64)
+           - _np.repeat(csum - cnt, cnt)
+           + _np.repeat(starts, cnt))
+    tgt = nbr[idx]
+    mask = spec.np_mask()
+    if mask is not None:
+        keep = mask[tgt]
+        tgt = tgt[keep]
+        row_ids = row_ids[keep]
+    if budget is not None:
+        budget.charge_rows(int(tgt.size))
+    new_cols = [col[row_ids] for col in cols]
+    if spec.forward:
+        new_cols.append(tgt)
+    else:
+        new_cols.insert(0, tgt)
+    return new_cols, frontier
+
+
+def _step_star_arrays(cols, spec, budget):
+    off = spec.offsets
+    nbr_b = spec.nbr_bytes()
+    nbr_q = memoryview(spec.neighbors).cast("B").cast("q") \
+        if not isinstance(spec.neighbors, memoryview) else spec.neighbors
+    ends = cols[-1] if spec.forward else cols[0]
+    probe = spec.probe()
+    out = array("q")
+    counts: List[int] = []
+    add_count = counts.append
+    if probe is None:
+        frombytes = out.frombytes
+        for e in ends:
+            s = off[e]
+            t = off[e + 1]
+            frombytes(nbr_b[8 * s:8 * t])
+            add_count(t - s)
+    else:
+        kind, member = probe
+        extend = out.extend
+        if kind == "mask":
+            for e in ends:
+                vals = [v for v in nbr_q[off[e]:off[e + 1]] if member[v]]
+                extend(vals)
+                add_count(len(vals))
+        else:
+            for e in ends:
+                vals = [v for v in nbr_q[off[e]:off[e + 1]]
+                        if v in member]
+                extend(vals)
+                add_count(len(vals))
+    frontier = len(set(ends))
+    if budget is not None:
+        budget.charge_rows(len(out))
+        budget.check_time()
+    new_cols = [_replicate(col, counts, len(out)) for col in cols]
+    if spec.forward:
+        new_cols.append(out)
+    else:
+        new_cols.insert(0, out)
+    return new_cols, frontier
+
+
+def _step_bang(cols, spec, budget):
+    """The non-association operator: per distinct endpoint, the sorted
+    complement of its neighbor set within the (filtered) target extent
+    — computed once per endpoint, shared by every row ending there."""
+    off = spec.offsets
+    nbr_q = spec.neighbors
+    ends = cols[-1] if spec.forward else cols[0]
+    domain = (spec.tgt_filter if spec.tgt_filter is not None
+              else range(spec.tgt_size))
+    cand: Dict[int, bytes] = {}
+    sizes: Dict[int, int] = {}
+    for e in set(int(v) for v in ends):
+        nbrs = set(nbr_q[off[e]:off[e + 1]])
+        comp = array("q", [v for v in domain if v not in nbrs]) \
+            if nbrs else array("q", domain)
+        cand[e] = comp.tobytes()
+        sizes[e] = len(comp)
+    frontier = len(cand)
+    counts = [sizes[int(e)] for e in ends]
+    total = sum(counts)
+    if budget is not None:
+        budget.charge_rows(total)
+        budget.check_time()
+    out = array("q")
+    frombytes = out.frombytes
+    for e in ends:
+        frombytes(cand[int(e)])
+    if _np is not None:
+        cnt = _np.fromiter(counts, dtype=_np.int64, count=len(counts))
+        row_ids = _np.repeat(_np.arange(len(ends), dtype=_np.int64), cnt)
+        new_cols = [col[row_ids] for col in cols]
+        tgt = _np.frombuffer(out.tobytes(), dtype=_np.int64) \
+            if len(out) else _np.empty(0, dtype=_np.int64)
+        if spec.forward:
+            new_cols.append(tgt)
+        else:
+            new_cols.insert(0, tgt)
+        return new_cols, frontier
+    new_cols = [_replicate(col, counts, total) for col in cols]
+    if spec.forward:
+        new_cols.append(out)
+    else:
+        new_cols.insert(0, out)
+    return new_cols, frontier
+
+
+def _replicate(col, counts: Sequence[int], total: int) -> array:
+    """Repeat ``col[i]`` ``counts[i]`` times (fallback-path column
+    replication; one Python iteration per *input* row)."""
+    out = array("q")
+    extend = out.extend
+    append = out.append
+    for v, c in zip(col, counts):
+        if c == 1:
+            append(v)
+        elif c:
+            extend([v] * c)
+    return out
+
+
+def run_steps(specs: Sequence[StepSpec], anchor_ids, budget=None):
+    """Run a whole plan's hop sequence over one anchor partition.
+
+    Returns ``(columns, stats)`` with per-step ``(distinct frontier,
+    rows after)`` counts — the same stats contract as the evaluator's
+    traced step loop, so partition results merge uniformly whether they
+    ran in-process or in a worker."""
+    cols = [anchor_column(anchor_ids)]
+    stats: List[Tuple[int, int]] = []
+    for spec in specs:
+        if not len(cols[0]):
+            stats.append((0, 0))
+            continue
+        cols, frontier = execute_step(cols, spec, budget)
+        stats.append((frontier, len(cols[0]) if cols else 0))
+    return cols, stats
+
+
+# ----------------------------------------------------------------------
+# Loop closure over one frontier partition
+# ----------------------------------------------------------------------
+
+def closure_partition(frontier: List[Tuple[int, ...]],
+                      body_specs: Sequence[StepSpec],
+                      body: int, max_level: int, on_cycle: str,
+                      budget=None, unbounded: bool = False):
+    """Run the semi-naive closure to completion over one slice of the
+    level-1 frontier.
+
+    Hierarchies growing from distinct level-1 rows are independent, so
+    partitions share nothing but the (read-only) adjacency buffers —
+    each partition memoizes its own anchor expansions.  Matches the
+    serial loop's semantics: a row is kept exactly when it stops
+    growing, ``on_cycle="error"`` raises :class:`CycleHit`, an
+    unbounded loop with a live frontier at ``max_level`` raises
+    :class:`NonTerminating`.
+
+    Returns ``(kept_rows, stats)`` where stats counts the extended-row
+    deltas, the distinct-endpoint traversals, and the last level
+    reached.
+    """
+    kept: List[Tuple[int, ...]] = []
+    expansions: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
+    level = 1
+    total_extended = 0
+    edge_traversals = 0
+    while frontier and level < max_level:
+        level += 1
+        if budget is not None:
+            budget.check_level(level)
+            budget.check_time()
+        new_anchors = {row[-1] for row in frontier} - expansions.keys()
+        if new_anchors:
+            edge_traversals += _expand_anchor_ids(
+                new_anchors, expansions, body_specs, budget)
+        extended: List[Tuple[int, ...]] = []
+        append = extended.append
+        next_check = budget.CHECK_EVERY if budget is not None else None
+        charged = 0
+        for row in frontier:
+            grew = False
+            for extension in expansions[row[-1]]:
+                last = extension[-1]
+                if any(row[p] == last for p in range(0, len(row), body)):
+                    if on_cycle == "error":
+                        raise CycleHit(last)
+                    continue
+                append(row + extension)
+                grew = True
+            if not grew:
+                kept.append(row)
+            if next_check is not None and len(extended) >= next_check:
+                budget.charge_rows(len(extended) - charged)
+                charged = len(extended)
+                budget.check_time()
+                next_check = charged + budget.CHECK_EVERY
+        if budget is not None:
+            budget.charge_rows(len(extended) - charged)
+        total_extended += len(extended)
+        frontier = extended
+    if unbounded and frontier and level >= max_level:
+        raise NonTerminating()
+    kept.extend(frontier)
+    return kept, {"extended": total_extended,
+                  "edge_traversals": edge_traversals,
+                  "level": level}
+
+
+def _expand_anchor_ids(anchors: Set[int],
+                       expansions: Dict[int, Tuple[Tuple[int, ...], ...]],
+                       body_specs: Sequence[StepSpec], budget) -> int:
+    """One-cycle body expansion of each anchor id, via the columnar
+    step kernels; memoized into ``expansions``."""
+    cols = [anchor_column(sorted(anchors))]
+    traversals = 0
+    for spec in body_specs:
+        if not len(cols[0]):
+            break
+        cols, frontier = execute_step(cols, spec, budget)
+        traversals += frontier
+    for anchor in anchors:
+        expansions[anchor] = ()
+    grouped: Dict[int, List[Tuple[int, ...]]] = {}
+    for row in columns_to_rows(cols):
+        grouped.setdefault(row[0], []).append(row[1:])
+    for anchor, exts in grouped.items():
+        expansions[anchor] = tuple(exts)
+    return traversals

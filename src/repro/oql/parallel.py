@@ -1,0 +1,660 @@
+"""Persistent worker pools and the process partition executor.
+
+PR 3's partition executor split anchors across *threads*, so compact
+CPU work still serialized on the GIL.  This module adds the true
+multicore path: a :class:`ProcessPartitionExecutor` ships only segment
+names, plan payloads, partition bounds and budget limits to a
+persistent ``ProcessPoolExecutor``; workers attach the shared-memory
+planes (:mod:`repro.subdb.planes`) read-only, run the same columnar
+kernels (:mod:`repro.oql.kernels`) as the in-process paths, and return
+packed int64 columns.  Merge order is partition order, so results are
+byte-identical to the serial and thread executors.
+
+Pools are process-global and persistent: spawning an interpreter per
+query would dwarf the join work, so pools are keyed by worker count,
+created on first use, reused across queries and evaluators, and torn
+down once at interpreter exit.  The thread pools here also back the
+thread partition path (replacing its per-query ``ThreadPoolExecutor``).
+
+Budget propagation uses a tiny shared *control block* segment: byte
+one is the cancellation flag (either side sets it — the coordinator on
+its own deadline, a worker on a local trip), followed by one
+single-writer row-counter slot per worker, so ``max_rows`` is enforced
+against the *global* row total while each worker only ever writes its
+own slot.
+
+A worker that dies mid-query (OOM killer, hard crash) breaks the pool:
+the coordinator discards the broken pool, raises
+:class:`WorkerCrashError`, and unlinks every per-query segment in its
+``finally`` — the query fails cleanly with zero orphaned planes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from array import array
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.oql import kernels
+from repro.oql.budget import BudgetExceeded, QueryBudget
+from repro.subdb import planes
+from repro.subdb.planes import SharedPlane
+
+
+class WorkerCrashError(ReproError):
+    """A partition worker process died mid-query.  The query fails
+    cleanly: the broken pool is discarded (the next query gets a fresh
+    one) and every segment the query exported is unlinked."""
+
+
+# ----------------------------------------------------------------------
+# Persistent pools
+# ----------------------------------------------------------------------
+
+def start_method() -> str:
+    """The multiprocessing start method for worker pools.
+
+    ``forkserver`` where available: ``fork`` is unsafe in a process
+    that runs threads (the thread partition path, user code), ``spawn``
+    pays a full interpreter + import per worker.  ``REPRO_MP_START``
+    overrides for platforms/tests that need ``spawn`` or ``fork``.
+    """
+    env = os.environ.get("REPRO_MP_START")
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+_POOL_LOCK = threading.Lock()
+_THREAD_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_PROCESS_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def thread_pool(workers: int) -> ThreadPoolExecutor:
+    """The shared thread pool for ``workers``-way partition execution
+    (created once, reused by every query at that width)."""
+    with _POOL_LOCK:
+        pool = _THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"repro-part{workers}")
+            _THREAD_POOLS[workers] = pool
+        return pool
+
+
+def _sanitize_main_module() -> None:
+    """Drop a phantom ``__main__.__file__`` before spawning workers.
+
+    forkserver/spawn children re-import the parent's main script via its
+    ``__file__``.  A coordinator driven from stdin (``python - <<EOF``)
+    or an embedded interpreter reports a path like ``<stdin>`` that no
+    child can open, so every worker would die during interpreter
+    bootstrap.  The workers only need :mod:`repro.oql.parallel`, never
+    the caller's main module, so a ``__file__`` that does not exist on
+    disk is safe to remove.
+    """
+    main = sys.modules.get("__main__")
+    main_file = getattr(main, "__file__", None)
+    if main_file and not os.path.exists(main_file):
+        try:
+            del main.__file__
+        except AttributeError:
+            pass
+
+
+def process_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared process pool for ``workers``-way partition execution."""
+    with _POOL_LOCK:
+        pool = _PROCESS_POOLS.get(workers)
+        if pool is None:
+            _sanitize_main_module()
+            ctx = multiprocessing.get_context(start_method())
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+            _PROCESS_POOLS[workers] = pool
+        return pool
+
+
+def discard_process_pool(workers: int) -> None:
+    """Drop a (broken) process pool so the next query builds a fresh
+    one — called after a worker crash."""
+    with _POOL_LOCK:
+        pool = _PROCESS_POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Tear down every persistent pool (interpreter exit, or tests
+    asserting a clean slate)."""
+    with _POOL_LOCK:
+        thread_pools = list(_THREAD_POOLS.values())
+        process_pools = list(_PROCESS_POOLS.values())
+        _THREAD_POOLS.clear()
+        _PROCESS_POOLS.clear()
+    for pool in thread_pools:
+        pool.shutdown(wait=False)
+    for pool in process_pools:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def partition_bounds(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` bounds splitting ``total`` items into at
+    most ``parts`` near-equal chunks (same arithmetic as the thread
+    path, so thread and process partitions are identical)."""
+    parts = max(1, min(parts, total))
+    chunk = (total + parts - 1) // parts
+    bounds = []
+    lo = 0
+    while lo < total:
+        hi = min(total, lo + chunk)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# Shared control block + worker-side budget
+# ----------------------------------------------------------------------
+
+class ControlBlock:
+    """A tiny writable shared segment coordinating one dispatch:
+    ``[cancel flag][rows slot 0]..[rows slot n-1]`` as int64 cells.
+    Each worker writes only its own rows slot; any party may set the
+    cancel flag.  Views are never cached — :attr:`SharedPlane.data`
+    builds a throwaway memoryview per access, so ``close``/``unlink``
+    never trip over exported buffers."""
+
+    def __init__(self, plane: SharedPlane, nworkers: int):
+        self._plane = plane
+        self.nworkers = nworkers
+
+    @classmethod
+    def create(cls, nworkers: int) -> "ControlBlock":
+        plane = SharedPlane.create(array("q", [0] * (1 + nworkers)),
+                                   token=0)
+        return cls(plane, nworkers)
+
+    @classmethod
+    def attach(cls, name: str, nworkers: int) -> "ControlBlock":
+        return cls(SharedPlane.attach(name), nworkers)
+
+    @property
+    def name(self) -> str:
+        return self._plane.name
+
+    def cancel(self) -> None:
+        self._plane.data[0] = 1
+
+    def cancelled(self) -> bool:
+        return self._plane.data[0] != 0
+
+    def set_rows(self, slot: int, rows: int) -> None:
+        self._plane.data[1 + slot] = rows
+
+    def total_rows(self) -> int:
+        data = self._plane.data
+        return sum(data[1 + i] for i in range(self.nworkers))
+
+    def close(self) -> None:
+        self._plane.close()
+
+    def unlink(self) -> None:
+        self._plane.unlink()
+
+
+class _WorkerTrip(Exception):
+    """Internal: a worker-side budget limit tripped (``verdict`` names
+    it); converted to a result marker, never crosses the pipe as an
+    exception."""
+
+    def __init__(self, verdict: str):
+        super().__init__(verdict)
+        self.verdict = verdict
+
+
+class WorkerBudget:
+    """The worker half of budget enforcement — same duck type as
+    :class:`~repro.oql.budget.QueryBudget` (``CHECK_EVERY``,
+    ``check_time``, ``charge_rows``, ``check_level``) so the kernels
+    cannot tell them apart.
+
+    Wall-clock runs against the *remaining* deadline the coordinator
+    shipped; rows are published to this worker's control-block slot and
+    checked against the shipped ``max_rows`` as a **global** sum over
+    all slots.  Every check also polls the shared cancel flag, and
+    every local trip sets it, so one worker tripping (or the
+    coordinator timing out) drains the whole dispatch within one check
+    interval."""
+
+    CHECK_EVERY = QueryBudget.CHECK_EVERY
+
+    def __init__(self, control: ControlBlock, slot: int,
+                 deadline_ms: Optional[float], max_rows: Optional[int],
+                 max_loop_levels: Optional[int]):
+        self._control = control
+        self._slot = slot
+        self._deadline_ms = deadline_ms
+        self._max_rows = max_rows
+        self._max_loop_levels = max_loop_levels
+        self._start = time.perf_counter()
+        self.rows = 0
+
+    def _trip(self, verdict: str) -> "_WorkerTrip":
+        self._control.cancel()
+        return _WorkerTrip(verdict)
+
+    def check_time(self) -> None:
+        if self._control.cancelled():
+            raise _WorkerTrip("cancelled")
+        if self._deadline_ms is not None and \
+                (time.perf_counter() - self._start) * 1000.0 > \
+                self._deadline_ms:
+            raise self._trip("deadline")
+
+    def charge_rows(self, n: int) -> None:
+        if not n:
+            return
+        self.rows += n
+        self._control.set_rows(self._slot, self.rows)
+        if self._max_rows is not None and \
+                self._control.total_rows() > self._max_rows:
+            raise self._trip("max_rows")
+
+    def check_level(self, level: int) -> None:
+        if self._max_loop_levels is not None and \
+                level > self._max_loop_levels:
+            raise self._trip("max_loop_levels")
+
+
+# ----------------------------------------------------------------------
+# Worker entry point
+# ----------------------------------------------------------------------
+
+def _attach_plane(ref: Tuple[str, int, int],
+                  attached: List[SharedPlane]) -> SharedPlane:
+    name, token, _length = ref
+    plane = SharedPlane.attach(name, expected_token=token)
+    attached.append(plane)
+    return plane
+
+
+def _attach_spec(payload: Dict[str, Any],
+                 attached: List[SharedPlane]) -> kernels.StepSpec:
+    offsets = _attach_plane(payload["offsets"], attached).data
+    neighbors = _attach_plane(payload["neighbors"], attached).data
+    tgt_filter = None
+    if payload["tgt_filter"] is not None:
+        tgt_filter = _attach_plane(payload["tgt_filter"],
+                                   attached).as_array()
+    return kernels.StepSpec(payload["op"], payload["forward"], offsets,
+                            neighbors, payload["tgt_size"], tgt_filter)
+
+
+def _run_task(task: Dict[str, Any], attached: List[SharedPlane],
+              budget: Optional[WorkerBudget]) -> Dict[str, Any]:
+    """The actual partition work; isolated in its own frame so every
+    memoryview over an attached plane is released before the caller's
+    ``finally`` closes the mappings."""
+    specs = [_attach_spec(p, attached) for p in task["steps"]]
+    if task["kind"] == "chain":
+        anchor = task["anchor"]
+        if anchor[0] == "range":
+            ids: Any = range(anchor[1], anchor[2])
+        else:
+            plane = _attach_plane(anchor[1], attached)
+            ids = plane.data[anchor[2]:anchor[3]]
+        cols, stats = kernels.run_steps(specs, ids, budget)
+        return {"ok": True, "cols": kernels.columns_to_bytes(cols),
+                "rows": len(cols[0]) if cols else 0, "stats": stats}
+    ref, lo, hi, width = task["frontier"]
+    data = _attach_plane(ref, attached).data
+    rows = [tuple(data[i * width:(i + 1) * width].tolist())
+            for i in range(lo, hi)]
+    kept, stats = kernels.closure_partition(
+        rows, specs, task["body"], task["max_level"], task["on_cycle"],
+        budget, task["unbounded"])
+    lens = array("q", [len(r) for r in kept])
+    vals = array("q")
+    for row in kept:
+        vals.extend(row)
+    return {"ok": True, "lens": lens.tobytes(), "vals": vals.tobytes(),
+            "rows": len(kept), "stats": stats}
+
+
+def worker_main(task: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one partition task inside a pool worker.
+
+    Budget trips, cycle hits and non-termination come back as result
+    markers (picklable, and expected); only genuine bugs and stale
+    planes propagate as exceptions.  Every attached segment is closed
+    before returning — workers never own an unlink."""
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    if task.get("crash"):  # test hook: simulate a hard worker death
+        os._exit(3)
+    attached: List[SharedPlane] = []
+    control: Optional[ControlBlock] = None
+    budget: Optional[WorkerBudget] = None
+    try:
+        if task["control"] is not None:
+            name, nworkers, slot = task["control"]
+            control = ControlBlock.attach(name, nworkers)
+            limits = task["budget"]
+            budget = WorkerBudget(control, slot,
+                                  limits.get("deadline_ms"),
+                                  limits.get("max_rows"),
+                                  limits.get("max_loop_levels"))
+        try:
+            result = _run_task(task, attached, budget)
+        except _WorkerTrip as trip:
+            result = {"ok": False, "tripped": trip.verdict}
+        except kernels.CycleHit as hit:
+            result = {"ok": False, "cycle": hit.dense_id}
+        except kernels.NonTerminating:
+            result = {"ok": False, "nonterminating": True}
+        result["rows_charged"] = budget.rows if budget is not None else 0
+        result["wall_ms"] = (time.perf_counter() - wall0) * 1000.0
+        result["cpu_ms"] = (time.process_time() - cpu0) * 1000.0
+        result["pid"] = os.getpid()
+        return result
+    finally:
+        for plane in attached:
+            try:
+                plane.close()
+            except Exception:  # pragma: no cover - exported-view races
+                pass
+        if control is not None:
+            try:
+                control.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+def _limit_for(budget: QueryBudget, verdict: str):
+    if verdict == "deadline":
+        return f"{budget.deadline_ms} ms"
+    if verdict == "max_rows":
+        return budget.max_rows
+    return budget.max_loop_levels
+
+
+class ProcessPartitionExecutor:
+    """Coordinator for process-parallel partition execution.
+
+    Owns a :class:`~repro.subdb.planes.PlaneManager` caching the
+    adjacency/intern plane exports across queries (re-exported only
+    when identity, epoch or version token changes), plus the per-query
+    ephemeral planes (anchors, filters, frontiers) and the control
+    block, all unlinked in ``finally`` — including after budget trips
+    and worker crashes."""
+
+    def __init__(self) -> None:
+        self.manager = planes.PlaneManager()
+        #: One-shot test hook: the next dispatch sends partition 0 a
+        #: ``crash`` task, simulating a worker death mid-query.
+        self.inject_crash = False
+
+    def close(self) -> None:
+        self.manager.close()
+
+    # -- payload assembly ----------------------------------------------
+
+    def _export_steps(self, steps: Sequence[Dict[str, Any]], handles,
+                      ephemerals) -> List[Dict[str, Any]]:
+        payloads = []
+        for step in steps:
+            index = step["index"]
+            manifest, entry = self.manager.export(
+                step["key"], index, index.plane_arrays(), step["token"])
+            handles.append(entry)
+            payload = {"op": step["op"], "forward": step["forward"],
+                       "offsets": manifest["offsets"],
+                       "neighbors": manifest["neighbors"],
+                       "tgt_size": step["tgt_size"], "tgt_filter": None}
+            if step["tgt_filter"] is not None:
+                fmani, fplanes = planes.create_ephemeral(
+                    {"filter": step["tgt_filter"]}, token=0)
+                ephemerals.extend(fplanes)
+                payload["tgt_filter"] = fmani["filter"]
+            payloads.append(payload)
+        return payloads
+
+    @staticmethod
+    def _budget_payload(budget: Optional[QueryBudget], nparts: int):
+        if budget is None:
+            return None, None
+        budget.ensure_started()
+        deadline = budget.remaining_ms()
+        max_rows = None
+        if budget.max_rows is not None:
+            max_rows = max(budget.max_rows - budget.rows_charged, 0)
+        if deadline is None and max_rows is None and \
+                budget.max_loop_levels is None:
+            return None, None
+        control = ControlBlock.create(nparts)
+        return {"deadline_ms": deadline, "max_rows": max_rows,
+                "max_loop_levels": budget.max_loop_levels}, control
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch(self, tasks, workers: int,
+                  budget: Optional[QueryBudget],
+                  control: Optional[ControlBlock]) -> List[Dict[str, Any]]:
+        """Submit every task and collect every result, converting a
+        dead worker into :class:`WorkerCrashError` (pool discarded so
+        the next query gets a fresh one).  The submit loop itself is
+        inside the guard: a crashing worker can break the pool while
+        later partitions are still being submitted."""
+        try:
+            pool = process_pool(workers)
+            futures = [pool.submit(worker_main, task) for task in tasks]
+            return self._collect(futures, budget, control)
+        except BrokenExecutor as exc:
+            discard_process_pool(workers)
+            raise WorkerCrashError(
+                "a partition worker process died mid-query; the pool "
+                "was discarded and every shared segment unlinked — "
+                "re-run the query") from exc
+
+    def _collect(self, futures,
+                 budget: Optional[QueryBudget],
+                 control: Optional[ControlBlock]) -> List[Dict[str, Any]]:
+        results = []
+        for fut in futures:
+            timeout = None
+            if budget is not None and budget.deadline_ms is not None:
+                remaining = budget.remaining_ms() or 0.0
+                timeout = max(remaining, 0.0) / 1000.0 + 0.1
+            try:
+                results.append(fut.result(timeout=timeout))
+            except FuturesTimeoutError:
+                # Parent-side deadline: flip the shared flag so the
+                # workers drain at their next check, then wait out
+                # their (bounded) wind-down.
+                if control is not None:
+                    control.cancel()
+                results.append(fut.result())
+        return results
+
+    def _settle(self, results: Sequence[Dict[str, Any]],
+                budget: Optional[QueryBudget]) -> None:
+        """Charge the coordinator budget with the workers' row totals,
+        then convert any worker-side markers into the coordinator-side
+        exceptions the evaluator expects."""
+        if budget is not None:
+            charged = sum(r.get("rows_charged", 0) for r in results)
+            if charged:
+                budget.charge_rows(charged)
+            budget.check_time()
+        verdicts = [r["tripped"] for r in results
+                    if not r.get("ok") and "tripped" in r]
+        if verdicts:
+            real = [v for v in verdicts if v != "cancelled"]
+            verdict = real[0] if real else "deadline"
+            raise budget._trip(verdict, _limit_for(budget, verdict))
+        for r in results:
+            if r.get("ok"):
+                continue
+            if "cycle" in r:
+                raise kernels.CycleHit(r["cycle"])
+            if r.get("nonterminating"):
+                raise kernels.NonTerminating()
+
+    def run_chain(self, steps: Sequence[Dict[str, Any]], anchor,
+                  workers: int, budget: Optional[QueryBudget] = None):
+        """Execute a plan's hop sequence over ``anchor`` split across
+        process workers.
+
+        ``steps`` entries carry ``op``/``forward``/``index`` (the
+        :class:`~repro.subdb.adjindex.AdjacencyIndex`), a stable cache
+        ``key``, the version ``token``, ``tgt_size`` and an optional
+        sorted ``tgt_filter`` array.  ``anchor`` is a ``range`` or a
+        sorted id list.  Returns ``(rows, stats_per_partition,
+        info_per_partition)`` with rows merged in partition order.
+        """
+        handles: List[Any] = []
+        ephemerals: List[SharedPlane] = []
+        control = None
+        try:
+            payloads = self._export_steps(steps, handles, ephemerals)
+            if isinstance(anchor, range):
+                total = len(anchor)
+
+                def anchor_ref(lo, hi):
+                    return ("range", anchor.start + lo, anchor.start + hi)
+            else:
+                arr = anchor if isinstance(anchor, array) \
+                    else array("q", anchor)
+                total = len(arr)
+                amani, aplanes = planes.create_ephemeral(
+                    {"anchor": arr}, token=0)
+                ephemerals.extend(aplanes)
+
+                def anchor_ref(lo, hi):
+                    return ("plane", amani["anchor"], lo, hi)
+
+            bounds = partition_bounds(total, workers)
+            limits, control = self._budget_payload(budget, len(bounds))
+            tasks = []
+            for slot, (lo, hi) in enumerate(bounds):
+                tasks.append({
+                    "kind": "chain", "steps": payloads,
+                    "anchor": anchor_ref(lo, hi),
+                    "control": (None if control is None else
+                                (control.name, len(bounds), slot)),
+                    "budget": limits,
+                    "crash": self.inject_crash and slot == 0,
+                })
+            self.inject_crash = False
+            results = self._dispatch(tasks, workers, budget, control)
+            self._settle(results, budget)
+            rows: List[Tuple[int, ...]] = []
+            stats = []
+            infos = []
+            for part, ((lo, hi), res) in enumerate(zip(bounds, results)):
+                rows.extend(kernels.rows_from_column_bytes(res["cols"]))
+                stats.append(res["stats"])
+                infos.append({"partition": part, "anchor_rows": hi - lo,
+                              "rows_out": res["rows"],
+                              "ms": res["wall_ms"],
+                              "cpu_ms": res["cpu_ms"],
+                              "pid": res["pid"]})
+            return rows, stats, infos
+        finally:
+            for entry in handles:
+                self.manager.release(entry)
+            planes.unlink_all(ephemerals)
+            if control is not None:
+                control.unlink()
+
+    def run_closure(self, body_steps: Sequence[Dict[str, Any]],
+                    frontier: Sequence[Tuple[int, ...]], body: int,
+                    max_level: int, on_cycle: str, unbounded: bool,
+                    workers: int,
+                    budget: Optional[QueryBudget] = None):
+        """Run the semi-naive closure with the level-1 frontier split
+        across process workers (hierarchies rooted at distinct level-1
+        rows are independent).  Returns ``(kept_rows,
+        stats_per_partition, info_per_partition)``; raises
+        :class:`~repro.oql.kernels.CycleHit` /
+        :class:`~repro.oql.kernels.NonTerminating` markers for the
+        evaluator to translate (it owns the intern tables)."""
+        handles: List[Any] = []
+        ephemerals: List[SharedPlane] = []
+        control = None
+        width = len(frontier[0])
+        try:
+            payloads = self._export_steps(body_steps, handles, ephemerals)
+            flat = array("q")
+            for row in frontier:
+                flat.extend(row)
+            fmani, fplanes = planes.create_ephemeral(
+                {"frontier": flat}, token=0)
+            ephemerals.extend(fplanes)
+            bounds = partition_bounds(len(frontier), workers)
+            limits, control = self._budget_payload(budget, len(bounds))
+            tasks = []
+            for slot, (lo, hi) in enumerate(bounds):
+                tasks.append({
+                    "kind": "closure", "steps": payloads,
+                    "frontier": (fmani["frontier"], lo, hi, width),
+                    "body": body, "max_level": max_level,
+                    "on_cycle": on_cycle, "unbounded": unbounded,
+                    "control": (None if control is None else
+                                (control.name, len(bounds), slot)),
+                    "budget": limits,
+                    "crash": self.inject_crash and slot == 0,
+                })
+            self.inject_crash = False
+            results = self._dispatch(tasks, workers, budget, control)
+            self._settle(results, budget)
+            kept: List[Tuple[int, ...]] = []
+            stats = []
+            infos = []
+            for part, ((lo, hi), res) in enumerate(zip(bounds, results)):
+                kept.extend(_unpack_rows(res["lens"], res["vals"]))
+                stats.append(res["stats"])
+                infos.append({"partition": part, "anchor_rows": hi - lo,
+                              "rows_out": res["rows"],
+                              "ms": res["wall_ms"],
+                              "cpu_ms": res["cpu_ms"],
+                              "pid": res["pid"]})
+            return kept, stats, infos
+        finally:
+            for entry in handles:
+                self.manager.release(entry)
+            planes.unlink_all(ephemerals)
+            if control is not None:
+                control.unlink()
+
+
+def _unpack_rows(lens_blob: bytes, vals_blob: bytes) \
+        -> List[Tuple[int, ...]]:
+    lens = array("q")
+    lens.frombytes(lens_blob)
+    vals = array("q")
+    vals.frombytes(vals_blob)
+    rows = []
+    pos = 0
+    for n in lens:
+        rows.append(tuple(vals[pos:pos + n]))
+        pos += n
+    return rows

@@ -56,16 +56,22 @@ class QueryProcessor:
     def __init__(self, universe: Universe, on_cycle: str = "error",
                  operations: Optional[OperationRegistry] = None,
                  compact: bool = True, workers: int = 1,
+                 worker_mode: str = "thread",
                  cache_bytes: int = 0):
         self.universe = universe
         self.evaluator = PatternEvaluator(universe, on_cycle=on_cycle,
                                           compact=compact, workers=workers,
+                                          worker_mode=worker_mode,
                                           cache_bytes=cache_bytes)
         if operations is None:
             from repro.oql.builtins import register_builtin_operations
             operations = register_builtin_operations(OperationRegistry())
         self.operations = operations
         self._result_counter = 0
+
+    def close(self) -> None:
+        """Release the evaluator's shared-memory planes (idempotent)."""
+        self.evaluator.close()
 
     def _next_name(self) -> str:
         self._result_counter += 1

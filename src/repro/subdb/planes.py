@@ -1,0 +1,364 @@
+"""Shared-memory *planes*: frozen int64 views of the compact layer.
+
+The compact executor's hot data is already flat 64-bit integers — the
+CSR ``offsets``/``neighbors`` arrays of an
+:class:`~repro.subdb.adjindex.AdjacencyIndex` and the decode column of
+an :class:`~repro.model.interning.InternTable`.  A :class:`SharedPlane`
+copies one such array into a named ``multiprocessing.shared_memory``
+segment so worker *processes* can map it read-only and run join kernels
+over it without pickling a single row.  A plane is frozen: writes in
+the parent never mutate an exported segment — the parent re-exports
+(under a fresh name) and unlinks the stale one.
+
+Segment layout::
+
+    [8s magic "REPROPLN"] [q version token] [q element count] [payload]
+
+The token is derived from the universe's per-class version vector at
+export time.  :meth:`SharedPlane.attach` verifies both the magic and
+the token against the manifest the coordinator shipped, so a worker
+holding yesterday's manifest gets :class:`StalePlaneError` instead of
+silently reading rebuilt data (and an unlinked segment surfaces as the
+same error, not a raw ``FileNotFoundError``).
+
+Lifecycle discipline — the acceptance bar is *zero leaked segments*:
+
+* every created plane registers in a module-level live table;
+  :func:`live_planes` is the observable the leak tests assert empty;
+* :class:`PlaneManager` caches exports per producer object (identity +
+  mutation epoch + token) and retires replaced planes, deferring the
+  ``unlink`` while any in-flight query still pins the old entry — this
+  is what lets snapshot pinning hold a consistent set of planes alive
+  for the whole duration of a query that overlaps a write;
+* an ``atexit`` sweep unlinks anything still live, so even an aborted
+  session cannot orphan ``/dev/shm`` segments.
+
+Workers attaching a segment must not re-register it with their own
+``resource_tracker`` (on Python < 3.13 attaching registers by default,
+and each worker's tracker would then unlink the segment under the
+parent's feet at worker exit, with a spurious leak warning):
+:func:`attach_segment` unregisters immediately after mapping.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import struct
+import threading
+from array import array
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+_HEADER = struct.Struct("<8sqq")
+_MAGIC = b"REPROPLN"
+
+#: Mask applied to Python ``hash()`` values so tokens fit the signed
+#: int64 header field on every platform.
+TOKEN_MASK = 0x7FFF_FFFF_FFFF_FFFF
+
+
+def vector_token(vector: Any) -> int:
+    """Fold a (hashable) per-class version vector into an int64 plane
+    token."""
+    return hash(vector) & TOKEN_MASK
+
+
+class SharedPlaneError(ReproError):
+    """A shared plane could not be created, attached, or read."""
+
+
+class StalePlaneError(SharedPlaneError):
+    """The plane exists but its version token does not match the
+    manifest — the coordinator re-exported after a write, and this
+    manifest predates it."""
+
+
+_LIVE_LOCK = threading.Lock()
+_LIVE: Dict[str, "SharedPlane"] = {}
+
+
+def live_planes() -> List[str]:
+    """Names of every plane created by this process and not yet
+    unlinked — the leak-check observable (tests assert it drains to
+    empty)."""
+    with _LIVE_LOCK:
+        return sorted(_LIVE)
+
+
+def _sweep() -> None:  # pragma: no cover - interpreter-exit safety net
+    for plane in list(_LIVE.values()):
+        try:
+            plane.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_sweep)
+
+
+#: Names this process has already deregistered from its resource
+#: tracker — attaching twice must not deregister twice (the tracker
+#: main loop logs a KeyError for an unknown name).
+_UNTRACKED: set = set()
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without disturbing its tracker
+    registration — the creator owns the unlink.
+
+    Pool workers share the coordinator's resource tracker (one tracker
+    per process tree), so their attach-time auto-registration is a
+    harmless duplicate set-add and must NOT be undone: a worker-side
+    ``unregister`` would pull the coordinator's registration out from
+    under its eventual ``unlink``.  Only a standalone process attaching
+    a foreign segment deregisters (otherwise *its* tracker would unlink
+    the segment at exit, with a spurious leak warning); the owning
+    process also leaves the registration in place, because ``unlink``
+    deregisters it exactly once."""
+    try:
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python < 3.13: no track= keyword
+            shm = shared_memory.SharedMemory(name=name)
+            if multiprocessing.parent_process() is None:
+                with _LIVE_LOCK:
+                    owner = shm.name in _LIVE
+                    seen = shm.name in _UNTRACKED
+                    if not owner and not seen:
+                        _UNTRACKED.add(shm.name)
+                if not owner and not seen:
+                    try:
+                        resource_tracker.unregister(shm._name,
+                                                    "shared_memory")
+                    except Exception:  # pragma: no cover - tracker
+                        pass
+        return shm
+    except FileNotFoundError:
+        raise SharedPlaneError(
+            f"shared plane {name!r} is gone (unlinked by its owner)")
+
+
+class SharedPlane:
+    """One named shared-memory segment holding a flat int64 array."""
+
+    __slots__ = ("name", "token", "length", "owner", "_shm", "_closed")
+
+    def __init__(self, shm: shared_memory.SharedMemory, token: int,
+                 length: int, owner: bool):
+        self._shm = shm
+        self.name = shm.name
+        self.token = token
+        self.length = length
+        self.owner = owner
+        self._closed = False
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def create(cls, data, token: int) -> "SharedPlane":
+        """Copy ``data`` (any C-contiguous buffer of int64, e.g.
+        ``array("q")``) into a fresh named segment."""
+        view = memoryview(data).cast("B")
+        nbytes = view.nbytes
+        length = nbytes // 8
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=_HEADER.size + max(nbytes, 8))
+        _HEADER.pack_into(shm.buf, 0, _MAGIC, token, length)
+        if nbytes:
+            shm.buf[_HEADER.size:_HEADER.size + nbytes] = view
+        plane = cls(shm, token, length, owner=True)
+        with _LIVE_LOCK:
+            _LIVE[plane.name] = plane
+        return plane
+
+    @classmethod
+    def attach(cls, name: str,
+               expected_token: Optional[int] = None) -> "SharedPlane":
+        """Map an existing plane read-only; reject a stale one."""
+        shm = attach_segment(name)
+        try:
+            magic, token, length = _HEADER.unpack_from(shm.buf, 0)
+        except struct.error:
+            shm.close()
+            raise SharedPlaneError(f"segment {name!r} is not a plane "
+                                   f"(too small for the header)")
+        if magic != _MAGIC:
+            shm.close()
+            raise SharedPlaneError(f"segment {name!r} is not a plane "
+                                   f"(bad magic {magic!r})")
+        if expected_token is not None and token != expected_token:
+            shm.close()
+            raise StalePlaneError(
+                f"plane {name!r} is stale: exported at token {token}, "
+                f"manifest expects {expected_token}")
+        return cls(shm, token, length, owner=False)
+
+    # -- access ---------------------------------------------------------
+
+    @property
+    def data(self) -> memoryview:
+        """The payload as a zero-copy int64 memoryview."""
+        if self._closed:
+            raise SharedPlaneError(f"plane {self.name!r} is closed")
+        start = _HEADER.size
+        return self._shm.buf[start:start + 8 * self.length].cast("q")
+
+    def as_array(self) -> array:
+        """The payload copied out as a plain ``array("q")``."""
+        out = array("q")
+        out.frombytes(self.data.cast("B"))
+        return out
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment survives until the
+        owner unlinks it)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment (owner side); idempotent."""
+        self.close()
+        with _LIVE_LOCK:
+            _LIVE.pop(self.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"SharedPlane({self.name!r}, {self.length} ints, "
+                f"token={self.token}, owner={self.owner})")
+
+
+#: A manifest entry: (segment name, expected token, element count).
+Manifest = Dict[str, Tuple[str, int, int]]
+
+
+class _Entry:
+    __slots__ = ("source", "epoch", "token", "planes", "pins", "defunct")
+
+    def __init__(self, source: Any, epoch: int, token: int,
+                 planes: Dict[str, SharedPlane]):
+        self.source = source
+        self.epoch = epoch
+        self.token = token
+        self.planes = planes
+        self.pins = 0
+        self.defunct = False
+
+    def manifest(self) -> Manifest:
+        return {label: (plane.name, plane.token, plane.length)
+                for label, plane in self.planes.items()}
+
+    def _unlink_all(self) -> None:
+        for plane in self.planes.values():
+            plane.unlink()
+
+
+class PlaneManager:
+    """Coordinator-side registry of exported planes.
+
+    Entries are keyed by an opaque cache key (the evaluator uses the
+    adjacency-cache key) and validated against the *producer object's*
+    identity, its in-place mutation ``epoch``, and the version-vector
+    token — an INSERT delta that appends to a CSR in place bumps the
+    epoch, a rebuild swaps the object, and either invalidates the
+    export.  Replaced entries unlink immediately unless a query still
+    pins them (``release`` performs the deferred unlink)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Any, _Entry] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def export(self, key: Any, source: Any, arrays: Dict[str, Any],
+               token: int) -> Tuple[Manifest, _Entry]:
+        """The cached (or freshly created) planes for ``source``'s
+        ``arrays``; pins the entry — the caller must :meth:`release`
+        the returned handle when its query finishes."""
+        epoch = getattr(source, "epoch", 0)
+        with self._lock:
+            if self._closed:
+                raise SharedPlaneError("plane manager is closed")
+            entry = self._entries.get(key)
+            if entry is not None and entry.source is source \
+                    and entry.epoch == epoch and entry.token == token:
+                entry.pins += 1
+                return entry.manifest(), entry
+            if entry is not None:
+                self._retire_locked(entry)
+            planes = {label: SharedPlane.create(data, token)
+                      for label, data in arrays.items()}
+            entry = _Entry(source, epoch, token, planes)
+            entry.pins = 1
+            self._entries[key] = entry
+            return entry.manifest(), entry
+
+    def release(self, entry: _Entry) -> None:
+        """Unpin an entry returned by :meth:`export`; a retired entry
+        unlinks on its last release."""
+        with self._lock:
+            entry.pins -= 1
+            if entry.defunct and entry.pins <= 0:
+                entry._unlink_all()
+
+    def _retire_locked(self, entry: _Entry) -> None:
+        for key, existing in list(self._entries.items()):
+            if existing is entry:
+                del self._entries[key]
+        if entry.pins > 0:
+            entry.defunct = True
+        else:
+            entry._unlink_all()
+
+    def invalidate(self, key: Any) -> None:
+        """Explicitly retire one cached export."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._retire_locked(entry)
+
+    def close(self) -> None:
+        """Unlink every plane this manager still owns (idempotent —
+        also runs from a ``weakref.finalize`` when the owning evaluator
+        is collected)."""
+        with self._lock:
+            self._closed = True
+            for entry in list(self._entries.values()):
+                entry.pins = 0
+                entry._unlink_all()
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def create_ephemeral(arrays: Dict[str, Any],
+                     token: int) -> Tuple[Manifest, List[SharedPlane]]:
+    """Export per-query planes (anchor ids, filtered-id sets, loop
+    frontiers) that live exactly as long as one dispatch — the caller
+    unlinks them in its ``finally``."""
+    planes: List[SharedPlane] = []
+    manifest: Manifest = {}
+    try:
+        for label, data in arrays.items():
+            plane = SharedPlane.create(data, token)
+            planes.append(plane)
+            manifest[label] = (plane.name, plane.token, plane.length)
+    except Exception:
+        for plane in planes:
+            plane.unlink()
+        raise
+    return manifest, planes
+
+
+def unlink_all(planes: Iterable[SharedPlane]) -> None:
+    for plane in planes:
+        plane.unlink()

@@ -1,8 +1,10 @@
 """Differential stress harness: seeded random queries and rules over a
-generated University database, executed by three independent engines —
-the compact interned executor, the original set-of-OIDs executor, and
-the partition-parallel executor (4 workers) — which must agree byte for
-byte on every case (through the canonical session serializer).
+generated University database, executed by four independent engines —
+the compact interned executor, the original set-of-OIDs executor, the
+thread-partitioned executor (4 workers), and the process-partitioned
+executor (4 worker processes over shared-memory planes) — which must
+agree byte for byte on every case (through the canonical session
+serializer).
 
 The case count is tunable: ``DIFFERENTIAL_CASES`` in the environment
 (default 100; CI runs the quick tier on push and 1000 nightly).  Every
@@ -165,14 +167,22 @@ def university_db():
 
 @pytest.fixture(scope="module")
 def executors(university_db):
-    """(label, QueryProcessor) triples sharing one base database."""
+    """(label, QueryProcessor) tuples sharing one base database: the
+    serial compact executor, the set-based original, the thread
+    partitioner, and the process partitioner over shared-memory planes
+    — the 3-way (serial/threads/processes) parity tier plus the
+    set-based cross-check."""
     compact = QueryProcessor(Universe(university_db), compact=True)
     setbased = QueryProcessor(Universe(university_db), compact=False)
     parallel = QueryProcessor(Universe(university_db), compact=True,
                               workers=4)
     parallel.evaluator.min_parallel_rows = 1
-    return [("compact", compact), ("set-based", setbased),
-            ("parallel-4", parallel)]
+    process = QueryProcessor(Universe(university_db), compact=True,
+                             workers=4, worker_mode="process")
+    process.evaluator.min_parallel_rows = 1
+    yield [("compact", compact), ("set-based", setbased),
+           ("parallel-4", parallel), ("process-4", process)]
+    process.close()
 
 
 def _outcome(processor: QueryProcessor, text: str):
@@ -259,16 +269,28 @@ class TestDifferentialQueries:
                 assert outcome == reference, (text, label)
 
     def test_parallel_executor_actually_parallelizes(self, executors):
-        """The harness must not silently compare three sequential runs:
+        """The harness must not silently compare four sequential runs:
         at least one generated case has to take the partitioned path."""
         parallel = executors[2][1]
         parallel.execute("context Student * Section * Course")
         assert parallel.evaluator.last_metrics.workers_used > 1
+        assert parallel.evaluator.last_metrics.worker_mode == "thread"
+
+    def test_process_executor_actually_uses_processes(self, executors):
+        """Same guard for the process tier: workers must be real child
+        processes (distinct PIDs in the partition records)."""
+        process = executors[3][1]
+        process.execute("context Student * Section * Course")
+        metrics = process.evaluator.last_metrics
+        assert metrics.workers_used > 1
+        assert metrics.worker_mode == "process"
+        pids = {part["pid"] for part in metrics.partitions}
+        assert pids and os.getpid() not in pids
 
 
 class TestDifferentialRules:
     """Rule-shaped subset: the same chains packaged as deductive rules,
-    derived through three RuleEngine configurations."""
+    derived through four RuleEngine configurations."""
 
     def _engines(self, db) -> List[Tuple[str, RuleEngine]]:
         compact = RuleEngine(db, compact=True)
@@ -276,8 +298,12 @@ class TestDifferentialRules:
         parallel = RuleEngine(db, compact=True, workers=4)
         parallel.evaluator.min_parallel_rows = 1
         parallel.processor.evaluator.min_parallel_rows = 1
+        process = RuleEngine(db, compact=True, workers=4,
+                             worker_mode="process")
+        process.evaluator.min_parallel_rows = 1
+        process.processor.evaluator.min_parallel_rows = 1
         return [("compact", compact), ("set-based", setbased),
-                ("parallel-4", parallel)]
+                ("parallel-4", parallel), ("process-4", process)]
 
     def test_seeded_random_rules_agree(self, university_db):
         cases = max(CASES // 10, 5)
