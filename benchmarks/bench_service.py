@@ -1,0 +1,269 @@
+"""B12 — latency under concurrency for the asyncio query service.
+
+An **open-loop** load driver: each injector connection schedules
+arrivals on a fixed clock (one request every ``--interval-ms``,
+regardless of how the previous one fared) and latency is measured from
+the *scheduled* arrival to the response — so server-side queueing shows
+up as latency instead of silently slowing the injectors down, the
+classic closed-loop coordinated-omission trap.
+
+The mix is read-heavy (default 10% writes): reads are paper queries,
+including backward-chained rule targets; writes are single-record
+inserts journaled through the engine's RWLock.  Each concurrency level
+reports p50/p95/p99 latency, throughput, and the **shed rate** — the
+fraction of requests the admission controller answered with ``BUSY``
+instead of queueing.  Shed requests are counted separately, not folded
+into latency percentiles.
+
+Usage::
+
+    python benchmarks/bench_service.py                 # full sweep
+    python benchmarks/bench_service.py --quick         # CI smoke
+    python benchmarks/bench_service.py --levels 2,8,16 --duration 5
+    python benchmarks/bench_service.py --max-p95-ms 250  # opt-in gate
+        # on the lowest level's p95 (meaningless on a 1-CPU container
+        # under full load, hence not a default)
+
+Results land in ``BENCH_PR8.json`` at the repository root.
+"""
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.rules.engine import RuleEngine
+from repro.service import QueryService, ServiceClient, ServiceConfig
+from repro.university import build_paper_database, build_sdb
+
+READ_QUERIES = [
+    "context Teacher * Section * Course",
+    "context Teacher_course:Teacher * Teacher_course:Course",
+    "context Suggest_offer:Course",
+    "context Department * Course",
+]
+
+
+def build_service(max_concurrency: int = 4) -> QueryService:
+    data = build_paper_database()
+    engine = RuleEngine(data.db)
+    engine.universe.register(build_sdb(data))
+    engine.add_rule("if context Teacher * Section * Course "
+                    "then Teacher_course (Teacher, Course)", label="R1")
+    engine.add_rule(
+        "if context Department[name = 'CIS'] * Course * Section * "
+        "Student where COUNT(Student by Course) > 39 "
+        "then Suggest_offer (Course)", label="R2")
+    return QueryService(engine,
+                        ServiceConfig(max_concurrency=max_concurrency))
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+def _injector(host, port, seed, interval_ms, write_ratio, duration_s,
+              out):
+    """One open-loop injector: arrivals on a fixed schedule, latency
+    measured from the scheduled arrival."""
+    rng = random.Random(seed)
+    latencies, shed, errors, ok = [], 0, 0, 0
+    try:
+        with ServiceClient(host, port, timeout=60) as client:
+            started = time.perf_counter()
+            tick = 0
+            while True:
+                scheduled = started + tick * (interval_ms / 1000.0)
+                now = time.perf_counter()
+                if now - started >= duration_s:
+                    break
+                if scheduled > now:
+                    time.sleep(scheduled - now)
+                tick += 1
+                if rng.random() < write_ratio:
+                    response = client.request(
+                        "update", raise_on_error=False,
+                        updates=[{"kind": "insert", "cls": "Teacher",
+                                  "attrs": {"name": f"L{seed}-{tick}",
+                                            "SS#": f"l-{seed}-{tick}"}}])
+                else:
+                    response = client.request(
+                        "query", raise_on_error=False,
+                        text=rng.choice(READ_QUERIES),
+                        budget={"deadline_ms": 10_000})
+                finished = time.perf_counter()
+                if response.get("ok"):
+                    ok += 1
+                    latencies.append((finished - scheduled) * 1000.0)
+                elif response["error"]["code"] == "BUSY":
+                    shed += 1
+                else:
+                    errors += 1
+    except (ConnectionError, OSError) as exc:
+        errors += 1
+        out["fault"] = repr(exc)
+    out.update(latencies=latencies, shed=shed, errors=errors, ok=ok)
+
+
+def run_level(service, connections: int, duration_s: float,
+              interval_ms: float, write_ratio: float) -> dict:
+    host, port = service.address
+    results = [{} for _ in range(connections)]
+    threads = [
+        threading.Thread(target=_injector,
+                         args=(host, port, 100 + i, interval_ms,
+                               write_ratio, duration_s, results[i]))
+        for i in range(connections)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    latencies = sorted(x for r in results for x in r["latencies"])
+    ok = sum(r["ok"] for r in results)
+    shed = sum(r["shed"] for r in results)
+    errors = sum(r["errors"] for r in results)
+    total = ok + shed + errors
+    return {
+        "connections": connections,
+        "interval_ms": interval_ms,
+        "duration_s": round(elapsed, 3),
+        "requests": total,
+        "ok": ok,
+        "shed": shed,
+        "errors": errors,
+        "shed_rate": round(shed / total, 4) if total else 0.0,
+        "throughput_rps": round(ok / elapsed, 2) if elapsed else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p95_ms": round(_percentile(latencies, 0.95), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "mean_ms": round(statistics.fmean(latencies), 3)
+        if latencies else 0.0,
+    }
+
+
+def run_sweep(levels, duration_s, interval_ms, write_ratio,
+              max_concurrency) -> dict:
+    with build_service(max_concurrency) as service:
+        rows = [run_level(service, connections, duration_s, interval_ms,
+                          write_ratio)
+                for connections in levels]
+        server_counters = dict(service.counters)
+    return {
+        "benchmark": "B12-service-latency",
+        "config": {
+            "max_concurrency": max_concurrency,
+            "write_ratio": write_ratio,
+            "interval_ms": interval_ms,
+            "duration_s": duration_s,
+        },
+        "levels": rows,
+        "server_counters": server_counters,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--levels", default="2,8,16",
+                        help="comma-separated connection counts")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds per level")
+    parser.add_argument("--interval-ms", type=float, default=20.0,
+                        help="per-connection arrival interval")
+    parser.add_argument("--write-ratio", type=float, default=0.1)
+    parser.add_argument("--max-concurrency", type=int, default=4)
+    parser.add_argument("--quick", action="store_true",
+                        help="short smoke sweep for CI")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_PR8.json at "
+                             "the repo root)")
+    parser.add_argument("--max-p95-ms", type=float, default=None,
+                        help="opt-in gate: fail when the lowest "
+                             "level's p95 exceeds this many ms")
+    args = parser.parse_args(argv)
+
+    levels = [int(x) for x in args.levels.split(",") if x.strip()]
+    duration = 1.0 if args.quick else args.duration
+    report = run_sweep(levels, duration, args.interval_ms,
+                       args.write_ratio, args.max_concurrency)
+
+    out = Path(args.out) if args.out \
+        else Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+    out.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+
+    header = (f"{'conns':>6} {'reqs':>7} {'p50ms':>8} {'p95ms':>8} "
+              f"{'p99ms':>8} {'shed%':>7} {'rps':>8}")
+    print(header)
+    for row in report["levels"]:
+        print(f"{row['connections']:>6} {row['requests']:>7} "
+              f"{row['p50_ms']:>8.2f} {row['p95_ms']:>8.2f} "
+              f"{row['p99_ms']:>8.2f} {row['shed_rate'] * 100:>6.1f}% "
+              f"{row['throughput_rps']:>8.1f}")
+    print(f"wrote {out}")
+
+    if args.max_p95_ms is not None:
+        lowest = report["levels"][0]
+        if lowest["p95_ms"] > args.max_p95_ms:
+            print(f"FAIL: p95 at {lowest['connections']} connection(s) "
+                  f"is {lowest['p95_ms']:.2f} ms "
+                  f"(gate {args.max_p95_ms} ms)")
+            return 1
+        print(f"gate ok: p95 {lowest['p95_ms']:.2f} ms "
+              f"<= {args.max_p95_ms} ms")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Pytest smoke (collected with the benchmarks; fast)
+# ---------------------------------------------------------------------------
+
+
+import pytest  # noqa: E402
+
+
+@pytest.mark.service
+def test_load_driver_smoke(tmp_path):
+    """One short open-loop level end to end: the driver produces a
+    well-formed report and the admission counters reconcile."""
+    report = run_sweep(levels=[2], duration_s=1.0, interval_ms=25.0,
+                       write_ratio=0.2, max_concurrency=4)
+    (level,) = report["levels"]
+    assert level["requests"] > 0
+    assert level["ok"] > 0
+    assert level["errors"] == 0
+    assert level["ok"] + level["shed"] == level["requests"]
+    assert level["p50_ms"] <= level["p95_ms"] <= level["p99_ms"]
+    assert 0.0 <= level["shed_rate"] <= 1.0
+    out = tmp_path / "bench.json"
+    out.write_text(json.dumps(report))
+    assert json.loads(out.read_text())["benchmark"] \
+        == "B12-service-latency"
+
+
+@pytest.mark.service
+def test_shed_rate_rises_under_overload():
+    """With one executor slot and many injectors, admission control
+    must shed rather than queue: the overloaded level reports a
+    strictly positive shed rate while the gentle level stays near
+    zero."""
+    with build_service(max_concurrency=1) as service:
+        gentle = run_level(service, connections=1, duration_s=1.0,
+                           interval_ms=50.0, write_ratio=0.0)
+        storm = run_level(service, connections=8, duration_s=1.5,
+                          interval_ms=2.0, write_ratio=0.0)
+    assert gentle["errors"] == 0 and storm["errors"] == 0
+    assert storm["shed"] > 0
+    assert storm["shed_rate"] > gentle["shed_rate"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,6 +90,12 @@ from repro.rules import (
 from repro.subdb import algebra
 from repro import interop, viz
 from repro.storage import load_session, save_session
+from repro.service import (
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
 
 __version__ = "1.0.0"
 
@@ -117,4 +123,6 @@ __all__ = [
     "IncrementalRule", "NotIncremental", "Explanation",
     # extensions
     "algebra", "viz", "interop", "save_session", "load_session",
+    # service
+    "QueryService", "ServiceClient", "ServiceConfig", "ServiceError",
 ]

@@ -69,6 +69,9 @@ class QueryBudget:
     #: time one chunk takes rather than the time one whole hop takes.
     CHECK_EVERY = 4096
 
+    #: The limit names :meth:`from_limits` accepts, in canonical order.
+    LIMIT_KEYS = ("deadline_ms", "max_rows", "max_loop_levels")
+
     def __init__(self, deadline_ms: Optional[float] = None,
                  max_rows: Optional[int] = None,
                  max_loop_levels: Optional[int] = None):
@@ -82,6 +85,52 @@ class QueryBudget:
         #: unlocked, approximate tally (concurrent partitions may lose
         #: increments) surfaced as a span counter by the tracer.
         self.checks = 0
+
+    @classmethod
+    def from_limits(cls, limits: Optional[dict] = None,
+                    caps: Optional[dict] = None) -> "QueryBudget":
+        """Build a budget from a request-shaped limits mapping, clamped
+        to server-side ``caps``.
+
+        ``limits`` holds any subset of :data:`LIMIT_KEYS` (JSON
+        numbers); unknown keys, non-numeric or non-positive values
+        raise ``ValueError`` (the service answers BAD_REQUEST).
+        ``caps`` has the same shape: each requested limit is reduced to
+        the cap when it exceeds it, and an axis the request leaves
+        unbounded inherits the cap outright — admission control can
+        therefore guarantee *every* admitted request is bounded by the
+        server's ceilings, whatever the client asked for.
+        """
+        limits = dict(limits or {})
+        caps = caps or {}
+        unknown = set(limits) - set(cls.LIMIT_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown budget limit(s) {sorted(unknown)} "
+                f"(accepted: {', '.join(cls.LIMIT_KEYS)})")
+        merged = {}
+        for key in cls.LIMIT_KEYS:
+            requested = limits.get(key)
+            cap = caps.get(key)
+            if requested is not None:
+                if isinstance(requested, bool) or \
+                        not isinstance(requested, (int, float)):
+                    raise ValueError(f"budget limit {key} must be a "
+                                     f"number, got {requested!r}")
+                if requested <= 0:
+                    raise ValueError(f"budget limit {key} must be "
+                                     f"positive, got {requested!r}")
+            if requested is None:
+                value = cap
+            elif cap is None:
+                value = requested
+            else:
+                value = min(requested, cap)
+            if value is not None:
+                value = float(value) if key == "deadline_ms" \
+                    else int(value)
+            merged[key] = value
+        return cls(**merged)
 
     # -- lifecycle ------------------------------------------------------
 

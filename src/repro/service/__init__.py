@@ -1,0 +1,47 @@
+"""The query service: serving the deductive engine over a socket.
+
+``repro.service`` turns the in-process engine into a served system: an
+asyncio JSON-lines (plus minimal HTTP) server exposing parse, query,
+rule, derivation, session and stats endpoints, with per-request
+:class:`~repro.oql.budget.QueryBudget` admission control, a server-level
+concurrency limiter that sheds load with structured ``BUSY`` responses,
+and per-request trace ids threaded through the PR 4 tracer.
+
+Typical embedded use::
+
+    from repro.service import QueryService, ServiceConfig
+
+    service = QueryService(engine, ServiceConfig(port=7411))
+    service.start()                # background thread + asyncio loop
+    ...
+    service.stop()
+
+or standalone: ``python -m repro.service --port 7411``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_body,
+    ok_body,
+)
+from repro.service.server import QueryService
+from repro.service.session import ServerSession
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "QueryService",
+    "ServerSession",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "decode_frame",
+    "encode_frame",
+    "error_body",
+    "ok_body",
+]

@@ -1,0 +1,165 @@
+"""A small blocking JSON-lines client.
+
+Used by the conformance tests, the load driver, and the shell's
+``--connect`` mode.  One :class:`ServiceClient` wraps one socket; its
+requests execute in order (the server pins one snapshot per
+connection), so a client *is* a session.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """A structured error response from the service."""
+
+    def __init__(self, code: str, message: str,
+                 detail: Optional[Dict[str, Any]] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = detail or {}
+
+    @classmethod
+    def from_error(cls, error: Dict[str, Any]) -> "ServiceError":
+        detail = {key: value for key, value in error.items()
+                  if key not in ("code", "message")}
+        return cls(error.get("code", "INTERNAL"),
+                   error.get("message", ""), detail)
+
+
+class ServiceClient:
+    """Blocking client for the JSON-lines protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def request(self, op: str, *, raise_on_error: bool = True,
+                **params: Any) -> Dict[str, Any]:
+        """One request/response round trip.  Returns the full response
+        frame; with ``raise_on_error`` (default) an ``ok: false``
+        response raises :class:`ServiceError` instead."""
+        self._next_id += 1
+        body = {"id": self._next_id, "op": op, **params}
+        payload = json.dumps(body, sort_keys=True,
+                             separators=(",", ":")).encode() + b"\n"
+        self._sock.sendall(payload)
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        response = json.loads(line.decode())
+        if raise_on_error and not response.get("ok"):
+            raise ServiceError.from_error(response.get("error", {}))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- convenience wrappers ------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")["result"]
+
+    def parse(self, text: str) -> Dict[str, Any]:
+        return self.request("parse", text=text)["result"]
+
+    def query(self, text: str, *, name: Optional[str] = None,
+              budget: Optional[Dict[str, Any]] = None,
+              include: Optional[list] = None) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"text": text}
+        if name is not None:
+            params["name"] = name
+        if budget is not None:
+            params["budget"] = budget
+        if include is not None:
+            params["include"] = include
+        return self.request("query", **params)["result"]
+
+    def derive(self, target: str, *,
+               budget: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"target": target}
+        if budget is not None:
+            params["budget"] = budget
+        return self.request("derive", **params)["result"]
+
+    def rule_add(self, text: str, *, label: Optional[str] = None,
+                 mode: Optional[str] = None) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"text": text}
+        if label is not None:
+            params["label"] = label
+        if mode is not None:
+            params["mode"] = mode
+        return self.request("rule_add", **params)["result"]
+
+    def rule_remove(self, label: str) -> Dict[str, Any]:
+        return self.request("rule_remove", label=label)["result"]
+
+    def update(self, *updates: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("update", updates=list(updates))["result"]
+
+    def refresh(self) -> Dict[str, Any]:
+        return self.request("refresh")["result"]
+
+    def session_save(self, path: str) -> Dict[str, Any]:
+        return self.request("session_save", path=path)["result"]
+
+    def session_restore(self, path: str) -> Dict[str, Any]:
+        return self.request("session_restore", path=path)["result"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["result"]
+
+
+def client_repl(host: str, port: int) -> None:  # pragma: no cover
+    """A minimal interactive remote session (``--connect`` mode):
+    ``context ...`` runs a query, ``if ...`` adds a rule, ``\\stats``
+    prints server stats, ``\\refresh`` re-pins, ``\\quit`` leaves."""
+    client = ServiceClient(host, port)
+    print(f"connected to {host}:{port} — session "
+          f"{client.ping()['session']}")
+    try:
+        while True:
+            try:
+                line = input("dood@remote> ").strip()
+            except (EOFError, KeyboardInterrupt):
+                print()
+                break
+            if not line:
+                continue
+            try:
+                if line in ("\\quit", "\\exit"):
+                    break
+                elif line == "\\stats":
+                    print(json.dumps(client.stats(), indent=1,
+                                     sort_keys=True))
+                elif line == "\\refresh":
+                    print(client.refresh())
+                elif line.lower().startswith("if"):
+                    print(client.rule_add(line))
+                else:
+                    print(client.query(line)["rendered"])
+            except ServiceError as exc:
+                print(f"error: {exc}")
+    finally:
+        client.close()

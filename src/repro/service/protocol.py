@@ -1,0 +1,130 @@
+"""The wire protocol: newline-delimited JSON frames.
+
+One request is one line of UTF-8 JSON terminated by ``\\n``::
+
+    {"id": 7, "op": "query", "text": "context Teacher * Course",
+     "budget": {"deadline_ms": 250, "max_rows": 10000}}
+
+``id`` is echoed verbatim on the response so clients may pipeline;
+``op`` names the endpoint; every other key is an operation parameter.
+Responses are one line of JSON either way::
+
+    {"id": 7, "ok": true, "result": {...}, "ms": 1.84, "trace_id": 12}
+    {"id": 7, "ok": false, "error": {"code": "BUSY",
+     "message": "...", "retry_after_ms": 50}}
+
+Error codes are a closed set (:data:`ERROR_CODES`) so clients can
+dispatch on them without string-matching messages.  ``BUSY`` and
+``BUDGET_EXCEEDED`` are *structured shed responses*: the server returns
+them instead of queueing or stalling, and they carry enough detail
+(``retry_after_ms``; the budget verdict and spend) for a client to make
+a sensible retry decision.
+
+The same server port also answers minimal HTTP (``POST /v1/<op>`` with
+a JSON object body; ``GET /v1/stats``; ``GET /healthz``) so the service
+can sit behind ordinary load-balancer health checks — the first bytes
+of a connection select the protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Hard cap on one frame's encoded size (requests *and* responses).
+#: A request larger than the server's configured limit is refused with
+#: ``OVERSIZED`` and the connection is closed (the stream cannot be
+#: resynchronized past an unread over-long line).
+MAX_FRAME_BYTES = 1 << 20
+
+#: The closed set of error codes responses may carry.
+ERROR_CODES = frozenset({
+    "BAD_FRAME",        # the line was not a JSON object
+    "BAD_REQUEST",      # unknown op / missing or ill-typed parameter
+    "OVERSIZED",        # frame exceeded the server's max_frame_bytes
+    "BUSY",             # admission control shed the request
+    "BUDGET_EXCEEDED",  # the request's QueryBudget tripped
+    "PARSE_ERROR",      # OQL/rule text failed to parse
+    "NOT_FOUND",        # unknown subdatabase / rule label / path
+    "SEMANTIC",         # any other engine-reported ReproError
+    "SHUTTING_DOWN",    # server is draining connections
+    "INTERNAL",         # unexpected server-side failure
+})
+
+
+class ProtocolError(ReproError):
+    """A malformed frame, carrying the error code to answer with."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        assert code in ERROR_CODES
+        self.code = code
+
+
+def encode_frame(body: Dict[str, Any]) -> bytes:
+    """One response/request line: compact, key-sorted JSON + newline.
+
+    Key-sorting makes encoding canonical — the conformance soak
+    compares served bytes against serially-evaluated bytes.
+    """
+    return json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one request line into its body dict."""
+    try:
+        body = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("BAD_FRAME",
+                            f"request is not valid JSON: {exc}") from None
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            "BAD_FRAME",
+            f"request must be a JSON object, got {type(body).__name__}")
+    return body
+
+
+def ok_body(request_id: Any, result: Dict[str, Any], *,
+            ms: Optional[float] = None,
+            trace_id: Optional[int] = None) -> Dict[str, Any]:
+    """A success response frame body."""
+    body: Dict[str, Any] = {"id": request_id, "ok": True, "result": result}
+    if ms is not None:
+        body["ms"] = round(ms, 3)
+    if trace_id is not None:
+        body["trace_id"] = trace_id
+    return body
+
+
+def error_body(request_id: Any, code: str, message: str,
+               **detail: Any) -> Dict[str, Any]:
+    """An error response frame body (``detail`` keys nest under
+    ``error``, e.g. ``retry_after_ms`` for BUSY, ``verdict``/``rows``
+    for BUDGET_EXCEEDED)."""
+    assert code in ERROR_CODES, code
+    error: Dict[str, Any] = {"code": code, "message": message}
+    error.update(detail)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+def parse_request(body: Dict[str, Any]) -> Tuple[Any, str, Dict[str, Any]]:
+    """Split a request body into ``(id, op, params)``."""
+    op = body.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("BAD_REQUEST",
+                            "request carries no 'op' string")
+    params = {key: value for key, value in body.items()
+              if key not in ("id", "op")}
+    return body.get("id"), op, params
+
+
+def require_str(params: Dict[str, Any], key: str) -> str:
+    """Fetch a required string parameter or raise ``BAD_REQUEST``."""
+    value = params.get(key)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError("BAD_REQUEST",
+                            f"op requires a non-empty string {key!r}")
+    return value

@@ -47,6 +47,12 @@ with a backslash::
     \\restore SEQ          rewind the session to WAL offset SEQ
                           (point-in-time restore; bare \\restore
                           recovers the newest durable state)
+    \\serve [ARG]          serve this session over a socket; ARG is
+                          "start [HOST:]PORT [limit=N]" (JSON-lines +
+                          HTTP on a background thread; limit caps
+                          concurrent requests), "stop", or bare
+                          \\serve for status.  Connect with
+                          ``python -m repro.shell --connect HOST:PORT``
     \\quit                 leave
 
 A trailing backslash continues the statement on the next line.
@@ -94,9 +100,11 @@ class Shell:
             "wal": self._cmd_wal,
             "checkpoint": self._cmd_checkpoint,
             "restore": self._cmd_restore,
+            "serve": self._cmd_serve,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
         }
+        self._service = None
 
     # ------------------------------------------------------------------
 
@@ -559,7 +567,81 @@ class Shell:
                     f"{len(restored.rules)} rule(s)")
         return True
 
+    # ------------------------------------------------------------------
+    # Serving (the asyncio query service)
+    # ------------------------------------------------------------------
+
+    def _cmd_serve(self, argument: str) -> bool:
+        word, _, rest = argument.partition(" ")
+        word = word.lower()
+        if not word or word == "status":
+            if self._service is None:
+                self._print("not serving — \\serve start [HOST:]PORT")
+            else:
+                host, port = self._service.address
+                counters = self._service.counters
+                self._print(
+                    f"serving on {host}:{port} — "
+                    f"{counters['requests_total']} request(s), "
+                    f"{counters['shed_total']} shed, "
+                    f"{len(self._service._sessions)} live session(s)")
+            return True
+        if word == "start":
+            if self._service is not None:
+                host, port = self._service.address
+                self._print(f"already serving on {host}:{port}")
+                return True
+            host, port, limit = "127.0.0.1", 7411, 8
+            for part in rest.split():
+                if part.startswith("limit="):
+                    try:
+                        limit = int(part[len("limit="):])
+                    except ValueError:
+                        self._print("usage: \\serve start [HOST:]PORT "
+                                    "[limit=N]")
+                        return True
+                else:
+                    addr, _, port_text = part.rpartition(":")
+                    try:
+                        port = int(port_text)
+                    except ValueError:
+                        self._print("usage: \\serve start [HOST:]PORT "
+                                    "[limit=N]")
+                        return True
+                    if addr:
+                        host = addr
+            from repro.service import QueryService, ServiceConfig
+            try:
+                service = QueryService(
+                    self.engine,
+                    ServiceConfig(host=host, port=port,
+                                  max_concurrency=limit))
+                bound_host, bound_port = service.start()
+            except (OSError, RuntimeError, ValueError) as exc:
+                self._print(f"error: {exc}")
+                return True
+            self._service = service
+            self._print(f"serving on {bound_host}:{bound_port} "
+                        f"(max {limit} concurrent requests) — connect "
+                        f"with python -m repro.shell --connect "
+                        f"{bound_host}:{bound_port}")
+            return True
+        if word == "stop":
+            if self._service is None:
+                self._print("not serving")
+                return True
+            self._service.stop()
+            self._service = None
+            self._print("service stopped")
+            return True
+        self._print("usage: \\serve [start [HOST:]PORT [limit=N] | "
+                    "stop | status]")
+        return True
+
     def _cmd_quit(self, _: str) -> bool:
+        if self._service is not None:
+            self._service.stop()
+            self._service = None
         if self.backend is not None:
             self.backend.close()
         self._print("bye")
@@ -618,7 +700,15 @@ def repl(engine: RuleEngine) -> None:  # pragma: no cover - interactive
 
 
 def main(argv: Optional[List[str]] = None) -> None:  # pragma: no cover
-    repl(build_engine(argv if argv is not None else sys.argv[1:]))
+    args = argv if argv is not None else sys.argv[1:]
+    if "--connect" in args:
+        # Client mode: a remote REPL against a running query service.
+        from repro.service.client import client_repl
+        target = args[args.index("--connect") + 1]
+        host, _, port = target.rpartition(":")
+        client_repl(host or "127.0.0.1", int(port))
+        return
+    repl(build_engine(args))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -548,3 +548,37 @@ class TestGeneratedWorkload:
                 backend.checkpoint()
         assert dump(backend.recover()) == dump(engine)
         backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Registry misuse
+# ---------------------------------------------------------------------------
+
+
+class TestRegistryMisuse:
+    def test_unknown_kind_lists_available(self, tmp_path):
+        with pytest.raises(DataError, match="unknown storage backend"):
+            open_backend(tmp_path / "store", "parquet")
+        with pytest.raises(DataError, match="json"):
+            open_backend(tmp_path / "store", "parquet")
+
+    def test_register_backend_dispatches_and_unregisters(self, tmp_path):
+        from repro.storage.backends import BACKENDS, register_backend
+
+        @register_backend
+        class ProbeBackend(JsonBackend):
+            kind = "probe-json"
+
+        try:
+            backend = open_backend(tmp_path / "store", "probe-json")
+            assert isinstance(backend, ProbeBackend)
+            backend.close()
+        finally:
+            del BACKENDS["probe-json"]
+        with pytest.raises(DataError):
+            open_backend(tmp_path / "store2", "probe-json")
+
+    def test_builtin_kinds_present(self):
+        from repro.storage.backends import BACKENDS
+        assert BACKENDS["json"] is JsonBackend
+        assert BACKENDS["sqlite"] is SqliteBackend

@@ -28,6 +28,8 @@ from repro.errors import ReproError
 from repro.storage.serialize import subdatabase_to_dict
 from repro.university.generator import GeneratorConfig, generate_university
 
+pytestmark = pytest.mark.differential
+
 CASES = int(os.environ.get("DIFFERENTIAL_CASES", "100"))
 DB_SEED = 7
 

@@ -21,6 +21,8 @@ from repro.oql.budget import BudgetExceeded, QueryBudget
 from repro.subdb import planes
 from repro.university.generator import GeneratorConfig, generate_university
 
+pytestmark = pytest.mark.multicore
+
 
 def _shm_segments():
     try:

@@ -285,3 +285,151 @@ class TestTraceCommand:
         sh.handle("context Teacher * Section")
         sh.handle("\\metrics")
         assert "trace_id: 1" in output(out)
+
+
+class TestWalCommandErrorPaths:
+    """\\wal / \\checkpoint / \\restore against missing, stateful and
+    torn backends — every path answers with a message, never a
+    traceback."""
+
+    def test_wal_status_without_backend(self, shell):
+        sh, out = shell
+        sh.handle("\\wal")
+        assert "no storage backend attached" in output(out)
+
+    def test_wal_sync_and_compact_without_backend(self, shell):
+        sh, out = shell
+        sh.handle("\\wal sync")
+        sh.handle("\\wal compact")
+        assert output(out).count("no storage backend attached") == 2
+
+    def test_wal_open_usage(self, shell):
+        sh, out = shell
+        sh.handle("\\wal open")
+        assert "usage: \\wal open" in output(out)
+        assert sh.backend is None
+
+    def test_wal_unknown_subcommand(self, shell):
+        sh, out = shell
+        sh.handle("\\wal frobnicate")
+        assert "usage: \\wal" in output(out)
+
+    def test_wal_open_unknown_kind_reported(self, shell, tmp_path):
+        sh, out = shell
+        sh.handle(f"\\wal open {tmp_path / 'store'} parquet")
+        assert "error:" in output(out)
+        assert "unknown storage backend" in output(out)
+        assert sh.backend is None
+
+    def test_checkpoint_without_backend(self, shell):
+        sh, out = shell
+        sh.handle("\\checkpoint")
+        assert "no storage backend attached" in output(out)
+
+    def test_restore_without_backend(self, shell):
+        sh, out = shell
+        sh.handle("\\restore")
+        assert "no storage backend attached" in output(out)
+
+    def test_restore_bad_seq_argument(self, shell, tmp_path):
+        sh, out = shell
+        sh.handle(f"\\wal open {tmp_path / 'store'}")
+        sh.handle("\\restore not-a-number")
+        assert "usage: \\restore" in output(out)
+        sh.handle("\\quit")
+
+    def test_wal_open_refuses_stateful_directory(self, shell, tmp_path):
+        from repro.storage import open_backend
+        backend = open_backend(tmp_path / "store", "json")
+        engine = RuleEngine(build_paper_database().db)
+        backend.attach(engine)
+        engine.db.insert("Teacher", name="X", **{"SS#": "1"})
+        backend.close()
+
+        sh, out = shell
+        sh.handle(f"\\wal open {tmp_path / 'store'}")
+        assert "already holds a session" in output(out)
+        assert sh.backend is None  # refused, nothing attached
+
+    def test_wal_open_reports_torn_tail(self, shell, tmp_path):
+        """A fresh directory whose WAL carries torn trailing bytes (a
+        crash mid-append) attaches fine, with the truncation noted."""
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "wal.jsonl").write_bytes(b'{"half": "a reco')
+        sh, out = shell
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore")
+            sh.handle(f"\\wal open {store}")
+        text = output(out)
+        assert "backend attached" in text
+        assert "torn trailing bytes were discarded" in text
+        sh.handle("\\quit")
+
+    def test_double_open_refused(self, shell, tmp_path):
+        sh, out = shell
+        sh.handle(f"\\wal open {tmp_path / 'one'}")
+        sh.handle(f"\\wal open {tmp_path / 'two'}")
+        assert "already attached" in output(out)
+        sh.handle("\\quit")
+
+
+class TestServeCommand:
+    def test_status_when_not_serving(self, shell):
+        sh, out = shell
+        sh.handle("\\serve")
+        assert "not serving" in output(out)
+
+    def test_stop_when_not_serving(self, shell):
+        sh, out = shell
+        sh.handle("\\serve stop")
+        assert "not serving" in output(out)
+
+    def test_bad_port_usage(self, shell):
+        sh, out = shell
+        sh.handle("\\serve start not-a-port")
+        assert "usage: \\serve start" in output(out)
+
+    def test_bad_limit_usage(self, shell):
+        sh, out = shell
+        sh.handle("\\serve start 0 limit=banana")
+        assert "usage: \\serve start" in output(out)
+
+    def test_serve_start_query_stop(self, shell):
+        from repro.service import ServiceClient
+        sh, out = shell
+        sh.handle("\\serve start 127.0.0.1:0 limit=2")
+        assert "serving on 127.0.0.1:" in output(out)
+        host, port = sh._service.address
+        with ServiceClient(host, port) as client:
+            result = client.query("context Teacher * Section * Course")
+            assert result["patterns"] > 0
+        sh.handle("\\serve status")
+        assert "request(s)" in output(out)
+        sh.handle("\\serve start 0")
+        assert "already serving" in output(out)
+        sh.handle("\\serve stop")
+        assert "service stopped" in output(out)
+        assert sh._service is None
+
+    def test_serve_start_port_in_use_reports_error(self, shell):
+        import socket
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        try:
+            sh, out = shell
+            sh.handle(f"\\serve start 127.0.0.1:{port}")
+            assert "error:" in output(out)
+            assert sh._service is None
+        finally:
+            blocker.close()
+
+    def test_quit_stops_service(self, shell):
+        sh, out = shell
+        sh.handle("\\serve start 127.0.0.1:0")
+        service = sh._service
+        assert not sh.handle("\\quit")
+        assert sh._service is None
+        assert service._thread is None  # fully stopped

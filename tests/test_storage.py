@@ -327,6 +327,55 @@ class TestSessionRoundtrip:
             RuleChainingMode.BACKWARD
 
 
+class TestAtomicWritePrimitive:
+    """`storage/atomic.py` must never leave temp siblings behind —
+    neither on success nor on an injected failure at any step."""
+
+    def test_success_leaves_no_temp_siblings(self, tmp_path):
+        from repro.storage.atomic import atomic_write_text
+
+        path = atomic_write_text(tmp_path / "doc.json", '{"a": 1}')
+        assert path.read_text() == '{"a": 1}'
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+    def test_overwrite_leaves_no_temp_siblings(self, tmp_path):
+        from repro.storage.atomic import atomic_write_text
+
+        atomic_write_text(tmp_path / "doc.json", "old")
+        atomic_write_text(tmp_path / "doc.json", "new")
+        assert (tmp_path / "doc.json").read_text() == "new"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+    def test_failed_replace_cleans_temp_and_keeps_old(
+            self, tmp_path, monkeypatch):
+        from repro.storage.atomic import atomic_write_text
+
+        atomic_write_text(tmp_path / "doc.json", "old")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            atomic_write_text(tmp_path / "doc.json", "new")
+        monkeypatch.undo()
+        assert (tmp_path / "doc.json").read_text() == "old"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+    def test_failed_fsync_cleans_temp(self, tmp_path, monkeypatch):
+        from repro.storage.atomic import atomic_write_text
+
+        def exploding_fsync(fd):
+            raise OSError("simulated fsync failure")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="simulated fsync"):
+            atomic_write_text(tmp_path / "doc.json", "data")
+        monkeypatch.undo()
+        # Nothing materialized at all: no destination, no temp litter.
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestNewAssociationKindsRoundtrip:
     def test_all_five_kinds_roundtrip(self):
         schema = Schema("factory")
