@@ -15,6 +15,14 @@ fraction of requests the admission controller answered with ``BUSY``
 instead of queueing.  Shed requests are counted separately, not folded
 into latency percentiles.
 
+A second scenario, ``--fanout``, measures the live-subscription path:
+N subscriber connections watch ``context Teacher`` while one writer
+inserts Teachers on a fixed clock; write-to-delta latency is measured
+per subscriber from just before the write request is sent to the
+moment that write's delta frame is read off the subscriber's socket,
+reported as p50/p95/p99 per fanout level (1/8/32 subscribers by
+default).
+
 Usage::
 
     python benchmarks/bench_service.py                 # full sweep
@@ -23,8 +31,10 @@ Usage::
     python benchmarks/bench_service.py --max-p95-ms 250  # opt-in gate
         # on the lowest level's p95 (meaningless on a 1-CPU container
         # under full load, hence not a default)
+    python benchmarks/bench_service.py --fanout --fanout-levels 1,8,32
 
-Results land in ``BENCH_PR8.json`` at the repository root.
+Results land in ``BENCH_PR8.json`` at the repository root
+(``BENCH_PR9.json`` for the fanout scenario).
 """
 
 import argparse
@@ -171,6 +181,99 @@ def run_sweep(levels, duration_s, interval_ms, write_ratio,
     }
 
 
+# ---------------------------------------------------------------------------
+# Subscriber fanout: write-to-delta latency
+# ---------------------------------------------------------------------------
+
+
+FANOUT_QUERY = "context Teacher"
+
+
+def run_fanout_level(service, subscribers: int, writes: int,
+                     interval_ms: float) -> dict:
+    """One fanout level: ``subscribers`` live subscriptions on
+    :data:`FANOUT_QUERY`, one paced writer inserting Teachers; each
+    subscriber thread stamps every delta frame as it reads it, so the
+    percentiles measure true end-to-end push latency under fanout."""
+    host, port = service.address
+    clients = [ServiceClient(host, port, timeout=60)
+               for _ in range(subscribers)]
+    per_reader = [[] for _ in range(subscribers)]
+    faults = []
+    try:
+        sids = [c.subscribe(FANOUT_QUERY)["subscription"]
+                for c in clients]
+        sent = [0.0] * writes
+        ready = threading.Barrier(subscribers + 1)
+
+        def reader(idx):
+            client, sid = clients[idx], sids[idx]
+            ready.wait()
+            for i in range(writes):
+                frame = client.next_delta(sid, timeout=30)
+                now = time.perf_counter()
+                if frame is None or frame["kind"] != "delta":
+                    faults.append((idx, i,
+                                   frame["kind"] if frame else None))
+                    return
+                per_reader[idx].append((now - sent[i]) * 1000.0)
+
+        def writer():
+            with ServiceClient(host, port, timeout=60) as w:
+                ready.wait()
+                for i in range(writes):
+                    sent[i] = time.perf_counter()
+                    w.update({"kind": "insert", "cls": "Teacher",
+                              "attrs": {"name": f"Fan{i}",
+                                        "SS#": f"fan-{i}"}})
+                    time.sleep(interval_ms / 1000.0)
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(subscribers)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    finally:
+        for c in clients:
+            c.close()
+    latencies = sorted(x for lats in per_reader for x in lats)
+    expected = subscribers * writes
+    return {
+        "subscribers": subscribers,
+        "writes": writes,
+        "interval_ms": interval_ms,
+        "deliveries": len(latencies),
+        "expected_deliveries": expected,
+        "faults": len(faults),
+        "p50_ms": round(_percentile(latencies, 0.50), 3),
+        "p95_ms": round(_percentile(latencies, 0.95), 3),
+        "p99_ms": round(_percentile(latencies, 0.99), 3),
+        "mean_ms": round(statistics.fmean(latencies), 3)
+        if latencies else 0.0,
+    }
+
+
+def run_fanout_sweep(levels, writes, interval_ms) -> dict:
+    rows = []
+    for subscribers in levels:
+        # A fresh service per level: each level's write storm must not
+        # inflate the next level's initial snapshot work.
+        with build_service(max_concurrency=4) as service:
+            rows.append(run_fanout_level(service, subscribers, writes,
+                                         interval_ms))
+    return {
+        "benchmark": "B13-subscription-fanout",
+        "config": {
+            "query": FANOUT_QUERY,
+            "writes": writes,
+            "interval_ms": interval_ms,
+        },
+        "levels": rows,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--levels", default="2,8,16",
@@ -189,7 +292,41 @@ def main(argv=None) -> int:
     parser.add_argument("--max-p95-ms", type=float, default=None,
                         help="opt-in gate: fail when the lowest "
                              "level's p95 exceeds this many ms")
+    parser.add_argument("--fanout", action="store_true",
+                        help="run the subscriber-fanout scenario "
+                             "instead of the request sweep")
+    parser.add_argument("--fanout-levels", default="1,8,32",
+                        help="comma-separated subscriber counts")
+    parser.add_argument("--fanout-writes", type=int, default=40,
+                        help="writes per fanout level (quick: 12)")
+    parser.add_argument("--fanout-interval-ms", type=float, default=25.0,
+                        help="writer pacing in the fanout scenario")
     args = parser.parse_args(argv)
+
+    if args.fanout:
+        levels = [int(x) for x in args.fanout_levels.split(",")
+                  if x.strip()]
+        writes = 12 if args.quick else args.fanout_writes
+        report = run_fanout_sweep(levels, writes,
+                                  args.fanout_interval_ms)
+        out = Path(args.out) if args.out \
+            else Path(__file__).resolve().parent.parent \
+            / "BENCH_PR9.json"
+        out.write_text(json.dumps(report, indent=1, sort_keys=True)
+                       + "\n")
+        print(f"{'subs':>6} {'deliv':>7} {'p50ms':>8} {'p95ms':>8} "
+              f"{'p99ms':>8} {'faults':>7}")
+        for row in report["levels"]:
+            print(f"{row['subscribers']:>6} {row['deliveries']:>7} "
+                  f"{row['p50_ms']:>8.2f} {row['p95_ms']:>8.2f} "
+                  f"{row['p99_ms']:>8.2f} {row['faults']:>7}")
+        print(f"wrote {out}")
+        if any(row["faults"] or row["deliveries"]
+               != row["expected_deliveries"]
+               for row in report["levels"]):
+            print("FAIL: lost or malformed deliveries")
+            return 1
+        return 0
 
     levels = [int(x) for x in args.levels.split(",") if x.strip()]
     duration = 1.0 if args.quick else args.duration
@@ -263,6 +400,18 @@ def test_shed_rate_rises_under_overload():
     assert gentle["errors"] == 0 and storm["errors"] == 0
     assert storm["shed"] > 0
     assert storm["shed_rate"] > gentle["shed_rate"]
+
+
+@pytest.mark.subscribe
+def test_fanout_driver_smoke():
+    """One small fanout level end to end: every write reaches every
+    subscriber exactly once and the percentiles are well-ordered."""
+    with build_service(max_concurrency=4) as service:
+        row = run_fanout_level(service, subscribers=2, writes=5,
+                               interval_ms=10.0)
+    assert row["faults"] == 0
+    assert row["deliveries"] == row["expected_deliveries"] == 10
+    assert 0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
 
 
 if __name__ == "__main__":

@@ -74,6 +74,11 @@ from repro.oql import (
     parse_expression,
     parse_query,
 )
+from repro.oql.subscribe import (
+    Subscription,
+    SubscriptionDelta,
+    SubscriptionManager,
+)
 from repro.rules import (
     DeductiveRule,
     EvaluationMode,
@@ -116,6 +121,7 @@ __all__ = [
     "parse_query", "parse_expression", "PatternEvaluator",
     "QueryProcessor", "QueryResult", "Table", "OperationRegistry",
     "QueryBudget", "BudgetExceeded",
+    "Subscription", "SubscriptionDelta", "SubscriptionManager",
     # rules
     "DeductiveRule", "parse_rule", "RuleEngine", "EvaluationMode",
     "RuleChainingMode", "ResultOrientedController",

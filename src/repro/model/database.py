@@ -328,11 +328,34 @@ class Database:
             self._extent_cache.clear()
 
     def add_listener(self, listener: Listener) -> None:
-        """Register a callback invoked after every mutation."""
+        """Register a callback invoked after every mutation.
+
+        Listeners are notified in registration order — deterministic,
+        so e.g. the rule engine's maintenance listener (registered at
+        engine construction) always runs before later-attached
+        subscribers, which therefore observe maintained state."""
         self._listeners.append(listener)
 
     def remove_listener(self, listener: Listener) -> None:
+        """Unregister a listener.  Safe to call from inside a listener:
+        a listener removed while a notification is in flight is skipped
+        for the remainder of that event (see :meth:`_notify`)."""
         self._listeners.remove(listener)
+
+    def listener_count(self) -> int:
+        """How many update listeners are registered — the baseline for
+        leak checks (a detached subscription manager must return the
+        count to where it started)."""
+        return len(self._listeners)
+
+    def _notify(self, event: UpdateEvent) -> None:
+        # Iterate a snapshot, but re-check membership before each call:
+        # a listener added during the notification does not see the
+        # in-flight event, and one removed by an earlier listener is
+        # skipped instead of being notified after its removal.
+        for listener in list(self._listeners):
+            if listener in self._listeners:
+                listener(event)
 
     def _emit(self, kind: UpdateKind, classes: Iterable[str],
               detail: str = "", oids: Tuple[OID, ...] = (),
@@ -352,8 +375,7 @@ class Database:
             self._batch_count += 1
             self._batch_events.append(event)
             return
-        for listener in list(self._listeners):
-            listener(event)
+        self._notify(event)
 
     @contextmanager
     def batch(self):
@@ -387,8 +409,7 @@ class Database:
                                         version=self._version,
                                         detail=f"batch of {count} updates",
                                         sub_events=sub_events)
-                    for listener in list(self._listeners):
-                        listener(event)
+                    self._notify(event)
             finally:
                 self._rw.release_write()
 

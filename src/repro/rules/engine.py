@@ -166,18 +166,27 @@ class RuleEngine:
         self._drop_derivation_memos(
             downstream_closure(self.rule_graph(),
                                [rule.target]) | {rule.target})
-        for listener in list(self._rule_listeners):
-            listener("added", rule, mode)
+        self._notify_rule_listeners("added", rule, mode)
         return rule
 
     def add_rule_listener(self, listener) -> None:
         """Register a callback ``(action, rule, mode)`` fired after every
         rule registration (``action="added"``) or removal
-        (``action="removed"``, mode ``None``)."""
+        (``action="removed"``, mode ``None``).  Listeners fire in
+        registration order; one removed mid-notification by an earlier
+        listener is skipped for that event."""
         self._rule_listeners.append(listener)
 
     def remove_rule_listener(self, listener) -> None:
         self._rule_listeners.remove(listener)
+
+    def _notify_rule_listeners(self, action, rule, mode) -> None:
+        # Same contract as Database._notify: snapshot + membership
+        # check, so removal during notification cannot deliver the
+        # in-flight event to the removed listener.
+        for listener in list(self._rule_listeners):
+            if listener in self._rule_listeners:
+                listener(action, rule, mode)
 
     def remove_rule(self, rule: Union[str, DeductiveRule]
                     ) -> DeductiveRule:
@@ -210,8 +219,7 @@ class RuleEngine:
         for name in affected:
             self.universe.unregister(name)
         self._drop_derivation_memos(affected)
-        for listener in list(self._rule_listeners):
-            listener("removed", rule, None)
+        self._notify_rule_listeners("removed", rule, None)
         return rule
 
     def rules_for(self, name: str) -> List[DeductiveRule]:

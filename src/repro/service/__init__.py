@@ -31,6 +31,7 @@ from repro.service.protocol import (
 )
 from repro.service.server import QueryService
 from repro.service.session import ServerSession
+from repro.service.streaming import StreamingSubscriptions
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -40,6 +41,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "StreamingSubscriptions",
     "decode_frame",
     "encode_frame",
     "error_body",

@@ -4,13 +4,23 @@ Used by the conformance tests, the load driver, and the shell's
 ``--connect`` mode.  One :class:`ServiceClient` wraps one socket; its
 requests execute in order (the server pins one snapshot per
 connection), so a client *is* a session.
+
+The client understands the streaming side of the protocol: frames
+carrying ``"sub"`` and no ``"id"`` are subscription deltas, which may
+arrive at any point — even between a request and its response.  They
+are buffered per subscription and drained with :meth:`next_delta` /
+:meth:`pending_deltas`, so request/response round trips stay
+oblivious to live-query traffic.
 """
 
 from __future__ import annotations
 
 import json
+import select
 import socket
-from typing import Any, Dict, Optional
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import ReproError
 
@@ -40,34 +50,67 @@ class ServiceClient:
         self.port = port
         self._sock = socket.create_connection((host, port),
                                               timeout=timeout)
-        self._file = self._sock.makefile("rb")
+        self._buf = b""
+        self._pushed: Dict[int, Deque[Dict[str, Any]]] = {}
         self._next_id = 0
 
     # -- plumbing -------------------------------------------------------
+
+    def _read_line(self, timeout: Optional[float] = None
+                   ) -> Optional[bytes]:
+        """One newline-terminated frame.  ``timeout=None`` blocks under
+        the socket timeout; a number returns ``None`` when no complete
+        frame arrives in time (without consuming partial data — the
+        buffer keeps accumulating across calls)."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while b"\n" not in self._buf:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                ready, _, _ = select.select([self._sock], [], [],
+                                            remaining)
+                if not ready:
+                    return None
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("service closed the connection")
+            self._buf += chunk
+        line, _, self._buf = self._buf.partition(b"\n")
+        return line
+
+    def _route_push(self, frame: Dict[str, Any]) -> None:
+        self._pushed.setdefault(frame["sub"], deque()).append(frame)
+
+    @staticmethod
+    def _is_push(frame: Dict[str, Any]) -> bool:
+        return "sub" in frame and "id" not in frame
 
     def request(self, op: str, *, raise_on_error: bool = True,
                 **params: Any) -> Dict[str, Any]:
         """One request/response round trip.  Returns the full response
         frame; with ``raise_on_error`` (default) an ``ok: false``
-        response raises :class:`ServiceError` instead."""
+        response raises :class:`ServiceError` instead.  Subscription
+        delta frames arriving in between are buffered, not returned."""
         self._next_id += 1
         body = {"id": self._next_id, "op": op, **params}
         payload = json.dumps(body, sort_keys=True,
                              separators=(",", ":")).encode() + b"\n"
         self._sock.sendall(payload)
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("service closed the connection")
-        response = json.loads(line.decode())
+        while True:
+            line = self._read_line()
+            response = json.loads(line.decode())
+            if self._is_push(response):
+                self._route_push(response)
+                continue
+            break
         if raise_on_error and not response.get("ok"):
             raise ServiceError.from_error(response.get("error", {}))
         return response
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -129,6 +172,65 @@ class ServiceClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")["result"]
+
+    # -- live queries ---------------------------------------------------
+
+    def subscribe(self, text: str, *,
+                  budget: Optional[Dict[str, Any]] = None,
+                  max_pending: Optional[int] = None) -> Dict[str, Any]:
+        """Register a live query; the result carries ``subscription``
+        (the id to poll deltas with) and the initial ``rows``."""
+        params: Dict[str, Any] = {"text": text}
+        if budget is not None:
+            params["budget"] = budget
+        if max_pending is not None:
+            params["max_pending"] = max_pending
+        return self.request("subscribe", **params)["result"]
+
+    def unsubscribe(self, sub_id: int) -> Dict[str, Any]:
+        return self.request("unsubscribe",
+                            subscription=sub_id)["result"]
+
+    def next_delta(self, sub_id: int, timeout: float = 5.0
+                   ) -> Optional[Dict[str, Any]]:
+        """The next delta frame for ``sub_id`` (buffered or read from
+        the socket), or ``None`` when none arrives within ``timeout``
+        seconds.  Frames for other subscriptions seen on the way are
+        buffered, never dropped."""
+        buffered = self._pushed.get(sub_id)
+        if buffered:
+            return buffered.popleft()
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            line = self._read_line(max(0.0, remaining))
+            if line is None:
+                return None
+            frame = json.loads(line.decode())
+            if not self._is_push(frame):
+                # A response with no outstanding request cannot happen
+                # in orderly single-threaded use; drop defensively.
+                continue
+            if frame["sub"] == sub_id:
+                return frame
+            self._route_push(frame)
+
+    def drain_deltas(self, sub_id: int, *, idle: float = 0.25,
+                     max_frames: int = 10_000
+                     ) -> List[Dict[str, Any]]:
+        """Every delta currently flowing for ``sub_id``: keeps reading
+        until the stream stays quiet for ``idle`` seconds."""
+        frames: List[Dict[str, Any]] = []
+        while len(frames) < max_frames:
+            frame = self.next_delta(sub_id, timeout=idle)
+            if frame is None:
+                return frames
+            frames.append(frame)
+        return frames
+
+    def pending_deltas(self, sub_id: int) -> int:
+        """How many delta frames are already buffered client-side."""
+        return len(self._pushed.get(sub_id, ()))
 
 
 def client_repl(host: str, port: int) -> None:  # pragma: no cover

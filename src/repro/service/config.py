@@ -46,6 +46,16 @@ class ServiceConfig:
     max_rows: Optional[int] = 5_000_000
     max_loop_levels: Optional[int] = 64
 
+    # -- live queries ---------------------------------------------------
+    #: Cap on concurrently active subscriptions across the service; a
+    #: ``subscribe`` beyond it is shed with BUSY.
+    max_subscriptions: int = 64
+    #: Per-subscription outbox bound (also the ceiling for a
+    #: client-requested ``max_pending``): when a consumer falls this
+    #: many deltas behind, the backlog is dropped and replaced by one
+    #: RESYNC frame carrying the full current result.
+    subscription_max_pending: int = 256
+
     # -- engine composition (PR 5-7 layers) ----------------------------
     #: Partition workers per evaluation and their mode, as \\workers.
     workers: int = 1
@@ -75,6 +85,10 @@ class ServiceConfig:
             raise ValueError("max_concurrency must be >= 1")
         if self.max_frame_bytes < 1024:
             raise ValueError("max_frame_bytes must be >= 1024")
+        if self.max_subscriptions < 1:
+            raise ValueError("max_subscriptions must be >= 1")
+        if self.subscription_max_pending < 1:
+            raise ValueError("subscription_max_pending must be >= 1")
         if self.worker_mode not in ("thread", "process"):
             raise ValueError("worker_mode must be 'thread' or 'process'")
 

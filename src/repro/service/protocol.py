@@ -24,6 +24,20 @@ The same server port also answers minimal HTTP (``POST /v1/<op>`` with
 a JSON object body; ``GET /v1/stats``; ``GET /healthz``) so the service
 can sit behind ordinary load-balancer health checks — the first bytes
 of a connection select the protocol.
+
+**Delta frames.**  A connection with live subscriptions (the
+``subscribe`` op) additionally receives *unsolicited* frames carrying
+``"sub"`` and **no** ``"id"`` key — that absence is how clients route
+them apart from request responses (see :func:`delta_body`)::
+
+    {"sub": 3, "seq": 5, "kind": "delta", "version": 41,
+     "vector": [0, 41, 17], "added": [[7, 12]], "removed": []}
+
+``kind`` is ``delta`` (apply added/removed), ``resync`` (replace the
+folded state with ``added`` — the bounded-outbox overflow and
+budget-trip degradation), or ``closed`` (terminal, with ``error``).
+Delta frames may interleave anywhere between responses — including
+before the ``subscribe`` response that announced the subscription id.
 """
 
 from __future__ import annotations
@@ -108,6 +122,23 @@ def error_body(request_id: Any, code: str, message: str,
     error: Dict[str, Any] = {"code": code, "message": message}
     error.update(detail)
     return {"id": request_id, "ok": False, "error": error}
+
+
+def delta_body(sub_id: int, *, seq: int, kind: str, version: int,
+               vector, added, removed,
+               error: Optional[str] = None) -> Dict[str, Any]:
+    """An unsolicited subscription delta frame body.  Carries ``sub``
+    and deliberately no ``id`` key — the discriminator clients route
+    on."""
+    body: Dict[str, Any] = {
+        "sub": sub_id, "seq": seq, "kind": kind, "version": version,
+        "vector": list(vector),
+        "added": [list(row) for row in added],
+        "removed": [list(row) for row in removed],
+    }
+    if error is not None:
+        body["error"] = error
+    return body
 
 
 def parse_request(body: Dict[str, Any]) -> Tuple[Any, str, Dict[str, Any]]:

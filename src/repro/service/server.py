@@ -163,7 +163,11 @@ class QueryService:
             "session_save": self._op_session_save,
             "session_restore": self._op_session_restore,
             "stats": self._op_stats,
+            "subscribe": self._op_subscribe,
+            "unsubscribe": self._op_unsubscribe,
         }
+        from repro.service.streaming import StreamingSubscriptions
+        self.streaming = StreamingSubscriptions(self)
 
     def _apply_engine_config(self, engine) -> None:
         """Push workers/worker_mode/cache config into the engine's
@@ -250,6 +254,7 @@ class QueryService:
             self._thread.join(timeout)
             self._thread = None
         self._executor.shutdown(wait=True)
+        self.streaming.close()
         for session in list(self._sessions.values()):
             session.close()
         self._sessions.clear()
@@ -275,6 +280,7 @@ class QueryService:
                                 lambda: self.engine)
         self._sessions[session.session_id] = session
         self._writers.add(writer)
+        self.streaming.register_connection(session.session_id, writer)
         try:
             first = await self._read_frame(reader, writer)
             if first is None:
@@ -294,6 +300,7 @@ class QueryService:
         finally:
             self._writers.discard(writer)
             self._sessions.pop(session.session_id, None)
+            self.streaming.drop_connection(session.session_id)
             session.close()
             try:
                 writer.close()
@@ -553,6 +560,7 @@ class QueryService:
             "workers": {"count": engine.processor.evaluator.workers,
                         "mode": engine.processor.evaluator.worker_mode},
             "cache": cache.stats(),
+            "subscriptions": self.streaming.stats(),
             "tracing": obs.TRACER is not None,
         }
         if self.backend is not None:
@@ -694,6 +702,57 @@ class QueryService:
         return {"objects": stats["objects"], "links": stats["links"],
                 "rules": len(restored.rules)}
 
+    # -- live queries ---------------------------------------------------
+
+    def _op_subscribe(self, session: ServerSession,
+                      params: Dict[str, Any]) -> Dict[str, Any]:
+        """Register a live query on this connection.  The response is
+        the snapshot-consistent initial result (``seq 0``); deltas then
+        arrive as unsolicited ``"sub"`` frames.  The per-event budget is
+        the request budget clamped to the server ceilings, exactly as
+        for one-shot queries."""
+        text = require_str(params, "text")
+        budget = self._budget(params)
+        limits = {key: value for key, value in
+                  (("deadline_ms", budget.deadline_ms),
+                   ("max_rows", budget.max_rows),
+                   ("max_loop_levels", budget.max_loop_levels))
+                  if value is not None}
+        cap = self.config.subscription_max_pending
+        max_pending = params.get("max_pending")
+        if max_pending is None:
+            max_pending = cap
+        elif not isinstance(max_pending, int) or max_pending < 1:
+            raise ProtocolError(
+                "BAD_REQUEST",
+                "'max_pending' must be a positive integer")
+        else:
+            max_pending = min(max_pending, cap)
+        sub = self.streaming.subscribe(session, text,
+                                       max_pending=max_pending,
+                                       budget_limits=limits or None)
+        initial = sub.initial
+        return {"subscription": sub.id, "seq": initial.seq,
+                "kind": initial.kind,
+                "rows": [list(row) for row in initial.added],
+                "vector": list(initial.vector),
+                "version": initial.version,
+                "classes": (list(sub.classes)
+                            if sub.classes is not None else None),
+                "incremental": sub.incremental,
+                "max_pending": sub.max_pending}
+
+    def _op_unsubscribe(self, session: ServerSession,
+                        params: Dict[str, Any]) -> Dict[str, Any]:
+        sub_id = params.get("subscription")
+        if not isinstance(sub_id, int):
+            raise ProtocolError(
+                "BAD_REQUEST", "'subscription' must be an integer id")
+        if not self.streaming.unsubscribe(session, sub_id):
+            raise _OpError("NOT_FOUND",
+                           f"no subscription {sub_id} on this session")
+        return {"unsubscribed": sub_id}
+
     # ------------------------------------------------------------------
     # Minimal HTTP face
     # ------------------------------------------------------------------
@@ -734,6 +793,13 @@ class QueryService:
                 None, "NOT_FOUND", f"unknown path {target!r}"))
             return
         op = target[len("/v1/"):]
+        if op in ("subscribe", "unsubscribe"):
+            await self._send_http(writer, _HTTP_STATUS["SEMANTIC"],
+                                  error_body(
+                None, "SEMANTIC",
+                "subscriptions require the JSON-lines protocol (HTTP "
+                "connections close after one response)"))
+            return
         if method == "GET":
             params: Dict[str, Any] = {}
         else:

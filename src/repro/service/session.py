@@ -37,6 +37,11 @@ class ServerSession:
         # refresh, without the server rewiring every live session.
         self._engine_ref = engine if callable(engine) else (lambda: engine)
         self.requests = 0
+        #: Subscription ids owned by this session's connection —
+        #: maintained by the streaming layer, used for ownership checks
+        #: (only the subscribing session may unsubscribe) and reaped by
+        #: the connection's close handler.
+        self.subscriptions: set = set()
         self._processor: Optional[QueryProcessor] = None
         self._lock = threading.Lock()
         self._closed = False

@@ -1,0 +1,210 @@
+"""Streaming subscriptions over the service protocol.
+
+Bridges the engine-level :class:`~repro.oql.subscribe.SubscriptionManager`
+to connections: the ``subscribe`` op registers a live query for the
+calling session's connection, and every delta the manager enqueues is
+flushed to that connection as an unsolicited *delta frame* — a
+JSON-lines frame carrying ``"sub"`` and no ``"id"``, so clients can
+route it apart from request responses (see
+:mod:`repro.service.protocol`).
+
+Threading: the manager's ``on_ready`` callback fires on the mutator's
+thread while the database write lock is held, so it only schedules —
+``loop.call_soon_threadsafe`` hops to the event loop, where an
+:class:`asyncio.Lock` per subscription serializes flushes (frames reach
+the socket in ``seq`` order).  Backpressure toward the engine is the
+manager's bounded outbox; backpressure toward the socket is
+``writer.drain()``.
+
+Lifecycle: a connection's close (clean or mid-stream disconnect) reaps
+every subscription it owned; when the last subscription goes the
+manager detaches its database listener, so an idle service touches the
+database exactly as it did before this module existed (the soak tier
+asserts listener counts return to baseline).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, Optional, Set
+
+from repro.oql.subscribe import Subscription, SubscriptionManager
+from repro.service.protocol import ProtocolError, delta_body, encode_frame
+
+
+class _Entry:
+    """One live subscription's connection-side state."""
+
+    __slots__ = ("sub", "session_id", "writer", "flush_lock")
+
+    def __init__(self, sub: Subscription, session_id: int, writer):
+        self.sub = sub
+        self.session_id = session_id
+        self.writer = writer
+        self.flush_lock = asyncio.Lock()
+
+
+class StreamingSubscriptions:
+    """Subscription registry of one
+    :class:`~repro.service.server.QueryService`."""
+
+    def __init__(self, service):
+        self._service = service
+        self._manager: Optional[SubscriptionManager] = None
+        self._lock = threading.Lock()
+        self._entries: Dict[int, _Entry] = {}
+        self._writers: Dict[int, Any] = {}
+        self.counters: Dict[str, int] = {
+            "subscribes": 0, "unsubscribes": 0, "reaped": 0,
+            "frames": 0, "dropped_frames": 0,
+        }
+
+    @property
+    def manager(self) -> SubscriptionManager:
+        """The engine-level manager, created on first use (so a service
+        that never serves a subscribe leaves no listener anywhere)."""
+        with self._lock:
+            if self._manager is None:
+                self._manager = SubscriptionManager(
+                    self._service.engine,
+                    max_pending=self._service.config
+                    .subscription_max_pending)
+            return self._manager
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle (event-loop side)
+    # ------------------------------------------------------------------
+
+    def register_connection(self, session_id: int, writer) -> None:
+        with self._lock:
+            self._writers[session_id] = writer
+
+    def drop_connection(self, session_id: int) -> int:
+        """Reap every subscription the connection owned; returns how
+        many were reaped."""
+        with self._lock:
+            self._writers.pop(session_id, None)
+            doomed = [sub_id for sub_id, entry in self._entries.items()
+                      if entry.session_id == session_id]
+            manager = self._manager
+        for sub_id in doomed:
+            with self._lock:
+                self._entries.pop(sub_id, None)
+            if manager is not None:
+                manager.unsubscribe(sub_id)
+        self.counters["reaped"] += len(doomed)
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Ops (worker-thread side)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, session, text: str, *,
+                  max_pending: int,
+                  budget_limits: Optional[Dict[str, Any]]
+                  ) -> Subscription:
+        with self._lock:
+            writer = self._writers.get(session.session_id)
+            active = len(self._entries)
+        if writer is None:
+            raise ProtocolError(
+                "SEMANTIC",
+                "subscriptions require a persistent JSON-lines "
+                "connection (not available over HTTP)")
+        limit = self._service.config.max_subscriptions
+        if active >= limit:
+            raise ProtocolError(
+                "BUSY",
+                f"{active} subscriptions active (limit {limit})")
+        loop = self._service._loop
+
+        def on_ready(sub: Subscription) -> None:
+            # Mutator thread, write lock held: schedule, never block.
+            try:
+                loop.call_soon_threadsafe(self._flush_soon, sub.id)
+            except RuntimeError:  # loop closed during shutdown
+                pass
+
+        sub = self.manager.subscribe(text, max_pending=max_pending,
+                                     budget_limits=budget_limits,
+                                     on_ready=on_ready)
+        with self._lock:
+            self._entries[sub.id] = _Entry(sub, session.session_id,
+                                           writer)
+        session.subscriptions.add(sub.id)
+        self.counters["subscribes"] += 1
+        # A write may have enqueued deltas between registration inside
+        # the manager and the entry above; flush anything pending.
+        try:
+            loop.call_soon_threadsafe(self._flush_soon, sub.id)
+        except RuntimeError:
+            pass
+        return sub
+
+    def unsubscribe(self, session, sub_id: int) -> bool:
+        with self._lock:
+            entry = self._entries.get(sub_id)
+        if entry is None or entry.session_id != session.session_id:
+            return False
+        with self._lock:
+            self._entries.pop(sub_id, None)
+        session.subscriptions.discard(sub_id)
+        self.manager.unsubscribe(sub_id)
+        self.counters["unsubscribes"] += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Delta flushing (event-loop side)
+    # ------------------------------------------------------------------
+
+    def _flush_soon(self, sub_id: int) -> None:
+        asyncio.ensure_future(self._flush(sub_id))
+
+    async def _flush(self, sub_id: int) -> None:
+        with self._lock:
+            entry = self._entries.get(sub_id)
+        if entry is None:
+            return
+        async with entry.flush_lock:
+            for delta in entry.sub.poll():
+                frame = encode_frame(delta_body(
+                    sub_id, seq=delta.seq, kind=delta.kind,
+                    version=delta.version, vector=delta.vector,
+                    added=delta.added, removed=delta.removed,
+                    error=delta.error))
+                try:
+                    entry.writer.write(frame)
+                    await entry.writer.drain()
+                    self.counters["frames"] += 1
+                except (ConnectionError, OSError):
+                    # The connection is gone; its close handler reaps.
+                    self.counters["dropped_frames"] += 1
+                    return
+
+    # ------------------------------------------------------------------
+    # Introspection / shutdown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            out: Dict[str, Any] = {"active": len(self._entries),
+                                   **self.counters}
+            manager = self._manager
+        if manager is not None:
+            out["manager"] = dict(manager.counters)
+            out["db_listener_attached"] = manager._attached
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            ids = list(self._entries)
+            self._entries.clear()
+            self._writers.clear()
+            manager = self._manager
+        if manager is not None:
+            manager.close()

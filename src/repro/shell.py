@@ -53,6 +53,12 @@ with a backslash::
                           concurrent requests), "stop", or bare
                           \\serve for status.  Connect with
                           ``python -m repro.shell --connect HOST:PORT``
+    \\subscribe QUERY      watch a query live: prints the initial
+                          result, then +/- row deltas after every
+                          relevant update (unrelated-class writes
+                          never wake it); bare \\subscribe lists the
+                          active subscriptions
+    \\unsubscribe ID       cancel a live subscription
     \\quit                 leave
 
 A trailing backslash continues the statement on the next line.
@@ -101,10 +107,13 @@ class Shell:
             "checkpoint": self._cmd_checkpoint,
             "restore": self._cmd_restore,
             "serve": self._cmd_serve,
+            "subscribe": self._cmd_subscribe,
+            "unsubscribe": self._cmd_unsubscribe,
             "quit": self._cmd_quit,
             "exit": self._cmd_quit,
         }
         self._service = None
+        self._sub_manager = None
 
     # ------------------------------------------------------------------
 
@@ -125,7 +134,10 @@ class Shell:
             return True
         try:
             if stripped.startswith("\\"):
-                return self._meta(stripped[1:])
+                alive = self._meta(stripped[1:])
+                if alive:
+                    self._drain_subscriptions()
+                return alive
             lowered = stripped.lower()
             if lowered.startswith("if"):
                 rule = self.engine.add_rule(stripped)
@@ -151,6 +163,7 @@ class Shell:
                             "'\\' (try \\help)")
         except ReproError as exc:
             self._print(f"error: {exc}")
+        self._drain_subscriptions()
         return True
 
     @property
@@ -552,6 +565,7 @@ class Shell:
             except ValueError:
                 self._print("usage: \\restore [SEQ]")
                 return True
+        self._drop_subscriptions("engine restored")
         backend = self.backend
         restored = backend.restore_to(seq)
         backend.detach()
@@ -638,7 +652,82 @@ class Shell:
                     "stop | status]")
         return True
 
+    # ------------------------------------------------------------------
+    # Live subscriptions
+    # ------------------------------------------------------------------
+
+    def _cmd_subscribe(self, argument: str) -> bool:
+        if not argument:
+            if self._sub_manager is None \
+                    or not self._sub_manager.subscriptions():
+                self._print("no active subscriptions — "
+                            "\\subscribe context ...")
+                return True
+            for sub in self._sub_manager.subscriptions():
+                mode = "incremental" if sub.incremental else "scratch"
+                classes = ", ".join(sub.classes) if sub.classes else "*"
+                self._print(f"  sub {sub.id} [{mode}] on {{{classes}}} "
+                            f"— {len(sub.rows)} row(s), seq {sub.seq}: "
+                            f"{sub.text}")
+            return True
+        if self._sub_manager is None:
+            from repro.oql.subscribe import SubscriptionManager
+            self._sub_manager = SubscriptionManager(self.engine)
+        sub = self._sub_manager.subscribe(argument)
+        initial = sub.poll()
+        mode = "incremental" if sub.incremental else "scratch"
+        classes = ", ".join(sub.classes) if sub.classes else "*"
+        self._print(f"subscribed as sub {sub.id} [{mode}] watching "
+                    f"{{{classes}}} — {len(sub.rows)} initial row(s)")
+        for frame in initial:
+            if frame.kind != "snapshot":
+                self._print(self._render_delta(sub.id, frame))
+        return True
+
+    def _cmd_unsubscribe(self, argument: str) -> bool:
+        if not argument:
+            self._print("usage: \\unsubscribe ID")
+            return True
+        try:
+            sub_id = int(argument)
+        except ValueError:
+            self._print("usage: \\unsubscribe ID")
+            return True
+        if self._sub_manager is None \
+                or not self._sub_manager.unsubscribe(sub_id):
+            self._print(f"no subscription {sub_id}")
+            return True
+        self._print(f"unsubscribed sub {sub_id}")
+        return True
+
+    def _drain_subscriptions(self) -> None:
+        """Print any deltas produced since the last handled line."""
+        if self._sub_manager is None:
+            return
+        for sub in self._sub_manager.subscriptions():
+            for frame in sub.poll():
+                self._print(self._render_delta(sub.id, frame))
+
+    @staticmethod
+    def _render_delta(sub_id: int, frame) -> str:
+        head = (f"[sub {sub_id} seq {frame.seq}] {frame.kind} "
+                f"+{len(frame.added)} -{len(frame.removed)} "
+                f"(version {frame.version})")
+        if frame.error is not None:
+            head += f" — {frame.error}"
+        return head
+
+    def _drop_subscriptions(self, reason: str) -> None:
+        if self._sub_manager is None:
+            return
+        count = self._sub_manager.active_count
+        self._sub_manager.close()
+        self._sub_manager = None
+        if count:
+            self._print(f"dropped {count} subscription(s) ({reason})")
+
     def _cmd_quit(self, _: str) -> bool:
+        self._drop_subscriptions("session ending")
         if self._service is not None:
             self._service.stop()
             self._service = None

@@ -25,6 +25,7 @@ import pytest
 
 from repro import QueryProcessor, RuleEngine, Universe, obs
 from repro.errors import ReproError
+from repro.oql.subscribe import SubscriptionManager, canonical_rows
 from repro.storage.serialize import subdatabase_to_dict
 from repro.university.generator import GeneratorConfig, generate_university
 
@@ -508,3 +509,206 @@ class TestTracingParity:
         saved = obs.save_chrome_trace(path, roots)
         doc = json.loads(saved.read_text())
         assert doc["traceEvents"], "empty chrome trace"
+
+
+class TestDifferentialSubscriptions:
+    """Subscription-conformance tier: the seeded query corpus run as
+    live subscriptions over a mutating database.  After **every** write
+    event, folding ``initial ⊕ deltas`` in sequence order must equal a
+    scratch re-evaluation of the same query, byte for byte through the
+    canonical row serialization — and a write that leaves a
+    subscription's class-granular version vector untouched must produce
+    no frame and no wakeup at all."""
+
+    # (owner class, association, target class) triples to link/unlink.
+    ASSOCS = (
+        ("Teacher", "teaches", "Section"),
+        ("Student", "enrolled", "Section"),
+        ("Section", "course", "Course"),
+        ("Course", "prereq", "Course"),
+    )
+
+    def _fresh(self):
+        db = generate_university(GeneratorConfig(), seed=DB_SEED).db
+        engine = RuleEngine(db, compact=True)
+        manager = SubscriptionManager(engine)
+        scratch = QueryProcessor(Universe(db), compact=True)
+        return db, engine, manager, scratch
+
+    @staticmethod
+    def _rows_dump(rows) -> bytes:
+        return json.dumps([list(r) for r in canonical_rows(rows)],
+                          sort_keys=True).encode()
+
+    @staticmethod
+    def _scratch_rows(scratch: QueryProcessor, text: str):
+        subdb = scratch.execute(text).subdatabase
+        return {tuple(None if v is None else v.value for v in p.values)
+                for p in subdb.patterns}
+
+    def _random_write(self, db, rng: random.Random, tick: int,
+                      own: List) -> Optional[str]:
+        """One random mutation over the university schema; retries on
+        constraint violations so every call lands at most one event."""
+        for _ in range(8):
+            kind = rng.choice(("insert", "insert", "associate",
+                               "associate", "dissociate",
+                               "set_attribute", "delete"))
+            try:
+                if kind == "insert":
+                    cls = rng.choice(("Course", "Teacher", "Department",
+                                      "Undergrad"))
+                    label = f"s{tick}"
+                    if cls == "Course":
+                        oid = db.insert(cls, label,
+                                        **{"c#": 9000 + tick,
+                                           "title": f"T{tick}",
+                                           "credit_hours": 3})
+                    elif cls == "Teacher":
+                        oid = db.insert(cls, label, name=label,
+                                        **{"SS#": f"999-{tick:05d}"})
+                    elif cls == "Department":
+                        oid = db.insert(cls, label, name=f"Dept{tick}")
+                    else:
+                        oid = db.insert(cls, label)
+                    own.append(oid)
+                elif kind in ("associate", "dissociate"):
+                    owner_cls, name, target_cls = rng.choice(self.ASSOCS)
+                    owner = rng.choice(sorted(db.extent(owner_cls)))
+                    target = rng.choice(sorted(db.extent(target_cls)))
+                    if kind == "associate":
+                        db.associate(owner, name, target)
+                    else:
+                        db.dissociate(owner, name, target)
+                elif kind == "set_attribute":
+                    course = rng.choice(sorted(db.extent("Course")))
+                    db.set_attribute(course, "credit_hours",
+                                     rng.randint(1, 5))
+                else:  # delete — only objects this tier inserted
+                    if not own:
+                        continue
+                    db.delete(own.pop(rng.randrange(len(own))))
+                return kind
+            except ReproError:
+                continue
+        return None
+
+    def _fold(self, state, frames, failures, context):
+        """Apply a drained frame list to the folded client-side state,
+        checking the per-frame invariants on the way."""
+        seqs = [f.seq for f in frames]
+        if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+            failures.append(f"{context}: non-monotonic seqs {seqs}")
+        for frame in frames:
+            if frame.kind in ("resync", "snapshot"):
+                state = set(frame.added)
+            elif frame.kind == "delta":
+                added, removed = set(frame.added), set(frame.removed)
+                if added & state:
+                    failures.append(
+                        f"{context}: delta re-adds present rows")
+                if not removed <= state:
+                    failures.append(
+                        f"{context}: delta removes absent rows")
+                state = (state - removed) | added
+            else:  # closed
+                failures.append(f"{context}: unexpected closed frame "
+                                f"({frame.error})")
+        return state
+
+    def test_fold_matches_scratch_after_every_event(self):
+        db, engine, manager, scratch = self._fresh()
+        baseline = db.listener_count()
+        failures: List[str] = []
+        tested = writes = 0
+        tick = 0
+        own: List = []
+        for case in range(CASES):
+            seed = DB_SEED * 500_000 + case
+            rng = random.Random(seed)
+            text = _random_spec(rng).text()
+            try:
+                scratch.execute(text)
+            except ReproError:
+                continue  # both sides must reject: skip uniformly
+            sub = manager.subscribe(text)
+            state = set(sub.initial.added)
+            if self._rows_dump(state) != self._rows_dump(
+                    self._scratch_rows(scratch, text)):
+                failures.append(f"seed={seed} {text!r}: initial "
+                                "snapshot differs from scratch")
+            for _ in range(rng.randint(2, 5)):
+                tick += 1
+                vec_before = (db.version_vector(sub.classes)
+                              if sub.classes is not None else None)
+                wakeups_before = sub.counters["wakeups"]
+                if self._random_write(db, rng, tick, own) is None:
+                    continue
+                writes += 1
+                if vec_before is not None \
+                        and db.version_vector(sub.classes) == vec_before:
+                    if sub.counters["wakeups"] != wakeups_before:
+                        failures.append(
+                            f"seed={seed} {text!r}: spurious wakeup on "
+                            "unrelated-class write")
+                    if sub.pending():
+                        failures.append(
+                            f"seed={seed} {text!r}: frame emitted for "
+                            "unrelated-class write")
+                state = self._fold(state, sub.poll(), failures,
+                                   f"seed={seed} {text!r}")
+                if self._rows_dump(state) != self._rows_dump(
+                        self._scratch_rows(scratch, text)):
+                    failures.append(
+                        f"seed={seed} {text!r}: fold != scratch after "
+                        f"write {tick} "
+                        f"(incremental={sub.incremental})")
+                if len(failures) >= 5:
+                    break
+            manager.unsubscribe(sub.id)
+            tested += 1
+            if len(failures) >= 5:
+                break
+        assert tested >= min(CASES * 2 // 3, 60), (
+            f"only {tested} of {CASES} cases were subscribable")
+        assert writes >= tested, "write generator produced too few events"
+        assert not failures, (
+            f"{len(failures)} subscription-conformance failure(s) over "
+            f"{tested} cases / {writes} writes:\n" + "\n".join(failures))
+        assert manager.active_count == 0
+        assert db.listener_count() == baseline, "leaked a db listener"
+
+    def test_unrelated_class_writes_never_wake_subscribers(self):
+        """Directed version of the wakeup check: a Teacher * Section
+        subscription sits through a storm of Department/Course writes
+        without a single wakeup or frame."""
+        db, engine, manager, scratch = self._fresh()
+        sub = manager.subscribe("context Teacher * Section")
+        assert sub.classes == ("Section", "Teacher")
+        for tick in range(25):
+            db.insert("Department", f"u{tick}", name=f"D{tick}")
+            db.insert("Course", f"uc{tick}",
+                      **{"c#": 7000 + tick, "title": "X",
+                         "credit_hours": 3})
+        assert sub.counters["wakeups"] == 0
+        assert sub.counters["skipped_unrelated"] == 50
+        assert sub.pending() == 0 and sub.poll() == []
+        manager.unsubscribe(sub.id)
+
+    def test_incremental_and_scratch_paths_both_exercised(self):
+        """The corpus must cover both delta paths, or the tier silently
+        tests only one implementation."""
+        db, engine, manager, scratch = self._fresh()
+        modes = set()
+        for case in range(CASES):
+            rng = random.Random(DB_SEED * 500_000 + case)
+            text = _random_spec(rng).text()
+            try:
+                sub = manager.subscribe(text)
+            except ReproError:
+                continue
+            modes.add(sub.incremental)
+            manager.unsubscribe(sub.id)
+            if modes == {True, False}:
+                return
+        raise AssertionError(f"only {modes} delta paths generated")

@@ -777,3 +777,215 @@ class TestConcurrentSoak:
         stop_writing.set()
         writing.join()
         assert failures == []
+
+
+# ---------------------------------------------------------------------------
+# Live subscriptions over the wire
+# ---------------------------------------------------------------------------
+
+
+SUBSCRIBE_QUERIES = (
+    "context Teacher * Section",
+    "context Teacher",
+    "context Student * Section * Course",
+    "context Course",
+)
+
+
+def _engine_rows(engine, text):
+    """Canonical current rows by direct in-process evaluation — the
+    serial reference every folded stream must converge to."""
+    from repro.oql.parser import parse_query
+    query = parse_query(text)
+    source = engine.evaluator.evaluate(query.context, query.where)
+    return {tuple(None if v is None else v.value for v in p.values)
+            for p in source.patterns}
+
+
+def _fold_wire(state, frames):
+    """Apply drained wire frames, checking the delta invariants."""
+    last_seq = 0
+    for frame in frames:
+        assert frame["seq"] > last_seq, "seq not strictly increasing"
+        last_seq = frame["seq"]
+        assert frame["kind"] in ("delta", "resync"), frame
+        added = {tuple(r) for r in frame["added"]}
+        removed = {tuple(r) for r in frame["removed"]}
+        if frame["kind"] == "resync":
+            state = added
+        else:
+            assert not added & state, "delta re-added a present row"
+            assert removed <= state, "delta removed an absent row"
+            state = (state - removed) | added
+    return state
+
+
+class TestLiveSubscriptions:
+    def test_subscribe_delta_roundtrip(self, paper_service):
+        """Snapshot, one pushed delta per relevant write, silence on
+        unrelated writes, silence after unsubscribe."""
+        engine = paper_service.engine
+        host, port = paper_service.address
+        with ServiceClient(host, port) as watcher, \
+                ServiceClient(host, port) as writer:
+            res = watcher.subscribe("context Teacher * Section")
+            sid = res["subscription"]
+            assert res["kind"] == "snapshot" and res["seq"] == 0
+            assert res["incremental"] is True
+            assert res["classes"] == ["Section", "Teacher"]
+            state = {tuple(r) for r in res["rows"]}
+            assert state == _engine_rows(engine,
+                                         "context Teacher * Section")
+            teachers = sorted(o.value for o in engine.db.extent("Teacher"))
+            sections = sorted(o.value for o in engine.db.extent("Section"))
+            pair = next((t, s) for t in teachers for s in sections
+                        if (t, s) not in state)
+            writer.update({"kind": "associate", "owner": pair[0],
+                           "name": "teaches", "target": pair[1]})
+            frame = watcher.next_delta(sid, timeout=10)
+            assert frame is not None
+            assert frame["kind"] == "delta" and frame["seq"] == 1
+            assert frame["added"] == [list(pair)]
+            assert frame["removed"] == []
+            assert len(frame["vector"]) == 3  # schema + 2 classes
+            # An unrelated-class write never wakes the subscriber.
+            writer.update({"kind": "insert", "cls": "Department",
+                           "attrs": {"name": "Nowhere"}})
+            assert watcher.next_delta(sid, timeout=0.5) is None
+            # After unsubscribe, even relevant writes deliver nothing.
+            assert watcher.unsubscribe(sid)["unsubscribed"] == sid
+            writer.update({"kind": "dissociate", "owner": pair[0],
+                           "name": "teaches", "target": pair[1]})
+            assert watcher.next_delta(sid, timeout=0.5) is None
+
+    def test_soak_concurrent_subscribers_fold_to_serial(
+            self, paper_service):
+        """The satellite soak: 8 subscriber connections + one live
+        writer; every folded stream (initial ⊕ deltas) must equal the
+        final serial evaluation, and closing the clients returns the
+        engine's listener count to its baseline."""
+        engine = paper_service.engine
+        baseline = engine.db.listener_count()
+        host, port = paper_service.address
+        teachers = sorted(o.value for o in engine.db.extent("Teacher"))
+        sections = sorted(o.value for o in engine.db.extent("Section"))
+        clients, subs, failures = [], [], []
+        try:
+            for i, text in enumerate(SUBSCRIBE_QUERIES * 2):
+                c = ServiceClient(host, port, timeout=60)
+                clients.append(c)
+                res = c.subscribe(text)
+                subs.append((c, text, res["subscription"],
+                             {tuple(r) for r in res["rows"]}))
+            assert paper_service.streaming.active_count() == len(subs)
+
+            def write_storm():
+                rng = random.Random(97)
+                with ServiceClient(host, port, timeout=60) as w:
+                    for i in range(40):
+                        roll = rng.random()
+                        try:
+                            if roll < 0.35:
+                                w.update({"kind": "insert",
+                                          "cls": "Teacher",
+                                          "attrs": {"name": f"Soak{i}",
+                                                    "SS#": f"so-{i}"}})
+                            elif roll < 0.70:
+                                w.update({"kind": "associate",
+                                          "owner": rng.choice(teachers),
+                                          "name": "teaches",
+                                          "target": rng.choice(sections)})
+                            else:
+                                w.update({"kind": "dissociate",
+                                          "owner": rng.choice(teachers),
+                                          "name": "teaches",
+                                          "target": rng.choice(sections)})
+                        except ServiceError:
+                            pass  # double links / missing links
+
+            storm = threading.Thread(target=write_storm)
+            storm.start()
+            storm.join()
+            for c, text, sid, state in subs:
+                frames = c.drain_deltas(sid, idle=0.6)
+                folded = _fold_wire(state, frames)
+                expected = _engine_rows(engine, text)
+                if folded != expected:
+                    failures.append(
+                        f"{text!r}: folded {len(folded)} row(s) != "
+                        f"serial {len(expected)} after "
+                        f"{len(frames)} frame(s)")
+        finally:
+            for c in clients:
+                c.close()
+        assert failures == [], "\n".join(failures)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and (
+                paper_service.streaming.active_count()
+                or engine.db.listener_count() != baseline):
+            time.sleep(0.05)
+        assert paper_service.streaming.active_count() == 0
+        assert engine.db.listener_count() == baseline, \
+            "subscription listener leaked past client disconnect"
+
+    def test_mid_stream_disconnect_reaps(self, paper_service):
+        """An abrupt socket close (no unsubscribe) must reap the
+        session's subscriptions and detach the shared listener."""
+        engine = paper_service.engine
+        baseline = engine.db.listener_count()
+        host, port = paper_service.address
+        c = ServiceClient(host, port)
+        c.subscribe("context Teacher")
+        assert paper_service.streaming.active_count() == 1
+        assert engine.db.listener_count() == baseline + 1
+        c.close()  # abrupt: the server sees EOF mid-stream
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and (
+                paper_service.streaming.active_count()
+                or engine.db.listener_count() != baseline):
+            time.sleep(0.05)
+        assert paper_service.streaming.active_count() == 0
+        assert engine.db.listener_count() == baseline
+
+    def test_subscription_cap_sheds_with_busy(self):
+        config = ServiceConfig(max_subscriptions=2)
+        with QueryService(_paper_engine(), config) as service:
+            with ServiceClient(*service.address) as c:
+                c.subscribe("context Teacher")
+                c.subscribe("context Course")
+                with pytest.raises(ServiceError) as exc:
+                    c.subscribe("context Section")
+                assert exc.value.code == "BUSY"
+                assert service.streaming.active_count() == 2
+
+    def test_subscribe_parse_and_budget_errors(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.subscribe("context [")
+        assert exc.value.code == "PARSE_ERROR"
+        with pytest.raises(ServiceError) as exc:
+            client.subscribe("context Teacher * Section * Course",
+                             budget={"max_rows": 1})
+        assert exc.value.code == "BUDGET_EXCEEDED"
+
+    def test_unsubscribe_unknown_id_not_found(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.unsubscribe(12345)
+        assert exc.value.code == "NOT_FOUND"
+
+    def test_http_subscribe_refused(self, paper_service):
+        payload = json.dumps({"text": "context Teacher"}).encode()
+        request = (b"POST /v1/subscribe HTTP/1.1\r\n"
+                   + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+                   + payload)
+        status, body = _http(paper_service, request)
+        assert status == 422
+        assert body["error"]["code"] == "SEMANTIC"
+        assert "JSON-lines" in body["error"]["message"]
+
+    def test_stats_subscriptions_section(self, paper_service, client):
+        client.subscribe("context Teacher")
+        stats = client.stats()
+        section = stats["subscriptions"]
+        assert section["active"] == 1
+        assert section["manager"]["subscribed"] == 1
+        assert section["db_listener_attached"] is True
