@@ -1,0 +1,205 @@
+"""B11 — value-indexed selection vs full extent scan, and maintenance
+overhead under write churn.  Emits ``BENCH_PR10.json``.
+
+Run::
+
+    python benchmarks/bench_indexes.py                      # full (100k rows)
+    python benchmarks/bench_indexes.py --quick              # CI smoke (20k)
+    python benchmarks/bench_indexes.py --min-index-speedup 10  # gate: fail
+        # unless every headline selective scenario beats the scan 10x
+
+The synthetic extent is one class with an integer key (distinct per
+row), a float measure, and a low-cardinality category — the three
+selectivity regimes a value index sees: point hit, selective range,
+broad predicate.  Scan and indexed executors share one database, so
+every comparison is the same query on the same rows; parity of results
+is asserted on every sample (a fast wrong answer is not a speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.model.database import Database          # noqa: E402
+from repro.model.schema import DClass, Schema      # noqa: E402
+from repro.oql.query import QueryProcessor         # noqa: E402
+from repro.subdb.universe import Universe          # noqa: E402
+
+
+def build_db(rows: int) -> Database:
+    schema = Schema("bench-indexes")
+    schema.add_eclass("Item")
+    schema.add_attribute("Item", "key", DClass("key", int))
+    schema.add_attribute("Item", "measure", DClass("measure", float))
+    schema.add_attribute("Item", "category", DClass("category", str))
+    db = Database(schema, name=f"items({rows})")
+    for i in range(rows):
+        db.insert("Item", f"i{i}", key=i,
+                  measure=(i * 7919) % 10_000 / 10.0,
+                  category=f"c{i % 8}")
+    return db
+
+
+def timed(universe: Universe, text: str, repeats: int):
+    """(median seconds, rows, metrics) for one query, each sample on a
+    fresh evaluator — the per-evaluator filtered-extent memo would
+    otherwise serve every repeat from the first run's answer and the
+    samples would time materialization only."""
+    samples = []
+    rows = None
+    metrics = None
+    for _ in range(repeats):
+        processor = QueryProcessor(universe)
+        start = time.perf_counter()
+        result = processor.execute(text)
+        samples.append(time.perf_counter() - start)
+        count = len(result.subdatabase)
+        assert rows is None or rows == count
+        rows = count
+        metrics = processor.evaluator.last_metrics
+    return statistics.median(samples), rows, metrics
+
+
+def run_scenarios(db: Database, rows: int, repeats: int):
+    scan_u = Universe(db)
+    indexed_u = Universe(db)
+    for attr in ("key", "measure", "category"):
+        indexed_u.declare_index("Item", attr)
+
+    scenarios = [
+        # (name, query, headline) — headline scenarios feed the gate.
+        ("equality_point", f"context Item[key = {rows // 2}]", True),
+        ("range_selective",
+         f"context Item[measure < {rows // 10_000 or 1}.0]", True),
+        ("equality_category_12pct", "context Item[category = 'c3']",
+         False),
+        ("compound_residual",
+         f"context Item[measure < 50.0 and key != {rows // 3}]", False),
+        ("negation_broad", "context Item[category != 'c3']", False),
+    ]
+    out = []
+    for name, text, headline in scenarios:
+        QueryProcessor(indexed_u).execute(text)  # warm: builds indexes
+        scan_s, scan_rows, _ = timed(scan_u, text, repeats)
+        idx_s, idx_rows, metrics = timed(indexed_u, text, repeats)
+        assert scan_rows == idx_rows, (name, scan_rows, idx_rows)
+        out.append({
+            "scenario": name,
+            "query": text,
+            "headline": headline,
+            "result_rows": idx_rows,
+            "scan_ms": scan_s * 1000,
+            "indexed_ms": idx_s * 1000,
+            "speedup": scan_s / idx_s if idx_s else float("inf"),
+            "index_probes": metrics.index_probes,
+            "index_rows": metrics.index_rows,
+            "residual_evals": metrics.extent_filter_evals,
+        })
+    return out, indexed_u
+
+
+def run_maintenance(db: Database, indexed_u: Universe,
+                    writes: int, repeats: int):
+    """Write throughput with the built indexes maintained in place vs a
+    plain universe that only invalidates — the marginal cost of keeping
+    every declared index exact under churn."""
+    plain = Universe(db)
+
+    def churn(tick0: int) -> float:
+        start = time.perf_counter()
+        for t in range(tick0, tick0 + writes):
+            oid = db.insert("Item", f"w{t}", key=1_000_000 + t,
+                            measure=float(t % 997),
+                            category=f"c{t % 8}").oid
+            db.set_attribute(oid, "measure", float((t * 3) % 997))
+            db.delete(oid)
+        return time.perf_counter() - start
+
+    # Both universes observe every event; only the indexed one has
+    # built indexes to maintain.  Touch both so caches are warm and the
+    # indexed side's structures exist before the clock starts.
+    QueryProcessor(indexed_u).execute("context Item[key = 1]")
+    QueryProcessor(plain).execute("context Item[key = 1]")
+
+    with_index = min(churn(i * writes) for i in range(1, repeats + 1))
+    for attr in ("key", "measure", "category"):
+        indexed_u.drop_index("Item", attr)
+    without = min(churn((repeats + i + 1) * writes)
+                  for i in range(1, repeats + 1))
+    return {
+        "writes_per_sample": writes * 3,  # insert + set + delete
+        "with_indexes_ms": with_index * 1000,
+        "without_indexes_ms": without * 1000,
+        "overhead_pct": (with_index / without - 1) * 100 if without
+        else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.split("\n")[0])
+    parser.add_argument("--rows", type=int, default=None,
+                        help="extent size (default 100000; quick 20000)")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--writes", type=int, default=None,
+                        help="churn writes per maintenance sample")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_PR10.json")
+    parser.add_argument("--min-index-speedup", type=float, default=None,
+                        help="fail unless every headline scenario beats "
+                             "the scan by this factor")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (20_000 if args.quick else 100_000)
+    repeats = args.repeats or (3 if args.quick else 5)
+    writes = args.writes or (200 if args.quick else 1000)
+
+    print(f"building {rows}-row extent ...", flush=True)
+    db = build_db(rows)
+    scenarios, indexed_u = run_scenarios(db, rows, repeats)
+    for entry in scenarios:
+        print(f"  {entry['scenario']:24s} scan {entry['scan_ms']:9.2f} ms"
+              f"  indexed {entry['indexed_ms']:8.2f} ms"
+              f"  x{entry['speedup']:.1f}"
+              f"  ({entry['result_rows']} rows)", flush=True)
+    maintenance = run_maintenance(db, indexed_u, writes, repeats)
+    print(f"  maintenance: {maintenance['with_indexes_ms']:.2f} ms "
+          f"with indexes vs {maintenance['without_indexes_ms']:.2f} ms "
+          f"without (+{maintenance['overhead_pct']:.1f}%) for "
+          f"{maintenance['writes_per_sample']} events", flush=True)
+
+    doc = {
+        "benchmark": "B11-value-indexes",
+        "config": {"rows": rows, "repeats": repeats, "writes": writes,
+                   "quick": args.quick},
+        "scenarios": scenarios,
+        "maintenance": maintenance,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.min_index_speedup is not None:
+        slow = [e for e in scenarios
+                if e["headline"] and e["speedup"] < args.min_index_speedup]
+        if slow:
+            for entry in slow:
+                print(f"GATE FAIL: {entry['scenario']} speedup "
+                      f"x{entry['speedup']:.1f} < "
+                      f"x{args.min_index_speedup}", file=sys.stderr)
+            return 1
+        print(f"gate ok: headline speedups >= "
+              f"x{args.min_index_speedup}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,3 +44,36 @@ def test_enrollment_fanout_by_scale(benchmark, scaled_data):
     benchmark.extra_info["scale"] = scale
     benchmark(lambda: qp.execute(
         "context Department * Course * Section * Student"))
+
+
+# Selective intra-class conditions: the same query with and without a
+# declared value index (the filtered-extent memo is evaluator-scoped,
+# so each sample runs on a fresh evaluator or it would time a cache
+# hit).  bench_indexes.py measures the same split at 100k-row extents;
+# these rows keep the comparison in the per-PR pytest-benchmark sweep.
+SELECTIVE = {
+    "equality": "context Student[GPA >= 3.9] * Section",
+    "range": "context Course[c# < 1200] * Section",
+}
+
+
+def _selective_universe(data, indexed: bool) -> Universe:
+    universe = Universe(data.db)
+    if indexed:
+        universe.declare_index("Student", "GPA")
+        universe.declare_index("Course", "c#")
+        # Build both eagerly so samples time probes, not construction.
+        qp = QueryProcessor(universe)
+        for text in SELECTIVE.values():
+            qp.execute(text)
+    return universe
+
+
+@pytest.mark.benchmark(group="B1-selective-conditions")
+@pytest.mark.parametrize("shape", sorted(SELECTIVE))
+@pytest.mark.parametrize("access", ["scan", "indexed"])
+def test_selective_condition(benchmark, large_data, shape, access):
+    universe = _selective_universe(large_data, access == "indexed")
+    text = SELECTIVE[shape]
+    benchmark.extra_info["access"] = access
+    benchmark(lambda: QueryProcessor(universe).execute(text))

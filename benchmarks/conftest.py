@@ -65,3 +65,8 @@ def small_data(request):
 @pytest.fixture
 def medium_data(request):
     return dataset("medium", _seed_option(request))
+
+
+@pytest.fixture
+def large_data(request):
+    return dataset("large", _seed_option(request))

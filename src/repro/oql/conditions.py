@@ -34,6 +34,51 @@ Getter = Callable[[AttrRef], Any]
 
 _NUMBER_TYPES = (int, float)
 
+#: Mirror of a comparison with its operands swapped (``5 < x`` is
+#: ``x > 5``; equality operators are symmetric).
+FLIP_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+           "=": "=", "!=": "!="}
+
+
+def and_conjuncts(condition: Condition) -> list:
+    """Flatten nested ``and`` groups into their conjunct list, in
+    evaluation order.  :func:`evaluate` runs an ``and`` as a
+    short-circuiting ``all()`` over its items, so a nested ``and``
+    evaluates exactly like the flattened sequence — the value-index
+    probe path and the planner's selectivity estimator both lean on
+    that equivalence."""
+    if isinstance(condition, BoolOp) and condition.op == "and":
+        out: list = []
+        for item in condition.items:
+            out.extend(and_conjuncts(item))
+        return out
+    return [condition]
+
+
+def literal_comparison(conj: Condition):
+    """Normalize a conjunct to ``(attr, op, literal)`` when it compares
+    an *own* attribute (no qualifier) against a literal — mirrored when
+    the literal stands on the left — or ``None`` when it has any other
+    shape.  :func:`compare`'s ``None`` handling, equality semantics and
+    type-comparability errors are all symmetric in its operands, so the
+    mirrored form is interchangeable with the original, errors
+    included."""
+    if not isinstance(conj, Comparison):
+        return None
+    if isinstance(conj.left, AttrRef) and isinstance(conj.right, Literal):
+        attr_ref, op, literal = conj.left, conj.op, conj.right.value
+    elif isinstance(conj.right, AttrRef) and \
+            isinstance(conj.left, Literal):
+        op = FLIP_OP.get(conj.op)
+        if op is None:
+            return None
+        attr_ref, literal = conj.right, conj.left.value
+    else:
+        return None
+    if attr_ref.owner is not None:
+        return None
+    return attr_ref.attr, op, literal
+
 
 def compare(left: Any, op: str, right: Any) -> bool:
     """Apply one comparison operator with the semantics above."""

@@ -44,7 +44,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import obs
-from repro.errors import CyclicDataError, OQLSemanticError
+from repro.errors import (CyclicDataError, OQLSemanticError,
+                          UnknownAttributeError)
 from repro.oql.budget import BudgetExceeded, QueryBudget
 from repro.model.oid import OID
 from repro.oql import conditions
@@ -65,7 +66,7 @@ from repro.oql import parallel
 from repro.oql.cache import (DEFAULT_CACHE_BYTES, ResultCache, clone_result,
                              dependency_classes, fingerprint, result_nbytes)
 from repro.oql.planner import OPTIMIZE_MODES, JoinPlan, Planner
-from repro.subdb import planes
+from repro.subdb import attrindex, planes
 from repro.subdb.intension import Edge, IntensionalPattern
 from repro.subdb.pattern import ExtensionalPattern, subsume, subsume_rows
 from repro.subdb.refs import ClassRef
@@ -146,6 +147,16 @@ class EvaluationMetrics:
     cache_misses: int = 0
     cache_evictions: int = 0
     cache_memo_hits: int = 0
+    #: Value-index probes answered (one per conjunct served from an
+    #: :class:`~repro.subdb.attrindex.AttrIndex` instead of a scan).
+    index_probes: int = 0
+    #: Candidate rows those probes returned (before any residual
+    #: conjuncts filtered them further).
+    index_rows: int = 0
+    #: Per-entity intra-class condition evaluations this evaluation
+    #: still performed in Python (full scans plus residual filtering of
+    #: index candidates) — the observable index probes drive down.
+    extent_filter_evals: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -163,6 +174,9 @@ class EvaluationMetrics:
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
             "cache_memo_hits": self.cache_memo_hits,
+            "index_probes": self.index_probes,
+            "index_rows": self.index_rows,
+            "extent_filter_evals": self.extent_filter_evals,
         }
 
     def describe_plans(self) -> str:
@@ -221,7 +235,8 @@ class PatternEvaluator:
                  workers: int = 1,
                  worker_mode: str = "thread",
                  min_parallel_rows: int = 256,
-                 cache_bytes: int = 0):
+                 cache_bytes: int = 0,
+                 auto_index_min_rows: int = 0):
         if on_cycle not in ("error", "stop"):
             raise ValueError("on_cycle must be 'error' or 'stop'")
         if workers < 1:
@@ -302,6 +317,25 @@ class PatternEvaluator:
         # other term's extent warm.  Values are ``(token, set)``.
         self._extent_cache: Dict[ClassTerm, Tuple[Tuple[int, ...],
                                                   Set[OID]]] = {}
+        # Terms whose latest filtered extent came *entirely* from value
+        # index probes (no residual conjuncts): ``(token, ids, index)``
+        # with ids the sorted dense candidates.  Validated against the
+        # same ref token as the extent memo, and consumed by the
+        # process-dispatch path to export the filter as a reusable
+        # shared plane instead of a per-query ephemeral one.
+        self._probe_cache: Dict[ClassTerm,
+                                Tuple[Tuple[int, ...], array,
+                                      attrindex.AttrIndex]] = {}
+        # How each term's filtered extent was last computed ("index",
+        # "index+scan", or "scan") — stamped onto every JoinPlan as its
+        # per-slot access annotation (visible in explain output).
+        self._extent_access: Dict[ClassTerm, str] = {}
+        #: Opt-in auto-build heuristic: when > 0, a full filtered-extent
+        #: scan over at least this many objects declares a value index
+        #: on every own-attribute-vs-literal conjunct it evaluated, so
+        #: the *next* evaluation probes instead of scanning.  0 (the
+        #: default) disables it — indexes are declared explicitly.
+        self.auto_index_min_rows = auto_index_min_rows
         #: Filtered-extent computations that missed the memo (the
         #: regression observable for per-class extent-cache scoping).
         self.extent_filter_evals = 0
@@ -476,7 +510,14 @@ class PatternEvaluator:
         (memoized per ref token — the returned set is shared and must
         not be mutated).  Entries are validated against the per-class
         version vector, so a write to an unrelated class no longer
-        recomputes every filtered extent."""
+        recomputes every filtered extent.
+
+        When the class carries declared value indexes, the leading
+        index-answerable conjuncts are served as sorted dense-id probes
+        (:meth:`_probe_extent`) and only the residual tail — if any —
+        falls back to per-entity evaluation over the candidates.  Probe
+        and scan are byte-identical, errors included; the differential
+        tier asserts it."""
         if term.condition is None:
             extent = self.universe.extent(term.ref)
             self._metrics.extent_objects += len(extent)
@@ -489,7 +530,28 @@ class PatternEvaluator:
         self.extent_filter_evals += 1
         if len(self._extent_cache) > 1024:
             self._extent_cache.clear()
-        extent = self.universe.extent(term.ref)
+            self._probe_cache.clear()
+            self._extent_access.clear()
+        filtered = self._probe_extent(term, token)
+        if filtered is None:
+            extent = self.universe.extent(term.ref)
+            getter_for = self._getter_for(term)
+            filtered = {oid for oid in extent
+                        if conditions.evaluate(term.condition,
+                                               getter_for(oid))}
+            self._metrics.extent_filter_evals += len(extent)
+            self._extent_access[term] = "scan"
+            self._maybe_auto_index(term, len(extent))
+        self._extent_cache[term] = (token, filtered)
+        self._metrics.extent_objects += len(filtered)
+        return filtered
+
+    def _getter_for(self, term: ClassTerm):
+        """The per-entity attribute getter factory intra-class filters
+        evaluate against (shared by the scan and the residual tail of a
+        probe, so both raise identical errors)."""
+        universe = self.universe
+        ref = term.ref
 
         def getter_for(oid: OID):
             def getter(attr_ref: AttrRef):
@@ -497,15 +559,138 @@ class PatternEvaluator:
                     raise OQLSemanticError(
                         "intra-class conditions may only reference the "
                         "class's own attributes")
-                return self.universe.attr_value(term.ref, oid, attr_ref.attr)
+                return universe.attr_value(ref, oid, attr_ref.attr)
             return getter
 
-        filtered = {oid for oid in extent
-                    if conditions.evaluate(term.condition,
-                                           getter_for(oid))}
-        self._extent_cache[term] = (token, filtered)
-        self._metrics.extent_objects += len(filtered)
-        return filtered
+        return getter_for
+
+    def _probe_extent(self, term: ClassTerm,
+                      token: Tuple[int, ...]) -> Optional[Set[OID]]:
+        """Serve a term's filtered extent from declared value indexes,
+        or return ``None`` to scan.
+
+        The condition's ``and`` conjuncts are peeled front to back:
+        each leading conjunct an index answers exactly becomes a sorted
+        dense-id probe, and the probed candidate lists intersect as
+        sorted arrays.  The first conjunct that cannot be answered —
+        no index, an operand shape indexes don't cover, or a probe the
+        index reports as unable to reproduce scan semantics for
+        (:data:`~repro.subdb.attrindex.CONFLICT` /
+        :data:`~repro.subdb.attrindex.FALLBACK`) — stops the peel; it
+        and every later conjunct form the *residual*, evaluated per
+        candidate in original order.  That preserves the scan's
+        left-to-right short-circuit exactly, so type-comparability
+        errors surface for precisely the same inputs.  If not even the
+        first conjunct is answerable the whole term scans."""
+        ref = term.ref
+        if ref.subdb is not None:
+            return None
+        store = self.universe.compact.attrs
+        if not store.declared:
+            return None
+        conjuncts = conditions.and_conjuncts(term.condition)
+        ids: Optional[array] = None
+        probes = 0
+        index_used = None
+        for pos, conj in enumerate(conjuncts):
+            answer = self._probe_conjunct(ref, conj, first=pos == 0)
+            if answer is None:
+                break
+            conj_ids, index_used = answer
+            ids = conj_ids if ids is None else \
+                kernels.sorted_intersect(ids, conj_ids)
+            probes += 1
+        if ids is None or index_used is None:
+            return None
+        residual = conjuncts[probes:]
+        tracer = obs.TRACER
+        span = tracer.start("index-probe", slot=ref.slot,
+                            conjuncts=probes,
+                            residual=len(residual)) \
+            if tracer is not None else None
+        try:
+            metrics = self._metrics
+            metrics.index_probes += probes
+            metrics.index_rows += len(ids)
+            decode = index_used.table.oids
+            if not residual:
+                filtered = {decode[i] for i in ids}
+                self._probe_cache[term] = (token, ids, index_used)
+                self._extent_access[term] = "index"
+            else:
+                self._probe_cache.pop(term, None)
+                self._extent_access[term] = "index+scan"
+                getter_for = self._getter_for(term)
+                filtered = set()
+                keep = filtered.add
+                for i in ids:
+                    oid = decode[i]
+                    if all(conditions.evaluate(conj, getter_for(oid))
+                           for conj in residual):
+                        keep(oid)
+                metrics.extent_filter_evals += len(ids)
+            if span is not None:
+                span.add("rows", len(ids))
+                span.add("rows_out", len(filtered))
+            return filtered
+        finally:
+            if span is not None:
+                tracer.finish(span)
+
+    def _probe_conjunct(self, ref: ClassRef, conj,
+                        first: bool) -> Optional[Tuple[array,
+                                                       attrindex.AttrIndex]]:
+        """One conjunct's index answer — ``(sorted dense ids, index)``
+        — or ``None`` when it must be scanned."""
+        normalized = conditions.literal_comparison(conj)
+        if normalized is None:
+            return None
+        attr, op, literal = normalized
+        index = self.universe.attr_index(ref, attr)
+        if index is None:
+            return None
+        if len(index.table):
+            # Every entity of a non-empty extent would evaluate the
+            # first conjunct, so a schema-invisible attribute raises on
+            # the scan path — reproduce that here.  A later conjunct
+            # might never be reached (short-circuit), so it only stops
+            # the peel.  Empty extents never call the getter at all.
+            try:
+                self.universe.check_attribute(ref, attr)
+            except UnknownAttributeError:
+                if first:
+                    raise
+                return None
+        status, ids = index.probe(op, literal)
+        if status != attrindex.OK or ids is None:
+            return None
+        return ids, index
+
+    def _maybe_auto_index(self, term: ClassTerm, extent_size: int) -> None:
+        """The opt-in auto-build heuristic: after a large enough full
+        scan, declare an index on each own-attribute-vs-literal
+        conjunct so the next evaluation probes instead."""
+        threshold = self.auto_index_min_rows
+        if not threshold or extent_size < threshold or \
+                term.ref.subdb is not None:
+            return
+        for conj in conditions.and_conjuncts(term.condition):
+            normalized = conditions.literal_comparison(conj)
+            if normalized is None:
+                continue
+            try:
+                self.universe.declare_index(term.ref.cls, normalized[0])
+            except UnknownAttributeError:
+                pass
+
+    def _access_modes(self, terms: List[ClassTerm]
+                      ) -> Tuple[Optional[str], ...]:
+        """Per-slot access annotation for a plan: ``None`` for an
+        unconditioned slot, else how the slot's filtered extent was
+        last computed (``"index"``, ``"index+scan"``, ``"scan"``)."""
+        return tuple(None if term.condition is None
+                     else self._extent_access.get(term, "scan")
+                     for term in terms)
 
     def _resolutions(self, flat: _Flattened) -> List[EdgeResolution]:
         return [self.universe.resolve_edge(flat.terms[i].ref,
@@ -526,6 +711,7 @@ class PatternEvaluator:
         try:
             plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
                                      start, end, strategy=self.optimize)
+            plan.access = self._access_modes(flat.terms)
             self._metrics.plans.append(plan)
             rows = self._execute_plan(plan, extents, resolutions)
             if span is not None:
@@ -713,9 +899,10 @@ class PatternEvaluator:
         try:
             plan = self.planner.plan(refs, flat.ops, resolutions, sizes,
                                      start, end, strategy=self.optimize)
+            plan.access = self._access_modes(flat.terms)
             self._metrics.plans.append(plan)
             rows = self._execute_plan_ids(plan, resolutions, refs, tables,
-                                          filt)
+                                          filt, flat.terms)
             if span is not None:
                 span.add("rows_out", len(rows))
             return rows
@@ -727,7 +914,8 @@ class PatternEvaluator:
                           resolutions: List[EdgeResolution],
                           refs: List[ClassRef],
                           tables: List[InternTable],
-                          filt: List[Optional[frozenset]]
+                          filt: List[Optional[frozenset]],
+                          terms: Optional[List[ClassTerm]] = None
                           ) -> List[Tuple[int, ...]]:
         """Run a join plan over interned ids.
 
@@ -754,7 +942,8 @@ class PatternEvaluator:
         if workers > 1 and plan.steps and \
                 len(anchor) >= max(self.min_parallel_rows, 2 * workers):
             return self._execute_partitioned(plan, resolutions, refs,
-                                             tables, filt, anchor, workers)
+                                             tables, filt, anchor, workers,
+                                             terms)
         specs = self._build_step_specs(plan.steps, resolutions, refs,
                                        tables, filt)
         rows, stats = self._run_plan_steps(plan.steps, specs, refs,
@@ -789,12 +978,42 @@ class PatternEvaluator:
                                           len(tables[tgt]), tgt_filter))
         return specs
 
+    def _probe_plane_entry(self, term: ClassTerm, ref: ClassRef,
+                           table: InternTable,
+                           filt_ids: Optional[frozenset]
+                           ) -> Optional[tuple]:
+        """The exportable value-index filter for one slot, if its
+        filtered extent came entirely from index probes: ``(plane key,
+        plane token, sorted ids, source index)``.  The entry is only
+        valid while the class version and index epoch that produced it
+        hold — the plane manager re-validates both at export, and the
+        token folds them in, so a stale export can never be attached."""
+        if filt_ids is None:
+            return None
+        entry = self._probe_cache.get(term)
+        if entry is None:
+            return None
+        token, ids, index = entry
+        if index.table is not table or len(ids) != len(filt_ids):
+            return None
+        if token != self.universe.ref_token(ref):
+            return None
+        key = ("attrfilter", table.key, index.attr, repr(term.condition))
+        ptoken = planes.vector_token((key, token, index.epoch))
+        return key, ptoken, ids, index
+
     def _step_meta(self, steps, resolutions: List[EdgeResolution],
                    refs: List[ClassRef], tables: List[InternTable],
-                   filt: List[Optional[frozenset]]) -> List[dict]:
+                   filt: List[Optional[frozenset]],
+                   terms: Optional[List[ClassTerm]] = None) -> List[dict]:
         """The process-dispatch twin of :meth:`_build_step_specs`:
         per hop, the adjacency index plus the stable cache key and
-        version token the plane manager validates exports against."""
+        version token the plane manager validates exports against.
+        A slot whose filter was fully index-derived additionally
+        carries a ``filter_plane`` entry, so the coordinator exports
+        the candidate ids as a *cached* shared plane (reused across
+        queries while the index holds) instead of a per-query
+        ephemeral segment."""
         universe = self.universe
         meta = []
         for step in steps:
@@ -810,11 +1029,16 @@ class PatternEvaluator:
                 (key, universe.ref_token(refs[src]),
                  universe.ref_token(refs[tgt])))
             ids = filt[tgt]
-            meta.append({"op": step.op, "forward": forward,
-                         "index": adj, "key": key, "token": token,
-                         "tgt_size": len(tables[tgt]),
-                         "tgt_filter": (None if ids is None
-                                        else array("q", sorted(ids)))})
+            entry = {"op": step.op, "forward": forward,
+                     "index": adj, "key": key, "token": token,
+                     "tgt_size": len(tables[tgt]),
+                     "tgt_filter": (None if ids is None
+                                    else array("q", sorted(ids))),
+                     "filter_plane": None}
+            if terms is not None and ids is not None:
+                entry["filter_plane"] = self._probe_plane_entry(
+                    terms[tgt], refs[tgt], tables[tgt], ids)
+            meta.append(entry)
         return meta
 
     def _run_plan_steps(self, steps, specs: List[kernels.StepSpec],
@@ -874,14 +1098,16 @@ class PatternEvaluator:
                              refs: List[ClassRef],
                              tables: List[InternTable],
                              filt: List[Optional[frozenset]],
-                             anchor, workers: int
+                             anchor, workers: int,
+                             terms: Optional[List[ClassTerm]] = None
                              ) -> List[Tuple[int, ...]]:
         """Split the anchor ids into contiguous partitions and run the
         plan's kernel sequence over each — on the shared thread pool,
         or on the persistent process pool over shared-memory planes."""
         if self.worker_mode == "process":
             return self._execute_partitioned_process(
-                plan, resolutions, refs, tables, filt, anchor, workers)
+                plan, resolutions, refs, tables, filt, anchor, workers,
+                terms)
         budget = self._budget
         specs = self._build_step_specs(plan.steps, resolutions, refs,
                                        tables, filt)
@@ -950,14 +1176,15 @@ class PatternEvaluator:
                                      refs: List[ClassRef],
                                      tables: List[InternTable],
                                      filt: List[Optional[frozenset]],
-                                     anchor, workers: int
+                                     anchor, workers: int,
+                                     terms: Optional[List[ClassTerm]] = None
                                      ) -> List[Tuple[int, ...]]:
         """Ship the plan's hops to the persistent process pool: only
         segment names, partition bounds and budget limits cross the
         pipe; workers attach the planes read-only and return packed
         int64 columns, merged here in partition order."""
         meta = self._step_meta(plan.steps, resolutions, refs, tables,
-                               filt)
+                               filt, terms)
         tracer = obs.TRACER
         parent_span = tracer.current_span() if tracer is not None else None
         rows, stats_list, infos = self._process_executor.run_chain(
@@ -1219,7 +1446,7 @@ class PatternEvaluator:
             # the anchors their slice reached.
             kept_rows, extended = self._closure_partitioned(
                 frontier, resolutions, refs, tables, filt, n, body,
-                max_level, count is None, workers)
+                max_level, count is None, workers, terms)
             return self._loop_materialize(name, terms, resolutions,
                                           tables, kept_rows,
                                           total_rows + extended, n, body)
@@ -1359,7 +1586,8 @@ class PatternEvaluator:
 
     def _body_meta(self, resolutions: List[EdgeResolution],
                    refs: List[ClassRef], tables: List[InternTable],
-                   filt: List[Optional[frozenset]], n: int) -> List[dict]:
+                   filt: List[Optional[frozenset]], n: int,
+                   terms: Optional[List[ClassTerm]] = None) -> List[dict]:
         """Process-dispatch metadata for a loop's cycle-body hops."""
         universe = self.universe
         meta = []
@@ -1373,11 +1601,16 @@ class PatternEvaluator:
                 (key, universe.ref_token(refs[k]),
                  universe.ref_token(refs[k + 1])))
             ids = filt[k + 1]
-            meta.append({"op": "*", "forward": True, "index": adj,
-                         "key": key, "token": token,
-                         "tgt_size": len(tables[k + 1]),
-                         "tgt_filter": (None if ids is None
-                                        else array("q", sorted(ids)))})
+            entry = {"op": "*", "forward": True, "index": adj,
+                     "key": key, "token": token,
+                     "tgt_size": len(tables[k + 1]),
+                     "tgt_filter": (None if ids is None
+                                    else array("q", sorted(ids))),
+                     "filter_plane": None}
+            if terms is not None and ids is not None:
+                entry["filter_plane"] = self._probe_plane_entry(
+                    terms[k + 1], refs[k + 1], tables[k + 1], ids)
+            meta.append(entry)
         return meta
 
     def _closure_partitioned(self, frontier: List[Tuple[int, ...]],
@@ -1386,7 +1619,8 @@ class PatternEvaluator:
                              tables: List[InternTable],
                              filt: List[Optional[frozenset]],
                              n: int, body: int, max_level: int,
-                             unbounded: bool, workers: int
+                             unbounded: bool, workers: int,
+                             terms: Optional[List[ClassTerm]] = None
                              ) -> Tuple[List[Tuple[int, ...]], int]:
         """Run the semi-naive closure with the level-1 frontier split
         across workers (threads over the live arrays, or processes over
@@ -1401,7 +1635,8 @@ class PatternEvaluator:
         parent_span = tracer.current_span() if tracer is not None else None
         try:
             if self.worker_mode == "process":
-                meta = self._body_meta(resolutions, refs, tables, filt, n)
+                meta = self._body_meta(resolutions, refs, tables, filt, n,
+                                       terms)
                 kept, stats_list, infos = \
                     self._process_executor.run_closure(
                         meta, frontier, body, max_level, self.on_cycle,

@@ -347,6 +347,98 @@ def run_steps(specs: Sequence[StepSpec], anchor_ids, budget=None):
 
 
 # ----------------------------------------------------------------------
+# Sorted-id set algebra (value-index probe composition)
+# ----------------------------------------------------------------------
+#
+# Value-index probes (:mod:`repro.subdb.attrindex`) answer one predicate
+# as an ascending, duplicate-free dense-id array; conjunctions and
+# complements compose probes with these kernels before the result feeds
+# the same ``tgt_filter``/anchor machinery the CSR join steps read.
+# Results are byte-identical between the numpy path and the fallback.
+
+def _as_np(ids):
+    if isinstance(ids, array) or isinstance(ids, memoryview):
+        return _np.frombuffer(ids, dtype=_np.int64)
+    return _np.asarray(ids, dtype=_np.int64)
+
+
+def _np_to_array(out) -> array:
+    result = array("q")
+    result.frombytes(_np.ascontiguousarray(out, dtype=_np.int64).tobytes())
+    return result
+
+
+def sorted_intersect(a, b) -> array:
+    """Intersection of two ascending duplicate-free int64 id arrays."""
+    if not len(a) or not len(b):
+        return array("q")
+    if _np is not None:
+        return _np_to_array(_np.intersect1d(_as_np(a), _as_np(b),
+                                            assume_unique=True))
+    out = array("q")
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        va, vb = a[i], b[j]
+        if va == vb:
+            out.append(va)
+            i += 1
+            j += 1
+        elif va < vb:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def sorted_union(a, b) -> array:
+    """Union of two ascending duplicate-free int64 id arrays."""
+    if not len(a):
+        return array("q", b)
+    if not len(b):
+        return array("q", a)
+    if _np is not None:
+        return _np_to_array(_np.union1d(_as_np(a), _as_np(b)))
+    out = array("q")
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        va, vb = a[i], b[j]
+        if va == vb:
+            out.append(va)
+            i += 1
+            j += 1
+        elif va < vb:
+            out.append(va)
+            i += 1
+        else:
+            out.append(vb)
+            j += 1
+    if i < na:
+        out.extend(a[i:])
+    if j < nb:
+        out.extend(b[j:])
+    return out
+
+
+def sorted_complement(size: int, a) -> array:
+    """Ascending complement of ``a`` within ``range(size)``."""
+    if not len(a):
+        return array("q", range(size))
+    if _np is not None:
+        mask = _np.ones(size, dtype=bool)
+        mask[_as_np(a)] = False
+        return _np_to_array(_np.flatnonzero(mask))
+    out = array("q")
+    prev = 0
+    for v in a:
+        out.extend(range(prev, v))
+        prev = v + 1
+    out.extend(range(prev, size))
+    return out
+
+
+# ----------------------------------------------------------------------
 # Loop closure over one frontier partition
 # ----------------------------------------------------------------------
 

@@ -429,7 +429,21 @@ class ProcessPartitionExecutor:
                        "offsets": manifest["offsets"],
                        "neighbors": manifest["neighbors"],
                        "tgt_size": step["tgt_size"], "tgt_filter": None}
-            if step["tgt_filter"] is not None:
+            filter_plane = step.get("filter_plane")
+            if filter_plane is not None:
+                # A fully index-derived slot filter: export the probe's
+                # candidate ids through the plane cache keyed by the
+                # value index (identity + epoch + token), so repeated
+                # queries against an unchanged index reattach the same
+                # segment instead of shipping a fresh ephemeral per
+                # query.  The ids are byte-identical to the ephemeral
+                # ``tgt_filter`` they replace.
+                fkey, ftoken, ids, findex = filter_plane
+                fmani, fentry = self.manager.export(
+                    fkey, findex, {"ids": array("q", ids)}, ftoken)
+                handles.append(fentry)
+                payload["tgt_filter"] = fmani["ids"]
+            elif step["tgt_filter"] is not None:
                 fmani, fplanes = planes.create_ephemeral(
                     {"filter": step["tgt_filter"]}, token=0)
                 ephemerals.extend(fplanes)

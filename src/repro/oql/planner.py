@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.oql import conditions
 from repro.subdb.refs import ClassRef
 from repro.subdb.universe import EdgeResolution, Universe
 
@@ -49,6 +50,15 @@ OPTIMIZE_MODES = ("naive", "greedy", "cost")
 #: Entry cap for per-entry-validated memo dicts: stale entries are only
 #: reaped on probe, so a hard cap bounds the worst-case footprint.
 _MEMO_CAP = 4096
+
+
+def _evict_one(memo: Dict) -> None:
+    """Make room in a capped memo by dropping its single oldest entry
+    (dicts iterate in insertion order).  Stale entries reap themselves
+    on their own next probe; wholesale clearing — the previous policy —
+    cooled every warm entry whenever one more distinct key arrived at
+    the cap."""
+    memo.pop(next(iter(memo)), None)
 
 
 class Statistics:
@@ -93,7 +103,7 @@ class Statistics:
         else:
             size = len(self.universe.extent(ref))
         if len(self._extent_sizes) >= _MEMO_CAP:
-            self._extent_sizes.clear()
+            _evict_one(self._extent_sizes)
         self._extent_sizes[ref] = (token, size)
         return size
 
@@ -117,9 +127,53 @@ class Statistics:
                 pairs = len(subdb.pairs(resolution.i, resolution.j))
             value = pairs / max(1, self.extent_size(source))
         if len(self._fanouts) >= _MEMO_CAP:
-            self._fanouts.clear()
+            _evict_one(self._fanouts)
         self._fanouts[key] = (token, value)
         return value
+
+    def condition_selectivity(self, ref: ClassRef,
+                              condition) -> Optional[float]:
+        """Estimated fraction of ``ref``'s extent an intra-class
+        condition keeps, from declared value-index cardinalities.
+
+        Each ``and`` conjunct comparing an own attribute against a
+        literal that a declared :class:`~repro.subdb.attrindex.AttrIndex`
+        can count contributes its *exact* selectivity (matching rows
+        over extent size — the index counts without materializing);
+        conjuncts nothing indexed answers contribute no reduction.
+        Returns ``None`` when no conjunct was answerable, so callers
+        can tell "no information" apart from "keeps everything"."""
+        if condition is None or ref.subdb is not None:
+            return None
+        selectivity: Optional[float] = None
+        for conj in conditions.and_conjuncts(condition):
+            normalized = conditions.literal_comparison(conj)
+            if normalized is None:
+                continue
+            attr, op, literal = normalized
+            index = self.universe.attr_index(ref, attr)
+            if index is None:
+                continue
+            count = index.cardinality(op, literal)
+            if count is None:
+                continue
+            total = len(index.table)
+            fraction = (count / total) if total else 0.0
+            selectivity = fraction if selectivity is None \
+                else selectivity * fraction
+        return selectivity
+
+    def filtered_size(self, ref: ClassRef, condition) -> int:
+        """The estimated *filtered* extent size of a class reference:
+        the unfiltered size scaled by :meth:`condition_selectivity`
+        when value indexes answer, else the unfiltered size — this is
+        how pre-evaluation planning (``explain``) learns true
+        per-condition selectivity without scanning a single entity."""
+        size = self.extent_size(ref)
+        selectivity = self.condition_selectivity(ref, condition)
+        if selectivity is None:
+            return size
+        return int(round(size * selectivity))
 
 
 @dataclass
@@ -168,14 +222,27 @@ class JoinPlan:
     #: Estimated total intermediate rows (the DP objective).
     est_cost: float
     actual_anchor_rows: Optional[int] = None
+    #: Per-slot access-path annotation over the whole chain: ``None``
+    #: for an unconditioned slot, else ``"index"`` (filter served
+    #: entirely by value-index probes), ``"index+scan"`` (probed
+    #: prefix + residual per-candidate evaluation), or ``"scan"``.
+    #: Filled in by the evaluator; pre-evaluation plans (explain on a
+    #: cold query) leave it ``None``.
+    access: Optional[Tuple[Optional[str], ...]] = None
 
     def order(self) -> List[int]:
         """Slot indices in the order they are joined."""
         return [self.anchor] + [step.slot for step in self.steps]
 
+    def _access_tag(self, slot: int) -> str:
+        if self.access is None or self.access[slot] is None:
+            return ""
+        return f" [{self.access[slot]}]"
+
     def describe(self) -> str:
         lines = [f"join plan [{self.strategy}]: anchor "
-                 f"{self.slot_names[self.anchor]} "
+                 f"{self.slot_names[self.anchor]}"
+                 f"{self._access_tag(self.anchor)} "
                  f"({self.est_anchor_rows} rows), "
                  f"est cost {self.est_cost:.1f}"]
         for step in self.steps:
@@ -183,12 +250,13 @@ class JoinPlan:
             actual = ("" if step.actual_rows is None
                       else f", actual {step.actual_rows}")
             lines.append(f"  {arrow} {step.op} "
-                         f"{self.slot_names[step.slot]}: "
+                         f"{self.slot_names[step.slot]}"
+                         f"{self._access_tag(step.slot)}: "
                          f"est {step.est_rows:.1f} rows{actual}")
         return "\n".join(lines)
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "strategy": self.strategy,
             "anchor": self.slot_names[self.anchor],
             "order": [self.slot_names[i] for i in self.order()],
@@ -196,6 +264,11 @@ class JoinPlan:
             "anchor_rows": self.est_anchor_rows,
             "steps": [step.snapshot() for step in self.steps],
         }
+        if self.access is not None:
+            snap["access"] = {self.slot_names[i]: mode
+                              for i, mode in enumerate(self.access)
+                              if mode is not None}
+        return snap
 
 
 class Planner:
@@ -302,7 +375,7 @@ class Planner:
                 anchor, steps, cost = self._order_naive(
                     refs, ops, resolutions, sizes, start, end)
             if len(self._cache) >= _MEMO_CAP:
-                self._cache.clear()
+                _evict_one(self._cache)
             self._cache[key] = (token, anchor, steps, cost)
             if span is not None:
                 span.set("cached", cached is not None)

@@ -57,12 +57,15 @@ class QueryProcessor:
                  operations: Optional[OperationRegistry] = None,
                  compact: bool = True, workers: int = 1,
                  worker_mode: str = "thread",
-                 cache_bytes: int = 0):
+                 min_parallel_rows: int = 256,
+                 cache_bytes: int = 0,
+                 auto_index_min_rows: int = 0):
         self.universe = universe
-        self.evaluator = PatternEvaluator(universe, on_cycle=on_cycle,
-                                          compact=compact, workers=workers,
-                                          worker_mode=worker_mode,
-                                          cache_bytes=cache_bytes)
+        self.evaluator = PatternEvaluator(
+            universe, on_cycle=on_cycle, compact=compact, workers=workers,
+            worker_mode=worker_mode, min_parallel_rows=min_parallel_rows,
+            cache_bytes=cache_bytes,
+            auto_index_min_rows=auto_index_min_rows)
         if operations is None:
             from repro.oql.builtins import register_builtin_operations
             operations = register_builtin_operations(OperationRegistry())

@@ -132,8 +132,12 @@ def _mode_name(engine: "RuleEngine", name: str) -> str:
 
 def _plan_query(engine: "RuleEngine", query: Query) -> List[JoinPlan]:
     """The join plans the evaluator would pick for the query's context,
-    estimated from current statistics (unfiltered extent sizes — the
-    intra-class selectivities only become exact during evaluation).
+    estimated from current statistics.  A slot whose intra-class
+    condition is answerable by declared value indexes plans with its
+    *true* filtered size (the index counts matching rows without
+    scanning); other conditioned slots fall back to the unfiltered
+    extent size — those selectivities only become exact during
+    evaluation.
 
     Planning needs extent sizes and edge resolutions, which for derived
     references require the subdatabase to exist; when one is cold the
@@ -149,8 +153,9 @@ def _plan_query(engine: "RuleEngine", query: Query) -> List[JoinPlan]:
     resolutions = [engine.universe.resolve_edge(flat.terms[i].ref,
                                                 flat.terms[i + 1].ref)
                    for i in range(len(flat.terms) - 1)]
-    sizes = [evaluator.planner.statistics.extent_size(ref)
-             for ref in refs]
+    sizes = [evaluator.planner.statistics.filtered_size(term.ref,
+                                                        term.condition)
+             for term in flat.terms]
     return [evaluator.planner.plan(refs, flat.ops, resolutions, sizes,
                                    start, end,
                                    strategy=evaluator.optimize)

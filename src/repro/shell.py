@@ -33,6 +33,15 @@ with a backslash::
                           worker count (1 = serial) and MODE is
                           "threads" or "processes"; bare \\workers
                           reports the current setting
+    \\index [ARG]          secondary value indexes over base-class
+                          attributes; ARG is "add CLS ATTR" (declare —
+                          equality and range conditions on that
+                          attribute then probe the index instead of
+                          scanning), "drop CLS ATTR", "stats"
+                          (per-index row/distinct/type counts), or
+                          "auto N" (auto-declare indexes for condition
+                          attributes on extents of N+ rows; "auto off"
+                          disables); bare \\index lists declarations
     \\why TARGET l1 l2 ..  justify a derived pattern (OID labels)
     \\stats                engine statistics
     \\save PATH            persist the session as JSON
@@ -100,6 +109,7 @@ class Shell:
             "trace": self._cmd_trace,
             "cache": self._cmd_cache,
             "workers": self._cmd_workers,
+            "index": self._cmd_index,
             "why": self._cmd_why,
             "stats": self._cmd_stats,
             "save": self._cmd_save,
@@ -445,6 +455,82 @@ class Shell:
         else:
             self._print(f"workers: {workers} "
                         f"({current.worker_mode} mode)")
+        return True
+
+    def _cmd_index(self, argument: str) -> bool:
+        word, _, rest = argument.partition(" ")
+        word = word.lower()
+        universe = self.engine.universe
+        if not word:
+            declared = sorted(universe.compact.attrs.declared)
+            if not declared:
+                self._print("no value indexes declared — "
+                            "\\index add CLS ATTR")
+            for cls, attr in declared:
+                built = universe.compact.attrs._indexes.get((cls, attr))
+                state = f"built ({len(built.values)} rows)" \
+                    if built is not None else "declared (builds on probe)"
+                self._print(f"  {cls}.{attr}: {state}")
+            auto = self._evaluators()[0].auto_index_min_rows
+            if auto:
+                self._print(f"auto-indexing: extents >= {auto} rows")
+            return True
+        if word in ("add", "drop"):
+            parts = rest.split()
+            if len(parts) != 2:
+                self._print(f"usage: \\index {word} CLS ATTR")
+                return True
+            cls, attr = parts
+            if word == "add":
+                created = universe.declare_index(cls, attr)
+                self._print(f"index on {cls}.{attr} "
+                            + ("declared (builds on first probe)"
+                               if created else "already declared"))
+            else:
+                dropped = universe.drop_index(cls, attr)
+                self._print(f"index on {cls}.{attr} "
+                            + ("dropped" if dropped else "not declared"))
+            return True
+        if word == "stats":
+            rows = universe.index_stats()
+            if not rows:
+                self._print("(no value indexes declared)")
+            for entry in rows:
+                if not entry["built"]:
+                    self._print(f"{entry['cls']}.{entry['attr']}: "
+                                f"declared, not built yet")
+                    continue
+                others = ", ".join(f"{t}={c}" for t, c
+                                   in entry["other_types"].items())
+                self._print(
+                    f"{entry['cls']}.{entry['attr']}: "
+                    f"{entry['rows']} rows, "
+                    f"distinct={entry['distinct']}, "
+                    f"numeric={entry['numeric']}, "
+                    f"none={entry['none']}"
+                    + (f", other: {others}" if others else "")
+                    + f", epoch {entry['epoch']}")
+            return True
+        if word == "auto":
+            value = rest.strip().lower()
+            if value in ("off", "0"):
+                threshold = 0
+            else:
+                try:
+                    threshold = int(value)
+                except ValueError:
+                    self._print("usage: \\index auto N | auto off")
+                    return True
+                if threshold < 0:
+                    self._print("threshold must be >= 0")
+                    return True
+            for evaluator in self._evaluators():
+                evaluator.auto_index_min_rows = threshold
+            self._print("auto-indexing off" if threshold == 0 else
+                        f"auto-indexing extents >= {threshold} rows")
+            return True
+        self._print("usage: \\index [add CLS ATTR | drop CLS ATTR | "
+                    "stats | auto N]")
         return True
 
     def _cmd_why(self, argument: str) -> bool:

@@ -12,6 +12,7 @@ operated on by further queries and rules: the world of subdatabases is
 closed under the language (paper, Sections 1 and 4).
 """
 
+from repro.subdb.attrindex import AttrIndex, AttrIndexStore
 from repro.subdb.refs import ClassRef
 from repro.subdb.pattern import ExtensionalPattern, PatternType, covers
 from repro.subdb.intension import Edge, IntensionalPattern
@@ -27,6 +28,8 @@ from repro.subdb import algebra
 
 __all__ = [
     "algebra",
+    "AttrIndex",
+    "AttrIndexStore",
     "ClassRef",
     "ExtensionalPattern",
     "PatternType",

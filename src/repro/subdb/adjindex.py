@@ -41,6 +41,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.model.database import EMPTY_OIDS, UpdateEvent, UpdateKind
 from repro.model.interning import InternTable, OIDInterner
+from repro.subdb.attrindex import AttrIndexStore
 
 
 class AdjacencyIndex:
@@ -106,6 +107,9 @@ class CompactStore:
         self.db = universe.db
         self.interner = OIDInterner()
         self._adj: Dict[Any, AdjacencyIndex] = {}
+        #: Declared secondary value indexes (``\\index add``), maintained
+        #: through the same event application as adjacency.
+        self.attrs = AttrIndexStore(self)
         self._seen_version = self.db.version
         #: Build/invalidation counters surfaced by benchmarks.
         self.tables_built = 0
@@ -167,7 +171,10 @@ class CompactStore:
             for key in stale:
                 del self._adj[key]
         elif kind is UpdateKind.SET_ATTRIBUTE:
-            pass  # extents and links untouched
+            # Extents and links untouched; value indexes re-bucket the
+            # one changed posting.
+            if event.payload:
+                self.attrs.apply_set_attribute(event.payload)
         else:  # SCHEMA or future kinds: be conservative
             self.clear()
 
@@ -182,6 +189,7 @@ class CompactStore:
                  if index.src.key in dropped or index.tgt.key in dropped]
         for key in stale:
             del self._adj[key]
+        self.attrs.purge_tables(dropped)
 
     def _apply_insert(self, event: UpdateEvent) -> None:
         """Extend cached structures with the new object in place.
@@ -218,6 +226,7 @@ class CompactStore:
             index.offsets.append(len(index.neighbors))
             index.epoch += 1
             self.indexes_appended += 1
+        self.attrs.apply_insert(oid, appended)
 
     def _apply_delete(self, event: UpdateEvent) -> None:
         """Replace cached structures by copies without the dead object.
@@ -270,6 +279,7 @@ class CompactStore:
                                             link_key=index.link_key,
                                             token=index.token)
             self.indexes_remapped += 1
+        self.attrs.apply_delete(replaced)
 
     def on_subdb_change(self, name: str) -> None:
         """A subdatabase was (re-)registered or dropped."""
@@ -284,6 +294,7 @@ class CompactStore:
     def clear(self) -> None:
         self.interner.clear()
         self._adj.clear()
+        self.attrs.clear()
 
     def _resync(self) -> None:
         """Catch up after unobserved mutations (inside a batch): nothing

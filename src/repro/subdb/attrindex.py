@@ -1,0 +1,648 @@
+"""Secondary value indexes over interned class extents.
+
+An :class:`AttrIndex` accelerates *intra-class conditions* — the
+``employee[salary > 50000]`` selections of the paper's OQL — so that
+selecting costs time proportional to the **result**, not the extent.
+For one ``(class, attribute)`` pair over one
+:class:`~repro.model.interning.InternTable` it maintains:
+
+* a *hash index*: attribute value -> ascending ``array('q')`` of dense
+  ids, answering ``=`` (one dict probe) and ``!=`` (complement);
+* a *sorted numeric column*: the values that are numbers (``int`` /
+  ``float``, with ``bool`` excluded exactly as
+  :func:`repro.oql.conditions.compare` excludes it) kept in exact sorted
+  order with a parallel dense-id column, answering ``< <= > >=`` with
+  two bisections;
+* per-type *sorted columns* for orderable non-numeric values (strings),
+  answering same-type range comparisons the same way.
+
+Probe answers are **bit-identical** to a scan that calls
+``conditions.compare`` per entity.  That contract dictates the odd
+corners:
+
+* dict-key equality *is* ``compare(v, "=", lit)`` — Python interns
+  ``1 == 1.0 == True`` into one bucket, matching ``==`` exactly;
+* ordering against a ``None`` literal is uniformly false, and ``None``
+  values appear in no sorted column (ordering against them is false);
+* a numeric-vs-non-numeric (or cross-type non-numeric) ordering
+  comparison raises :class:`~repro.errors.OQLSemanticError` *if any
+  entity carries a conflicting value* — the index keeps a type census so
+  a probe can report :data:`CONFLICT` without touching entities, and the
+  caller decides (by conjunct position) whether that conflict is
+  guaranteed to surface under the scan's short-circuit order;
+* anything the index cannot mirror exactly (unhashable literals,
+  unorderable value types) reports :data:`FALLBACK` and the caller
+  scans.
+
+Indexes are *declared* per ``(class, attribute)`` (``\\index add`` in the
+shell, or the evaluator's opt-in auto-build heuristic) and owned by an
+:class:`AttrIndexStore` inside the universe's
+:class:`~repro.subdb.adjindex.CompactStore`, which routes the same
+event-granular invalidation path adjacency indexes use: INSERT appends
+one posting in place, DELETE remaps to the replacement intern table,
+SET_ATTRIBUTE re-buckets exactly one posting, ASSOCIATE/DISSOCIATE touch
+nothing, and schema changes clear (declarations survive clears).
+``epoch`` counts in-place mutations so shared-memory plane exports
+(:mod:`repro.subdb.planes`) of index-derived row sets revalidate, and
+:meth:`AttrIndex.plane_arrays` freezes the numeric column with an
+order-preserving int64 encoding (:func:`encode_ordered`).
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.model.interning import InternTable
+
+#: Probe statuses.
+OK = "ok"
+#: The type census proves a scan would raise ``OQLSemanticError`` on
+#: some entity (numeric-vs-non-numeric or cross-type ordering).
+CONFLICT = "conflict"
+#: The index cannot mirror scan semantics for this probe — caller scans.
+FALLBACK = "fallback"
+
+_EMPTY = array("q")
+
+_SIGN = 1 << 63
+#: Integers beyond ±2**53 do not round-trip through float64; the
+#: exported encoded column flags them (probing the live index is exact —
+#: it bisects Python values, never the encoding).
+EXACT_INT_BOUND = 2 ** 53
+
+
+def _is_num(value: Any) -> bool:
+    """Numeric for comparison purposes — matches ``conditions.compare``:
+    ``bool`` is *not* a number there."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def encode_ordered(value: Any) -> int:
+    """Order-preserving int64 encoding of a numeric value.
+
+    Maps float64 totally-ordered onto signed int64 (the classic
+    sign-flip trick: non-negative floats set the sign bit, negative
+    floats invert all bits), so a frozen plane of encoded keys supports
+    numpy ``searchsorted`` probes.  Ints are encoded through ``float``;
+    beyond :data:`EXACT_INT_BOUND` that is lossy, which is why exported
+    planes carry an exactness flag and live probes never use this.
+    """
+    # ``+ 0.0`` collapses -0.0 onto 0.0 so equal floats encode equally.
+    bits = struct.unpack("<q", struct.pack("<d", float(value) + 0.0))[0]
+    if bits >= 0:
+        return bits
+    # Negative floats: bigger raw bit patterns mean smaller values, so
+    # flip them below zero in reverse (-inf encodes most negative).
+    return ~bits - _SIGN
+
+
+class AttrIndex:
+    """Hash + sorted-column index for one attribute of one intern table.
+
+    ``values[i]`` is the attribute value of dense id ``i`` (``None``
+    when unset), kept as the reverse map SET_ATTRIBUTE maintenance and
+    residual re-checks read.  All posting arrays hold dense ids in
+    ascending order — probe results compose with CSR join filters by
+    sorted-array intersection (:mod:`repro.oql.kernels`).
+    """
+
+    __slots__ = ("table", "attr", "values", "buckets", "num_values",
+                 "num_ids", "typed", "unordered", "none_count", "num_count",
+                 "type_counts", "broken", "epoch")
+
+    def __init__(self, table: InternTable, attr: str,
+                 values: List[Any]):
+        self.table = table
+        self.attr = attr
+        self.values = values
+        #: value -> ascending dense-id postings (``=`` / ``!=``).
+        self.buckets: Dict[Any, array] = {}
+        #: Numeric values in exact sorted order + parallel dense ids.
+        self.num_values: List[Any] = []
+        self.num_ids: array = array("q")
+        #: type -> (sorted values, parallel dense ids) for orderable
+        #: non-numeric types.
+        self.typed: Dict[type, Tuple[list, array]] = {}
+        #: Non-numeric types whose values refused to sort — range probes
+        #: on them fall back to the scan.
+        self.unordered: Set[type] = set()
+        self.none_count = 0
+        self.num_count = 0
+        #: Type census of non-numeric, non-None values (``bool`` is a
+        #: type of its own here, as in ``compare``).
+        self.type_counts: Dict[type, int] = {}
+        #: Set when a value defeats the hash index (unhashable):
+        #: every probe then reports :data:`FALLBACK`.
+        self.broken = False
+        #: In-place mutation counter for shared-plane revalidation.
+        self.epoch = 0
+        self._build()
+
+    def _build(self) -> None:
+        buckets = self.buckets
+        num_pairs: List[Tuple[Any, int]] = []
+        typed_pairs: Dict[type, List[Tuple[Any, int]]] = {}
+        for i, value in enumerate(self.values):
+            try:
+                postings = buckets.get(value)
+                if postings is None:
+                    postings = buckets[value] = array("q")
+            except TypeError:
+                self.broken = True
+                return
+            postings.append(i)
+            if value is None:
+                self.none_count += 1
+            elif _is_num(value):
+                self.num_count += 1
+                num_pairs.append((value, i))
+            else:
+                t = type(value)
+                self.type_counts[t] = self.type_counts.get(t, 0) + 1
+                typed_pairs.setdefault(t, []).append((value, i))
+        try:
+            num_pairs.sort()
+        except TypeError:  # pragma: no cover - numbers always sort
+            self.broken = True
+            return
+        self.num_values = [v for v, _ in num_pairs]
+        self.num_ids = array("q", (i for _, i in num_pairs))
+        for t, pairs in typed_pairs.items():
+            try:
+                pairs.sort()
+            except TypeError:
+                self.unordered.add(t)
+                continue
+            self.typed[t] = ([v for v, _ in pairs],
+                             array("q", (i for _, i in pairs)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def _ordering_conflict(self, literal: Any) -> bool:
+        """True iff some stored value is not type-comparable with
+        ``literal`` — i.e. a per-entity scan is guaranteed to raise on
+        that entity."""
+        if _is_num(literal):
+            return bool(self.type_counts)
+        if self.num_count:
+            return True
+        t = type(literal)
+        return any(other is not t for other in self.type_counts)
+
+    def probe(self, op: str, literal: Any) -> Tuple[str, Optional[array]]:
+        """Answer ``<attr> op literal`` over the whole extent.
+
+        Returns ``(OK, ids)`` with ids ascending, ``(CONFLICT, None)``
+        when a scan provably raises ``OQLSemanticError``, or
+        ``(FALLBACK, None)`` when the index cannot mirror the scan.
+        """
+        if self.broken:
+            return (FALLBACK, None)
+        if op == "=" or op == "!=":
+            try:
+                postings = self.buckets.get(literal)
+            except TypeError:
+                return (FALLBACK, None)
+            if op == "=":
+                return (OK, postings if postings is not None else _EMPTY)
+            if not postings:
+                return (OK, self._all_ids())
+            return (OK, self._complement(postings))
+        if op not in ("<", "<=", ">", ">="):
+            return (FALLBACK, None)
+        if literal is None:
+            return (OK, _EMPTY)  # ordering against Null is false
+        if self._ordering_conflict(literal):
+            return (CONFLICT, None)
+        if _is_num(literal):
+            values, ids = self.num_values, self.num_ids
+        else:
+            t = type(literal)
+            if t in self.unordered:
+                return (FALLBACK, None)
+            pair = self.typed.get(t)
+            if pair is None:
+                return (OK, _EMPTY)
+            values, ids = pair
+        lo, hi = _range_bounds(values, op, literal)
+        return (OK, array("q", sorted(ids[lo:hi])))
+
+    def cardinality(self, op: str, literal: Any) -> Optional[int]:
+        """Exact result cardinality of a probe, or ``None`` when the
+        probe would not be answered — the planner's selectivity source
+        (no id materialization, just dict/bisect lookups)."""
+        if self.broken:
+            return None
+        n = len(self.values)
+        if op == "=" or op == "!=":
+            try:
+                postings = self.buckets.get(literal)
+            except TypeError:
+                return None
+            hits = len(postings) if postings is not None else 0
+            return hits if op == "=" else n - hits
+        if op not in ("<", "<=", ">", ">="):
+            return None
+        if literal is None:
+            return 0
+        if self._ordering_conflict(literal):
+            return None
+        if _is_num(literal):
+            values = self.num_values
+        else:
+            t = type(literal)
+            if t in self.unordered:
+                return None
+            pair = self.typed.get(t)
+            if pair is None:
+                return 0
+            values = pair[0]
+        lo, hi = _range_bounds(values, op, literal)
+        return hi - lo
+
+    def _all_ids(self) -> array:
+        return array("q", range(len(self.values)))
+
+    def _complement(self, postings: array) -> array:
+        out = array("q")
+        prev = 0
+        for i in postings:
+            out.extend(range(prev, i))
+            prev = i + 1
+        out.extend(range(prev, len(self.values)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (driven by CompactStore event application)
+    # ------------------------------------------------------------------
+
+    def append(self, value: Any) -> None:
+        """Extend with the value of a freshly inserted object — its
+        dense id is ``len(self)`` (intern tables append monotonically),
+        so every posting insert lands at the end of its array."""
+        i = len(self.values)
+        self.values.append(value)
+        self.epoch += 1
+        if self.broken:
+            return
+        try:
+            postings = self.buckets.get(value)
+            if postings is None:
+                postings = self.buckets[value] = array("q")
+        except TypeError:
+            self.broken = True
+            return
+        postings.append(i)
+        self._census_add(value, i, new_id_is_max=True)
+
+    def set_value(self, i: int, value: Any) -> None:
+        """Re-bucket dense id ``i`` after a SET_ATTRIBUTE event."""
+        old = self.values[i]
+        if old is value or (type(old) is type(value) and old == value):
+            return
+        self.values[i] = value
+        self.epoch += 1
+        if self.broken:
+            return
+        postings = self.buckets[old]
+        pos = bisect_left(postings, i)
+        postings.pop(pos)
+        if not postings:
+            del self.buckets[old]
+        self._census_remove(old, i)
+        try:
+            postings = self.buckets.get(value)
+            if postings is None:
+                postings = self.buckets[value] = array("q")
+        except TypeError:
+            self.broken = True
+            return
+        postings.insert(bisect_left(postings, i), i)
+        self._census_add(value, i, new_id_is_max=False)
+
+    def without(self, dead: int, new_table: InternTable) -> "AttrIndex":
+        """A NEW index over the replacement table minus dense id
+        ``dead`` (deletion shifts ids, mirroring
+        :meth:`InternTable.without`) — *remapped* from the live
+        structures, not rebuilt: every sorted column keeps its order
+        under the uniform id shift, so one DELETE costs one pass over
+        the posting arrays with no re-sort and no census recompute."""
+        if self.broken:
+            return AttrIndex(new_table, self.attr,
+                             self.values[:dead] + self.values[dead + 1:])
+        dead_value = self.values[dead]
+        index = AttrIndex.__new__(AttrIndex)
+        index.table = new_table
+        index.attr = self.attr
+        index.values = self.values[:dead] + self.values[dead + 1:]
+        index.broken = False
+        index.epoch = 0
+        index.unordered = set(self.unordered)
+        # Only buckets holding a dense id >= dead change under the
+        # shift, and those ids carry exactly the values in
+        # ``values[dead:]`` — everything else is shared with the source
+        # index, which the caller must discard (the store swaps it out;
+        # two live indexes must never alias posting arrays, as in-place
+        # maintenance mutates them).
+        buckets = dict(self.buckets)
+        for value in set(self.values[dead:]):
+            postings = buckets[value]
+            moved = array("q", (i - 1 if i > dead else i
+                                for i in postings if i != dead))
+            if moved:
+                buckets[value] = moved
+            else:
+                del buckets[value]
+        index.buckets = buckets
+        index.none_count = self.none_count - (dead_value is None)
+        index.num_count = self.num_count - (1 if _is_num(dead_value)
+                                            else 0)
+        type_counts = dict(self.type_counts)
+        if dead_value is not None and not _is_num(dead_value):
+            t = type(dead_value)
+            left = type_counts.get(t, 0) - 1
+            if left:
+                type_counts[t] = left
+            else:
+                type_counts.pop(t, None)
+        index.type_counts = type_counts
+        index.num_values, index.num_ids = _drop_shift(
+            self.num_values, self.num_ids, dead)
+        typed: Dict[type, Tuple[list, array]] = {}
+        for t, (vals, ids) in self.typed.items():
+            new_vals, new_ids = _drop_shift(vals, ids, dead)
+            if new_vals:
+                typed[t] = (new_vals, new_ids)
+        index.typed = typed
+        return index
+
+    def _census_add(self, value: Any, i: int, new_id_is_max: bool) -> None:
+        if value is None:
+            self.none_count += 1
+            return
+        if _is_num(value):
+            self.num_count += 1
+            pos = bisect_right(self.num_values, value)
+            self.num_values.insert(pos, value)
+            self.num_ids.insert(pos, i)
+            return
+        t = type(value)
+        self.type_counts[t] = self.type_counts.get(t, 0) + 1
+        if t in self.unordered:
+            return
+        pair = self.typed.get(t)
+        if pair is None:
+            self.typed[t] = ([value], array("q", [i]))
+            return
+        values, ids = pair
+        try:
+            pos = bisect_right(values, value)
+        except TypeError:  # pragma: no cover - defensive
+            del self.typed[t]
+            self.unordered.add(t)
+            return
+        values.insert(pos, value)
+        ids.insert(pos, i)
+
+    def _census_remove(self, value: Any, i: int) -> None:
+        if value is None:
+            self.none_count -= 1
+            return
+        if _is_num(value):
+            self.num_count -= 1
+            pos = bisect_left(self.num_values, value)
+            while self.num_ids[pos] != i:
+                pos += 1
+            self.num_values.pop(pos)
+            self.num_ids.pop(pos)
+            return
+        t = type(value)
+        count = self.type_counts.get(t, 0) - 1
+        if count:
+            self.type_counts[t] = count
+        else:
+            self.type_counts.pop(t, None)
+        pair = self.typed.get(t)
+        if pair is None:
+            return
+        values, ids = pair
+        pos = bisect_left(values, value)
+        while ids[pos] != i:
+            pos += 1
+        values.pop(pos)
+        ids.pop(pos)
+        if not values:
+            del self.typed[t]
+
+    # ------------------------------------------------------------------
+    # Shared-memory export
+    # ------------------------------------------------------------------
+
+    def plane_arrays(self) -> Dict[str, array]:
+        """The index's frozen *plane* representation: the sorted numeric
+        column as order-preserving int64 keys (:func:`encode_ordered`)
+        plus the parallel dense-id column and a one-element exactness
+        flag (0 when some int exceeded float64's exact range).  Exports
+        are copies; in-place maintenance bumps :attr:`epoch` so cached
+        exports re-snapshot (same contract as
+        :meth:`~repro.subdb.adjindex.AdjacencyIndex.plane_arrays`)."""
+        exact = 1
+        keys = array("q")
+        for v in self.num_values:
+            if isinstance(v, int) and abs(v) > EXACT_INT_BOUND:
+                exact = 0
+            keys.append(encode_ordered(v))
+        return {"num_keys": keys, "num_ids": array("q", self.num_ids),
+                "exact": array("q", [exact])}
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "attr": self.attr,
+            "rows": len(self.values),
+            "distinct": len(self.buckets) if not self.broken else None,
+            "numeric": self.num_count,
+            "none": self.none_count,
+            "other_types": {t.__name__: c
+                            for t, c in sorted(self.type_counts.items(),
+                                               key=lambda kv: kv[0].__name__)},
+            "epoch": self.epoch,
+            "broken": self.broken,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"AttrIndex({self.table.key!r}.{self.attr}, "
+                f"{len(self.values)} rows)")
+
+
+def _drop_shift(values: list, ids: array,
+                dead: int) -> Tuple[list, array]:
+    """Remap one (sorted values, parallel dense ids) column pair after
+    deleting dense id ``dead``: drop its entry if present, decrement
+    every id above it.  Vectorized when numpy is importable; the
+    fallback is a single generator pass."""
+    from repro.oql.kernels import _np
+    if _np is not None and len(ids):
+        arr = _np.frombuffer(ids, dtype=_np.int64)
+        keep = arr != dead
+        shifted = arr[keep]
+        shifted = shifted - (shifted > dead)
+        new_ids = array("q")
+        new_ids.frombytes(shifted.astype(_np.int64).tobytes())
+        if keep.all():
+            return list(values), new_ids
+        pos = int(_np.argmin(keep))
+        return values[:pos] + values[pos + 1:], new_ids
+    new_values = []
+    new_ids = array("q")
+    for value, i in zip(values, ids):
+        if i == dead:
+            continue
+        new_values.append(value)
+        new_ids.append(i - 1 if i > dead else i)
+    return new_values, new_ids
+
+
+def _range_bounds(values: list, op: str, literal: Any) -> Tuple[int, int]:
+    """Bisection bounds of ``value op literal`` over a sorted column —
+    exact Python comparisons, so the slice equals the scan's answer."""
+    if op == "<":
+        return 0, bisect_left(values, literal)
+    if op == "<=":
+        return 0, bisect_right(values, literal)
+    if op == ">":
+        return bisect_right(values, literal), len(values)
+    return bisect_left(values, literal), len(values)
+
+
+class AttrIndexStore:
+    """Declared value indexes of one :class:`CompactStore`.
+
+    Declarations are ``(class name, attribute)`` pairs over *base*
+    extents and survive cache clears; built indexes are validated by
+    intern-table identity (a replaced or dropped table orphans its
+    indexes) and maintained through the owning store's event
+    application.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self.declared: Set[Tuple[str, str]] = set()
+        self._indexes: Dict[Tuple[str, str], AttrIndex] = {}
+        #: Build/maintenance counters surfaced by ``\\index stats``.
+        self.built = 0
+        self.appended = 0
+        self.remapped = 0
+        self.updated = 0
+
+    # -- declarations ---------------------------------------------------
+
+    def declare(self, cls: str, attr: str) -> bool:
+        """Declare an index; returns False when already declared."""
+        key = (cls, attr)
+        if key in self.declared:
+            return False
+        self.declared.add(key)
+        return True
+
+    def drop(self, cls: str, attr: str) -> bool:
+        key = (cls, attr)
+        self._indexes.pop(key, None)
+        if key in self.declared:
+            self.declared.remove(key)
+            return True
+        return False
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, ref, attr: str) -> Optional[AttrIndex]:
+        """The index for ``ref``'s extent and ``attr`` — building it on
+        first use — or ``None`` when ``ref`` is not an indexable base
+        reference or the pair is undeclared."""
+        if ref.subdb is not None:
+            return None
+        key = (ref.cls, attr)
+        if key not in self.declared:
+            return None
+        table = self.store.table(ref)
+        cached = self._indexes.get(key)
+        if cached is not None and cached.table is table:
+            return cached
+        db = self.store.db
+        values = [db.entity(oid).get(attr) for oid in table.oids]
+        index = AttrIndex(table, attr, values)
+        self._indexes[key] = index
+        self.built += 1
+        return index
+
+    def get_if_ready(self, ref, attr: str) -> Optional[AttrIndex]:
+        """The cached valid index, or ``None`` — never builds."""
+        if ref.subdb is not None or not self.store.in_sync:
+            return None
+        cached = self._indexes.get((ref.cls, attr))
+        if cached is None:
+            return None
+        table = self.store.interner.get(("base", ref.cls))
+        if table is None or cached.table is not table:
+            return None
+        return cached
+
+    # -- event application (called by CompactStore._apply) --------------
+
+    def apply_insert(self, oid, appended: Dict[int, InternTable]) -> None:
+        db = self.store.db
+        for index in self._indexes.values():
+            if id(index.table) in appended:
+                index.append(db.entity(oid).get(index.attr))
+                self.appended += 1
+
+    def apply_delete(self,
+                     replaced: Dict[int, Tuple[InternTable, int]]) -> None:
+        for key, index in list(self._indexes.items()):
+            swap = replaced.get(id(index.table))
+            if swap is None:
+                continue
+            new_table, dead = swap
+            self._indexes[key] = index.without(dead, new_table)
+            self.remapped += 1
+
+    def apply_set_attribute(self, payload: Dict[str, Any]) -> None:
+        name = payload.get("name")
+        oid_value = payload.get("oid")
+        for index in self._indexes.values():
+            if index.attr != name:
+                continue
+            dense = index.table.index.get(oid_value)
+            if dense is not None:
+                index.set_value(dense, payload.get("value"))
+                self.updated += 1
+
+    def purge_tables(self, dropped_keys: Set[Any]) -> None:
+        stale = [key for key, index in self._indexes.items()
+                 if index.table.key in dropped_keys]
+        for key in stale:
+            del self._indexes[key]
+
+    def clear(self) -> None:
+        """Drop every built index (declarations survive)."""
+        self._indexes.clear()
+
+    # -- diagnostics ----------------------------------------------------
+
+    def stats(self) -> List[Dict[str, Any]]:
+        out = []
+        for cls, attr in sorted(self.declared):
+            built = self._indexes.get((cls, attr))
+            entry: Dict[str, Any] = {"cls": cls, "attr": attr,
+                                     "built": built is not None}
+            if built is not None:
+                entry.update(built.stats())
+            out.append(entry)
+        return out

@@ -313,7 +313,12 @@ def snapshot_universe(source) -> "SnapshotUniverse":
     with source.db.read_locked():
         snap = DatabaseSnapshot(source.db, _locked=True)
         registry = dict(source._subdbs)
-    return SnapshotUniverse(snap, registry)
+        declared = set(source.compact.attrs.declared)
+    pinned = SnapshotUniverse(snap, registry)
+    # Value-index declarations carry over: snapshot readers probe the
+    # same declared indexes (built privately over pinned extents).
+    pinned.compact.attrs.declared.update(declared)
+    return pinned
 
 
 # Imported late: universe.py imports nothing from this module at import

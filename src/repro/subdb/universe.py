@@ -359,3 +359,32 @@ class Universe:
         not pay a full index rebuild)."""
         return self.compact.adjacency_if_ready(edge, forward, src_ref,
                                                tgt_ref)
+
+    # ------------------------------------------------------------------
+    # Secondary value indexes
+    # ------------------------------------------------------------------
+
+    def declare_index(self, cls: str, attr: str) -> bool:
+        """Declare a ``(class, attribute)`` value index over the base
+        extent of ``cls`` (``\\index add``).  The index itself is built
+        lazily on first probe; the attribute must exist on the class."""
+        self.schema.attribute(cls, attr)
+        return self.compact.attrs.declare(cls, attr)
+
+    def drop_index(self, cls: str, attr: str) -> bool:
+        return self.compact.attrs.drop(cls, attr)
+
+    def attr_index(self, ref: ClassRef, attr: str):
+        """The declared :class:`~repro.subdb.attrindex.AttrIndex` for
+        ``ref``'s extent and ``attr`` (built on first use), or ``None``
+        when undeclared / not an indexable base reference."""
+        return self.compact.attrs.get(ref, attr)
+
+    def attr_index_if_ready(self, ref: ClassRef, attr: str):
+        """The cached valid value index, or ``None`` — never builds."""
+        return self.compact.attrs.get_if_ready(ref, attr)
+
+    def index_stats(self) -> list:
+        """Per-declared-index statistics plus store-level maintenance
+        counters (``\\index stats``)."""
+        return self.compact.attrs.stats()

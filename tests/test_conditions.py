@@ -90,3 +90,103 @@ class TestEvaluate:
         assert not evaluate(cond, self.getter({}))
         is_null = Comparison(AttrRef("x"), "=", Literal(None))
         assert evaluate(is_null, self.getter({}))
+
+
+# ---------------------------------------------------------------------------
+# Property tests: the edge semantics the value indexes must mirror.
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.oql.conditions import (  # noqa: E402
+    FLIP_OP,
+    and_conjuncts,
+    literal_comparison,
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=5),
+)
+ORDERING = ("<", "<=", ">", ">=")
+
+
+class TestCompareProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(scalars, scalars)
+    def test_equality_never_raises_and_negates_exactly(self, a, b):
+        """``=``/``!=`` are total across types and exact complements."""
+        assert compare(a, "=", b) == (not compare(a, "!=", b))
+        assert compare(a, "=", b) == compare(b, "=", a)
+
+    @settings(max_examples=300, deadline=None)
+    @given(scalars, st.sampled_from(ORDERING))
+    def test_null_ordering_is_always_false(self, a, op):
+        assert not compare(None, op, a)
+        assert not compare(a, op, None)
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(-1000, 1000), st.booleans(),
+           st.sampled_from(ORDERING))
+    def test_bool_never_orders_against_numbers(self, n, flag, op):
+        """``bool`` is its own type for ordering even though Python
+        would happily compare it — the paper's type-comparability rule,
+        and the exact contract the index type census enforces."""
+        with pytest.raises(OQLSemanticError):
+            compare(n, op, flag)
+        with pytest.raises(OQLSemanticError):
+            compare(flag, op, float(n))
+
+    @settings(max_examples=300, deadline=None)
+    @given(scalars, st.sampled_from(ORDERING), scalars)
+    def test_ordering_is_total_or_raises_symmetrically(self, a, op, b):
+        """An ordering either answers for both operand orders or raises
+        for both — mirroring a comparison (via FLIP_OP) can never turn
+        an error into an answer or vice versa."""
+        try:
+            forward = compare(a, op, b)
+        except OQLSemanticError:
+            with pytest.raises(OQLSemanticError):
+                compare(b, FLIP_OP[op], a)
+            return
+        assert compare(b, FLIP_OP[op], a) == forward
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.one_of(st.integers(-100, 100),
+                     st.floats(-100, 100, allow_nan=False)),
+           st.one_of(st.integers(-100, 100),
+                     st.floats(-100, 100, allow_nan=False)))
+    def test_numbers_always_order(self, a, b):
+        assert compare(a, "<", b) == (a < b)
+        assert compare(a, ">=", b) == (a >= b)
+
+
+class TestConjunctHelpers:
+    def test_and_conjuncts_flattens_nested_ands_in_order(self):
+        c1 = Comparison(AttrRef("x"), "=", Literal(1))
+        c2 = Comparison(AttrRef("y"), ">", Literal(2))
+        c3 = NotOp(c1)
+        nested = BoolOp("and", (BoolOp("and", (c1, c2)), c3))
+        assert and_conjuncts(nested) == [c1, c2, c3]
+
+    def test_and_conjuncts_leaves_or_alone(self):
+        disj = BoolOp("or", (Comparison(AttrRef("x"), "=", Literal(1)),
+                             Comparison(AttrRef("y"), "=", Literal(2))))
+        assert and_conjuncts(disj) == [disj]
+
+    def test_literal_comparison_normalizes_both_orders(self):
+        right = Comparison(AttrRef("x"), "<", Literal(5))
+        left = Comparison(Literal(5), ">", AttrRef("x"))
+        assert literal_comparison(right) == ("x", "<", 5)
+        assert literal_comparison(left) == ("x", "<", 5)
+
+    def test_literal_comparison_rejects_other_shapes(self):
+        qualified = Comparison(AttrRef("x", owner="T"), "=", Literal(1))
+        attr_attr = Comparison(AttrRef("x"), "=", AttrRef("y"))
+        assert literal_comparison(qualified) is None
+        assert literal_comparison(attr_attr) is None
+        assert literal_comparison(NotOp(attr_attr)) is None

@@ -436,6 +436,116 @@ class TestDifferentialCache:
         assert served >= 3, "no case exercised survival"
 
 
+class TestDifferentialIndexes:
+    """Value-index tier: the seeded corpus re-run against executors with
+    every CONDITIONS attribute indexed — serial, thread-partitioned and
+    process-partitioned — interleaved with random writes (inserts,
+    attribute updates, deletes), must match a scan-only executor byte
+    for byte, including which queries error and with what.  The indexed
+    side must actually probe, or the tier is vacuous."""
+
+    INDEXED = (("Course", "c#"), ("Course", "credit_hours"),
+               ("Section", "section#"), ("Section", "textbook"),
+               ("Transcript", "grade"), ("Transcript", "letter"),
+               ("Department", "college"), ("Teacher", "degree"),
+               ("Faculty", "rank"), ("Student", "GPA"), ("Grad", "GPA"))
+
+    def _executors(self, db):
+        def indexed(**kw):
+            processor = QueryProcessor(Universe(db), compact=True,
+                                       min_parallel_rows=1, **kw)
+            for cls, attr in self.INDEXED:
+                processor.universe.declare_index(cls, attr)
+            return processor
+        return [("scan", QueryProcessor(Universe(db), compact=True)),
+                ("indexed", indexed()),
+                ("indexed-threads", indexed(workers=4)),
+                ("indexed-process", indexed(workers=4,
+                                            worker_mode="process"))]
+
+    def _write(self, db, rng: random.Random, tick: int,
+               own: List) -> None:
+        kind = rng.choice(("insert", "insert", "set_attribute",
+                           "set_attribute", "delete"))
+        if kind == "insert":
+            own.append(db.insert(
+                "Course", f"ix{tick}",
+                **{"c#": 1000 + (tick * 37) % 9000, "title": f"T{tick}",
+                   "credit_hours": rng.randint(1, 5)}).oid)
+        elif kind == "set_attribute":
+            course = rng.choice(sorted(db.extent("Course")))
+            db.set_attribute(course, "credit_hours", rng.randint(1, 5))
+        elif own:
+            db.delete(own.pop(rng.randrange(len(own))))
+
+    def test_indexed_matches_scan_under_interleaved_writes(self):
+        db = generate_university(GeneratorConfig(), seed=DB_SEED).db
+        executors = self._executors(db)
+        rng = random.Random(DB_SEED * 600_000)
+        own: List = []
+        failures = []
+        tick = 0
+        probes = 0
+        try:
+            for case in range(CASES):
+                seed = DB_SEED * 100_000 + case
+                text = _random_spec(random.Random(seed)).text()
+                if rng.random() < 0.30:
+                    tick += 1
+                    self._write(db, rng, tick, own)
+                outcomes = [(label, _outcome(processor, text))
+                            for label, processor in executors]
+                reference = outcomes[0][1]
+                for label, outcome in outcomes[1:]:
+                    if outcome != reference:
+                        failures.append(
+                            f"seed={seed} {text!r}: {label} "
+                            f"{outcome[0]} vs scan {reference[0]}")
+                metrics = executors[1][1].evaluator.last_metrics
+                if metrics is not None:
+                    probes += metrics.index_probes
+                if len(failures) >= 5:
+                    break
+        finally:
+            for _, processor in executors:
+                processor.close()
+        assert probes > 0, "no query ever probed an index: tier vacuous"
+        assert not failures, (
+            f"{len(failures)} index-parity mismatch(es):\n"
+            + "\n".join(failures))
+
+    def test_maintenance_keeps_built_indexes_exact(self):
+        """Directed maintenance check: build the indexes, then verify
+        parity survives each write kind individually — the maintainers
+        must update in place (epoch advances), not just invalidate."""
+        db = generate_university(GeneratorConfig(), seed=DB_SEED).db
+        indexed = QueryProcessor(Universe(db), compact=True)
+        indexed.universe.declare_index("Course", "c#")
+        indexed.universe.declare_index("Course", "credit_hours")
+        plain = QueryProcessor(Universe(db), compact=True)
+        queries = ("context Course[c# < 5000]",
+                   "context Course[credit_hours >= 3] * Section")
+        for text in queries:  # builds both indexes
+            assert _outcome(indexed, text) == _outcome(plain, text)
+        from repro.subdb.refs import ClassRef
+        ref = ClassRef("Course")
+        index = indexed.universe.attr_index_if_ready(ref, "c#")
+        assert index is not None, "probe did not build the index"
+        epoch = index.epoch
+        course = db.insert("Course", "mx1",
+                           **{"c#": 4321, "title": "M",
+                              "credit_hours": 2}).oid
+        db.set_attribute(course, "c#", 1234)
+        for text in queries:
+            assert _outcome(indexed, text) == _outcome(plain, text)
+        live = indexed.universe.attr_index_if_ready(ref, "c#")
+        assert live is not None and live.epoch > epoch, (
+            "writes should maintain the built index in place")
+        db.delete(course)
+        for text in queries:
+            assert _outcome(indexed, text) == _outcome(plain, text)
+
+
 class TestTracingParity:
     """Tracing must be observationally free: rerunning every case with a
     tracer installed yields byte-identical results and identical row
